@@ -1,0 +1,96 @@
+//! Adam state over a flat list of tensors (the agent's parameters).
+
+use serde::{Deserialize, Serialize};
+use spatl_tensor::Tensor;
+
+/// Adam optimiser state for a fixed-length parameter list, with support for
+/// freezing a prefix of the list (used to fine-tune only the MLP head).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdamState {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl AdamState {
+    /// Create Adam state shaped like `params`.
+    ///
+    /// The paper's RL settings use Adam with lr = 1e-4 and β₁ = 0.9.
+    pub fn new(params: &[Tensor], lr: f32) -> Self {
+        AdamState {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: params.iter().map(|p| Tensor::zeros(p.dims().to_vec())).collect(),
+            v: params.iter().map(|p| Tensor::zeros(p.dims().to_vec())).collect(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Set the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Apply one Adam step. `frozen[i] = true` skips parameter `i` entirely
+    /// (no state update either, so unfreezing later resumes cleanly).
+    pub fn step(&mut self, params: &mut [Tensor], grads: &[Tensor], frozen: &[bool]) {
+        assert_eq!(params.len(), self.m.len(), "param count mismatch");
+        assert_eq!(params.len(), grads.len(), "grad count mismatch");
+        assert_eq!(params.len(), frozen.len(), "frozen mask mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            if frozen[i] {
+                continue;
+            }
+            let md = self.m[i].data_mut();
+            let vd = self.v[i].data_mut();
+            let gd = grads[i].data();
+            let xd = params[i].data_mut();
+            for j in 0..xd.len() {
+                let g = gd[j];
+                md[j] = self.beta1 * md[j] + (1.0 - self.beta1) * g;
+                vd[j] = self.beta2 * vd[j] + (1.0 - self.beta2) * g * g;
+                xd[j] -= self.lr * (md[j] / b1t) / ((vd[j] / b2t).sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut params = vec![Tensor::ones([2]), Tensor::ones([2])];
+        let grads = vec![Tensor::ones([2]), Tensor::ones([2])];
+        let mut adam = AdamState::new(&params, 0.1);
+        adam.step(&mut params, &grads, &[true, false]);
+        assert_eq!(params[0].data(), &[1.0, 1.0]);
+        assert!(params[1].data()[0] < 1.0);
+    }
+
+    #[test]
+    fn step_direction_opposes_gradient() {
+        let mut params = vec![Tensor::zeros([3])];
+        let grads = vec![Tensor::from_slice(&[1.0, -1.0, 0.0])];
+        let mut adam = AdamState::new(&params, 0.01);
+        adam.step(&mut params, &grads, &[false]);
+        assert!(params[0].data()[0] < 0.0);
+        assert!(params[0].data()[1] > 0.0);
+        assert_eq!(params[0].data()[2], 0.0);
+    }
+}

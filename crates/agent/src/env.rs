@@ -1,0 +1,161 @@
+//! The network-pruning RL environment (Algorithm 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use spatl_data::Dataset;
+use spatl_graph::{extract, CompGraph};
+use spatl_models::SplitModel;
+use spatl_pruning::{apply_sparsities, Criterion};
+
+/// Outcome of applying an action in the pruning environment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvOutcome {
+    /// Reward: validation accuracy of the masked sub-network (Eq. 7).
+    pub reward: f32,
+    /// FLOPs of the sub-network relative to the dense model.
+    pub flops_ratio: f32,
+    /// The sparsities actually applied (after budget projection).
+    pub applied: Vec<f32>,
+}
+
+/// RL environment: state is the encoder's computational graph, actions are
+/// per-layer sparsities, reward is masked validation accuracy subject to a
+/// FLOPs constraint.
+///
+/// Algorithm 1 loops "while size(E') does not satisfy constraints" —
+/// [`project_to_budget`] realises that loop by scaling the action up until
+/// the constraint holds, so every evaluated sub-network is feasible.
+#[derive(Debug, Clone)]
+pub struct PruningEnv {
+    /// The model being pruned (weights matter: reward is its accuracy).
+    pub model: SplitModel,
+    /// Validation set used for the reward.
+    pub val: Dataset,
+    /// Maximum allowed `flops / flops_dense`.
+    pub target_flops_ratio: f32,
+    /// Saliency criterion used to turn ratios into channel masks.
+    pub criterion: Criterion,
+}
+
+impl PruningEnv {
+    /// Create an environment.
+    pub fn new(model: SplitModel, val: Dataset, target_flops_ratio: f32) -> Self {
+        PruningEnv {
+            model,
+            val,
+            target_flops_ratio,
+            criterion: Criterion::L2,
+        }
+    }
+
+    /// The environment state: the encoder's simplified computational graph.
+    pub fn graph(&self) -> CompGraph {
+        extract(&self.model)
+    }
+
+    /// Apply an action (per-layer sparsities), projecting it onto the FLOPs
+    /// budget first, and return the reward.
+    pub fn step(&self, sparsities: &[f32]) -> EnvOutcome {
+        let applied = project_to_budget(&self.model, sparsities, self.target_flops_ratio, self.criterion);
+        let mut candidate = self.model.clone();
+        apply_sparsities(&mut candidate, &applied, self.criterion);
+        let flops_ratio = candidate.flops() as f32 / self.model.flops_dense() as f32;
+        let batch = self.val.as_batch();
+        let reward = candidate.evaluate(&batch.images, &batch.labels);
+        EnvOutcome {
+            reward,
+            flops_ratio,
+            applied,
+        }
+    }
+
+    /// Apply an action *to the stored model* (after the search picks the
+    /// best action, SPATL keeps the masks for upload selection).
+    pub fn commit(&mut self, sparsities: &[f32]) -> EnvOutcome {
+        let out = self.step(sparsities);
+        apply_sparsities(&mut self.model, &out.applied, self.criterion);
+        out
+    }
+}
+
+/// Scale sparsities up (towards `s=0.95`) until the masked model meets the
+/// FLOPs budget. If the raw action already satisfies it, it is returned
+/// unchanged. Uses bisection on a blend factor, at most 8 model profiles.
+pub fn project_to_budget(
+    model: &SplitModel,
+    sparsities: &[f32],
+    target_flops_ratio: f32,
+    criterion: Criterion,
+) -> Vec<f32> {
+    let dense = model.flops_dense() as f32;
+    let ratio_of = |s: &[f32]| -> f32 {
+        let mut m = model.clone();
+        apply_sparsities(&mut m, s, criterion);
+        m.flops() as f32 / dense
+    };
+    if ratio_of(sparsities) <= target_flops_ratio {
+        return sparsities.to_vec();
+    }
+    // Blend towards the max-sparsity action: s(t) = (1−t)·s + t·0.95.
+    let blend = |t: f32| -> Vec<f32> {
+        sparsities
+            .iter()
+            .map(|&s| (1.0 - t) * s + t * 0.95)
+            .collect()
+    };
+    let (mut lo, mut hi) = (0.0f32, 1.0f32);
+    for _ in 0..8 {
+        let mid = 0.5 * (lo + hi);
+        if ratio_of(&blend(mid)) <= target_flops_ratio {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    blend(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatl_data::{synth_cifar10, SynthConfig};
+    use spatl_models::{ModelConfig, ModelKind};
+
+    fn env() -> PruningEnv {
+        let model = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let val = synth_cifar10(&SynthConfig::cifar10_like(), 30, 1);
+        PruningEnv::new(model, val, 0.6)
+    }
+
+    #[test]
+    fn step_meets_budget() {
+        let e = env();
+        let k = e.model.prune_points.len();
+        let out = e.step(&vec![0.0; k]);
+        assert!(out.flops_ratio <= 0.62, "ratio {}", out.flops_ratio);
+        assert!((0.0..=1.0).contains(&out.reward));
+    }
+
+    #[test]
+    fn feasible_action_unchanged() {
+        let e = env();
+        let k = e.model.prune_points.len();
+        let action = vec![0.9f32; k];
+        let projected = project_to_budget(&e.model, &action, 0.9, Criterion::L2);
+        assert_eq!(projected, action);
+    }
+
+    #[test]
+    fn commit_applies_masks_to_model() {
+        let mut e = env();
+        let k = e.model.prune_points.len();
+        e.commit(&vec![0.5; k]);
+        assert!(e.model.flops() < e.model.flops_dense());
+    }
+
+    #[test]
+    fn graph_matches_prune_points() {
+        let e = env();
+        let g = e.graph();
+        assert_eq!(g.prune_nodes.len(), e.model.prune_points.len());
+    }
+}

@@ -1,0 +1,25 @@
+//! The salient-parameter-selection agent (§IV-B of the paper).
+//!
+//! A GNN encoder embeds the encoder's simplified computational graph; an
+//! MLP head reads out a sparsity ratio per prunable layer (the *action*,
+//! Eq. 5-6); a critic head estimates state value. The agent is trained with
+//! PPO (Eq. 8) on the network-pruning task — reward is the masked model's
+//! validation accuracy (Eq. 7) — then transferred to new encoders by
+//! fine-tuning **only the MLP head**, exactly as the paper customises the
+//! pre-trained agent on each client.
+
+mod adam;
+mod env;
+mod net;
+mod ppo;
+mod train;
+
+pub use adam::AdamState;
+
+/// Shared reference to an environment state; transitions collected within
+/// one round share the same graph.
+pub type CompGraphRef = std::sync::Arc<spatl_graph::CompGraph>;
+pub use env::{project_to_budget, EnvOutcome, PruningEnv};
+pub use net::{ActorCritic, AgentConfig, Evaluation};
+pub use ppo::{PpoStats, Transition};
+pub use train::{finetune_agent, pretrain_agent, TrainLog};

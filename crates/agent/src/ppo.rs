@@ -1,0 +1,118 @@
+//! PPO experience types and batched updates.
+
+use crate::{ActorCritic, CompGraphRef};
+use serde::{Deserialize, Serialize};
+
+/// One stored interaction: the episodes of the pruning task are single-step
+/// (state → action → reward), matching the paper's one-shot selection.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Environment state (the computational graph).
+    pub graph: CompGraphRef,
+    /// Sampled action (per-layer sparsities, pre-projection).
+    pub action: Vec<f32>,
+    /// Log-probability of `action` under the behaviour policy.
+    pub log_prob: f32,
+    /// Critic value at collection time.
+    pub value: f32,
+    /// Observed reward (validation accuracy).
+    pub reward: f32,
+}
+
+/// Statistics of one PPO update phase.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PpoStats {
+    /// Mean policy surrogate loss over epochs.
+    pub policy_loss: f32,
+    /// Mean value loss over epochs.
+    pub value_loss: f32,
+    /// Mean advantage of the batch.
+    pub mean_advantage: f32,
+    /// Mean reward of the batch.
+    pub mean_reward: f32,
+}
+
+/// Run `epochs` PPO epochs over a batch of transitions.
+///
+/// Advantages are `reward − value` (single-step episodes ⇒ the return *is*
+/// the reward), normalised across the batch when it has more than one
+/// element — the standard variance-reduction trick.
+pub fn ppo_update(
+    agent: &mut ActorCritic,
+    batch: &[Transition],
+    epochs: usize,
+    freeze_gnn: bool,
+) -> PpoStats {
+    assert!(!batch.is_empty(), "PPO update requires transitions");
+    let rewards: Vec<f32> = batch.iter().map(|t| t.reward).collect();
+    let mut advantages: Vec<f32> = batch.iter().map(|t| t.reward - t.value).collect();
+    if batch.len() > 1 {
+        let mean = advantages.iter().sum::<f32>() / advantages.len() as f32;
+        let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
+            / advantages.len() as f32;
+        let std = var.sqrt().max(1e-6);
+        for a in advantages.iter_mut() {
+            *a = (*a - mean) / std;
+        }
+    }
+    let graphs: Vec<&spatl_graph::CompGraph> = batch.iter().map(|t| t.graph.as_ref()).collect();
+    let actions: Vec<Vec<f32>> = batch.iter().map(|t| t.action.clone()).collect();
+    let old_lps: Vec<f32> = batch.iter().map(|t| t.log_prob).collect();
+
+    let mut stats = PpoStats {
+        mean_advantage: advantages.iter().sum::<f32>() / advantages.len() as f32,
+        mean_reward: rewards.iter().sum::<f32>() / rewards.len() as f32,
+        ..Default::default()
+    };
+    for _ in 0..epochs {
+        let (pl, vl) = agent.ppo_step(&graphs, &actions, &old_lps, &advantages, &rewards, freeze_gnn);
+        stats.policy_loss += pl / epochs as f32;
+        stats.value_loss += vl / epochs as f32;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AgentConfig;
+    use spatl_graph::extract;
+    use spatl_models::{ModelConfig, ModelKind};
+    use std::sync::Arc;
+
+    #[test]
+    fn update_runs_and_reports() {
+        let g = Arc::new(extract(&ModelConfig::cifar(ModelKind::ResNet20).build()));
+        let mut agent = ActorCritic::new(AgentConfig::default(), 1);
+        let eval = agent.evaluate(&g);
+        let t = Transition {
+            graph: g.clone(),
+            action: eval.mu.clone(),
+            log_prob: agent.log_prob(&eval.mu, &eval.mu),
+            value: eval.value,
+            reward: 0.5,
+        };
+        let stats = ppo_update(&mut agent, &[t.clone(), t], 3, false);
+        assert!(stats.policy_loss.is_finite());
+        assert!(stats.value_loss.is_finite());
+        assert!((stats.mean_reward - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advantages_are_normalised_in_batches() {
+        let g = Arc::new(extract(&ModelConfig::cifar(ModelKind::ResNet20).build()));
+        let mut agent = ActorCritic::new(AgentConfig::default(), 2);
+        let eval = agent.evaluate(&g);
+        let lp = agent.log_prob(&eval.mu, &eval.mu);
+        let mk = |reward: f32| Transition {
+            graph: g.clone(),
+            action: eval.mu.clone(),
+            log_prob: lp,
+            value: 0.0,
+            reward,
+        };
+        let stats = ppo_update(&mut agent, &[mk(0.1), mk(0.9)], 1, false);
+        // Normalised advantages average to ~0.
+        assert!(stats.mean_advantage.abs() < 1e-5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Pre-training and fine-tuning loops for the selection agent.
+
+use crate::{ppo::ppo_update, ActorCritic, PpoStats, PruningEnv, Transition};
+use serde::{Deserialize, Serialize};
+use spatl_tensor::TensorRng;
+use std::sync::Arc;
+
+/// Per-update-round log of an agent training run (drives Fig. 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainLog {
+    /// Mean reward per update round.
+    pub rewards: Vec<f32>,
+    /// PPO statistics per update round.
+    pub stats: Vec<PpoStats>,
+}
+
+fn run_rounds(
+    agent: &mut ActorCritic,
+    env: &PruningEnv,
+    rounds: usize,
+    steps_per_round: usize,
+    epochs_per_round: usize,
+    freeze_gnn: bool,
+    rng: &mut TensorRng,
+) -> TrainLog {
+    let graph = Arc::new(env.graph());
+    let mut log = TrainLog {
+        rewards: Vec::with_capacity(rounds),
+        stats: Vec::with_capacity(rounds),
+    };
+    for _ in 0..rounds {
+        let mut batch = Vec::with_capacity(steps_per_round);
+        let mut reward_sum = 0.0f32;
+        for _ in 0..steps_per_round {
+            let (action, eval) = agent.sample_action(&graph, rng);
+            let outcome = env.step(&action);
+            reward_sum += outcome.reward;
+            let log_prob = agent.log_prob(&eval.mu, &action);
+            batch.push(Transition {
+                graph: graph.clone(),
+                action,
+                log_prob,
+                value: eval.value,
+                reward: outcome.reward,
+            });
+        }
+        let stats = ppo_update(agent, &batch, epochs_per_round, freeze_gnn);
+        log.rewards.push(reward_sum / steps_per_round as f32);
+        log.stats.push(stats);
+    }
+    log
+}
+
+/// Pre-train the agent on the network-pruning task (paper: ResNet-56),
+/// updating the full network (GNN + heads).
+pub fn pretrain_agent(
+    agent: &mut ActorCritic,
+    env: &PruningEnv,
+    rounds: usize,
+    steps_per_round: usize,
+    epochs_per_round: usize,
+    rng: &mut TensorRng,
+) -> TrainLog {
+    run_rounds(agent, env, rounds, steps_per_round, epochs_per_round, false, rng)
+}
+
+/// Fine-tune a pre-trained agent on a new encoder, updating **only the MLP
+/// heads** (paper §V-A: "We only update the MLP's ... parameter when
+/// fine-tuning").
+pub fn finetune_agent(
+    agent: &mut ActorCritic,
+    env: &PruningEnv,
+    rounds: usize,
+    steps_per_round: usize,
+    epochs_per_round: usize,
+    rng: &mut TensorRng,
+) -> TrainLog {
+    run_rounds(agent, env, rounds, steps_per_round, epochs_per_round, true, rng)
+}

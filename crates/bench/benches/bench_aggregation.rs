@@ -1,0 +1,78 @@
+//! TAB-1/TAB-2 kernel — server aggregation cost per algorithm and salient
+//! index selection, the per-round server-side work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spatl::fl::{Algorithm, CommModel, FlConfig, GlobalState, LocalOutcome, SpatlOptions};
+use spatl::prelude::*;
+use spatl::pruning::Criterion as PruneCriterion;
+
+fn fake_outcome(p: usize, id: usize, sparse: bool) -> LocalOutcome {
+    let delta = vec![0.01; p];
+    let selected = sparse.then(|| {
+        let indices: Vec<u32> = (0..p as u32).step_by(2).collect();
+        let values = vec![0.01; indices.len()];
+        spatl::fl::SelectedUpdate {
+            indices,
+            values,
+            channels: 64,
+        }
+    });
+    LocalOutcome {
+        client_id: id,
+        n_samples: 100,
+        tau: 10,
+        delta,
+        selected,
+        buffers: Vec::new(),
+        diverged: false,
+        bytes: CommModel::dense(p),
+        keep_ratio: if sparse { 0.5 } else { 1.0 },
+        flops_ratio: 1.0,
+    }
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let p = 100_000usize;
+    let n_clients = 10usize;
+    let mut group = c.benchmark_group("server_aggregate");
+    group.sample_size(10);
+
+    let cases: Vec<(Algorithm, &str, bool)> = vec![
+        (Algorithm::FedAvg, "fedavg", false),
+        (Algorithm::FedNova, "fednova", false),
+        (Algorithm::Scaffold, "scaffold", false),
+        (Algorithm::Spatl(SpatlOptions::default()), "spatl_sparse", true),
+    ];
+    for (alg, name, sparse) in cases {
+        let cfg = FlConfig::new(alg);
+        let outcomes: Vec<LocalOutcome> =
+            (0..n_clients).map(|i| fake_outcome(p, i, sparse)).collect();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut g = GlobalState {
+                    shared: vec![0.0; p],
+                    control: if alg.uses_control() { vec![0.0; p] } else { Vec::new() },
+                    buffers: Vec::new(),
+                };
+                g.aggregate(&cfg, &outcomes, n_clients);
+                g.shared[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_salient_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("salient_indices");
+    group.sample_size(20);
+    for kind in [ModelKind::ResNet20, ModelKind::Vgg11] {
+        let mut model = ModelConfig::cifar(kind).build();
+        let n = model.prune_points.len();
+        apply_sparsities(&mut model, &vec![0.5; n], PruneCriterion::L2);
+        group.bench_function(kind.name(), |b| b.iter(|| salient_param_indices(&model)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation, bench_salient_selection);
+criterion_main!(benches);

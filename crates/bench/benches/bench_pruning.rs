@@ -1,0 +1,66 @@
+//! TAB-4 / TAB-INF kernel — saliency scoring, mask application and FLOPs
+//! profiling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spatl::prelude::*;
+use spatl::pruning::Criterion as PruneCriterion;
+
+fn bench_saliency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saliency");
+    group.sample_size(20);
+    let model = ModelConfig::cifar(ModelKind::ResNet56).build();
+    let conv = model.conv_at(model.prune_points[10].layer);
+    for (crit, name) in [
+        (PruneCriterion::L1, "l1"),
+        (PruneCriterion::L2, "l2"),
+        (PruneCriterion::Fpgm, "fpgm"),
+    ] {
+        group.bench_function(name, |b| b.iter(|| channel_saliency(conv, crit)));
+    }
+    group.finish();
+}
+
+fn bench_apply_masks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_sparsities");
+    group.sample_size(20);
+    for kind in [ModelKind::ResNet20, ModelKind::ResNet56] {
+        let model = ModelConfig::cifar(kind).build();
+        let n = model.prune_points.len();
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || model.clone(),
+                |mut m| apply_sparsities(&mut m, &vec![0.4; n], PruneCriterion::L2),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_flops_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flops_profile");
+    group.sample_size(50);
+    for kind in [ModelKind::ResNet20, ModelKind::Vgg11] {
+        let model = ModelConfig::cifar(kind).build();
+        group.bench_function(kind.name(), |b| b.iter(|| profile(&model)));
+    }
+    group.finish();
+}
+
+fn bench_sfp_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfp_soft_step");
+    group.sample_size(20);
+    let model = ModelConfig::cifar(ModelKind::ResNet20).build();
+    let sfp = SoftFilterPruner::new(0.4);
+    group.bench_function("resnet20", |b| {
+        b.iter_batched(
+            || model.clone(),
+            |mut m| sfp.soft_step(&mut m),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_saliency, bench_apply_masks, bench_flops_profile, bench_sfp_step);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Substrate micro-benchmarks: matmul, im2col, conv and full-model
+//! forward/backward — the kernels every experiment's wall-clock reduces to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatl::prelude::*;
+use spatl::tensor::{im2col, matmul, Conv2dGeometry};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let mut rng = TensorRng::seed_from(1);
+        let a = rng.normal_tensor([n, n], 0.0, 1.0);
+        let b = rng.normal_tensor([n, n], 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(2);
+    let x = rng.normal_tensor([8, 16, 16, 16], 0.0, 1.0);
+    let g = Conv2dGeometry {
+        in_channels: 16,
+        in_h: 16,
+        in_w: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let mut group = c.benchmark_group("im2col");
+    group.sample_size(10);
+    group.bench_function("8x16x16x16_k3", |b| b.iter(|| im2col(&x, &g)));
+    group.finish();
+}
+
+fn bench_model_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fwd_bwd");
+    group.sample_size(10);
+    for kind in [ModelKind::ResNet20, ModelKind::Vgg11] {
+        let mut model = ModelConfig::cifar(kind).build();
+        let mut rng = TensorRng::seed_from(3);
+        let x = rng.normal_tensor([8, 3, 16, 16], 0.0, 1.0);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                model.zero_grad();
+                let y = model.forward(&x, true);
+                model.backward(&spatl::tensor::Tensor::ones(y.dims().to_vec()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_im2col, bench_model_forward_backward);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! FIG-ABL-BUDGET — sensitivity of SPATL to the FLOPs budget (design-choice
+//! ablation; DESIGN.md §5).
+//!
+//! Sweeps `target_flops_ratio` and reports the three quantities it trades
+//! off: accuracy, per-round upload bytes, and deployed FLOPs. Tighter
+//! budgets cut communication and inference cost; the question is how much
+//! accuracy they cost at harness scale.
+
+use spatl::prelude::*;
+use spatl_bench::{mb, pct, write_json, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(4, 8);
+    let budgets = [0.9f32, 0.7, 0.5, 0.35];
+
+    let mut table = Table::new(&[
+        "budget",
+        "best acc",
+        "final acc",
+        "upload/round/client",
+        "deployed FLOPs",
+    ]);
+    let mut artefact = Vec::new();
+    for &budget in &budgets {
+        let opts = SpatlOptions {
+            target_flops_ratio: budget,
+            ..Default::default()
+        };
+        let mut sim = ExperimentBuilder::new(Algorithm::Spatl(opts))
+            .model(ModelKind::ResNet20)
+            .clients(scale.pick(4, 8))
+            .samples_per_client(scale.pick(50, 80))
+            .rounds(rounds)
+            .local_epochs(2)
+            .seed(123)
+            .build();
+        let result = sim.run();
+        let upload: u64 = result.history.iter().map(|h| h.bytes.upload).sum::<u64>()
+            / (rounds as u64 * sim.cfg.clients_per_round() as u64);
+        let mean_flops = result
+            .history
+            .last()
+            .map(|h| h.mean_flops_ratio)
+            .unwrap_or(1.0);
+        table.row(vec![
+            pct(budget),
+            pct(result.best_acc()),
+            pct(result.final_acc()),
+            mb(upload),
+            pct(mean_flops),
+        ]);
+        artefact.push(serde_json::json!({
+            "budget": budget,
+            "best_acc": result.best_acc(),
+            "final_acc": result.final_acc(),
+            "upload_per_round_per_client": upload,
+            "mean_flops_ratio": mean_flops,
+        }));
+        eprintln!("  budget {budget}: acc {}", pct(result.best_acc()));
+    }
+    table.print();
+    write_json("fig_ablation_budget", &serde_json::json!(artefact));
+}

@@ -1,0 +1,126 @@
+//! FIG-ABL-SEL / FIG-ABL-TL / FIG-ABL-GC — the three component ablations
+//! of §V-F (paper Figs. 4 and 5).
+//!
+//! * selection vs. no selection (ResNet-20, several client counts),
+//! * transfer vs. no transfer (ResNet-20, 10 clients),
+//! * gradient control vs. none (VGG-11, 10 clients).
+
+use spatl::prelude::*;
+use spatl_bench::{pct, write_json, Scale, Table};
+
+#[allow(clippy::too_many_arguments)]
+fn curve(
+    alg: Algorithm,
+    model: ModelKind,
+    clients: usize,
+    rounds: usize,
+    spc: usize,
+    beta: f64,
+    noise: f32,
+    seed: u64,
+) -> RunResult {
+    ExperimentBuilder::new(alg)
+        .model(model)
+        .clients(clients)
+        .samples_per_client(spc)
+        .beta(beta)
+        .noise_std(noise)
+        .rounds(rounds)
+        .local_epochs(2)
+        .seed(seed)
+        .run()
+}
+
+fn series(r: &RunResult) -> Vec<f32> {
+    r.history.iter().map(|h| h.mean_acc).collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(5, 10);
+    let spc = scale.pick(60, 80);
+    let mut artefact = Vec::new();
+    let mut table = Table::new(&["ablation", "setting", "variant", "best acc", "final acc"]);
+
+    // --- Fig. 4: salient selection on/off, several client counts ---
+    for clients in scale.pick(vec![4], vec![6, 12]) {
+        for (on, label) in [(true, "with selection"), (false, "no selection")] {
+            let opts = SpatlOptions {
+                selection: on,
+                ..Default::default()
+            };
+            let r = curve(Algorithm::Spatl(opts), ModelKind::ResNet20, clients, rounds, spc, 0.5, 2.5, 91);
+            println!(
+                "selection/{label}/{clients}c: {}",
+                series(&r).iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" ")
+            );
+            table.row(vec![
+                "selection".into(),
+                format!("{clients} clients"),
+                label.into(),
+                pct(r.best_acc()),
+                pct(r.final_acc()),
+            ]);
+            artefact.push(serde_json::json!({
+                "ablation": "selection", "clients": clients, "variant": label,
+                "curve": series(&r),
+            }));
+        }
+    }
+
+    // --- Fig. 5(a): transfer on/off (ResNet-20) ---
+    // The paper's transfer ablation targets *heterogeneous* clients; run it
+    // in the strong-skew / hard-task regime (β = 0.2, noise 3.0) where
+    // private predictors have something to adapt to.
+    for (on, label) in [(true, "with transfer"), (false, "no transfer")] {
+        let opts = SpatlOptions {
+            transfer: on,
+            ..Default::default()
+        };
+        let clients = scale.pick(4, 10);
+        let r = curve(Algorithm::Spatl(opts), ModelKind::ResNet20, clients, rounds, spc, 0.2, 3.0, 92);
+        println!(
+            "transfer/{label}: {}",
+            series(&r).iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" ")
+        );
+        table.row(vec![
+            "transfer".into(),
+            format!("{clients} clients"),
+            label.into(),
+            pct(r.best_acc()),
+            pct(r.final_acc()),
+        ]);
+        artefact.push(serde_json::json!({
+            "ablation": "transfer", "variant": label, "curve": series(&r),
+        }));
+    }
+
+    // --- Fig. 5(b): gradient control on/off (VGG-11) ---
+    for (on, label) in [(true, "with gradient control"), (false, "no gradient control")] {
+        let opts = SpatlOptions {
+            gradient_control: on,
+            ..Default::default()
+        };
+        let clients = scale.pick(4, 10);
+        let model = scale.pick(ModelKind::ResNet20, ModelKind::Vgg11);
+        let r = curve(Algorithm::Spatl(opts), model, clients, rounds, spc, 0.2, 3.0, 93);
+        println!(
+            "gradient-control/{label}: {}",
+            series(&r).iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" ")
+        );
+        table.row(vec![
+            "gradient control".into(),
+            format!("{} / {clients} clients", model.name()),
+            label.into(),
+            pct(r.best_acc()),
+            pct(r.final_acc()),
+        ]);
+        artefact.push(serde_json::json!({
+            "ablation": "gradient_control", "variant": label, "curve": series(&r),
+        }));
+    }
+
+    println!();
+    table.print();
+    write_json("fig_ablations", &serde_json::json!(artefact));
+}

@@ -1,0 +1,86 @@
+//! FIG-LC — learning curves (paper Fig. "vgg_cifar" and Fig. 3).
+//!
+//! Accuracy vs. communication round for SPATL and the four baselines on the
+//! CIFAR-10-like task (ResNet-20 and VGG-11) and the FEMNIST-like task
+//! (2-layer CNN), across client scales. Prints one series per
+//! (setting, algorithm) and the final converge-accuracy comparison.
+//!
+//! Scale with `SPATL_EXP_SCALE=quick|full`.
+
+use spatl::prelude::*;
+use spatl_bench::{pct, write_json, Scale, Table};
+
+fn algorithms() -> Vec<(Algorithm, &'static str)> {
+    vec![
+        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
+        (Algorithm::FedAvg, "FedAvg"),
+        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
+        (Algorithm::Scaffold, "SCAFFOLD"),
+        (Algorithm::FedNova, "FedNova"),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(6, 12);
+    let spc = scale.pick(60, 90);
+
+    // (model, dataset, clients, sample ratio) settings; the paper sweeps
+    // 10 → 100 clients, we sweep a scaled version of the same ladder.
+    let settings: Vec<(ModelKind, DatasetKind, usize, f32)> = match scale {
+        Scale::Quick => vec![(ModelKind::ResNet20, DatasetKind::CifarLike, 6, 1.0)],
+        Scale::Full => vec![
+            (ModelKind::ResNet20, DatasetKind::CifarLike, 10, 1.0),
+            (ModelKind::ResNet20, DatasetKind::CifarLike, 30, 0.4),
+            (ModelKind::Cnn2, DatasetKind::FemnistLike, 10, 1.0),
+        ],
+    };
+
+    let mut artefact = Vec::new();
+    for (model, dataset, clients, ratio) in settings {
+        println!(
+            "\n=== {} on {:?}, {clients} clients, sample ratio {ratio} ===",
+            model.name(),
+            dataset
+        );
+        let mut summary = Table::new(&["algorithm", "best acc", "final acc", "rounds"]);
+        for (alg, name) in algorithms() {
+            let result = ExperimentBuilder::new(alg)
+                .model(model)
+                .dataset(dataset)
+                .clients(clients)
+                .sample_ratio(ratio)
+                .samples_per_client(spc)
+                .rounds(rounds)
+                .local_epochs(2)
+                .seed(2022)
+                .run();
+            let curve: Vec<f32> = result.history.iter().map(|r| r.mean_acc).collect();
+            println!(
+                "{name:<10} {}",
+                curve
+                    .iter()
+                    .map(|a| format!("{:.3}", a))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            summary.row(vec![
+                name.to_string(),
+                pct(result.best_acc()),
+                pct(result.final_acc()),
+                format!("{rounds}"),
+            ]);
+            artefact.push(serde_json::json!({
+                "model": model.name(),
+                "dataset": format!("{dataset:?}"),
+                "clients": clients,
+                "sample_ratio": ratio,
+                "algorithm": name,
+                "curve": curve,
+            }));
+        }
+        println!();
+        summary.print();
+    }
+    write_json("fig_learning_curves", &serde_json::json!(artefact));
+}

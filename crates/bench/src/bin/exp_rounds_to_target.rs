@@ -1,0 +1,57 @@
+//! FIG-ROUNDS — rounds to reach target accuracy across FL settings (paper
+//! Fig. "train_rounds").
+
+use spatl::prelude::*;
+use spatl_bench::{write_json, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let max_rounds = scale.pick(8, 14);
+    let target = scale.pick(0.45, 0.55);
+
+    let settings: Vec<(usize, f32)> = match scale {
+        Scale::Quick => vec![(4, 1.0), (8, 0.5)],
+        Scale::Full => vec![(10, 1.0), (20, 0.5)],
+    };
+    let algs: Vec<(Algorithm, &'static str)> = vec![
+        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
+        (Algorithm::FedAvg, "FedAvg"),
+        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
+        (Algorithm::Scaffold, "SCAFFOLD"),
+        (Algorithm::FedNova, "FedNova"),
+    ];
+
+    let mut table = Table::new(&["setting", "SPATL", "FedAvg", "FedProx", "SCAFFOLD", "FedNova"]);
+    let mut artefact = Vec::new();
+    println!(
+        "rounds to reach {:.0}% mean accuracy (ResNet-20, ≤{max_rounds} rounds)\n",
+        target * 100.0
+    );
+    for (clients, ratio) in settings {
+        let mut cells = vec![format!("{clients} clients / {ratio}")];
+        for (alg, name) in &algs {
+            let result = ExperimentBuilder::new(*alg)
+                .model(ModelKind::ResNet20)
+                .clients(clients)
+                .sample_ratio(ratio)
+                .samples_per_client(scale.pick(60, 80))
+                .rounds(max_rounds)
+                .local_epochs(2)
+                .seed(17)
+                .run();
+            let rounds = result.rounds_to_target(target);
+            cells.push(rounds.map(|r| r.to_string()).unwrap_or_else(|| format!(">{max_rounds}")));
+            artefact.push(serde_json::json!({
+                "clients": clients,
+                "sample_ratio": ratio,
+                "algorithm": name,
+                "target": target,
+                "rounds": rounds,
+            }));
+            eprintln!("  {clients}c/{ratio} {name}: {rounds:?}");
+        }
+        table.row(cells);
+    }
+    table.print();
+    write_json("fig_rounds_to_target", &serde_json::json!(artefact));
+}

@@ -1,0 +1,59 @@
+//! SCALE — scalability of the simulator (the paper's "SPATL enables
+//! scalable federated learning" contribution bullet).
+//!
+//! Fixed round budget, growing client population with a fixed sampling
+//! count: reports wall-clock per round, bytes per round and accuracy,
+//! demonstrating that cost scales with *sampled* clients, not population.
+
+use spatl::prelude::*;
+use spatl_bench::{mb, pct, write_json, Scale, Table};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(2, 5);
+    let populations: Vec<usize> = scale.pick(vec![4, 8, 16], vec![10, 30, 50, 100]);
+    let sampled = scale.pick(4, 10);
+
+    let mut table = Table::new(&[
+        "clients",
+        "sampled/round",
+        "sec/round",
+        "bytes/round",
+        "mean acc",
+    ]);
+    let mut artefact = Vec::new();
+    for &n in &populations {
+        let ratio = sampled as f32 / n as f32;
+        let mut sim = ExperimentBuilder::new(Algorithm::Spatl(SpatlOptions::default()))
+            .model(ModelKind::ResNet20)
+            .clients(n)
+            .sample_ratio(ratio)
+            .samples_per_client(scale.pick(30, 60))
+            .rounds(rounds)
+            .local_epochs(1)
+            .seed(7)
+            .build();
+        let t0 = Instant::now();
+        let result = sim.run();
+        let secs = t0.elapsed().as_secs_f64() / rounds as f64;
+        let last = result.history.last().expect("rounds ran");
+        table.row(vec![
+            n.to_string(),
+            sim.cfg.clients_per_round().to_string(),
+            format!("{secs:.2}"),
+            mb(last.bytes.total()),
+            pct(last.mean_acc),
+        ]);
+        artefact.push(serde_json::json!({
+            "clients": n,
+            "sampled": sim.cfg.clients_per_round(),
+            "sec_per_round": secs,
+            "bytes_per_round": last.bytes.total(),
+            "mean_acc": last.mean_acc,
+        }));
+        eprintln!("  {n} clients: {secs:.2}s/round");
+    }
+    table.print();
+    write_json("scaling", &serde_json::json!(artefact));
+}

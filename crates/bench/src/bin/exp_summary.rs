@@ -1,0 +1,205 @@
+//! Digest all `results/*.json` artefacts into a compact summary — the
+//! measured side of EXPERIMENTS.md.
+
+use spatl_bench::{results_dir, Table};
+use std::fs;
+
+fn load(name: &str) -> Option<serde_json::Value> {
+    let path = results_dir().join(format!("{name}.json"));
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn f(v: &serde_json::Value) -> f64 {
+    v.as_f64().unwrap_or(f64::NAN)
+}
+
+fn main() {
+    println!("# SPATL reproduction — measured summary\n");
+
+    if let Some(v) = load("fig_learning_curves") {
+        println!("## Learning curves (best accuracy per setting)");
+        let mut t = Table::new(&["setting", "algorithm", "best acc", "rounds-to-50%"]);
+        for run in v.as_array().into_iter().flatten() {
+            let curve: Vec<f64> = run["curve"]
+                .as_array()
+                .into_iter()
+                .flatten()
+                .map(f)
+                .collect();
+            let best = curve.iter().copied().fold(0.0f64, f64::max);
+            let r50 = curve
+                .iter()
+                .position(|&a| a >= 0.5)
+                .map(|i| (i + 1).to_string())
+                .unwrap_or_else(|| "-".into());
+            t.row(vec![
+                format!(
+                    "{} {}c/{}",
+                    run["model"].as_str().unwrap_or("?"),
+                    run["clients"],
+                    run["sample_ratio"]
+                ),
+                run["algorithm"].as_str().unwrap_or("?").to_string(),
+                format!("{:.1}%", best * 100.0),
+                r50,
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if let Some(v) = load("table1_comm_cost") {
+        println!("## Table I — total bytes to target (speed-up vs FedAvg)");
+        let runs: Vec<&serde_json::Value> = v.as_array().into_iter().flatten().collect();
+        let mut t = Table::new(&["model", "algorithm", "rounds", "total MB", "speedup"]);
+        for model in ["ResNet-20", "ResNet-32", "VGG-11"] {
+            let fedavg: Option<f64> = runs
+                .iter()
+                .find(|r| r["model"] == model && r["algorithm"] == "FedAvg")
+                .map(|r| f(&r["total_bytes"]));
+            for r in runs.iter().filter(|r| r["model"] == model) {
+                let total = f(&r["total_bytes"]);
+                let speed = fedavg
+                    .filter(|&fa| fa > 0.0 && total > 0.0)
+                    .map(|fa| format!("{:.2}x", fa / total))
+                    .unwrap_or_else(|| "-".into());
+                t.row(vec![
+                    model.to_string(),
+                    r["algorithm"].as_str().unwrap_or("?").to_string(),
+                    r["rounds"].to_string(),
+                    format!("{:.1}", total / 1e6),
+                    speed,
+                ]);
+            }
+        }
+        t.print();
+        println!();
+    }
+
+    if let Some(v) = load("table2_convergence") {
+        println!("## Table II — converge accuracy / cost");
+        let mut t = Table::new(&["model", "clients", "algorithm", "final acc", "total MB"]);
+        for r in v.as_array().into_iter().flatten() {
+            t.row(vec![
+                r["model"].as_str().unwrap_or("?").to_string(),
+                r["clients"].to_string(),
+                r["algorithm"].as_str().unwrap_or("?").to_string(),
+                format!("{:.1}%", f(&r["final_acc"]) * 100.0),
+                format!("{:.1}", f(&r["total_bytes"]) / 1e6),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if let Some(v) = load("fig_local_acc") {
+        println!("## Per-client accuracy spread");
+        let mut t = Table::new(&["algorithm", "mean", "min", "spread"]);
+        for r in v.as_array().into_iter().flatten() {
+            let accs: Vec<f64> = r["per_client_acc"]
+                .as_array()
+                .into_iter()
+                .flatten()
+                .map(f)
+                .collect();
+            let mean = accs.iter().sum::<f64>() / accs.len().max(1) as f64;
+            let min = accs.iter().copied().fold(1.0f64, f64::min);
+            let max = accs.iter().copied().fold(0.0f64, f64::max);
+            t.row(vec![
+                r["algorithm"].as_str().unwrap_or("?").to_string(),
+                format!("{:.1}%", mean * 100.0),
+                format!("{:.1}%", min * 100.0),
+                format!("{:.1}pp", (max - min) * 100.0),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if let Some(v) = load("table3_transfer") {
+        println!("## Table III — transferability");
+        let mut t = Table::new(&["algorithm", "transfer acc"]);
+        for r in v.as_array().into_iter().flatten() {
+            t.row(vec![
+                r["algorithm"].as_str().unwrap_or("?").to_string(),
+                format!("{:.1}%", f(&r["transfer_acc"]) * 100.0),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if let Some(v) = load("table4_pruning") {
+        println!("## Table IV — pruning at 60% FLOPs budget");
+        let mut t = Table::new(&["method", "accuracy", "FLOPs kept"]);
+        for r in v.as_array().into_iter().flatten() {
+            t.row(vec![
+                r["method"].as_str().unwrap_or("?").to_string(),
+                format!("{:.1}%", f(&r["acc"]) * 100.0),
+                format!("{:.1}%", f(&r["flops_ratio"]) * 100.0),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if let Some(v) = load("table_inference") {
+        println!("## Inference acceleration (per-client FLOPs reduction)");
+        let rows: Vec<&serde_json::Value> = v.as_array().into_iter().flatten().collect();
+        let mut t = Table::new(&["model", "mean FLOPs ↓", "best client ↓"]);
+        for model in ["ResNet-20", "ResNet-32", "VGG-11"] {
+            let ratios: Vec<f64> = rows
+                .iter()
+                .filter(|r| r["model"] == model)
+                .map(|r| f(&r["flops_ratio"]))
+                .collect();
+            if ratios.is_empty() {
+                continue;
+            }
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            let best = ratios.iter().copied().fold(1.0f64, f64::min);
+            t.row(vec![
+                model.to_string(),
+                format!("{:.1}%", (1.0 - mean) * 100.0),
+                format!("{:.1}%", (1.0 - best) * 100.0),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if let Some(v) = load("fig_rl_finetune") {
+        println!("## Agent pre-train / fine-tune rewards");
+        let pre: Vec<f64> = v["pretrain_rewards"].as_array().into_iter().flatten().map(f).collect();
+        let fine: Vec<f64> = v["finetune_rewards"].as_array().into_iter().flatten().map(f).collect();
+        let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        println!(
+            "pre-train  : first 3 avg {:.3} → last 3 avg {:.3}",
+            avg(&pre[..3.min(pre.len())]),
+            avg(&pre[pre.len().saturating_sub(3)..])
+        );
+        println!(
+            "fine-tune  : first 3 avg {:.3} → last 3 avg {:.3}",
+            avg(&fine[..3.min(fine.len())]),
+            avg(&fine[fine.len().saturating_sub(3)..])
+        );
+        println!("agent bytes: {}\n", v["agent_bytes"]);
+    }
+
+    if let Some(v) = load("fig_ablations") {
+        println!("## Ablations (best accuracy, variant vs variant)");
+        let mut t = Table::new(&["ablation", "variant", "best acc"]);
+        for r in v.as_array().into_iter().flatten() {
+            let curve: Vec<f64> = r["curve"].as_array().into_iter().flatten().map(f).collect();
+            let best = curve.iter().copied().fold(0.0f64, f64::max);
+            t.row(vec![
+                r["ablation"].as_str().unwrap_or("?").to_string(),
+                r["variant"].as_str().unwrap_or("?").to_string(),
+                format!("{:.1}%", best * 100.0),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+}

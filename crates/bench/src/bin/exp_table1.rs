@@ -1,0 +1,125 @@
+//! TAB-1 — communication cost to a target accuracy (paper Table I).
+//!
+//! Train ResNet-20/32 and VGG-11 with every algorithm until the mean
+//! accuracy first reaches the target (or the round budget runs out), then
+//! report rounds, per-round-per-client cost, total cost, and speed-up over
+//! FedAvg — the paper's exact columns.
+
+use spatl::prelude::*;
+use spatl_bench::{mb, write_json, Scale, Table};
+
+struct Row {
+    algorithm: &'static str,
+    model: &'static str,
+    rounds: Option<usize>,
+    per_round_client: u64,
+    total: u64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let max_rounds = scale.pick(8, 15);
+    let target = scale.pick(0.5, 0.5);
+    let clients = scale.pick(4, 8);
+    let models: Vec<ModelKind> = match scale {
+        Scale::Quick => vec![ModelKind::ResNet20],
+        Scale::Full => vec![ModelKind::ResNet20, ModelKind::ResNet32, ModelKind::Vgg11],
+    };
+    let algs: Vec<(Algorithm, &'static str)> = vec![
+        (Algorithm::FedAvg, "FedAvg"),
+        (Algorithm::FedNova, "FedNova"),
+        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
+        (Algorithm::Scaffold, "SCAFFOLD"),
+        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
+    ];
+
+    println!(
+        "communication cost to {:.0}% mean accuracy, {clients} clients, ≤{max_rounds} rounds\n",
+        target * 100.0
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for &model in &models {
+        // VGG-11 is ~6× the per-round compute of the ResNets on CPU; give
+        // it a smaller federation so the table completes at harness scale.
+        let (clients, max_rounds) = if model == ModelKind::Vgg11 {
+            (clients.min(5), max_rounds.min(8))
+        } else {
+            (clients, max_rounds)
+        };
+        for (alg, name) in &algs {
+            let mut sim = ExperimentBuilder::new(*alg)
+                .model(model)
+                .clients(clients)
+                .samples_per_client(scale.pick(60, 90))
+                .rounds(max_rounds)
+                .local_epochs(2)
+                .seed(1)
+                .build();
+            let mut reached = None;
+            for _ in 0..max_rounds {
+                let r = sim.run_round();
+                if r.mean_acc >= target {
+                    reached = Some(r.round + 1);
+                    break;
+                }
+            }
+            let result = sim.result();
+            rows.push(Row {
+                algorithm: name,
+                model: model.name(),
+                rounds: reached,
+                per_round_client: result.bytes_per_round_per_client,
+                total: result.total_bytes(),
+            });
+            eprintln!(
+                "  {} / {}: rounds={:?} total={}",
+                model.name(),
+                name,
+                reached,
+                mb(result.total_bytes())
+            );
+        }
+    }
+
+    let mut table = Table::new(&[
+        "Method",
+        "Model",
+        "Rounds",
+        "Round/Client",
+        "Total",
+        "Speedup vs FedAvg",
+    ]);
+    let mut artefact = Vec::new();
+    for &model in &models {
+        let fedavg_total = rows
+            .iter()
+            .find(|r| r.model == model.name() && r.algorithm == "FedAvg")
+            .map(|r| r.total)
+            .unwrap_or(0);
+        for r in rows.iter().filter(|r| r.model == model.name()) {
+            let speedup = if r.total > 0 && fedavg_total > 0 {
+                format!("{:.2}x", fedavg_total as f64 / r.total as f64)
+            } else {
+                "-".to_string()
+            };
+            table.row(vec![
+                r.algorithm.to_string(),
+                r.model.to_string(),
+                r.rounds.map(|v| v.to_string()).unwrap_or_else(|| format!(">{max_rounds}")),
+                mb(r.per_round_client),
+                mb(r.total),
+                speedup,
+            ]);
+            artefact.push(serde_json::json!({
+                "algorithm": r.algorithm,
+                "model": r.model,
+                "target": target,
+                "rounds": r.rounds,
+                "bytes_per_round_per_client": r.per_round_client,
+                "total_bytes": r.total,
+            }));
+        }
+    }
+    table.print();
+    write_json("table1_comm_cost", &serde_json::json!(artefact));
+}

@@ -1,0 +1,146 @@
+//! TAB-4 — pruning comparison: RL agent vs. SFP / FPGM / DSA (paper
+//! Table IV, §V-F1).
+//!
+//! Trains a ResNet-56-style model, then prunes it to a common FLOPs budget
+//! with each method and reports accuracy drop and FLOPs reduction.
+
+use spatl::prelude::*;
+use spatl_bench::{pct, write_json, Scale, Table};
+
+fn train(model: &mut SplitModel, data: &Dataset, epochs: usize, seed: u64) {
+    let mut opt = Sgd::with_momentum(0.05, 0.9, 1e-4);
+    let mut loss = CrossEntropyLoss::new();
+    let mut rng = TensorRng::seed_from(seed);
+    for _ in 0..epochs {
+        for batch in data.batches(32, &mut rng) {
+            model.zero_grad();
+            let logits = model.forward(&batch.images, true);
+            loss.forward(&logits, &batch.labels);
+            let g = loss.backward();
+            model.backward(&g);
+            opt.step(&mut model.encoder);
+            opt.step(&mut model.predictor);
+        }
+    }
+}
+
+fn eval(model: &mut SplitModel, val: &Dataset) -> f32 {
+    let b = val.as_batch();
+    model.evaluate(&b.images, &b.labels)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let budget = 0.6f32;
+    let synth = SynthConfig {
+        noise_std: 1.0,
+        ..SynthConfig::cifar10_like()
+    };
+    let train_set = synth_cifar10(&synth, scale.pick(200, 400), 1);
+    let val_set = synth_cifar10(&synth, scale.pick(80, 200), 2);
+
+    println!("training ResNet-56 (scaled) baseline…");
+    let mut model = ModelConfig::cifar(ModelKind::ResNet56).with_seed(4).build();
+    train(&mut model, &train_set, scale.pick(3, 6), 5);
+    let dense_acc = eval(&mut model.clone(), &val_set);
+    println!("dense accuracy {} | FLOPs budget {:.0}%\n", pct(dense_acc), budget * 100.0);
+
+    let mut table = Table::new(&["method", "acc", "Δacc", "FLOPs kept", "FLOPs ↓"]);
+    let mut artefact = vec![serde_json::json!({
+        "method": "dense",
+        "acc": dense_acc,
+        "flops_ratio": 1.0,
+    })];
+    let mut report = |name: &str, m: &mut SplitModel, table: &mut Table| {
+        let acc = eval(m, &val_set);
+        let ratio = m.flops() as f32 / m.flops_dense() as f32;
+        table.row(vec![
+            name.to_string(),
+            pct(acc),
+            format!("{:+.1}pp", (acc - dense_acc) * 100.0),
+            pct(ratio),
+            pct(1.0 - ratio),
+        ]);
+        artefact.push(serde_json::json!({
+            "method": name,
+            "acc": acc,
+            "flops_ratio": ratio,
+        }));
+    };
+
+    // Standard pruning protocol: every method gets the same brief recovery
+    // fine-tune after masking (masked channels stay dead — conv and BN
+    // masks gate both forward and gradients).
+    let recovery_epochs = scale.pick(1, 2);
+
+    // RL agent (SPATL's selector), pre-trained on this pruning task.
+    {
+        let env = PruningEnv::new(model.clone(), val_set.clone(), budget);
+        let mut agent = ActorCritic::new(AgentConfig::default(), 9);
+        let mut rng = TensorRng::seed_from(10);
+        pretrain_agent(&mut agent, &env, scale.pick(6, 15), 4, 4, &mut rng);
+        let action = agent.evaluate(&env.graph()).mu;
+        let mut m = model.clone();
+        let applied = spatl::agent::project_to_budget(&m, &action, budget, Criterion::L2);
+        apply_sparsities(&mut m, &applied, Criterion::L2);
+        train(&mut m, &train_set, recovery_epochs, 60);
+        report("RL agent (ours)", &mut m, &mut table);
+    }
+
+    // SFP: soft filter pruning schedule + brief recovery training.
+    {
+        let mut m = model.clone();
+        let sfp = SoftFilterPruner::new(1.0 - budget);
+        for _ in 0..scale.pick(2, 4) {
+            sfp.soft_step(&mut m);
+            train(&mut m, &train_set, 1, 6);
+        }
+        sfp.harden(&mut m);
+        train(&mut m, &train_set, recovery_epochs, 61);
+        report("SFP", &mut m, &mut table);
+    }
+
+    // FPGM at a uniform budget-projected sparsity.
+    {
+        let mut m = model.clone();
+        let uni =
+            spatl::agent::project_to_budget(&m, &vec![0.0; m.prune_points.len()], budget, Criterion::Fpgm);
+        apply_sparsities(&mut m, &uni, Criterion::Fpgm);
+        train(&mut m, &train_set, recovery_epochs, 62);
+        report("FPGM", &mut m, &mut table);
+    }
+
+    // DSA-style allocation.
+    {
+        let mut m = model.clone();
+        let alloc = dsa_allocate(&m, budget, &val_set, Criterion::L2, scale.pick(6, 16));
+        apply_sparsities(&mut m, &alloc, Criterion::L2);
+        train(&mut m, &train_set, recovery_epochs, 63);
+        report("DSA", &mut m, &mut table);
+    }
+
+    // Uniform L1 and random controls.
+    {
+        let mut m = model.clone();
+        let uni =
+            spatl::agent::project_to_budget(&m, &vec![0.0; m.prune_points.len()], budget, Criterion::L1);
+        apply_sparsities(&mut m, &uni, Criterion::L1);
+        train(&mut m, &train_set, recovery_epochs, 64);
+        report("uniform L1", &mut m, &mut table);
+    }
+    {
+        let mut m = model.clone();
+        let uni = spatl::agent::project_to_budget(
+            &m,
+            &vec![0.0; m.prune_points.len()],
+            budget,
+            Criterion::Random(42),
+        );
+        apply_sparsities(&mut m, &uni, Criterion::Random(42));
+        train(&mut m, &train_set, recovery_epochs, 65);
+        report("random", &mut m, &mut table);
+    }
+
+    table.print();
+    write_json("table4_pruning", &serde_json::json!(artefact));
+}

@@ -1,0 +1,137 @@
+//! Shared support for the experiment binaries (`exp_*`) and Criterion
+//! benches that regenerate the SPATL paper's tables and figures.
+//!
+//! Every binary prints the paper-style rows to stdout and appends a
+//! machine-readable JSON record under `results/` so EXPERIMENTS.md can be
+//! assembled from artefacts.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Experiment scale selected via the `SPATL_EXP_SCALE` environment
+/// variable: `quick` (CI-sized), `full` (default; minutes per experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized runs: fewest rounds/clients that still show the shape.
+    Quick,
+    /// Paper-shaped runs at reproduction scale.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("SPATL_EXP_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Pick `quick` or `full` value.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Results directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("SPATL_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a JSON artefact for an experiment.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Minimal fixed-width table printer for paper-style rows.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("| {} |", joined.join(" | "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format bytes as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2} MB", bytes as f64 / 1e6)
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f32) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks_values() {
+        assert_eq!(Scale::Quick.pick(1, 10), 1);
+        assert_eq!(Scale::Full.pick(1, 10), 10);
+    }
+
+    #[test]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["1".into()]);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mb(2_100_000), "2.10 MB");
+        assert_eq!(pct(0.425), "42.5%");
+    }
+}

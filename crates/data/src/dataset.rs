@@ -1,0 +1,203 @@
+//! In-memory labelled image dataset.
+
+use serde::{Deserialize, Serialize};
+use spatl_tensor::{Tensor, TensorRng};
+
+/// One mini-batch: images `[b, c, h, w]` and integer labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Batch images.
+    pub images: Tensor,
+    /// Batch labels.
+    pub labels: Vec<usize>,
+}
+
+/// An in-memory labelled image dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Images `[n, c, h, w]`.
+    pub images: Tensor,
+    /// Integer class labels, length `n`.
+    pub labels: Vec<usize>,
+    /// Number of classes in the task (not necessarily all present here).
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Create a dataset, validating that image count matches label count.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.dims()[0], labels.len(), "image/label count mismatch");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Image dimensions `[c, h, w]`.
+    pub fn image_dims(&self) -> [usize; 3] {
+        let d = self.images.dims();
+        [d[1], d[2], d[3]]
+    }
+
+    /// Dataset restricted to the given sample indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let [c, h, w] = self.image_dims();
+        let slab = c * h * w;
+        let mut images = Tensor::zeros([indices.len(), c, h, w]);
+        let mut labels = Vec::with_capacity(indices.len());
+        for (row, &i) in indices.iter().enumerate() {
+            assert!(i < self.len(), "subset index {i} out of range");
+            images.data_mut()[row * slab..(row + 1) * slab]
+                .copy_from_slice(&self.images.data()[i * slab..(i + 1) * slab]);
+            labels.push(self.labels[i]);
+        }
+        Dataset::new(images, labels, self.num_classes)
+    }
+
+    /// Random train/validation split; `train_frac` of samples go to train.
+    pub fn split(&self, train_frac: f32, rng: &mut TensorRng) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let n_train = ((self.len() as f32) * train_frac).round() as usize;
+        let (tr, va) = idx.split_at(n_train.min(self.len()));
+        (self.subset(tr), self.subset(va))
+    }
+
+    /// Shuffled mini-batches covering the whole dataset; the final batch may
+    /// be smaller.
+    pub fn batches(&self, batch_size: usize, rng: &mut TensorRng) -> Vec<Batch> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        idx.chunks(batch_size)
+            .map(|chunk| {
+                let sub = self.subset(chunk);
+                Batch {
+                    images: sub.images,
+                    labels: sub.labels,
+                }
+            })
+            .collect()
+    }
+
+    /// The whole dataset as one batch (for evaluation).
+    pub fn as_batch(&self) -> Batch {
+        Batch {
+            images: self.images.clone(),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Concatenate datasets with identical image dims and class count.
+    pub fn concat(parts: &[&Dataset]) -> Dataset {
+        assert!(!parts.is_empty(), "cannot concat zero datasets");
+        let [c, h, w] = parts[0].image_dims();
+        let num_classes = parts[0].num_classes;
+        let total: usize = parts.iter().map(|d| d.len()).sum();
+        let mut images = Tensor::zeros([total, c, h, w]);
+        let mut labels = Vec::with_capacity(total);
+        let slab = c * h * w;
+        let mut row = 0usize;
+        for d in parts {
+            assert_eq!(d.image_dims(), [c, h, w], "image dims mismatch in concat");
+            assert_eq!(d.num_classes, num_classes, "class count mismatch in concat");
+            images.data_mut()[row * slab..(row + d.len()) * slab]
+                .copy_from_slice(d.images.data());
+            labels.extend_from_slice(&d.labels);
+            row += d.len();
+        }
+        Dataset::new(images, labels, num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut images = Tensor::zeros([4, 1, 2, 2]);
+        for i in 0..16 {
+            images.data_mut()[i] = i as f32;
+        }
+        Dataset::new(images, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn subset_selects_rows_and_labels() {
+        let d = tiny();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![0, 0]);
+        assert_eq!(&s.images.data()[0..4], &[8., 9., 10., 11.]);
+        assert_eq!(&s.images.data()[4..8], &[0., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = tiny();
+        let mut rng = TensorRng::seed_from(1);
+        let (tr, va) = d.split(0.75, &mut rng);
+        assert_eq!(tr.len() + va.len(), d.len());
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = tiny();
+        let mut rng = TensorRng::seed_from(2);
+        let bs = d.batches(3, &mut rng);
+        assert_eq!(bs.len(), 2);
+        let total: usize = bs.iter().map(|b| b.labels.len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn class_counts_tally() {
+        let d = tiny();
+        assert_eq!(d.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let d = tiny();
+        let e = Dataset::concat(&[&d, &d]);
+        assert_eq!(e.len(), 8);
+        assert_eq!(e.labels[4..], d.labels[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "image/label count mismatch")]
+    fn mismatched_lengths_rejected() {
+        Dataset::new(Tensor::zeros([2, 1, 2, 2]), vec![0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_rejected() {
+        Dataset::new(Tensor::zeros([1, 1, 2, 2]), vec![5], 2);
+    }
+}

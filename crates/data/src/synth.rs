@@ -1,0 +1,288 @@
+//! Synthetic image generators.
+//!
+//! Each class has a smooth random *prototype*: a coarse random field
+//! bilinearly upsampled to the target resolution, so classes differ in
+//! low-frequency spatial structure (the regime convolutions exploit).
+//! Samples are `contrast · prototype + brightness + noise`, optionally
+//! passed through a per-client [`WriterStyle`] to reproduce LEAF-style
+//! feature-distribution shift on top of label skew.
+
+use crate::Dataset;
+use serde::{Deserialize, Serialize};
+use spatl_tensor::{Tensor, TensorRng};
+
+/// Configuration for synthetic image generation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Square image size.
+    pub hw: usize,
+    /// Per-pixel Gaussian noise standard deviation (task difficulty).
+    pub noise_std: f32,
+    /// Seed for the class prototypes — generators with equal prototype
+    /// seeds produce the *same task*, so separately generated datasets are
+    /// drawn from one distribution.
+    pub prototype_seed: u64,
+}
+
+impl SynthConfig {
+    /// CIFAR-10-like defaults: 10 classes, 3×16×16.
+    pub fn cifar10_like() -> Self {
+        SynthConfig {
+            num_classes: 10,
+            channels: 3,
+            hw: 16,
+            noise_std: 0.6,
+            prototype_seed: 0xC1FA,
+        }
+    }
+
+    /// FEMNIST-like defaults: 62 classes, 1×14×14.
+    pub fn femnist_like() -> Self {
+        SynthConfig {
+            num_classes: 62,
+            channels: 1,
+            hw: 14,
+            noise_std: 0.45,
+            prototype_seed: 0xFE31,
+        }
+    }
+}
+
+/// Per-client feature-distribution shift (the "writer style" of LEAF).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WriterStyle {
+    /// Multiplicative contrast.
+    pub contrast: f32,
+    /// Additive brightness.
+    pub brightness: f32,
+    /// Circular pixel shift (x, y) simulating translation.
+    pub shift: (i32, i32),
+}
+
+impl WriterStyle {
+    /// The identity style.
+    pub fn identity() -> Self {
+        WriterStyle {
+            contrast: 1.0,
+            brightness: 0.0,
+            shift: (0, 0),
+        }
+    }
+
+    /// Sample a random writer style.
+    pub fn sample(rng: &mut TensorRng) -> Self {
+        WriterStyle {
+            contrast: rng.uniform(0.7, 1.3),
+            brightness: rng.uniform(-0.3, 0.3),
+            shift: (rng.below(3) as i32 - 1, rng.below(3) as i32 - 1),
+        }
+    }
+}
+
+/// Class prototypes: `num_classes` smooth random fields `[c, hw, hw]`.
+fn prototypes(cfg: &SynthConfig) -> Vec<Tensor> {
+    let mut rng = TensorRng::seed_from(cfg.prototype_seed);
+    let coarse = 4usize;
+    (0..cfg.num_classes)
+        .map(|_| {
+            // Coarse grid then bilinear upsample for smooth structure.
+            let grid = rng.normal_tensor([cfg.channels, coarse, coarse], 0.0, 1.0);
+            let mut proto = Tensor::zeros([cfg.channels, cfg.hw, cfg.hw]);
+            let scale = (coarse - 1) as f32 / (cfg.hw - 1) as f32;
+            for ch in 0..cfg.channels {
+                for y in 0..cfg.hw {
+                    for x in 0..cfg.hw {
+                        let fy = y as f32 * scale;
+                        let fx = x as f32 * scale;
+                        let (y0, x0) = (fy as usize, fx as usize);
+                        let (y1, x1) = ((y0 + 1).min(coarse - 1), (x0 + 1).min(coarse - 1));
+                        let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);
+                        let g = |yy: usize, xx: usize| grid.at(&[ch, yy, xx]);
+                        let v = g(y0, x0) * (1.0 - dy) * (1.0 - dx)
+                            + g(y0, x1) * (1.0 - dy) * dx
+                            + g(y1, x0) * dy * (1.0 - dx)
+                            + g(y1, x1) * dy * dx;
+                        *proto.at_mut(&[ch, y, x]) = v;
+                    }
+                }
+            }
+            proto
+        })
+        .collect()
+}
+
+fn render_sample(
+    proto: &Tensor,
+    style: &WriterStyle,
+    noise_std: f32,
+    rng: &mut TensorRng,
+) -> Tensor {
+    let dims = proto.dims();
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let mut img = Tensor::zeros([c, h, w]);
+    let (sx, sy) = style.shift;
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let py = (y as i32 - sy).rem_euclid(h as i32) as usize;
+                let px = (x as i32 - sx).rem_euclid(w as i32) as usize;
+                let v = style.contrast * proto.at(&[ch, py, px])
+                    + style.brightness
+                    + rng.normal(0.0, noise_std);
+                *img.at_mut(&[ch, y, x]) = v;
+            }
+        }
+    }
+    img
+}
+
+/// Generate `n` CIFAR-10-like samples with balanced labels.
+///
+/// `sample_seed` controls which samples are drawn; the class prototypes —
+/// i.e. the *task* — are fixed by `cfg.prototype_seed`, so two calls with
+/// different sample seeds give disjoint draws from the same distribution
+/// (used for the FL-set / transfer-set split of Table III).
+pub fn synth_cifar10(cfg: &SynthConfig, n: usize, sample_seed: u64) -> Dataset {
+    let protos = prototypes(cfg);
+    let mut rng = TensorRng::seed_from(sample_seed ^ 0xACE0_FBA5E);
+    let style = WriterStyle::identity();
+    let mut images = Tensor::zeros([n, cfg.channels, cfg.hw, cfg.hw]);
+    let mut labels = Vec::with_capacity(n);
+    let slab = cfg.channels * cfg.hw * cfg.hw;
+    for i in 0..n {
+        let y = i % cfg.num_classes;
+        labels.push(y);
+        let img = render_sample(&protos[y], &style, cfg.noise_std, &mut rng);
+        images.data_mut()[i * slab..(i + 1) * slab].copy_from_slice(img.data());
+    }
+    Dataset::new(images, labels, cfg.num_classes)
+}
+
+/// Generate per-writer FEMNIST-like shards: `writers` clients, each with its
+/// own [`WriterStyle`] and a skewed label marginal (writers use a random
+/// subset of classes more often), matching LEAF's natural non-IID-ness.
+pub fn synth_femnist(
+    cfg: &SynthConfig,
+    writers: usize,
+    samples_per_writer: usize,
+    sample_seed: u64,
+) -> Vec<Dataset> {
+    let protos = prototypes(cfg);
+    let mut master = TensorRng::seed_from(sample_seed ^ 0xFEA51);
+    let slab = cfg.channels * cfg.hw * cfg.hw;
+    (0..writers)
+        .map(|wid| {
+            let mut rng = master.fork(wid as u64);
+            let style = WriterStyle::sample(&mut rng);
+            // Writer-favoured classes: a random half of the alphabet.
+            let mut favoured: Vec<usize> = (0..cfg.num_classes).collect();
+            rng.shuffle(&mut favoured);
+            favoured.truncate((cfg.num_classes / 2).max(1));
+
+            let mut images = Tensor::zeros([samples_per_writer, cfg.channels, cfg.hw, cfg.hw]);
+            let mut labels = Vec::with_capacity(samples_per_writer);
+            for i in 0..samples_per_writer {
+                let y = if rng.flip(0.8) {
+                    favoured[rng.below(favoured.len())]
+                } else {
+                    rng.below(cfg.num_classes)
+                };
+                labels.push(y);
+                let img = render_sample(&protos[y], &style, cfg.noise_std, &mut rng);
+                images.data_mut()[i * slab..(i + 1) * slab].copy_from_slice(img.data());
+            }
+            Dataset::new(images, labels, cfg.num_classes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cifar_like_has_balanced_labels() {
+        let cfg = SynthConfig::cifar10_like();
+        let d = synth_cifar10(&cfg, 100, 1);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.image_dims(), [3, 16, 16]);
+        assert!(d.class_counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn same_prototype_seed_same_task() {
+        let cfg = SynthConfig::cifar10_like();
+        let a = synth_cifar10(&cfg, 10, 1);
+        let b = synth_cifar10(&cfg, 10, 2);
+        // Different samples...
+        assert_ne!(a.images.data(), b.images.data());
+        // ...but per-class means correlate strongly across draws (same
+        // prototypes): compare class-0 means.
+        let mean_of = |d: &Dataset| {
+            let idx: Vec<usize> = (0..d.len()).filter(|&i| d.labels[i] == 0).collect();
+            let s = d.subset(&idx);
+            let n = s.len() as f32;
+            let slab = 3 * 16 * 16;
+            let mut m = vec![0.0f32; slab];
+            for i in 0..s.len() {
+                for j in 0..slab {
+                    m[j] += s.images.data()[i * slab + j] / n;
+                }
+            }
+            m
+        };
+        let ma = mean_of(&a);
+        let mb = mean_of(&b);
+        let dot: f32 = ma.iter().zip(&mb).map(|(x, y)| x * y).sum();
+        let na: f32 = ma.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nb: f32 = mb.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let cos = dot / (na * nb);
+        assert!(cos > 0.5, "class means should correlate, cos={cos}");
+    }
+
+    #[test]
+    fn different_prototype_seed_different_task() {
+        let mut cfg = SynthConfig::cifar10_like();
+        let a = synth_cifar10(&cfg, 10, 1);
+        cfg.prototype_seed = 999;
+        let b = synth_cifar10(&cfg, 10, 1);
+        assert_ne!(a.images.data(), b.images.data());
+    }
+
+    #[test]
+    fn femnist_writers_are_heterogeneous() {
+        let cfg = SynthConfig::femnist_like();
+        let shards = synth_femnist(&cfg, 5, 40, 3);
+        assert_eq!(shards.len(), 5);
+        for s in &shards {
+            assert_eq!(s.len(), 40);
+        }
+        // Label marginals differ between writers.
+        let c0 = shards[0].class_counts();
+        let c1 = shards[1].class_counts();
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::cifar10_like();
+        let a = synth_cifar10(&cfg, 20, 7);
+        let b = synth_cifar10(&cfg, 20, 7);
+        assert_eq!(a.images.data(), b.images.data());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn writer_style_shift_wraps() {
+        let mut rng = TensorRng::seed_from(5);
+        for _ in 0..20 {
+            let s = WriterStyle::sample(&mut rng);
+            assert!(s.shift.0.abs() <= 1 && s.shift.1.abs() <= 1);
+            assert!(s.contrast > 0.0);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for data synthesis and partitioning.
+
+use proptest::prelude::*;
+use spatl_data::{dirichlet_partition, partition_stats, synth_cifar10, synth_femnist, Dataset, SynthConfig};
+use spatl_tensor::TensorRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Subset + concat recovers the original multiset of samples.
+    #[test]
+    fn subset_concat_identity(n in 4usize..40, split in 1usize..3, seed in 0u64..200) {
+        let cfg = SynthConfig { hw: 8, ..SynthConfig::cifar10_like() };
+        let d = synth_cifar10(&cfg, n, seed);
+        let cut = n / (split + 1);
+        let front: Vec<usize> = (0..cut).collect();
+        let back: Vec<usize> = (cut..n).collect();
+        let a = d.subset(&front);
+        let b = d.subset(&back);
+        let merged = Dataset::concat(&[&a, &b]);
+        prop_assert_eq!(merged.labels, d.labels);
+        prop_assert_eq!(merged.images.data(), d.images.data());
+    }
+
+    /// Batching covers every sample exactly once regardless of batch size.
+    #[test]
+    fn batches_partition_dataset(n in 1usize..50, bs in 1usize..17, seed in 0u64..200) {
+        let cfg = SynthConfig { hw: 8, ..SynthConfig::cifar10_like() };
+        let d = synth_cifar10(&cfg, n, seed);
+        let mut rng = TensorRng::seed_from(seed);
+        let batches = d.batches(bs, &mut rng);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        prop_assert_eq!(total, n);
+        prop_assert!(batches.iter().all(|b| b.labels.len() <= bs));
+        // Label multiset is preserved.
+        let mut seen: Vec<usize> = batches.iter().flat_map(|b| b.labels.clone()).collect();
+        let mut orig = d.labels.clone();
+        seen.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(seen, orig);
+    }
+
+    /// FEMNIST writers are deterministic in (seed, writer) and independent
+    /// of how many writers are generated alongside them.
+    #[test]
+    fn writer_generation_is_stable(writers in 2usize..6, seed in 0u64..100) {
+        let cfg = SynthConfig { hw: 8, ..SynthConfig::femnist_like() };
+        let a = synth_femnist(&cfg, writers, 12, seed);
+        let b = synth_femnist(&cfg, writers, 12, seed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.labels, &y.labels);
+            prop_assert_eq!(x.images.data(), y.images.data());
+        }
+    }
+
+    /// Heterogeneity statistics are monotone-ish in β: extremely skewed
+    /// partitions have at least the TV distance of extremely mild ones.
+    #[test]
+    fn tv_distance_orders_beta_extremes(seed in 0u64..50) {
+        let cfg = SynthConfig { hw: 8, ..SynthConfig::cifar10_like() };
+        let d = synth_cifar10(&cfg, 400, seed);
+        let mut rng = TensorRng::seed_from(seed);
+        let skewed = dirichlet_partition(&d.labels, 10, 8, 0.05, &mut rng);
+        let mild = dirichlet_partition(&d.labels, 10, 8, 50.0, &mut rng);
+        let s = partition_stats(&d.labels, &skewed, 10);
+        let m = partition_stats(&d.labels, &mild, 10);
+        prop_assert!(s.mean_label_tv >= m.mean_label_tv);
+    }
+
+    /// Every partition leaves no client empty, across a wide β range.
+    #[test]
+    fn no_empty_clients(beta in 0.05f64..10.0, clients in 2usize..20, seed in 0u64..100) {
+        let cfg = SynthConfig { hw: 8, ..SynthConfig::cifar10_like() };
+        let d = synth_cifar10(&cfg, 120, seed);
+        let mut rng = TensorRng::seed_from(seed);
+        let parts = dirichlet_partition(&d.labels, 10, clients, beta, &mut rng);
+        prop_assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+}

@@ -1,0 +1,494 @@
+//! Client-side state and local update rules.
+
+use crate::{Algorithm, CommModel, FlConfig, GlobalState, RoundBytes};
+use spatl_agent::{finetune_agent, ActorCritic, PruningEnv};
+use spatl_data::Dataset;
+use spatl_models::SplitModel;
+use spatl_nn::{CrossEntropyLoss, Optimizer, Sgd};
+use spatl_pruning::{apply_sparsities, salient_param_indices, Criterion};
+use spatl_tensor::TensorRng;
+
+/// A SPATL salient upload: values of the selected encoder entries plus the
+/// (channel-granular) selection metadata.
+#[derive(Debug, Clone)]
+pub struct SelectedUpdate {
+    /// Flat indices into the shared vector that were uploaded.
+    pub indices: Vec<u32>,
+    /// Delta values at those indices.
+    pub values: Vec<f32>,
+    /// Number of surviving channels (what the index upload actually costs).
+    pub channels: usize,
+}
+
+/// Everything a client sends back (plus bookkeeping the simulator keeps).
+#[derive(Debug, Clone)]
+pub struct LocalOutcome {
+    /// Client id.
+    pub client_id: usize,
+    /// Local training-set size (aggregation weight).
+    pub n_samples: usize,
+    /// Local optimisation steps taken (FedNova normalisation, SCAFFOLD
+    /// control update).
+    pub tau: usize,
+    /// Dense shared-vector delta `y − x`.
+    pub delta: Vec<f32>,
+    /// SPATL-only: the sparse upload. When present the server must ignore
+    /// `delta` outside `selected.indices`.
+    pub selected: Option<SelectedUpdate>,
+    /// Batch-norm running statistics after local training.
+    pub buffers: Vec<f32>,
+    /// True if the update contained non-finite values (rejected server-side).
+    pub diverged: bool,
+    /// Bytes this client's round cost.
+    pub bytes: RoundBytes,
+    /// Fraction of shared parameters uploaded (1.0 = dense).
+    pub keep_ratio: f32,
+    /// FLOPs of the client's (masked) model relative to dense.
+    pub flops_ratio: f32,
+}
+
+/// One federated client: private data, private predictor, optional control
+/// variate and selection agent.
+#[derive(Debug, Clone)]
+pub struct ClientState {
+    /// Client id (stable across rounds).
+    pub id: usize,
+    /// Local training shard.
+    pub train: Dataset,
+    /// Local validation shard (accuracy reporting + selection reward).
+    pub val: Dataset,
+    /// The client's model. The encoder is overwritten from the server at
+    /// each participation; the predictor is private under SPATL transfer.
+    pub model: SplitModel,
+    /// SCAFFOLD/SPATL control variate `cᵢ` over the shared vector (empty
+    /// until first used).
+    pub control: Vec<f32>,
+    /// SPATL selection agent (local copy, fine-tuned online).
+    pub agent: Option<ActorCritic>,
+    /// How many rounds this client has participated in.
+    pub participations: usize,
+    /// Device-specific FLOPs budget overriding the run-wide
+    /// `SpatlOptions::target_flops_ratio` (resource-heterogeneous edge
+    /// deployments: weaker devices declare tighter budgets).
+    pub flops_budget: Option<f32>,
+}
+
+/// Read the shared vector out of a model.
+pub(crate) fn read_shared(model: &SplitModel, include_predictor: bool) -> Vec<f32> {
+    let mut v = model.encoder.to_flat();
+    if include_predictor {
+        v.extend(model.predictor.to_flat());
+    }
+    v
+}
+
+/// Write the shared vector into a model.
+pub(crate) fn write_shared(model: &mut SplitModel, shared: &[f32], include_predictor: bool) {
+    let enc_len = model.encoder.num_params();
+    model.encoder.from_flat(&shared[..enc_len]);
+    if include_predictor {
+        model.predictor.from_flat(&shared[enc_len..]);
+    } else {
+        assert_eq!(shared.len(), enc_len, "shared vector length mismatch");
+    }
+}
+
+impl ClientState {
+    /// Create a client. The model should be the same global initialisation
+    /// for every client.
+    pub fn new(id: usize, train: Dataset, val: Dataset, model: SplitModel) -> Self {
+        ClientState {
+            id,
+            train,
+            val,
+            model,
+            control: Vec::new(),
+            agent: None,
+            participations: 0,
+            flops_budget: None,
+        }
+    }
+
+    /// Run one local update per the configured algorithm; returns the
+    /// upload.
+    pub fn local_update(&mut self, cfg: &FlConfig, global: &GlobalState, round: usize) -> LocalOutcome {
+        let include_pred = !cfg.algorithm.uses_transfer();
+        let uses_control = cfg.algorithm.uses_control();
+
+        // 1. Download: sync shared weights (and BN buffers) from server.
+        write_shared(&mut self.model, &global.shared, include_pred);
+        if !global.buffers.is_empty() {
+            self.model.encoder.set_buffers_flat(&global.buffers);
+        }
+        self.model.clear_masks(); // always *train* dense
+
+        if uses_control && self.control.len() != global.shared.len() {
+            self.control = vec![0.0; global.shared.len()];
+        }
+        // Gradient correction c − cᵢ (Eq. 9).
+        let correction: Option<Vec<f32>> = uses_control.then(|| {
+            global
+                .control
+                .iter()
+                .zip(&self.control)
+                .map(|(c, ci)| c - ci)
+                .collect()
+        });
+
+        // 2. Local epochs.
+        let mut rng = TensorRng::seed_from(
+            cfg.seed ^ (round as u64).wrapping_mul(0x9E37_79B9) ^ (self.id as u64) << 32,
+        );
+        let mut opt_enc = Sgd::with_momentum(cfg.lr, cfg.momentum, cfg.weight_decay);
+        let mut opt_pred = Sgd::with_momentum(cfg.lr, cfg.momentum, cfg.weight_decay);
+        let mut loss = CrossEntropyLoss::new();
+        let mut tau = 0usize;
+        let enc_len = self.model.encoder.num_params();
+
+        // Transfer mode: the freshly downloaded encoder has moved while the
+        // private head stayed put; re-align the head first (one head-only
+        // epoch — Eq. 4 applied at the start of each participation) so the
+        // joint update doesn't spend its first steps undoing stale-head
+        // gradients in the encoder.
+        if !include_pred {
+            for batch in self.train.batches(cfg.batch_size, &mut rng) {
+                self.model.zero_grad();
+                let emb = self.model.encoder.forward(&batch.images, true);
+                let logits = self.model.predictor.forward(&emb, true);
+                loss.forward(&logits, &batch.labels);
+                let g = loss.backward();
+                self.model.predictor.backward(&g);
+                opt_pred.step(&mut self.model.predictor);
+            }
+            self.model.encoder.clear_caches();
+        }
+
+        for _epoch in 0..cfg.local_epochs {
+            for batch in self.train.batches(cfg.batch_size, &mut rng) {
+                self.model.zero_grad();
+                let logits = self.model.forward(&batch.images, true);
+                loss.forward(&logits, &batch.labels);
+                let g = loss.backward();
+                self.model.backward(&g);
+
+                // FedProx: + μ(w − w_global) on the shared part.
+                if let Algorithm::FedProx { mu } = cfg.algorithm {
+                    let cur = read_shared(&self.model, include_pred);
+                    let prox: Vec<f32> = cur
+                        .iter()
+                        .zip(&global.shared)
+                        .map(|(w, wg)| mu * (w - wg))
+                        .collect();
+                    self.model.encoder.add_to_grads(&prox[..enc_len]);
+                    if include_pred {
+                        self.model.predictor.add_to_grads(&prox[enc_len..]);
+                    }
+                }
+                // SCAFFOLD / SPATL gradient control: + (c − cᵢ).
+                if let Some(corr) = &correction {
+                    self.model.encoder.add_to_grads(&corr[..enc_len]);
+                    if include_pred && corr.len() > enc_len {
+                        self.model.predictor.add_to_grads(&corr[enc_len..]);
+                    }
+                }
+
+                opt_enc.step(&mut self.model.encoder);
+                opt_pred.step(&mut self.model.predictor);
+                tau += 1;
+            }
+        }
+
+        // 3. Delta and divergence check.
+        let new_shared = read_shared(&self.model, include_pred);
+        let delta: Vec<f32> = new_shared
+            .iter()
+            .zip(&global.shared)
+            .map(|(y, x)| y - x)
+            .collect();
+        let diverged = delta.iter().any(|v| !v.is_finite());
+
+        // 4. Control-variate update (SCAFFOLD option II, Eq. 10):
+        //    cᵢ⁺ = cᵢ − c + (x − y)/(K·η_eff) = cᵢ − c − δ/(τ·η_eff).
+        //    With momentum-m SGD the cumulative step per unit gradient is
+        //    ≈ η/(1−m), so the effective learning rate replaces η in the
+        //    gradient estimate (x − y)/(K·η).
+        if uses_control && !diverged && tau > 0 {
+            let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
+            let scale = 1.0 / (tau as f32 * eta_eff);
+            for ((ci, &c), &d) in self.control.iter_mut().zip(&global.control).zip(&delta) {
+                *ci = *ci - c - d * scale;
+            }
+        }
+
+        // 5. SPATL: salient selection.
+        let mut selected = None;
+        let mut keep_ratio = 1.0f32;
+        let mut flops_ratio = 1.0f32;
+        let bytes;
+        match cfg.algorithm {
+            Algorithm::Spatl(opts) if opts.selection && !diverged => {
+                let (idx, channels) = self.run_selection(cfg, &opts, round);
+                flops_ratio = self.model.flops() as f32 / self.model.flops_dense() as f32;
+                // Under transfer the shared vector *is* the encoder; without
+                // transfer the predictor part is always fully selected.
+                let mut indices = idx;
+                if include_pred {
+                    indices.extend((enc_len..delta.len()).map(|i| i as u32));
+                }
+                keep_ratio = indices.len() as f32 / delta.len() as f32;
+                let values: Vec<f32> = indices.iter().map(|&i| delta[i as usize]).collect();
+                bytes = CommModel::spatl(
+                    global.shared.len(),
+                    indices.len(),
+                    channels,
+                    opts.gradient_control,
+                );
+                selected = Some(SelectedUpdate {
+                    indices,
+                    values,
+                    channels,
+                });
+            }
+            Algorithm::Spatl(opts) => {
+                // Selection disabled (ablation): dense upload, but still
+                // encoder-only + control accounting.
+                bytes = CommModel::spatl(
+                    global.shared.len(),
+                    global.shared.len(),
+                    0,
+                    opts.gradient_control,
+                );
+            }
+            Algorithm::Scaffold => bytes = CommModel::scaffold(global.shared.len()),
+            Algorithm::FedNova => bytes = CommModel::fednova(global.shared.len()),
+            Algorithm::FedAvg | Algorithm::FedProx { .. } => {
+                bytes = CommModel::dense(global.shared.len())
+            }
+        }
+
+        self.participations += 1;
+        LocalOutcome {
+            client_id: self.id,
+            n_samples: self.train.len(),
+            tau,
+            delta,
+            selected,
+            buffers: self.model.encoder.buffers_flat(),
+            diverged,
+            bytes,
+            keep_ratio,
+            flops_ratio,
+        }
+    }
+
+    /// Run (and possibly fine-tune) the selection agent; applies the chosen
+    /// masks to `self.model` and returns the salient flat indices of the
+    /// *encoder* plus the surviving channel count.
+    fn run_selection(
+        &mut self,
+        cfg: &FlConfig,
+        opts: &crate::SpatlOptions,
+        round: usize,
+    ) -> (Vec<u32>, usize) {
+        let budget = self.flops_budget.unwrap_or(opts.target_flops_ratio);
+        let mut rng = TensorRng::seed_from(cfg.seed ^ 0xA6E47 ^ (self.id as u64) << 17 ^ round as u64);
+        let mut env_model = self.model.clone();
+        env_model.clear_caches();
+        let env = PruningEnv::new(env_model, self.val.clone(), budget);
+
+        let action = match &mut self.agent {
+            Some(agent) => {
+                if self.participations < opts.finetune_rounds {
+                    finetune_agent(agent, &env, 1, opts.agent_steps, opts.agent_epochs, &mut rng);
+                }
+                let graph = env.graph();
+                agent.evaluate(&graph).mu
+            }
+            None => {
+                // No agent (degenerate config): keep everything.
+                vec![0.0; self.model.prune_points.len()]
+            }
+        };
+        let applied = spatl_agent::project_to_budget(&self.model, &action, budget, Criterion::L2);
+        apply_sparsities(&mut self.model, &applied, Criterion::L2);
+        let indices = salient_param_indices(&self.model);
+        let channels: usize = self
+            .model
+            .prune_points
+            .iter()
+            .map(|p| self.model.conv_at(p.layer).active_channels())
+            .sum();
+        (indices, channels)
+    }
+
+    /// Re-run salient selection against the client's *current* weights —
+    /// used at deployment time, after the final aggregation has overwritten
+    /// the encoder the last in-round selection was computed for.
+    pub fn select_for_deployment(&mut self, target_flops_ratio: f32) {
+        self.model.clear_masks();
+        let action = match &self.agent {
+            Some(agent) => {
+                let mut env_model = self.model.clone();
+                env_model.clear_caches();
+                let env = PruningEnv::new(env_model, self.val.clone(), target_flops_ratio);
+                agent.evaluate(&env.graph()).mu
+            }
+            None => vec![0.0; self.model.prune_points.len()],
+        };
+        let applied = spatl_agent::project_to_budget(
+            &self.model,
+            &action,
+            target_flops_ratio,
+            Criterion::L2,
+        );
+        apply_sparsities(&mut self.model, &applied, Criterion::L2);
+    }
+
+    /// Mean validation accuracy of the *dense* model — what the paper's
+    /// learning curves report (selection masks serve the upload; pruned
+    /// inference is measured separately at deployment).
+    pub fn evaluate(&mut self) -> f32 {
+        let masks: Vec<Vec<f32>> = self
+            .model
+            .prune_points
+            .iter()
+            .map(|p| self.model.conv_at(p.layer).channel_mask.clone())
+            .collect();
+        self.model.clear_masks();
+        let batch = self.val.as_batch();
+        let acc = self.model.evaluate(&batch.images, &batch.labels);
+        for (i, m) in masks.into_iter().enumerate() {
+            self.model.set_mask(i, m);
+        }
+        acc
+    }
+
+    /// Validation accuracy of the deployed (masked) model — the paper's
+    /// inference-acceleration accuracy (§V-D).
+    pub fn evaluate_deployed(&mut self) -> f32 {
+        let batch = self.val.as_batch();
+        self.model.evaluate(&batch.images, &batch.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpatlOptions;
+    use spatl_data::{synth_cifar10, SynthConfig};
+    use spatl_models::{ModelConfig, ModelKind};
+
+    fn client(seed: u64) -> ClientState {
+        let cfg = SynthConfig::cifar10_like();
+        let train = synth_cifar10(&cfg, 40, seed);
+        let val = synth_cifar10(&cfg, 20, seed + 1000);
+        let model = ModelConfig::cifar(ModelKind::ResNet20).build();
+        ClientState::new(0, train, val, model)
+    }
+
+    fn fl_cfg(algorithm: Algorithm) -> FlConfig {
+        let mut c = FlConfig::new(algorithm);
+        c.local_epochs = 1;
+        c.batch_size = 20;
+        c
+    }
+
+    #[test]
+    fn fedavg_update_produces_dense_delta() {
+        let mut cl = client(1);
+        let cfg = fl_cfg(Algorithm::FedAvg);
+        let global = GlobalState::from_model(&cl.model, &cfg.algorithm);
+        let out = cl.local_update(&cfg, &global, 0);
+        assert_eq!(out.delta.len(), global.shared.len());
+        assert!(out.delta.iter().any(|&d| d != 0.0), "no learning happened");
+        assert!(out.selected.is_none());
+        assert!(!out.diverged);
+        assert_eq!(out.tau, 2); // 40 samples / 20 batch × 1 epoch
+        assert_eq!(out.bytes, CommModel::dense(global.shared.len()));
+    }
+
+    #[test]
+    fn scaffold_updates_control_variate() {
+        let mut cl = client(2);
+        let cfg = fl_cfg(Algorithm::Scaffold);
+        let global = GlobalState::from_model(&cl.model, &cfg.algorithm);
+        assert!(cl.control.is_empty());
+        let out = cl.local_update(&cfg, &global, 0);
+        assert_eq!(cl.control.len(), global.shared.len());
+        // cᵢ⁺ = −δ/(τ·η_eff) when c = cᵢ = 0 initially.
+        let eta_eff = cfg.lr / (1.0 - cfg.momentum);
+        let scale = 1.0 / (out.tau as f32 * eta_eff);
+        for j in (0..cl.control.len()).step_by(997) {
+            let expect = -out.delta[j] * scale;
+            assert!((cl.control[j] - expect).abs() < 1e-4, "j={j}");
+        }
+    }
+
+    #[test]
+    fn spatl_transfer_shares_encoder_only() {
+        let mut cl = client(3);
+        let cfg = fl_cfg(Algorithm::Spatl(SpatlOptions::default()));
+        let global = GlobalState::from_model(&cl.model, &cfg.algorithm);
+        assert_eq!(global.shared.len(), cl.model.encoder.num_params());
+        cl.agent = Some(spatl_agent::ActorCritic::new(Default::default(), 1));
+        let out = cl.local_update(&cfg, &global, 0);
+        let sel = out.selected.expect("SPATL must select");
+        assert!(sel.indices.len() < global.shared.len());
+        assert_eq!(sel.indices.len(), sel.values.len());
+        assert!(out.keep_ratio < 1.0);
+        assert!(out.flops_ratio <= cfg_target() + 0.05);
+        // Selected values match the dense delta at those indices.
+        for (k, &i) in sel.indices.iter().enumerate().step_by(1009) {
+            assert_eq!(sel.values[k], out.delta[i as usize]);
+        }
+    }
+
+    fn cfg_target() -> f32 {
+        SpatlOptions::default().target_flops_ratio
+    }
+
+    #[test]
+    fn spatl_without_selection_uploads_dense() {
+        let mut cl = client(4);
+        let opts = SpatlOptions {
+            selection: false,
+            ..Default::default()
+        };
+        let cfg = fl_cfg(Algorithm::Spatl(opts));
+        let global = GlobalState::from_model(&cl.model, &cfg.algorithm);
+        let out = cl.local_update(&cfg, &global, 0);
+        assert!(out.selected.is_none());
+        assert_eq!(out.keep_ratio, 1.0);
+    }
+
+    #[test]
+    fn fedprox_stays_closer_to_global_than_fedavg() {
+        let mut a = client(5);
+        let mut b = a.clone();
+        let cfg_avg = fl_cfg(Algorithm::FedAvg);
+        let cfg_prox = fl_cfg(Algorithm::FedProx { mu: 10.0 });
+        let global = GlobalState::from_model(&a.model, &cfg_avg.algorithm);
+        let out_avg = a.local_update(&cfg_avg, &global, 0);
+        let out_prox = b.local_update(&cfg_prox, &global, 0);
+        let norm = |d: &[f32]| d.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(
+            norm(&out_prox.delta) < norm(&out_avg.delta),
+            "prox {} !< avg {}",
+            norm(&out_prox.delta),
+            norm(&out_avg.delta)
+        );
+    }
+
+    #[test]
+    fn predictor_stays_private_under_transfer() {
+        let mut cl = client(6);
+        let cfg = fl_cfg(Algorithm::Spatl(SpatlOptions::default()));
+        let global = GlobalState::from_model(&cl.model, &cfg.algorithm);
+        let pred_before = cl.model.predictor.to_flat();
+        cl.local_update(&cfg, &global, 0);
+        let pred_after = cl.model.predictor.to_flat();
+        // Predictor trained (changed) but is NOT in the shared vector.
+        assert_ne!(pred_before, pred_after);
+        assert_eq!(global.shared.len(), cl.model.encoder.num_params());
+    }
+}

@@ -1,0 +1,166 @@
+//! Federated-learning run configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Options specific to SPATL; each switch corresponds to one of the paper's
+/// ablations (§V-F).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatlOptions {
+    /// Salient parameter selection (§V-F1 ablation when false: upload the
+    /// full encoder).
+    pub selection: bool,
+    /// Heterogeneous transfer learning — private predictors (§V-F2
+    /// ablation when false: the predictor is shared and aggregated too).
+    pub transfer: bool,
+    /// Encoder gradient control (§V-F3 ablation when false).
+    pub gradient_control: bool,
+    /// FLOPs budget the selection agent must meet (fraction of dense).
+    pub target_flops_ratio: f32,
+    /// Fine-tune the selection agent during a client's first N
+    /// participations (paper: first 10 communication rounds).
+    pub finetune_rounds: usize,
+    /// PPO epochs per fine-tuning update (paper: 20).
+    pub agent_epochs: usize,
+    /// Environment samples per fine-tuning update.
+    pub agent_steps: usize,
+}
+
+impl Default for SpatlOptions {
+    fn default() -> Self {
+        SpatlOptions {
+            selection: true,
+            transfer: true,
+            gradient_control: true,
+            target_flops_ratio: 0.7,
+            finetune_rounds: 3,
+            agent_epochs: 4,
+            agent_steps: 3,
+        }
+    }
+}
+
+/// Which federated-learning algorithm a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// FedAvg (McMahan et al. 2017).
+    FedAvg,
+    /// FedProx with proximal coefficient μ.
+    FedProx {
+        /// Proximal term weight.
+        mu: f32,
+    },
+    /// SCAFFOLD stochastic controlled averaging.
+    Scaffold,
+    /// FedNova normalised averaging.
+    FedNova,
+    /// SPATL (this paper).
+    Spatl(SpatlOptions),
+}
+
+impl Algorithm {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::FedAvg => "FedAvg",
+            Algorithm::FedProx { .. } => "FedProx",
+            Algorithm::Scaffold => "SCAFFOLD",
+            Algorithm::FedNova => "FedNova",
+            Algorithm::Spatl(_) => "SPATL",
+        }
+    }
+
+    /// Whether clients keep private predictors (encoder-only sharing).
+    pub fn uses_transfer(&self) -> bool {
+        matches!(self, Algorithm::Spatl(o) if o.transfer)
+    }
+
+    /// Whether the algorithm maintains control variates.
+    pub fn uses_control(&self) -> bool {
+        matches!(self, Algorithm::Scaffold)
+            || matches!(self, Algorithm::Spatl(o) if o.gradient_control)
+    }
+}
+
+/// Full configuration of a federated run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Number of clients.
+    pub n_clients: usize,
+    /// Fraction of clients sampled per round (paper: 0.4-1.0).
+    pub sample_ratio: f32,
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Local epochs per round (paper: 10).
+    pub local_epochs: usize,
+    /// Local mini-batch size.
+    pub batch_size: usize,
+    /// Local SGD learning rate.
+    pub lr: f32,
+    /// Local SGD momentum.
+    pub momentum: f32,
+    /// Local weight decay.
+    pub weight_decay: f32,
+    /// Server-side aggregation step size (1.0 = plain averaging).
+    pub server_lr: f32,
+    /// Master seed for sampling, batching and initialisation.
+    pub seed: u64,
+    /// The algorithm under test.
+    pub algorithm: Algorithm,
+}
+
+impl FlConfig {
+    /// Reasonable defaults for the harness scale (small rounds; override
+    /// per experiment).
+    pub fn new(algorithm: Algorithm) -> Self {
+        FlConfig {
+            n_clients: 10,
+            sample_ratio: 1.0,
+            rounds: 10,
+            local_epochs: 2,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            server_lr: 1.0,
+            seed: 0,
+            algorithm,
+        }
+    }
+
+    /// Number of clients sampled each round (at least one).
+    pub fn clients_per_round(&self) -> usize {
+        ((self.n_clients as f32 * self.sample_ratio).round() as usize)
+            .clamp(1, self.n_clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clients_per_round_clamps() {
+        let mut cfg = FlConfig::new(Algorithm::FedAvg);
+        cfg.n_clients = 10;
+        cfg.sample_ratio = 0.4;
+        assert_eq!(cfg.clients_per_round(), 4);
+        cfg.sample_ratio = 0.0;
+        assert_eq!(cfg.clients_per_round(), 1);
+        cfg.sample_ratio = 5.0;
+        assert_eq!(cfg.clients_per_round(), 10);
+    }
+
+    #[test]
+    fn names_and_flags() {
+        assert_eq!(Algorithm::FedAvg.name(), "FedAvg");
+        assert!(!Algorithm::FedAvg.uses_control());
+        assert!(Algorithm::Scaffold.uses_control());
+        let spatl = Algorithm::Spatl(SpatlOptions::default());
+        assert!(spatl.uses_control() && spatl.uses_transfer());
+        let no_gc = Algorithm::Spatl(SpatlOptions {
+            gradient_control: false,
+            ..Default::default()
+        });
+        assert!(!no_gc.uses_control());
+    }
+}

@@ -1,0 +1,30 @@
+//! Federated-learning simulator for the SPATL reproduction.
+//!
+//! Implements the five algorithms the paper evaluates:
+//!
+//! * **FedAvg** (McMahan et al.) — weighted model averaging,
+//! * **FedProx** — FedAvg plus a proximal term on the local loss,
+//! * **SCAFFOLD** — control variates correcting client gradient drift,
+//! * **FedNova** — normalised averaging removing objective inconsistency,
+//! * **SPATL** (the paper's contribution) — encoder-only sharing with
+//!   private predictors (§IV-A), RL-selected salient-parameter uploads
+//!   aggregated per index (§IV-B, Eq. 12), and SCAFFOLD-style gradient
+//!   control restricted to the encoder (§IV-C).
+//!
+//! The simulator is single-process: clients are plain structs trained in
+//! parallel with rayon, and every byte that a real deployment would move
+//! between client and server is accounted in [`CommModel`].
+
+mod client;
+mod comm;
+mod config;
+mod server;
+mod simulation;
+mod transfer;
+
+pub use client::{ClientState, LocalOutcome, SelectedUpdate};
+pub use comm::{CommModel, RoundBytes};
+pub use config::{Algorithm, FlConfig, SpatlOptions};
+pub use server::GlobalState;
+pub use simulation::{RoundRecord, RunResult, Simulation};
+pub use transfer::{adapt_predictor, transfer_evaluate};

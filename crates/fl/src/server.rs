@@ -1,0 +1,284 @@
+//! Server-side global state and aggregation rules.
+
+use crate::{Algorithm, FlConfig, LocalOutcome};
+use serde::{Deserialize, Serialize};
+use spatl_models::SplitModel;
+
+/// The server's view of the world: the shared parameter vector, the global
+/// control variate (SCAFFOLD / SPATL) and averaged batch-norm buffers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalState {
+    /// Shared parameters (encoder, plus predictor for non-transfer
+    /// algorithms).
+    pub shared: Vec<f32>,
+    /// Global control variate `c` (same length as `shared`; empty when the
+    /// algorithm doesn't use control).
+    pub control: Vec<f32>,
+    /// Batch-norm running statistics, averaged across uploads.
+    pub buffers: Vec<f32>,
+}
+
+impl GlobalState {
+    /// Initialise the global state from a freshly built model.
+    pub fn from_model(model: &SplitModel, algorithm: &Algorithm) -> Self {
+        let include_pred = !algorithm.uses_transfer();
+        let shared = crate::client::read_shared(model, include_pred);
+        let control = if algorithm.uses_control() {
+            vec![0.0; shared.len()]
+        } else {
+            Vec::new()
+        };
+        let mut m = model.clone();
+        let buffers = m.encoder.buffers_flat();
+        GlobalState {
+            shared,
+            control,
+            buffers,
+        }
+    }
+
+    /// Aggregate one round of client outcomes (Eq. 12 for SPATL; the
+    /// respective published rule for each baseline). Diverged uploads are
+    /// rejected. `n_clients_total` is N in the control-variate update.
+    pub fn aggregate(&mut self, cfg: &FlConfig, outcomes: &[LocalOutcome], n_clients_total: usize) {
+        let valid: Vec<&LocalOutcome> = outcomes.iter().filter(|o| !o.diverged).collect();
+        if valid.is_empty() {
+            return;
+        }
+        let p = self.shared.len();
+
+        match cfg.algorithm {
+            Algorithm::FedAvg | Algorithm::FedProx { .. } => {
+                // Weighted average of deltas by sample count.
+                let total: f32 = valid.iter().map(|o| o.n_samples as f32).sum();
+                for o in &valid {
+                    let w = cfg.server_lr * o.n_samples as f32 / total;
+                    for j in 0..p {
+                        self.shared[j] += w * o.delta[j];
+                    }
+                }
+            }
+            Algorithm::FedNova => {
+                // Normalised averaging: x ← x − τ_eff · Σ pᵢ (−δᵢ/τᵢ).
+                let total: f32 = valid.iter().map(|o| o.n_samples as f32).sum();
+                let tau_eff: f32 = valid
+                    .iter()
+                    .map(|o| (o.n_samples as f32 / total) * o.tau as f32)
+                    .sum();
+                for o in &valid {
+                    let w = cfg.server_lr * tau_eff * (o.n_samples as f32 / total)
+                        / (o.tau.max(1) as f32);
+                    for j in 0..p {
+                        self.shared[j] += w * o.delta[j];
+                    }
+                }
+            }
+            Algorithm::Scaffold => {
+                // x ← x + η_g · mean(δᵢ); c ← c + (1/N)·Σ Δcᵢ with
+                // Δcᵢ = −c − δᵢ/(τᵢ·η_l) (server-derivable, §IV-C).
+                let inv_s = 1.0 / valid.len() as f32;
+                let inv_n = 1.0 / n_clients_total as f32;
+                let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
+                let mut c_delta = vec![0.0f32; p];
+                for o in &valid {
+                    let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
+                    #[allow(clippy::needless_range_loop)] // j co-indexes three vectors
+                    for j in 0..p {
+                        self.shared[j] += cfg.server_lr * inv_s * o.delta[j];
+                        c_delta[j] += -self.control[j] - o.delta[j] * scale;
+                    }
+                }
+                for (c, &d) in self.control.iter_mut().zip(&c_delta) {
+                    *c += inv_n * d;
+                }
+            }
+            Algorithm::Spatl(opts) => {
+                // Eq. 12: per-index partial aggregation — only indices some
+                // client selected move, averaged over the selecting clients.
+                let mut sum = vec![0.0f32; p];
+                let mut count = vec![0u32; p];
+                let mut c_delta = vec![0.0f32; p];
+                let inv_n = 1.0 / n_clients_total as f32;
+                let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
+                for o in &valid {
+                    let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
+                    match &o.selected {
+                        Some(sel) => {
+                            for (k, &i) in sel.indices.iter().enumerate() {
+                                let j = i as usize;
+                                sum[j] += sel.values[k];
+                                count[j] += 1;
+                                if opts.gradient_control {
+                                    c_delta[j] += -self.control[j] - sel.values[k] * scale;
+                                }
+                            }
+                        }
+                        None => {
+                            // Selection disabled: dense upload.
+                            for j in 0..p {
+                                sum[j] += o.delta[j];
+                                count[j] += 1;
+                                if opts.gradient_control {
+                                    c_delta[j] += -self.control[j] - o.delta[j] * scale;
+                                }
+                            }
+                        }
+                    }
+                }
+                for j in 0..p {
+                    if count[j] > 0 {
+                        self.shared[j] += cfg.server_lr * sum[j] / count[j] as f32;
+                    }
+                }
+                if opts.gradient_control {
+                    for (c, &d) in self.control.iter_mut().zip(&c_delta) {
+                        *c += inv_n * d;
+                    }
+                }
+            }
+        }
+
+        // Average batch-norm buffers across valid uploads.
+        if !self.buffers.is_empty() {
+            let inv = 1.0 / valid.len() as f32;
+            let mut acc = vec![0.0f32; self.buffers.len()];
+            for o in &valid {
+                for (a, b) in acc.iter_mut().zip(&o.buffers) {
+                    *a += b * inv;
+                }
+            }
+            self.buffers = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommModel, SpatlOptions};
+
+    fn outcome(id: usize, delta: Vec<f32>, n: usize, tau: usize) -> LocalOutcome {
+        LocalOutcome {
+            client_id: id,
+            n_samples: n,
+            tau,
+            delta,
+            selected: None,
+            buffers: Vec::new(),
+            diverged: false,
+            bytes: CommModel::dense(0),
+            keep_ratio: 1.0,
+            flops_ratio: 1.0,
+        }
+    }
+
+    fn base_cfg(algorithm: Algorithm) -> FlConfig {
+        FlConfig::new(algorithm)
+    }
+
+    #[test]
+    fn fedavg_weights_by_samples() {
+        let mut g = GlobalState {
+            shared: vec![0.0; 2],
+            control: Vec::new(),
+            buffers: Vec::new(),
+        };
+        let cfg = base_cfg(Algorithm::FedAvg);
+        let o1 = outcome(0, vec![1.0, 0.0], 30, 1);
+        let o2 = outcome(1, vec![0.0, 2.0], 10, 1);
+        g.aggregate(&cfg, &[o1, o2], 2);
+        assert!((g.shared[0] - 0.75).abs() < 1e-6);
+        assert!((g.shared[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diverged_updates_rejected() {
+        let mut g = GlobalState {
+            shared: vec![0.0; 1],
+            control: Vec::new(),
+            buffers: Vec::new(),
+        };
+        let cfg = base_cfg(Algorithm::FedAvg);
+        let mut bad = outcome(0, vec![f32::NAN], 10, 1);
+        bad.diverged = true;
+        let good = outcome(1, vec![1.0], 10, 1);
+        g.aggregate(&cfg, &[bad, good], 2);
+        assert!((g.shared[0] - 1.0).abs() < 1e-6);
+        assert!(g.shared[0].is_finite());
+    }
+
+    #[test]
+    fn fednova_normalises_by_tau() {
+        // Client A does 10 steps, client B does 1 step of the same
+        // per-step progress; FedNova should weight their *directions*
+        // equally (with equal sample counts), unlike FedAvg.
+        let mut g = GlobalState {
+            shared: vec![0.0; 1],
+            control: Vec::new(),
+            buffers: Vec::new(),
+        };
+        let cfg = base_cfg(Algorithm::FedNova);
+        let fast = outcome(0, vec![10.0], 10, 10); // per-step progress 1.0
+        let slow = outcome(1, vec![1.0], 10, 1); // per-step progress 1.0
+        g.aggregate(&cfg, &[fast, slow], 2);
+        // τ_eff = 5.5; update = 5.5 · (0.5·1.0 + 0.5·1.0) = 5.5.
+        assert!((g.shared[0] - 5.5).abs() < 1e-4, "{}", g.shared[0]);
+    }
+
+    #[test]
+    fn scaffold_control_moves_towards_minus_delta() {
+        let mut g = GlobalState {
+            shared: vec![0.0; 1],
+            control: vec![0.0; 1],
+            buffers: Vec::new(),
+        };
+        let mut cfg = base_cfg(Algorithm::Scaffold);
+        cfg.lr = 0.1;
+        cfg.momentum = 0.0;
+        let o = outcome(0, vec![-0.5], 10, 5);
+        g.aggregate(&cfg, &[o], 10);
+        // Δc = −c − δ/(τ·η_eff) = 0.5/(0.5) = 1.0; c += 1/N = 0.1.
+        assert!((g.control[0] - 0.1).abs() < 1e-5, "{}", g.control[0]);
+        assert!((g.shared[0] + 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spatl_only_updates_selected_indices() {
+        let mut g = GlobalState {
+            shared: vec![0.0; 4],
+            control: vec![0.0; 4],
+            buffers: Vec::new(),
+        };
+        let cfg = base_cfg(Algorithm::Spatl(SpatlOptions::default()));
+        let mut o1 = outcome(0, vec![1.0, 1.0, 1.0, 1.0], 10, 1);
+        o1.selected = Some(crate::SelectedUpdate {
+            indices: vec![0, 2],
+            values: vec![1.0, 3.0],
+            channels: 2,
+        });
+        let mut o2 = outcome(1, vec![2.0, 2.0, 2.0, 2.0], 10, 1);
+        o2.selected = Some(crate::SelectedUpdate {
+            indices: vec![0],
+            values: vec![2.0],
+            channels: 1,
+        });
+        g.aggregate(&cfg, &[o1, o2], 2);
+        // Index 0: mean(1, 2) = 1.5. Index 2: 3.0. Indices 1, 3: untouched.
+        assert!((g.shared[0] - 1.5).abs() < 1e-6);
+        assert_eq!(g.shared[1], 0.0);
+        assert!((g.shared[2] - 3.0).abs() < 1e-6);
+        assert_eq!(g.shared[3], 0.0);
+    }
+
+    #[test]
+    fn empty_round_is_a_no_op() {
+        let mut g = GlobalState {
+            shared: vec![1.0; 2],
+            control: Vec::new(),
+            buffers: Vec::new(),
+        };
+        let cfg = base_cfg(Algorithm::FedAvg);
+        g.aggregate(&cfg, &[], 5);
+        assert_eq!(g.shared, vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,305 @@
+//! The federated-learning driver: rounds, sampling, evaluation, history.
+
+use crate::{
+    client::write_shared, Algorithm, ClientState, FlConfig, GlobalState, RoundBytes,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use spatl_agent::{pretrain_agent, ActorCritic, AgentConfig, PruningEnv};
+use spatl_data::Dataset;
+use spatl_models::{ModelConfig, SplitModel};
+use spatl_tensor::TensorRng;
+
+/// Metrics recorded after each communication round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Mean top-1 validation accuracy across all clients.
+    pub mean_acc: f32,
+    /// Per-client accuracy.
+    pub per_client_acc: Vec<f32>,
+    /// Bytes moved this round (sum over participants).
+    pub bytes: RoundBytes,
+    /// Running total of bytes since round 0.
+    pub cumulative_bytes: u64,
+    /// Clients whose updates were rejected as non-finite.
+    pub diverged_clients: usize,
+    /// Mean fraction of the shared vector uploaded (1.0 for dense
+    /// algorithms).
+    pub mean_keep_ratio: f32,
+    /// Mean FLOPs ratio of participants' (masked) models.
+    pub mean_flops_ratio: f32,
+}
+
+/// Result of a full run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Model name.
+    pub model: String,
+    /// Number of clients.
+    pub n_clients: usize,
+    /// Sample ratio.
+    pub sample_ratio: f32,
+    /// Per-round records.
+    pub history: Vec<RoundRecord>,
+    /// Bytes per round per participating client (average).
+    pub bytes_per_round_per_client: u64,
+}
+
+impl RunResult {
+    /// Accuracy after the final round.
+    pub fn final_acc(&self) -> f32 {
+        self.history.last().map(|r| r.mean_acc).unwrap_or(0.0)
+    }
+
+    /// Best accuracy over the run.
+    pub fn best_acc(&self) -> f32 {
+        self.history.iter().map(|r| r.mean_acc).fold(0.0, f32::max)
+    }
+
+    /// First round whose accuracy reaches `target` (1-based count of
+    /// communication rounds), if any.
+    pub fn rounds_to_target(&self, target: f32) -> Option<usize> {
+        self.history
+            .iter()
+            .position(|r| r.mean_acc >= target)
+            .map(|i| i + 1)
+    }
+
+    /// Total bytes moved over the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.history.last().map(|r| r.cumulative_bytes).unwrap_or(0)
+    }
+
+    /// Bytes accumulated up to (and including) the round that reaches
+    /// `target` accuracy.
+    pub fn bytes_to_target(&self, target: f32) -> Option<u64> {
+        self.rounds_to_target(target)
+            .map(|r| self.history[r - 1].cumulative_bytes)
+    }
+}
+
+/// A complete federated simulation.
+pub struct Simulation {
+    /// Run configuration.
+    pub cfg: FlConfig,
+    /// Server state.
+    pub global: GlobalState,
+    /// All clients.
+    pub clients: Vec<ClientState>,
+    /// Per-round records so far.
+    pub history: Vec<RoundRecord>,
+    rng: TensorRng,
+    cumulative_bytes: u64,
+}
+
+impl Simulation {
+    /// Build a simulation: one `(train, val)` shard per client. All clients
+    /// start from the same global model initialisation given by
+    /// `model_cfg`.
+    pub fn new(cfg: FlConfig, model_cfg: ModelConfig, shards: Vec<(Dataset, Dataset)>) -> Self {
+        assert_eq!(shards.len(), cfg.n_clients, "one shard per client required");
+        let model = model_cfg.with_seed(cfg.seed).build();
+        let global = GlobalState::from_model(&model, &cfg.algorithm);
+
+        // SPATL: pre-train one agent on the pruning task and distribute a
+        // copy to every client (paper: pre-trained on ResNet-56, shipped to
+        // clients, then fine-tuned locally).
+        let agent = match cfg.algorithm {
+            Algorithm::Spatl(opts) if opts.selection => {
+                Some(Self::pretrained_agent(&model, &shards, cfg.seed))
+            }
+            _ => None,
+        };
+
+        let clients: Vec<ClientState> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(id, (train, val))| {
+                let mut c = ClientState::new(id, train, val, model.clone());
+                c.agent = agent.clone();
+                c
+            })
+            .collect();
+
+        Simulation {
+            rng: TensorRng::seed_from(cfg.seed ^ 0x51A1),
+            cfg,
+            global,
+            clients,
+            history: Vec::new(),
+            cumulative_bytes: 0,
+        }
+    }
+
+    fn pretrained_agent(
+        model: &SplitModel,
+        shards: &[(Dataset, Dataset)],
+        seed: u64,
+    ) -> ActorCritic {
+        let mut agent = ActorCritic::new(AgentConfig::default(), seed ^ 0xA9E27);
+        // A small pruning pre-training pass on the initial model and the
+        // first shard's validation data: enough to give the policy sensible
+        // structure before per-client fine-tuning takes over.
+        if let Some((_, val)) = shards.first() {
+            if !val.is_empty() {
+                let env = PruningEnv::new(model.clone(), val.clone(), 0.7);
+                let mut rng = TensorRng::seed_from(seed ^ 0x77);
+                pretrain_agent(&mut agent, &env, 3, 3, 3, &mut rng);
+            }
+        }
+        agent
+    }
+
+    /// Replace every client's agent (e.g. with one pre-trained on
+    /// ResNet-56 by `spatl-agent`).
+    pub fn set_agent(&mut self, agent: ActorCritic) {
+        for c in &mut self.clients {
+            c.agent = Some(agent.clone());
+        }
+    }
+
+    /// Assign per-client FLOPs budgets (one per client) for
+    /// resource-heterogeneous deployments; overrides the run-wide
+    /// `SpatlOptions::target_flops_ratio` during salient selection.
+    pub fn set_client_budgets(&mut self, budgets: &[f32]) {
+        assert_eq!(budgets.len(), self.clients.len(), "one budget per client");
+        for (c, &b) in self.clients.iter_mut().zip(budgets) {
+            assert!((0.0..=1.0).contains(&b), "budget must be a FLOPs fraction");
+            c.flops_budget = Some(b);
+        }
+    }
+
+    /// Run one communication round; returns its record.
+    pub fn run_round(&mut self) -> RoundRecord {
+        let round = self.history.len();
+        let k = self.cfg.clients_per_round();
+        let selected = self.rng.choose_k(self.cfg.n_clients, k);
+        let in_round: Vec<bool> = {
+            let mut v = vec![false; self.cfg.n_clients];
+            for &i in &selected {
+                v[i] = true;
+            }
+            v
+        };
+
+        // Parallel local updates on the sampled clients.
+        let cfg = self.cfg;
+        let global = &self.global;
+        let outcomes: Vec<crate::LocalOutcome> = self
+            .clients
+            .par_iter_mut()
+            .enumerate()
+            .filter(|(i, _)| in_round[*i])
+            .map(|(_, c)| c.local_update(&cfg, global, round))
+            .collect();
+
+        // Aggregate.
+        self.global.aggregate(&self.cfg, &outcomes, self.cfg.n_clients);
+
+        // Account communication.
+        let bytes = outcomes.iter().fold(RoundBytes::default(), |acc, o| RoundBytes {
+            download: acc.download + o.bytes.download,
+            upload: acc.upload + o.bytes.upload,
+        });
+        self.cumulative_bytes += bytes.total();
+        let diverged = outcomes.iter().filter(|o| o.diverged).count();
+        let mean_keep =
+            outcomes.iter().map(|o| o.keep_ratio).sum::<f32>() / outcomes.len().max(1) as f32;
+        let mean_flops =
+            outcomes.iter().map(|o| o.flops_ratio).sum::<f32>() / outcomes.len().max(1) as f32;
+
+        // Evaluate all clients against the *new* global model.
+        let per_client_acc = self.evaluate_all();
+        let mean_acc = per_client_acc.iter().sum::<f32>() / per_client_acc.len() as f32;
+
+        let record = RoundRecord {
+            round,
+            mean_acc,
+            per_client_acc,
+            bytes,
+            cumulative_bytes: self.cumulative_bytes,
+            diverged_clients: diverged,
+            mean_keep_ratio: mean_keep,
+            mean_flops_ratio: mean_flops,
+        };
+        self.history.push(record.clone());
+        record
+    }
+
+    /// Sync every client with the current global weights and compute its
+    /// validation accuracy (private predictors and local masks retained).
+    pub fn evaluate_all(&mut self) -> Vec<f32> {
+        let include_pred = !self.cfg.algorithm.uses_transfer();
+        let global = &self.global;
+        self.clients
+            .par_iter_mut()
+            .map(|c| {
+                write_shared(&mut c.model, &global.shared, include_pred);
+                if !global.buffers.is_empty() {
+                    c.model.encoder.set_buffers_flat(&global.buffers);
+                }
+                c.evaluate()
+            })
+            .collect()
+    }
+
+    /// Deployment finalisation (Eq. 4): every client that never
+    /// participated downloads the final encoder and adapts **its predictor
+    /// only** on local data before the deployment evaluation — the paper's
+    /// protocol for clients outside the sampling set. Only meaningful for
+    /// transfer-mode SPATL; a no-op otherwise. Returns post-adaptation
+    /// per-client accuracy.
+    pub fn finalize(&mut self, adapt_epochs: usize) -> Vec<f32> {
+        if self.cfg.algorithm.uses_transfer() {
+            let global = &self.global;
+            let lr = self.cfg.lr;
+            let seed = self.cfg.seed;
+            self.clients.par_iter_mut().for_each(|c| {
+                if c.participations == 0 {
+                    write_shared(&mut c.model, &global.shared, false);
+                    if !global.buffers.is_empty() {
+                        c.model.encoder.set_buffers_flat(&global.buffers);
+                    }
+                    crate::adapt_predictor(
+                        &mut c.model,
+                        &c.train,
+                        adapt_epochs,
+                        lr,
+                        seed ^ 0xF1A1 ^ c.id as u64,
+                    );
+                }
+            });
+        }
+        self.evaluate_all()
+    }
+
+    /// Run all configured rounds and summarise.
+    pub fn run(&mut self) -> RunResult {
+        for _ in 0..self.cfg.rounds {
+            self.run_round();
+        }
+        self.result()
+    }
+
+    /// Summarise the rounds run so far.
+    pub fn result(&self) -> RunResult {
+        let participants_per_round = self.cfg.clients_per_round() as u64;
+        let rounds = self.history.len().max(1) as u64;
+        RunResult {
+            algorithm: self.cfg.algorithm.name().to_string(),
+            model: self
+                .clients
+                .first()
+                .map(|c| c.model.config.kind.name().to_string())
+                .unwrap_or_default(),
+            n_clients: self.cfg.n_clients,
+            sample_ratio: self.cfg.sample_ratio,
+            history: self.history.clone(),
+            bytes_per_round_per_client: self.cumulative_bytes / (rounds * participants_per_round),
+        }
+    }
+}

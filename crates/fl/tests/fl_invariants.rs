@@ -1,0 +1,236 @@
+//! Invariant and failure-injection tests for the FL machinery.
+
+use spatl_data::{synth_cifar10, Dataset, SynthConfig};
+use spatl_fl::{Algorithm, ClientState, CommModel, FlConfig, GlobalState, Simulation, SpatlOptions};
+use spatl_models::{ModelConfig, ModelKind};
+use spatl_tensor::TensorRng;
+
+fn tiny_shards(n: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    let cfg = SynthConfig {
+        noise_std: 0.5,
+        ..SynthConfig::cifar10_like()
+    };
+    let mut rng = TensorRng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let d = synth_cifar10(&cfg, 30, seed * 100 + i as u64);
+            d.split(0.7, &mut rng)
+        })
+        .collect()
+}
+
+fn tiny_cfg(alg: Algorithm, n: usize, seed: u64) -> FlConfig {
+    let mut cfg = FlConfig::new(alg);
+    cfg.n_clients = n;
+    cfg.rounds = 2;
+    cfg.local_epochs = 1;
+    cfg.batch_size = 16;
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn spatl_aggregation_never_touches_unselected_weights() {
+    // Freeze a snapshot; after one SPATL round, every index NOT selected by
+    // any client must be bit-identical to the snapshot.
+    let cfg = tiny_cfg(Algorithm::Spatl(SpatlOptions::default()), 3, 1);
+    let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(3, 1));
+    let before = sim.global.shared.clone();
+
+    // Collect the union of selected indices by running the round manually.
+    let round_cfg = sim.cfg;
+    let global_snapshot = sim.global.clone();
+    let outcomes: Vec<_> = sim
+        .clients
+        .iter_mut()
+        .map(|c| c.local_update(&round_cfg, &global_snapshot, 0))
+        .collect();
+    let mut touched = vec![false; before.len()];
+    for o in &outcomes {
+        let sel = o.selected.as_ref().expect("spatl selects");
+        for &i in &sel.indices {
+            touched[i as usize] = true;
+        }
+    }
+    sim.global.aggregate(&round_cfg, &outcomes, 3);
+    let mut untouched_checked = 0usize;
+    for (j, (&b, &a)) in before.iter().zip(&sim.global.shared).enumerate() {
+        if !touched[j] {
+            assert_eq!(a, b, "unselected index {j} changed");
+            untouched_checked += 1;
+        }
+    }
+    assert!(untouched_checked > 0, "selection was dense — test vacuous");
+}
+
+#[test]
+fn nan_injection_is_rejected_and_server_stays_finite() {
+    let cfg = tiny_cfg(Algorithm::FedAvg, 2, 2);
+    let model_cfg = ModelConfig::cifar(ModelKind::ResNet20);
+    let mut sim = Simulation::new(cfg, model_cfg, tiny_shards(2, 2));
+    // Poison client 0's model so its delta is non-finite.
+    {
+        let c = &mut sim.clients[0];
+        let mut flat = c.model.encoder.to_flat();
+        flat[0] = f32::NAN;
+        c.model.encoder.from_flat(&flat);
+    }
+    // Manually run the round against the *current* global so the poisoned
+    // weights are not overwritten by the download sync... the download
+    // overwrites the model, so poison the global control path instead:
+    // inject a NaN delta directly through aggregate.
+    let round_cfg = sim.cfg;
+    let global = sim.global.clone();
+    let mut outcomes: Vec<_> = sim
+        .clients
+        .iter_mut()
+        .map(|c| c.local_update(&round_cfg, &global, 0))
+        .collect();
+    outcomes[0].delta[7] = f32::NAN;
+    outcomes[0].diverged = true;
+    sim.global.aggregate(&round_cfg, &outcomes, 2);
+    assert!(sim.global.shared.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn fednova_handles_heterogeneous_local_steps() {
+    // Clients with very different shard sizes take different numbers of
+    // local steps; FedNova must still aggregate stably.
+    let cfg = SynthConfig {
+        noise_std: 0.5,
+        ..SynthConfig::cifar10_like()
+    };
+    let mut rng = TensorRng::seed_from(3);
+    let shards: Vec<(Dataset, Dataset)> = [20usize, 80]
+        .iter()
+        .map(|&n| synth_cifar10(&cfg, n, 77 + n as u64).split(0.7, &mut rng))
+        .collect();
+    let fl = tiny_cfg(Algorithm::FedNova, 2, 3);
+    let mut sim = Simulation::new(fl, ModelConfig::cifar(ModelKind::ResNet20), shards);
+    let global = sim.global.clone();
+    let round_cfg = sim.cfg;
+    let outcomes: Vec<_> = sim
+        .clients
+        .iter_mut()
+        .map(|c| c.local_update(&round_cfg, &global, 0))
+        .collect();
+    assert_ne!(outcomes[0].tau, outcomes[1].tau, "taus should differ");
+    sim.global.aggregate(&round_cfg, &outcomes, 2);
+    assert!(sim.global.shared.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn comm_model_matches_recorded_bytes_for_all_algorithms() {
+    for (alg, seed) in [
+        (Algorithm::FedAvg, 10u64),
+        (Algorithm::FedProx { mu: 0.01 }, 11),
+        (Algorithm::Scaffold, 12),
+        (Algorithm::FedNova, 13),
+    ] {
+        let cfg = tiny_cfg(alg, 2, seed);
+        let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(2, seed));
+        let rec = sim.run_round();
+        let p = sim.global.shared.len();
+        let expect = match alg {
+            Algorithm::FedAvg | Algorithm::FedProx { .. } => CommModel::dense(p),
+            Algorithm::Scaffold => CommModel::scaffold(p),
+            Algorithm::FedNova => CommModel::fednova(p),
+            _ => unreachable!(),
+        };
+        assert_eq!(rec.bytes.total(), 2 * expect.total(), "{}", alg.name());
+    }
+}
+
+#[test]
+fn client_with_empty_validation_set_reports_zero_accuracy() {
+    let cfg = SynthConfig::cifar10_like();
+    let data = synth_cifar10(&cfg, 20, 5);
+    let empty = data.subset(&[]);
+    let model = ModelConfig::cifar(ModelKind::ResNet20).build();
+    let mut client = ClientState::new(0, data, empty, model);
+    assert_eq!(client.evaluate(), 0.0);
+}
+
+#[test]
+fn global_state_matches_algorithm_shape() {
+    let model = ModelConfig::cifar(ModelKind::ResNet20).build();
+    let enc = model.encoder.num_params();
+    let all = model.num_params();
+
+    let g = GlobalState::from_model(&model, &Algorithm::FedAvg);
+    assert_eq!(g.shared.len(), all);
+    assert!(g.control.is_empty());
+
+    let g = GlobalState::from_model(&model, &Algorithm::Scaffold);
+    assert_eq!(g.shared.len(), all);
+    assert_eq!(g.control.len(), all);
+
+    let g = GlobalState::from_model(&model, &Algorithm::Spatl(SpatlOptions::default()));
+    assert_eq!(g.shared.len(), enc);
+    assert_eq!(g.control.len(), enc);
+
+    let no_gc = SpatlOptions {
+        gradient_control: false,
+        ..Default::default()
+    };
+    let g = GlobalState::from_model(&model, &Algorithm::Spatl(no_gc));
+    assert!(g.control.is_empty());
+}
+
+#[test]
+fn deployment_reselection_meets_budget_and_is_idempotent() {
+    let cfg = tiny_cfg(Algorithm::Spatl(SpatlOptions::default()), 2, 6);
+    let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(2, 6));
+    sim.run();
+    let c = &mut sim.clients[0];
+    c.select_for_deployment(0.7);
+    let r1 = c.model.flops() as f32 / c.model.flops_dense() as f32;
+    assert!(r1 <= 0.72, "budget missed: {r1}");
+    c.select_for_deployment(0.7);
+    let r2 = c.model.flops() as f32 / c.model.flops_dense() as f32;
+    assert!((r1 - r2).abs() < 1e-6, "reselection not idempotent: {r1} vs {r2}");
+}
+
+#[test]
+fn per_client_flops_budgets_are_respected() {
+    // Resource heterogeneity: a weak device (tight budget) must end up with
+    // a smaller deployed model than a strong one, within one federation.
+    let cfg = tiny_cfg(Algorithm::Spatl(SpatlOptions::default()), 2, 42);
+    let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(2, 42));
+    sim.set_client_budgets(&[0.5, 0.95]);
+    sim.run();
+    let r0 = {
+        let c = &mut sim.clients[0];
+        c.select_for_deployment(c.flops_budget.unwrap());
+        c.model.flops() as f32 / c.model.flops_dense() as f32
+    };
+    let r1 = {
+        let c = &mut sim.clients[1];
+        c.select_for_deployment(c.flops_budget.unwrap());
+        c.model.flops() as f32 / c.model.flops_dense() as f32
+    };
+    assert!(r0 <= 0.52, "tight budget violated: {r0}");
+    assert!(r1 > r0, "strong device should keep more: {r1} vs {r0}");
+}
+
+#[test]
+fn finalize_adapts_only_never_sampled_clients() {
+    let mut cfg = tiny_cfg(Algorithm::Spatl(SpatlOptions::default()), 4, 77);
+    cfg.sample_ratio = 0.5; // two of four clients participate per round
+    cfg.rounds = 1;
+    let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(4, 77));
+    sim.run_round();
+    let heads_before: Vec<Vec<f32>> = sim.clients.iter().map(|c| c.model.predictor.to_flat()).collect();
+    let participated: Vec<bool> = sim.clients.iter().map(|c| c.participations > 0).collect();
+    assert!(participated.iter().any(|&p| p) && participated.iter().any(|&p| !p));
+    let accs = sim.finalize(2);
+    assert_eq!(accs.len(), 4);
+    for (i, c) in sim.clients.iter().enumerate() {
+        let head_changed = c.model.predictor.to_flat() != heads_before[i];
+        assert_eq!(
+            head_changed, !participated[i],
+            "client {i}: participated={} head_changed={head_changed}",
+            participated[i]
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Build the simplified computational graph of an encoder.
+
+use crate::Csr;
+use serde::{Deserialize, Serialize};
+use spatl_models::SplitModel;
+use spatl_nn::Node;
+use spatl_tensor::Tensor;
+
+/// Machine-learning-level operation kinds (the edge/node vocabulary of the
+/// simplified computational graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Network input feature map.
+    Input,
+    /// Convolution with kernel 1.
+    Conv1x1,
+    /// Convolution with kernel 3.
+    Conv3x3,
+    /// Convolution with kernel 5 or larger.
+    Conv5x5,
+    /// Batch normalisation.
+    BatchNorm,
+    /// ReLU.
+    Relu,
+    /// Any spatial pooling.
+    Pool,
+    /// Global average pooling / flatten.
+    Reduce,
+    /// Fully-connected.
+    Linear,
+    /// Residual addition.
+    Add,
+}
+
+impl OpKind {
+    /// Index into the one-hot feature block.
+    pub fn index(&self) -> usize {
+        match self {
+            OpKind::Input => 0,
+            OpKind::Conv1x1 => 1,
+            OpKind::Conv3x3 => 2,
+            OpKind::Conv5x5 => 3,
+            OpKind::BatchNorm => 4,
+            OpKind::Relu => 5,
+            OpKind::Pool => 6,
+            OpKind::Reduce => 7,
+            OpKind::Linear => 8,
+            OpKind::Add => 9,
+        }
+    }
+
+    fn conv(kernel: usize) -> OpKind {
+        match kernel {
+            1 => OpKind::Conv1x1,
+            3 => OpKind::Conv3x3,
+            _ => OpKind::Conv5x5,
+        }
+    }
+}
+
+const NUM_OPS: usize = 10;
+/// Node feature dimension: op one-hot + (channels, spatial, depth, prunable).
+pub const FEATURE_DIM: usize = NUM_OPS + 4;
+
+/// The simplified computational graph: RL environment state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompGraph {
+    /// Node features `[n_nodes, FEATURE_DIM]`.
+    pub features: Tensor,
+    /// Row-normalised adjacency with self-loops.
+    pub adj: Csr,
+    /// Node id of each prune point, in `model.prune_points` order — the
+    /// per-layer readout locations for the policy head.
+    pub prune_nodes: Vec<usize>,
+    /// Op kind of every node.
+    pub ops: Vec<OpKind>,
+}
+
+struct Builder {
+    ops: Vec<OpKind>,
+    channels: Vec<usize>,
+    spatial: Vec<usize>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Builder {
+    fn add_node(&mut self, op: OpKind, channels: usize, spatial: usize, from: Option<usize>) -> usize {
+        let id = self.ops.len();
+        self.ops.push(op);
+        self.channels.push(channels);
+        self.spatial.push(spatial);
+        if let Some(f) = from {
+            self.edges.push((f, id));
+        }
+        id
+    }
+}
+
+/// Extract the simplified computational graph of a model's **encoder** —
+/// the part the selection agent prunes.
+pub fn extract(model: &SplitModel) -> CompGraph {
+    let cfg = &model.config;
+    let mut b = Builder {
+        ops: Vec::new(),
+        channels: Vec::new(),
+        spatial: Vec::new(),
+        edges: Vec::new(),
+    };
+    let mut cur = b.add_node(OpKind::Input, cfg.in_channels, cfg.input_hw, None);
+    let mut spatial = cfg.input_hw;
+    let mut channels = cfg.in_channels;
+    // node-in-encoder index -> graph node of that layer's output (for conv
+    // nodes referenced by prune points).
+    let mut conv_out_node: Vec<Option<usize>> = vec![None; model.encoder.nodes.len()];
+    let mut res_conv1_node: Vec<Option<usize>> = vec![None; model.encoder.nodes.len()];
+
+    for (i, node) in model.encoder.nodes.iter().enumerate() {
+        match node {
+            Node::Conv(c) => {
+                spatial = (spatial + 2 * c.padding - c.kernel) / c.stride + 1;
+                channels = c.out_channels;
+                cur = b.add_node(OpKind::conv(c.kernel), channels, spatial, Some(cur));
+                conv_out_node[i] = Some(cur);
+            }
+            Node::BatchNorm(bn) => {
+                cur = b.add_node(OpKind::BatchNorm, bn.channels, spatial, Some(cur));
+            }
+            Node::Relu(_) => {
+                cur = b.add_node(OpKind::Relu, channels, spatial, Some(cur));
+            }
+            Node::MaxPool(p) => {
+                spatial = (spatial - p.kernel) / p.stride + 1;
+                cur = b.add_node(OpKind::Pool, channels, spatial, Some(cur));
+            }
+            Node::AvgPool(p) => {
+                spatial = (spatial - p.kernel) / p.stride + 1;
+                cur = b.add_node(OpKind::Pool, channels, spatial, Some(cur));
+            }
+            Node::GlobalAvgPool(_) | Node::Flatten(_) => {
+                spatial = 1;
+                cur = b.add_node(OpKind::Reduce, channels, 1, Some(cur));
+            }
+            Node::Dropout(_) => {}
+            Node::Linear(l) => {
+                channels = l.out_features;
+                cur = b.add_node(OpKind::Linear, channels, 1, Some(cur));
+            }
+            Node::Residual(blk) => {
+                let entry = cur;
+                let s1 = (spatial + 2 * blk.conv1.padding - blk.conv1.kernel) / blk.conv1.stride + 1;
+                let c1 = b.add_node(OpKind::conv(blk.conv1.kernel), blk.conv1.out_channels, s1, Some(entry));
+                res_conv1_node[i] = Some(c1);
+                let bn1 = b.add_node(OpKind::BatchNorm, blk.bn1.channels, s1, Some(c1));
+                let r1 = b.add_node(OpKind::Relu, blk.bn1.channels, s1, Some(bn1));
+                let c2 = b.add_node(OpKind::conv(blk.conv2.kernel), blk.conv2.out_channels, s1, Some(r1));
+                let bn2 = b.add_node(OpKind::BatchNorm, blk.bn2.channels, s1, Some(c2));
+                let add = b.add_node(OpKind::Add, blk.conv2.out_channels, s1, Some(bn2));
+                // Shortcut path.
+                match &blk.down_conv {
+                    Some(dc) => {
+                        let d = b.add_node(OpKind::conv(dc.kernel), dc.out_channels, s1, Some(entry));
+                        let dbn = b.add_node(OpKind::BatchNorm, dc.out_channels, s1, Some(d));
+                        b.edges.push((dbn, add));
+                    }
+                    None => {
+                        b.edges.push((entry, add));
+                    }
+                }
+                cur = b.add_node(OpKind::Relu, blk.conv2.out_channels, s1, Some(add));
+                spatial = s1;
+                channels = blk.conv2.out_channels;
+            }
+        }
+    }
+
+    // Resolve prune-point node ids.
+    let prune_nodes: Vec<usize> = model
+        .prune_points
+        .iter()
+        .map(|p| match p.layer {
+            spatl_models::LayerRef::Seq(i) => {
+                conv_out_node[i].expect("prune point refers to conv without graph node")
+            }
+            spatl_models::LayerRef::ResConv1(i) => {
+                res_conv1_node[i].expect("prune point refers to residual without graph node")
+            }
+        })
+        .collect();
+
+    // Node features: one-hot op, log-scaled channels/spatial, normalised
+    // depth, prunable flag.
+    let n = b.ops.len();
+    let mut features = Tensor::zeros([n, FEATURE_DIM]);
+    let max_ch = *b.channels.iter().max().unwrap_or(&1) as f32;
+    for i in 0..n {
+        let f = &mut features.data_mut()[i * FEATURE_DIM..(i + 1) * FEATURE_DIM];
+        f[b.ops[i].index()] = 1.0;
+        f[NUM_OPS] = (b.channels[i] as f32 / max_ch).sqrt();
+        f[NUM_OPS + 1] = (b.spatial[i] as f32 / cfg.input_hw as f32).sqrt();
+        f[NUM_OPS + 2] = i as f32 / n as f32;
+        f[NUM_OPS + 3] = if prune_nodes.contains(&i) { 1.0 } else { 0.0 };
+    }
+
+    CompGraph {
+        features,
+        adj: Csr::from_edges(n, &b.edges),
+        prune_nodes,
+        ops: b.ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatl_models::{ModelConfig, ModelKind};
+
+    #[test]
+    fn resnet20_graph_has_one_prune_node_per_point() {
+        let m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let g = extract(&m);
+        assert_eq!(g.prune_nodes.len(), m.prune_points.len());
+        // Prune nodes are distinct and in range.
+        let mut pn = g.prune_nodes.clone();
+        pn.sort_unstable();
+        pn.dedup();
+        assert_eq!(pn.len(), g.prune_nodes.len());
+        assert!(pn.iter().all(|&i| i < g.ops.len()));
+        // Each prune node is a convolution.
+        for &i in &g.prune_nodes {
+            assert!(matches!(
+                g.ops[i],
+                OpKind::Conv1x1 | OpKind::Conv3x3 | OpKind::Conv5x5
+            ));
+        }
+    }
+
+    #[test]
+    fn residual_blocks_create_add_nodes() {
+        let m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let g = extract(&m);
+        let adds = g.ops.iter().filter(|o| **o == OpKind::Add).count();
+        assert_eq!(adds, 9); // one per basic block
+    }
+
+    #[test]
+    fn vgg_graph_is_a_chain_with_no_adds() {
+        let m = ModelConfig::cifar(ModelKind::Vgg11).build();
+        let g = extract(&m);
+        assert_eq!(g.ops.iter().filter(|o| **o == OpKind::Add).count(), 0);
+        assert_eq!(g.prune_nodes.len(), 7);
+    }
+
+    #[test]
+    fn features_are_finite_and_bounded() {
+        for kind in [ModelKind::ResNet20, ModelKind::Vgg11] {
+            let m = ModelConfig::cifar(kind).build();
+            let g = extract(&m);
+            assert_eq!(g.features.dims()[1], FEATURE_DIM);
+            assert!(!g.features.has_non_finite());
+            assert!(g.features.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deeper_model_bigger_graph() {
+        let g20 = extract(&ModelConfig::cifar(ModelKind::ResNet20).build());
+        let g56 = extract(&ModelConfig::cifar(ModelKind::ResNet56).build());
+        assert!(g56.ops.len() > g20.ops.len());
+    }
+
+    #[test]
+    fn cnn_graph_handles_flatten() {
+        let m = ModelConfig::femnist().build();
+        let g = extract(&m);
+        assert!(g.ops.contains(&OpKind::Reduce));
+        assert_eq!(g.prune_nodes.len(), 1);
+    }
+}

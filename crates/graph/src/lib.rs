@@ -1,0 +1,14 @@
+//! Simplified computational-graph extraction (§IV-B of the paper).
+//!
+//! SPATL's salient-parameter-selection agent observes the encoder as a
+//! *simplified computational graph*: nodes are hidden feature maps, edges
+//! are machine-learning-level operations (conv 3×3, ReLU, …) rather than
+//! primitive arithmetic. This crate builds that graph from a
+//! [`spatl_models::SplitModel`] and provides the sparse-matrix kernels the
+//! GNN in `spatl-agent` aggregates messages with.
+
+mod csr;
+mod extract;
+
+pub use csr::Csr;
+pub use extract::{extract, CompGraph, OpKind, FEATURE_DIM};

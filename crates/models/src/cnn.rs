@@ -1,0 +1,75 @@
+//! LEAF-style 2-layer CNN for FEMNIST.
+
+use crate::{scaled, LayerRef, ModelConfig, PrunePoint};
+use spatl_nn::{Conv2d, Flatten, Linear, MaxPool2d, Network, Node, Relu};
+use spatl_tensor::TensorRng;
+
+/// Build the LEAF benchmark's 2-layer CNN: two 5×5 convolutions with 2×2
+/// max-pooling, then a hidden dense layer and the classifier head.
+///
+/// The encoder is the two conv blocks plus flatten; the predictor is the
+/// dense layers. The paper notes this model is *not* over-parameterised,
+/// which is exactly why SPATL under-performs on it (§V-B) — keeping it in
+/// the zoo lets the reproduction show the same failure mode.
+pub(crate) fn build_cnn2(config: &ModelConfig) -> (Network, Network, Vec<PrunePoint>) {
+    let mut rng = TensorRng::seed_from(config.seed);
+    let c1 = scaled(32, config.width_mult);
+    let c2 = scaled(64, config.width_mult);
+
+    let mut nodes = Vec::new();
+    let mut prune_points = Vec::new();
+
+    let node_idx = nodes.len();
+    nodes.push(Node::Conv(Conv2d::new(config.in_channels, c1, 5, 1, 2, &mut rng)));
+    prune_points.push(PrunePoint {
+        name: "conv1".to_string(),
+        layer: LayerRef::Seq(node_idx),
+        out_channels: c1,
+    });
+    nodes.push(Node::Relu(Relu::new()));
+    nodes.push(Node::MaxPool(MaxPool2d::new(2, 2)));
+
+    nodes.push(Node::Conv(Conv2d::new(c1, c2, 5, 1, 2, &mut rng)));
+    nodes.push(Node::Relu(Relu::new()));
+    nodes.push(Node::MaxPool(MaxPool2d::new(2, 2)));
+    nodes.push(Node::Flatten(Flatten::new()));
+    let encoder = Network::new(nodes);
+
+    let spatial = config.input_hw / 4; // two 2×2 pools
+    let feat = c2 * spatial * spatial;
+    let hidden = scaled(2048, config.width_mult * config.width_mult);
+    let predictor = Network::new(vec![
+        Node::Linear(Linear::new(feat, hidden, &mut rng)),
+        Node::Relu(Relu::new()),
+        Node::Linear(Linear::new(hidden, config.num_classes, &mut rng)),
+    ]);
+
+    (encoder, predictor, prune_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnn2_has_single_prune_point() {
+        let cfg = ModelConfig::femnist();
+        let (_, _, pp) = build_cnn2(&cfg);
+        assert_eq!(pp.len(), 1);
+        assert_eq!(pp[0].name, "conv1");
+    }
+
+    #[test]
+    fn predictor_input_matches_encoder_output() {
+        let cfg = ModelConfig::femnist();
+        let mut model = cfg.build();
+        let mut rng = TensorRng::seed_from(3);
+        let x = rng.normal_tensor([2, 1, 14, 14], 0.0, 1.0);
+        let emb = model.encoder.forward(&x, false);
+        // 14/4 = 3 spatial after two pools.
+        let c2 = scaled(64, cfg.width_mult);
+        assert_eq!(emb.dims(), &[2, c2 * 3 * 3]);
+        let y = model.predictor.forward(&emb, false);
+        assert_eq!(y.dims(), &[2, 62]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Model configuration and registry.
+
+use serde::{Deserialize, Serialize};
+
+/// Which architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// CIFAR-style ResNet-20 (3 stages × 3 basic blocks).
+    ResNet20,
+    /// CIFAR-style ResNet-32 (3 stages × 5 basic blocks).
+    ResNet32,
+    /// CIFAR-style ResNet-56 (3 stages × 9 basic blocks) — used to pre-train
+    /// the salient-parameter-selection agent.
+    ResNet56,
+    /// ResNet-18-style network (4 stages × 2 basic blocks) — the fine-tuning
+    /// target of the agent-transfer experiment (Fig. 6).
+    ResNet18,
+    /// VGG-11 with batch-norm.
+    Vgg11,
+    /// LEAF-style 2-layer CNN for FEMNIST.
+    Cnn2,
+}
+
+impl ModelKind {
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::ResNet20 => "ResNet-20",
+            ModelKind::ResNet32 => "ResNet-32",
+            ModelKind::ResNet56 => "ResNet-56",
+            ModelKind::ResNet18 => "ResNet-18",
+            ModelKind::Vgg11 => "VGG-11",
+            ModelKind::Cnn2 => "2-layer CNN",
+        }
+    }
+
+    /// All model kinds, for registry-style iteration.
+    pub fn all() -> [ModelKind; 6] {
+        [
+            ModelKind::ResNet20,
+            ModelKind::ResNet32,
+            ModelKind::ResNet56,
+            ModelKind::ResNet18,
+            ModelKind::Vgg11,
+            ModelKind::Cnn2,
+        ]
+    }
+}
+
+/// Full configuration for building a [`crate::SplitModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Architecture.
+    pub kind: ModelKind,
+    /// Input channels (3 for CIFAR-like, 1 for FEMNIST-like).
+    pub in_channels: usize,
+    /// Square input spatial size.
+    pub input_hw: usize,
+    /// Output classes.
+    pub num_classes: usize,
+    /// Channel width multiplier (1.0 = paper-scale widths).
+    pub width_mult: f32,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// CIFAR-10-like defaults at reproduction scale (16×16 inputs, ¼ width).
+    pub fn cifar(kind: ModelKind) -> Self {
+        ModelConfig {
+            kind,
+            in_channels: 3,
+            input_hw: 16,
+            num_classes: 10,
+            width_mult: 0.25,
+            seed: 0,
+        }
+    }
+
+    /// FEMNIST-like defaults (1×14×14, 62 classes).
+    pub fn femnist() -> Self {
+        ModelConfig {
+            kind: ModelKind::Cnn2,
+            in_channels: 1,
+            input_hw: 14,
+            num_classes: 62,
+            width_mult: 0.25,
+            seed: 0,
+        }
+    }
+
+    /// Set the initialisation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the width multiplier.
+    pub fn with_width(mut self, width_mult: f32) -> Self {
+        self.width_mult = width_mult;
+        self
+    }
+
+    /// Build the model.
+    pub fn build(&self) -> crate::SplitModel {
+        crate::split::build_model(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ModelKind::ResNet20.name(), "ResNet-20");
+        assert_eq!(ModelKind::Vgg11.name(), "VGG-11");
+        assert_eq!(ModelKind::all().len(), 6);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = ModelConfig::cifar(ModelKind::ResNet20).with_seed(9).with_width(0.5);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.width_mult, 0.5);
+        assert_eq!(c.num_classes, 10);
+        let f = ModelConfig::femnist();
+        assert_eq!(f.num_classes, 62);
+        assert_eq!(f.in_channels, 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Mask-aware FLOPs and parameter accounting.
+//!
+//! The paper evaluates inference acceleration in FLOPs ("for a fair
+//! evaluation ... we calculated the FLOPs", §V-D). This module walks a
+//! [`SplitModel`] symbolically, tracking spatial extents and the number of
+//! channels that remain *active* under the current channel masks, and
+//! reports per-layer FLOPs as if masked channels were physically removed —
+//! which is what structured pruning achieves at deployment time.
+
+use crate::SplitModel;
+use serde::{Deserialize, Serialize};
+use spatl_nn::{Conv2d, Node};
+
+/// Per-layer cost summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer name (position-derived).
+    pub name: String,
+    /// Multiply-accumulate-counted floating point operations (2·MACs for
+    /// conv/linear; element counts for cheap ops).
+    pub flops: u64,
+    /// Total trainable parameters of the layer.
+    pub params_total: u64,
+    /// Parameters remaining if masked channels were physically removed.
+    pub params_active: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Sig {
+    /// NCHW activations: (total channels, active channels, height, width).
+    Spatial(usize, usize, usize, usize),
+    /// Flat feature vector of the given length.
+    Vector(usize),
+}
+
+fn conv_profile(c: &Conv2d, name: String, in_active: usize, h: usize, w: usize) -> (LayerProfile, Sig) {
+    let g = spatl_tensor::Conv2dGeometry {
+        in_channels: c.in_channels,
+        in_h: h,
+        in_w: w,
+        kernel: c.kernel,
+        stride: c.stride,
+        padding: c.padding,
+    };
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let active_out = c.active_channels();
+    let k2 = (c.kernel * c.kernel) as u64;
+    let flops = 2 * k2 * in_active as u64 * active_out as u64 * (oh * ow) as u64;
+    let params_total = (c.in_channels as u64 * k2 + 1) * c.out_channels as u64;
+    let params_active = (in_active as u64 * k2 + 1) * active_out as u64;
+    (
+        LayerProfile {
+            name,
+            flops,
+            params_total,
+            params_active,
+        },
+        Sig::Spatial(c.out_channels, active_out, oh, ow),
+    )
+}
+
+fn walk(nodes: &[Node], mut sig: Sig, prefix: &str, out: &mut Vec<LayerProfile>) -> Sig {
+    for (i, node) in nodes.iter().enumerate() {
+        let name = format!("{prefix}{i}");
+        match node {
+            Node::Conv(c) => {
+                let (ca, h, w) = match sig {
+                    Sig::Spatial(_, ca, h, w) => (ca, h, w),
+                    Sig::Vector(_) => panic!("conv after flatten"),
+                };
+                let (p, next) = conv_profile(c, format!("{name}.conv"), ca, h, w);
+                out.push(p);
+                sig = next;
+            }
+            Node::BatchNorm(b) => {
+                if let Sig::Spatial(ct, ca, h, w) = sig {
+                    debug_assert_eq!(ct, b.channels);
+                    out.push(LayerProfile {
+                        name: format!("{name}.bn"),
+                        flops: 2 * (ca * h * w) as u64,
+                        params_total: 2 * b.channels as u64,
+                        params_active: 2 * ca as u64,
+                    });
+                }
+            }
+            Node::Relu(_) => {
+                let n = match sig {
+                    Sig::Spatial(_, ca, h, w) => ca * h * w,
+                    Sig::Vector(n) => n,
+                };
+                out.push(LayerProfile {
+                    name: format!("{name}.relu"),
+                    flops: n as u64,
+                    params_total: 0,
+                    params_active: 0,
+                });
+            }
+            Node::MaxPool(p) => {
+                if let Sig::Spatial(ct, ca, h, w) = sig {
+                    let oh = (h - p.kernel) / p.stride + 1;
+                    let ow = (w - p.kernel) / p.stride + 1;
+                    out.push(LayerProfile {
+                        name: format!("{name}.maxpool"),
+                        flops: (ca * oh * ow * p.kernel * p.kernel) as u64,
+                        params_total: 0,
+                        params_active: 0,
+                    });
+                    sig = Sig::Spatial(ct, ca, oh, ow);
+                }
+            }
+            Node::AvgPool(p) => {
+                if let Sig::Spatial(ct, ca, h, w) = sig {
+                    let oh = (h - p.kernel) / p.stride + 1;
+                    let ow = (w - p.kernel) / p.stride + 1;
+                    out.push(LayerProfile {
+                        name: format!("{name}.avgpool"),
+                        flops: (ca * oh * ow * p.kernel * p.kernel) as u64,
+                        params_total: 0,
+                        params_active: 0,
+                    });
+                    sig = Sig::Spatial(ct, ca, oh, ow);
+                }
+            }
+            Node::GlobalAvgPool(_) => {
+                if let Sig::Spatial(ct, ca, h, w) = sig {
+                    out.push(LayerProfile {
+                        name: format!("{name}.gap"),
+                        flops: (ca * h * w) as u64,
+                        params_total: 0,
+                        params_active: 0,
+                    });
+                    let _ = ca;
+                    sig = Sig::Vector(ct);
+                }
+            }
+            Node::Flatten(_) => {
+                if let Sig::Spatial(ct, _, h, w) = sig {
+                    sig = Sig::Vector(ct * h * w);
+                }
+            }
+            Node::Dropout(_) => {}
+            Node::Linear(l) => {
+                let n_in = match sig {
+                    Sig::Vector(n) => n,
+                    Sig::Spatial(..) => panic!("linear on spatial input"),
+                };
+                debug_assert_eq!(n_in, l.in_features);
+                out.push(LayerProfile {
+                    name: format!("{name}.linear"),
+                    flops: 2 * (l.in_features * l.out_features) as u64,
+                    params_total: ((l.in_features + 1) * l.out_features) as u64,
+                    params_active: ((l.in_features + 1) * l.out_features) as u64,
+                });
+                sig = Sig::Vector(l.out_features);
+            }
+            Node::Residual(b) => {
+                let (entry_total, entry_active, h, w) = match sig {
+                    Sig::Spatial(ct, ca, h, w) => (ct, ca, h, w),
+                    Sig::Vector(_) => panic!("residual after flatten"),
+                };
+                let _ = entry_total;
+                // conv1 (prunable) -> bn1 -> relu -> conv2 (dense out).
+                let (p1, s1) = conv_profile(&b.conv1, format!("{name}.conv1"), entry_active, h, w);
+                out.push(p1);
+                let (c1_active, oh, ow) = match s1 {
+                    Sig::Spatial(_, ca, oh, ow) => (ca, oh, ow),
+                    _ => unreachable!(),
+                };
+                out.push(LayerProfile {
+                    name: format!("{name}.bn1"),
+                    flops: 2 * (c1_active * oh * ow) as u64,
+                    params_total: 2 * b.bn1.channels as u64,
+                    params_active: 2 * c1_active as u64,
+                });
+                out.push(LayerProfile {
+                    name: format!("{name}.relu1"),
+                    flops: (c1_active * oh * ow) as u64,
+                    params_total: 0,
+                    params_active: 0,
+                });
+                let (p2, s2) = conv_profile(&b.conv2, format!("{name}.conv2"), c1_active, oh, ow);
+                out.push(p2);
+                let (out_total, out_active) = match s2 {
+                    Sig::Spatial(ct, ca, ..) => (ct, ca),
+                    _ => unreachable!(),
+                };
+                out.push(LayerProfile {
+                    name: format!("{name}.bn2"),
+                    flops: 2 * (out_active * oh * ow) as u64,
+                    params_total: 2 * b.bn2.channels as u64,
+                    params_active: 2 * out_active as u64,
+                });
+                if let (Some(dc), Some(db)) = (&b.down_conv, &b.down_bn) {
+                    let (pd, _) = conv_profile(dc, format!("{name}.down_conv"), entry_active, h, w);
+                    out.push(pd);
+                    out.push(LayerProfile {
+                        name: format!("{name}.down_bn"),
+                        flops: 2 * (dc.active_channels() * oh * ow) as u64,
+                        params_total: 2 * db.channels as u64,
+                        params_active: 2 * dc.active_channels() as u64,
+                    });
+                }
+                // Residual add + output ReLU.
+                out.push(LayerProfile {
+                    name: format!("{name}.add_relu"),
+                    flops: 2 * (out_total * oh * ow) as u64,
+                    params_total: 0,
+                    params_active: 0,
+                });
+                // The shortcut re-injects all channels, so the block output
+                // is fully active regardless of internal masks.
+                sig = Sig::Spatial(out_total, out_total, oh, ow);
+            }
+        }
+    }
+    sig
+}
+
+/// Profile every layer of a split model at its configured input size.
+pub fn profile(model: &SplitModel) -> Vec<LayerProfile> {
+    let cfg = &model.config;
+    let mut out = Vec::new();
+    let sig = Sig::Spatial(cfg.in_channels, cfg.in_channels, cfg.input_hw, cfg.input_hw);
+    let sig = walk(&model.encoder.nodes, sig, "enc", &mut out);
+    walk(&model.predictor.nodes, sig, "pred", &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ModelConfig, ModelKind};
+
+    #[test]
+    fn profile_params_match_network_count() {
+        for kind in [ModelKind::ResNet20, ModelKind::Vgg11] {
+            let m = ModelConfig::cifar(kind).build();
+            let prof = crate::profile(&m);
+            let total: u64 = prof.iter().map(|l| l.params_total).sum();
+            assert_eq!(total, m.num_params() as u64, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn dense_profile_has_equal_active_and_total_params() {
+        let m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        for l in crate::profile(&m) {
+            assert_eq!(l.params_total, l.params_active, "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn masking_half_of_one_layer_cuts_its_flops() {
+        let mut m = ModelConfig::cifar(ModelKind::Vgg11).build();
+        let before: u64 = crate::profile(&m).iter().map(|l| l.flops).sum();
+        let ch = m.prune_points[2].out_channels;
+        let mut mask = vec![1.0; ch];
+        for v in mask.iter_mut().take(ch / 2) {
+            *v = 0.0;
+        }
+        m.set_mask(2, mask);
+        let after: u64 = crate::profile(&m).iter().map(|l| l.flops).sum();
+        assert!(after < before);
+        // Reduction is bounded by that layer's share of the total.
+        assert!(after > before / 2);
+    }
+
+    #[test]
+    fn conv_flops_formula_spot_check() {
+        // Single conv 3->8, k=3, 16x16 with padding 1: 2·9·3·8·256.
+        let m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let prof = crate::profile(&m);
+        let stem = &prof[0];
+        let w16 = crate::scaled(16, m.config.width_mult);
+        assert_eq!(stem.flops, 2 * 9 * 3 * w16 as u64 * 256);
+    }
+
+    #[test]
+    fn deeper_models_cost_more_flops() {
+        let f20 = ModelConfig::cifar(ModelKind::ResNet20).build().flops();
+        let f32_ = ModelConfig::cifar(ModelKind::ResNet32).build().flops();
+        let f56 = ModelConfig::cifar(ModelKind::ResNet56).build().flops();
+        assert!(f20 < f32_ && f32_ < f56);
+    }
+}

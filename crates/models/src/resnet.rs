@@ -1,0 +1,132 @@
+//! CIFAR-style residual networks (ResNet-20/32/56) and ResNet-18.
+
+use crate::{scaled, LayerRef, ModelConfig, PrunePoint};
+use spatl_nn::{BasicBlock, BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Network, Node, Relu};
+use spatl_tensor::TensorRng;
+
+/// Build a CIFAR ResNet-(6n+2): stem conv + 3 stages of `n` basic blocks
+/// with base widths (16, 32, 64), global average pooling, and a linear
+/// classifier head as the private predictor.
+pub(crate) fn build_cifar_resnet(
+    config: &ModelConfig,
+    n: usize,
+) -> (Network, Network, Vec<PrunePoint>) {
+    let mut rng = TensorRng::seed_from(config.seed);
+    let w = |c: usize| scaled(c, config.width_mult);
+    let widths = [w(16), w(32), w(64)];
+
+    let mut nodes = Vec::new();
+    let mut prune_points = Vec::new();
+
+    nodes.push(Node::Conv(Conv2d::new(config.in_channels, widths[0], 3, 1, 1, &mut rng)));
+    nodes.push(Node::BatchNorm(BatchNorm2d::new(widths[0])));
+    nodes.push(Node::Relu(Relu::new()));
+
+    let mut in_c = widths[0];
+    for (stage, &out_c) in widths.iter().enumerate() {
+        for blk in 0..n {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let node_idx = nodes.len();
+            nodes.push(Node::Residual(Box::new(BasicBlock::new(in_c, out_c, stride, &mut rng))));
+            prune_points.push(PrunePoint {
+                name: format!("stage{}.block{}.conv1", stage + 1, blk),
+                layer: LayerRef::ResConv1(node_idx),
+                out_channels: out_c,
+            });
+            in_c = out_c;
+        }
+    }
+    nodes.push(Node::GlobalAvgPool(GlobalAvgPool::new()));
+    let encoder = Network::new(nodes);
+
+    let predictor = Network::new(vec![Node::Linear(Linear::new(
+        widths[2],
+        config.num_classes,
+        &mut rng,
+    ))]);
+
+    (encoder, predictor, prune_points)
+}
+
+/// Build a ResNet-18-style network: stem conv + 4 stages of 2 basic blocks
+/// with base widths (64, 128, 256, 512), scaled by the width multiplier.
+pub(crate) fn build_resnet18(config: &ModelConfig) -> (Network, Network, Vec<PrunePoint>) {
+    let mut rng = TensorRng::seed_from(config.seed);
+    let w = |c: usize| scaled(c, config.width_mult);
+    let widths = [w(64), w(128), w(256), w(512)];
+
+    let mut nodes = Vec::new();
+    let mut prune_points = Vec::new();
+
+    nodes.push(Node::Conv(Conv2d::new(config.in_channels, widths[0], 3, 1, 1, &mut rng)));
+    nodes.push(Node::BatchNorm(BatchNorm2d::new(widths[0])));
+    nodes.push(Node::Relu(Relu::new()));
+
+    let mut in_c = widths[0];
+    for (stage, &out_c) in widths.iter().enumerate() {
+        for blk in 0..2 {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let node_idx = nodes.len();
+            nodes.push(Node::Residual(Box::new(BasicBlock::new(in_c, out_c, stride, &mut rng))));
+            prune_points.push(PrunePoint {
+                name: format!("stage{}.block{}.conv1", stage + 1, blk),
+                layer: LayerRef::ResConv1(node_idx),
+                out_channels: out_c,
+            });
+            in_c = out_c;
+        }
+    }
+    nodes.push(Node::GlobalAvgPool(GlobalAvgPool::new()));
+    let encoder = Network::new(nodes);
+
+    let predictor = Network::new(vec![Node::Linear(Linear::new(
+        widths[3],
+        config.num_classes,
+        &mut rng,
+    ))]);
+
+    (encoder, predictor, prune_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+
+    #[test]
+    fn resnet20_has_nine_prune_points() {
+        let cfg = ModelConfig::cifar(ModelKind::ResNet20);
+        let (_, _, pp) = build_cifar_resnet(&cfg, 3);
+        assert_eq!(pp.len(), 9); // 3 stages × 3 blocks
+    }
+
+    #[test]
+    fn resnet56_has_27_prune_points() {
+        let cfg = ModelConfig::cifar(ModelKind::ResNet56);
+        let (_, _, pp) = build_cifar_resnet(&cfg, 9);
+        assert_eq!(pp.len(), 27);
+    }
+
+    #[test]
+    fn resnet18_has_eight_prune_points() {
+        let cfg = ModelConfig::cifar(ModelKind::ResNet18);
+        let (_, _, pp) = build_resnet18(&cfg);
+        assert_eq!(pp.len(), 8);
+    }
+
+    #[test]
+    fn width_multiplier_scales_channels() {
+        let cfg = ModelConfig::cifar(ModelKind::ResNet20).with_width(1.0);
+        let (enc, _, _) = build_cifar_resnet(&cfg, 3);
+        match &enc.nodes[0] {
+            Node::Conv(c) => assert_eq!(c.out_channels, 16),
+            _ => panic!("stem must be conv"),
+        }
+        let cfg = cfg.with_width(0.5);
+        let (enc, _, _) = build_cifar_resnet(&cfg, 3);
+        match &enc.nodes[0] {
+            Node::Conv(c) => assert_eq!(c.out_channels, 8),
+            _ => panic!("stem must be conv"),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! VGG-11 with batch normalisation.
+
+use crate::{scaled, LayerRef, ModelConfig, PrunePoint};
+use spatl_nn::{BatchNorm2d, Conv2d, Dropout, GlobalAvgPool, Linear, MaxPool2d, Network, Node, Relu};
+use spatl_tensor::TensorRng;
+
+/// VGG-11 plan: channel widths with 'M' = 2×2 max-pool.
+const PLAN: [Option<usize>; 13] = [
+    Some(64),
+    None,
+    Some(128),
+    None,
+    Some(256),
+    Some(256),
+    None,
+    Some(512),
+    Some(512),
+    None,
+    Some(512),
+    Some(512),
+    None,
+];
+
+/// Build VGG-11: the convolutional feature extractor (encoder) and a
+/// two-layer MLP classifier with dropout (predictor).
+///
+/// Max-pool steps are skipped once the spatial extent reaches 1×1 so the
+/// same plan works at reduced input sizes (the paper uses 32×32 CIFAR-10;
+/// the reproduction default is 16×16).
+pub(crate) fn build_vgg11(config: &ModelConfig) -> (Network, Network, Vec<PrunePoint>) {
+    let mut rng = TensorRng::seed_from(config.seed);
+    let w = |c: usize| scaled(c, config.width_mult);
+
+    let mut nodes = Vec::new();
+    let mut prune_points = Vec::new();
+    let mut in_c = config.in_channels;
+    let mut spatial = config.input_hw;
+    let mut conv_idx = 0usize;
+    let total_convs = PLAN.iter().filter(|p| p.is_some()).count();
+
+    for step in PLAN.iter() {
+        match step {
+            Some(base) => {
+                let out_c = w(*base);
+                let node_idx = nodes.len();
+                nodes.push(Node::Conv(Conv2d::new(in_c, out_c, 3, 1, 1, &mut rng)));
+                nodes.push(Node::BatchNorm(BatchNorm2d::new(out_c)));
+                nodes.push(Node::Relu(Relu::new()));
+                conv_idx += 1;
+                // The last conv feeds the predictor embedding; keep it dense
+                // so the encoder/predictor interface is stable across
+                // clients with different masks.
+                if conv_idx < total_convs {
+                    prune_points.push(PrunePoint {
+                        name: format!("features.conv{conv_idx}"),
+                        layer: LayerRef::Seq(node_idx),
+                        out_channels: out_c,
+                    });
+                }
+                in_c = out_c;
+            }
+            None => {
+                if spatial >= 2 {
+                    nodes.push(Node::MaxPool(MaxPool2d::new(2, 2)));
+                    spatial /= 2;
+                }
+            }
+        }
+    }
+    nodes.push(Node::GlobalAvgPool(GlobalAvgPool::new()));
+    let encoder = Network::new(nodes);
+
+    let hidden = w(512);
+    let predictor = Network::new(vec![
+        Node::Linear(Linear::new(w(512), hidden, &mut rng)),
+        Node::Relu(Relu::new()),
+        Node::Dropout(Dropout::new(0.5, config.seed ^ 0xD0)),
+        Node::Linear(Linear::new(hidden, config.num_classes, &mut rng)),
+    ]);
+
+    (encoder, predictor, prune_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelKind;
+
+    #[test]
+    fn vgg11_has_eight_convs_seven_prunable() {
+        let cfg = ModelConfig::cifar(ModelKind::Vgg11);
+        let (enc, _, pp) = build_vgg11(&cfg);
+        let convs = enc
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Conv(_)))
+            .count();
+        assert_eq!(convs, 8);
+        assert_eq!(pp.len(), 7);
+    }
+
+    #[test]
+    fn pool_count_adapts_to_input_size() {
+        let cfg = ModelConfig::cifar(ModelKind::Vgg11);
+        let (enc16, _, _) = build_vgg11(&cfg);
+        let pools16 = enc16
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::MaxPool(_)))
+            .count();
+        assert_eq!(pools16, 4); // 16 -> 8 -> 4 -> 2 -> 1
+
+        let mut cfg32 = cfg;
+        cfg32.input_hw = 32;
+        let (enc32, _, _) = build_vgg11(&cfg32);
+        let pools32 = enc32
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::MaxPool(_)))
+            .count();
+        assert_eq!(pools32, 5); // full VGG-11 pooling
+    }
+}

@@ -1,0 +1,86 @@
+//! Activation functions.
+
+use serde::{Deserialize, Serialize};
+use spatl_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`, applied element-wise.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Create a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+
+    /// Forward pass; caches the activation mask when `train` is set.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.clone();
+        if train {
+            let mut mask = vec![false; input.numel()];
+            for (i, v) in out.data_mut().iter_mut().enumerate() {
+                if *v > 0.0 {
+                    mask[i] = true;
+                } else {
+                    *v = 0.0;
+                }
+            }
+            self.mask = Some(mask);
+        } else {
+            out.map_in_place(|v| v.max(0.0));
+            self.mask = None;
+        }
+        out
+    }
+
+    /// Backward pass: gradient flows only through positive activations.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("relu backward without forward");
+        let mut g = grad_out.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    /// Drop cached state.
+    pub fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = r.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 3.0, -0.1]);
+        r.forward(&x, true);
+        let g = r.backward(&Tensor::from_slice(&[10., 10., 10., 10.]));
+        assert_eq!(g.data(), &[0., 10., 10., 0.]);
+    }
+
+    #[test]
+    fn zero_input_passes_no_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[0.0]);
+        r.forward(&x, true);
+        let g = r.backward(&Tensor::from_slice(&[5.0]));
+        assert_eq!(g.data(), &[0.0]);
+    }
+}

@@ -1,0 +1,314 @@
+//! 2-D batch normalisation over NCHW activations.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use spatl_tensor::Tensor;
+
+/// Batch normalisation over the channel dimension of NCHW inputs.
+///
+/// Training mode normalises with batch statistics and updates running
+/// statistics with exponential moving averages; evaluation mode uses the
+/// running statistics. Gamma/beta are trainable; the running statistics are
+/// *not* parameters but are carried along when federated clients exchange
+/// encoders (they live in the buffer section of the flat layout).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    /// Scale `[c]`.
+    pub gamma: Param,
+    /// Shift `[c]`.
+    pub beta: Param,
+    /// Running mean `[c]` (buffer, not a trainable parameter).
+    pub running_mean: Tensor,
+    /// Running variance `[c]` (buffer).
+    pub running_var: Tensor,
+    /// EMA momentum for running statistics.
+    pub momentum: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Channel count.
+    pub channels: usize,
+    /// Per-channel output mask (1.0 = keep, 0.0 = silenced). Structured
+    /// pruning of the *preceding* convolution sets this so that a pruned
+    /// channel is exactly zero after normalisation — as it would be if the
+    /// channel (and its BN entry) were physically removed.
+    pub channel_mask: Vec<f32>,
+    #[serde(skip)]
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Create a batch-norm layer for `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones([channels])),
+            beta: Param::new(Tensor::zeros([channels])),
+            running_mean: Tensor::zeros([channels]),
+            running_var: Tensor::ones([channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+            channel_mask: vec![1.0; channels],
+            cache: None,
+        }
+    }
+
+    /// Replace the output channel mask.
+    pub fn set_mask(&mut self, mask: Vec<f32>) {
+        assert_eq!(mask.len(), self.channels, "bn mask length mismatch");
+        self.channel_mask = mask;
+    }
+
+    /// Keep all channels.
+    pub fn clear_mask(&mut self) {
+        self.channel_mask = vec![1.0; self.channels];
+    }
+
+    /// Forward pass over `[n, c, h, w]`.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let dims = input.dims().to_vec();
+        assert_eq!(dims.len(), 4, "batchnorm input must be NCHW");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.channels, "batchnorm channel mismatch");
+        let spatial = h * w;
+        let count = (n * spatial) as f32;
+
+        let mut out = Tensor::zeros(dims.clone());
+        let src = input.data();
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+
+        if train {
+            let mut x_hat = Tensor::zeros(dims.clone());
+            let mut inv_std = vec![0.0f32; c];
+            for ch in 0..c {
+                // Batch statistics for this channel.
+                let mut mean = 0.0f32;
+                for img in 0..n {
+                    let base = (img * c + ch) * spatial;
+                    for i in 0..spatial {
+                        mean += src[base + i];
+                    }
+                }
+                mean /= count;
+                let mut var = 0.0f32;
+                for img in 0..n {
+                    let base = (img * c + ch) * spatial;
+                    for i in 0..spatial {
+                        let d = src[base + i] - mean;
+                        var += d * d;
+                    }
+                }
+                var /= count;
+                let istd = 1.0 / (var + self.eps).sqrt();
+                inv_std[ch] = istd;
+
+                // Update running stats with the *biased* variance, matching
+                // the convention used by the paper's PyTorch reference.
+                let rm = &mut self.running_mean.data_mut()[ch];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                let rv = &mut self.running_var.data_mut()[ch];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+
+                let xh = x_hat.data_mut();
+                let dst = out.data_mut();
+                for img in 0..n {
+                    let base = (img * c + ch) * spatial;
+                    for i in 0..spatial {
+                        let v = (src[base + i] - mean) * istd;
+                        xh[base + i] = v;
+                        dst[base + i] = gamma[ch] * v + beta[ch];
+                    }
+                }
+            }
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std,
+                dims,
+            });
+        } else {
+            let rm = self.running_mean.data();
+            let rv = self.running_var.data();
+            let dst = out.data_mut();
+            for ch in 0..c {
+                let istd = 1.0 / (rv[ch] + self.eps).sqrt();
+                for img in 0..n {
+                    let base = (img * c + ch) * spatial;
+                    for i in 0..spatial {
+                        dst[base + i] = gamma[ch] * (src[base + i] - rm[ch]) * istd + beta[ch];
+                    }
+                }
+            }
+            self.cache = None;
+        }
+        if self.channel_mask.iter().any(|&m| m != 1.0) {
+            let dst = out.data_mut();
+            for ch in 0..c {
+                let m = self.channel_mask[ch];
+                if m == 1.0 {
+                    continue;
+                }
+                for img in 0..n {
+                    let base = (img * c + ch) * spatial;
+                    for v in &mut dst[base..base + spatial] {
+                        *v *= m;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass using the standard batch-norm gradient:
+    /// `dx = (γ·istd/N) · (N·dy − Σdy − x̂·Σ(dy·x̂))`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("batchnorm backward without forward");
+        let dims = &cache.dims;
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let spatial = h * w;
+        let count = (n * spatial) as f32;
+
+        let mut gated;
+        let gy: &[f32] = if self.channel_mask.iter().any(|&m| m != 1.0) {
+            gated = grad_out.clone();
+            let d = gated.data_mut();
+            for ch in 0..c {
+                let m = self.channel_mask[ch];
+                if m == 1.0 {
+                    continue;
+                }
+                for img in 0..n {
+                    let base = (img * c + ch) * spatial;
+                    for v in &mut d[base..base + spatial] {
+                        *v *= m;
+                    }
+                }
+            }
+            gated.data()
+        } else {
+            grad_out.data()
+        };
+        let xh = cache.x_hat.data();
+        let gamma = self.gamma.value.data();
+
+        let mut gx = Tensor::zeros(dims.clone());
+        #[allow(clippy::needless_range_loop)] // ch co-indexes gamma, inv_std and strided buffers
+        for ch in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for img in 0..n {
+                let base = (img * c + ch) * spatial;
+                for i in 0..spatial {
+                    sum_dy += gy[base + i];
+                    sum_dy_xhat += gy[base + i] * xh[base + i];
+                }
+            }
+            self.beta.grad.data_mut()[ch] += sum_dy;
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
+
+            let coef = gamma[ch] * cache.inv_std[ch] / count;
+            let dst = gx.data_mut();
+            for img in 0..n {
+                let base = (img * c + ch) * spatial;
+                for i in 0..spatial {
+                    dst[base + i] =
+                        coef * (count * gy[base + i] - sum_dy - xh[base + i] * sum_dy_xhat);
+                }
+            }
+        }
+        gx
+    }
+
+    /// Drop cached activations.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatl_tensor::TensorRng;
+
+    #[test]
+    fn training_forward_normalises_batch() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut bn = BatchNorm2d::new(3);
+        let x = rng.normal_tensor([4, 3, 5, 5], 2.0, 3.0);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ≈ 0, var ≈ 1 (gamma=1, beta=0).
+        let spatial = 25;
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for img in 0..4 {
+                let base = (img * 3 + ch) * spatial;
+                vals.extend_from_slice(&y.data()[base..base + spatial]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut bn = BatchNorm2d::new(2);
+        // Run training forwards so running stats converge towards (2, 9).
+        for _ in 0..200 {
+            let x = rng.normal_tensor([8, 2, 4, 4], 2.0, 3.0);
+            bn.forward(&x, true);
+        }
+        let x = rng.normal_tensor([8, 2, 4, 4], 2.0, 3.0);
+        let y = bn.forward(&x, false);
+        let mean = y.mean();
+        assert!(mean.abs() < 0.2, "eval mean {mean}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma.value = Tensor::from_slice(&[1.5, 0.7]);
+        bn.beta.value = Tensor::from_slice(&[0.1, -0.2]);
+        let x = rng.normal_tensor([2, 2, 3, 3], 0.0, 1.0);
+
+        // Weighted-sum loss to get non-uniform upstream gradient.
+        let wts = rng.normal_tensor([2, 2, 3, 3], 0.0, 1.0);
+        let y = bn.forward(&x, true);
+        let _ = y;
+        let gx = bn.backward(&wts);
+
+        let eps = 1e-3;
+        let loss = |bn: &BatchNorm2d, x: &Tensor| -> f32 {
+            let mut b = bn.clone();
+            b.forward(x, true).dot(&wts).unwrap()
+        };
+        for xi in (0..x.numel()).step_by(7) {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let fd = (loss(&bn, &xp) - loss(&bn, &xm)) / (2.0 * eps);
+            let an = gx.data()[xi];
+            assert!((fd - an).abs() < 3e-2 * (1.0 + an.abs()), "x[{xi}]: {fd} vs {an}");
+        }
+        // Gamma/beta grads.
+        for gi in 0..2 {
+            let mut bp = bn.clone();
+            bp.gamma.value.data_mut()[gi] += eps;
+            let mut bm = bn.clone();
+            bm.gamma.value.data_mut()[gi] -= eps;
+            let fd = (loss(&bp, &x) - loss(&bm, &x)) / (2.0 * eps);
+            let an = bn.gamma.grad.data()[gi];
+            assert!((fd - an).abs() < 3e-2 * (1.0 + an.abs()), "gamma[{gi}]: {fd} vs {an}");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! 2-D convolution via `im2col` + matmul, with structured channel masking.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use spatl_tensor::{col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor, TensorRng};
+
+/// A 2-D convolution layer over NCHW inputs.
+///
+/// The weight is stored pre-flattened as `[out_channels, in_channels·k·k]`
+/// so forward/backward are single matmuls against the `im2col` patch matrix.
+///
+/// `channel_mask` implements the structured pruning used by SPATL's salient
+/// parameter selection: masked output channels produce zeros in the forward
+/// pass and are excluded from the FLOPs accounting in `spatl-models`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Weight `[out_channels, in_channels·k·k]`.
+    pub weight: Param,
+    /// Bias `[out_channels]`.
+    pub bias: Param,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+    /// Per-output-channel multiplier (1.0 = keep, 0.0 = pruned).
+    pub channel_mask: Vec<f32>,
+    #[serde(skip)]
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ConvCache {
+    cols: Tensor,
+    geometry: Conv2dGeometry,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Create a convolution with Kaiming-uniform weights.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let patch = in_channels * kernel * kernel;
+        let weight = rng.kaiming_uniform([out_channels, patch], patch);
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros([out_channels])),
+            out_channels,
+            in_channels,
+            kernel,
+            stride,
+            padding,
+            channel_mask: vec![1.0; out_channels],
+            cache: None,
+        }
+    }
+
+    /// Number of output channels currently kept by the mask.
+    pub fn active_channels(&self) -> usize {
+        self.channel_mask.iter().filter(|&&m| m != 0.0).count()
+    }
+
+    /// Replace the channel mask. Panics if the length differs from
+    /// `out_channels`.
+    pub fn set_mask(&mut self, mask: Vec<f32>) {
+        assert_eq!(mask.len(), self.out_channels, "mask length mismatch");
+        self.channel_mask = mask;
+    }
+
+    /// Reset the mask to keep all channels.
+    pub fn clear_mask(&mut self) {
+        self.channel_mask = vec![1.0; self.out_channels];
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: self.in_channels,
+            in_h: h,
+            in_w: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        }
+    }
+
+    /// Forward pass over `[n, c, h, w]`.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "conv input must be NCHW");
+        let (n, _c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let g = self.geometry(h, w);
+        let (oh, ow) = (g.out_h(), g.out_w());
+
+        let cols = im2col(input, &g);
+        // rows: [n·oh·ow, patch] · [patch, out_c] -> [n·oh·ow, out_c]
+        let rows = matmul_nt(&cols, &self.weight.value);
+        let mut out = Tensor::zeros([n, self.out_channels, oh, ow]);
+        let spatial = oh * ow;
+        {
+            let src = rows.data();
+            let dst = out.data_mut();
+            let b = self.bias.value.data();
+            for img in 0..n {
+                for pos in 0..spatial {
+                    let row = (img * spatial + pos) * self.out_channels;
+                    for oc in 0..self.out_channels {
+                        let m = self.channel_mask[oc];
+                        if m == 0.0 {
+                            continue;
+                        }
+                        dst[(img * self.out_channels + oc) * spatial + pos] =
+                            (src[row + oc] + b[oc]) * m;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(ConvCache {
+                cols,
+                geometry: g,
+                batch: n,
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    /// Backward pass: accumulate weight/bias gradients and return the
+    /// gradient with respect to the input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("conv backward without forward");
+        let g = cache.geometry;
+        let n = cache.batch;
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let spatial = oh * ow;
+
+        // NCHW grad -> row-major [n·oh·ow, out_c] applying the channel mask
+        // (masked channels contribute no gradient).
+        let mut grad_rows = Tensor::zeros([n * spatial, self.out_channels]);
+        {
+            let src = grad_out.data();
+            let dst = grad_rows.data_mut();
+            for img in 0..n {
+                for oc in 0..self.out_channels {
+                    let m = self.channel_mask[oc];
+                    if m == 0.0 {
+                        continue;
+                    }
+                    for pos in 0..spatial {
+                        dst[(img * spatial + pos) * self.out_channels + oc] =
+                            src[(img * self.out_channels + oc) * spatial + pos] * m;
+                    }
+                }
+            }
+        }
+
+        // grad_w = grad_rowsᵀ · cols  -> [out_c, patch]
+        let gw = matmul_tn(&grad_rows, &cache.cols);
+        self.weight.grad.add_assign(&gw).expect("weight grad shape");
+
+        // grad_b = column sums of grad_rows.
+        {
+            let gb = self.bias.grad.data_mut();
+            let src = grad_rows.data();
+            for r in 0..n * spatial {
+                for oc in 0..self.out_channels {
+                    gb[oc] += src[r * self.out_channels + oc];
+                }
+            }
+        }
+
+        // grad_cols = grad_rows · w -> [n·oh·ow, patch]; grad_x = col2im.
+        let grad_cols = matmul(&grad_rows, &self.weight.value);
+        col2im(&grad_cols, &g, n)
+    }
+
+    /// Drop any cached activations (e.g. before serialising).
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatl_tensor::TensorRng;
+
+    #[test]
+    fn forward_shape_and_mask() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = rng.normal_tensor([2, 3, 8, 8], 0.0, 1.0);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+
+        // Mask half the channels and confirm they are exactly zero.
+        let mut mask = vec![1.0; 8];
+        for m in mask.iter_mut().take(4) {
+            *m = 0.0;
+        }
+        conv.set_mask(mask);
+        let y = conv.forward(&x, false);
+        let spatial = 64;
+        for img in 0..2 {
+            for oc in 0..4 {
+                let base = (img * 8 + oc) * spatial;
+                assert!(y.data()[base..base + spatial].iter().all(|&v| v == 0.0));
+            }
+            for oc in 4..8 {
+                let base = (img * 8 + oc) * spatial;
+                assert!(y.data()[base..base + spatial].iter().any(|&v| v != 0.0));
+            }
+        }
+        assert_eq!(conv.active_channels(), 4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = rng.normal_tensor([1, 2, 5, 5], 0.0, 1.0);
+
+        // Loss = sum(y); analytic gradient vs central differences for a few
+        // weight entries and input entries.
+        let y = conv.forward(&x, true);
+        let grad_out = Tensor::ones(y.dims().to_vec());
+        let gx = conv.backward(&grad_out);
+
+        let eps = 1e-3;
+        for &wi in &[0usize, 5, 17, 30] {
+            let mut cp = conv.clone();
+            cp.weight.value.data_mut()[wi] += eps;
+            let up = cp.forward(&x, false).sum();
+            let mut cm = conv.clone();
+            cm.weight.value.data_mut()[wi] -= eps;
+            let down = cm.forward(&x, false).sum();
+            let fd = (up - down) / (2.0 * eps);
+            let an = conv.weight.grad.data()[wi];
+            assert!((fd - an).abs() < 2e-2 * (1.0 + an.abs()), "w[{wi}]: fd={fd} an={an}");
+        }
+        for &xi in &[0usize, 7, 24, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let up = conv.clone().forward(&xp, false).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let down = conv.clone().forward(&xm, false).sum();
+            let fd = (up - down) / (2.0 * eps);
+            let an = gx.data()[xi];
+            assert!((fd - an).abs() < 2e-2 * (1.0 + an.abs()), "x[{xi}]: fd={fd} an={an}");
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_count_of_positions() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        let x = rng.normal_tensor([3, 1, 4, 4], 0.0, 1.0);
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::ones(y.dims().to_vec()));
+        // dL/db = number of output positions per channel = 3·16.
+        for &g in conv.bias.grad.data() {
+            assert!((g - 48.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn wrong_mask_length_panics() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut conv = Conv2d::new(1, 4, 3, 1, 1, &mut rng);
+        conv.set_mask(vec![1.0; 3]);
+    }
+}

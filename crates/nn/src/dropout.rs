@@ -1,0 +1,109 @@
+//! Inverted dropout.
+
+use serde::{Deserialize, Serialize};
+use spatl_tensor::{Tensor, TensorRng};
+
+/// Inverted dropout: at train time, zeroes each activation with probability
+/// `p` and scales survivors by `1/(1-p)`; identity at evaluation time.
+///
+/// The layer owns its RNG (seeded at construction) so training runs are
+/// deterministic and independent of scheduling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    seed: u64,
+    step: u64,
+    #[serde(skip)]
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Create a dropout layer with the given drop probability and seed.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Dropout {
+            p,
+            seed,
+            step: 0,
+            mask: None,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let mut rng = TensorRng::seed_from(self.seed ^ self.step.wrapping_mul(0x9E3779B97F4A7C15));
+        self.step += 1;
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = vec![0.0f32; input.numel()];
+        let mut out = input.clone();
+        for (i, v) in out.data_mut().iter_mut().enumerate() {
+            if rng.flip(keep as f64) {
+                mask[i] = scale;
+                *v *= scale;
+            } else {
+                mask[i] = 0.0;
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                let mut g = grad_out.clone();
+                for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+                    *v *= m;
+                }
+                g
+            }
+        }
+    }
+
+    /// Drop cached state.
+    pub fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_slice(&[1., 2., 3.]);
+        assert_eq!(d.forward(&x, false).data(), x.data());
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones([64]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones([64]));
+        // Gradient is zero exactly where the output was zero.
+        for (yo, go) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yo == 0.0, *go == 0.0);
+        }
+    }
+}

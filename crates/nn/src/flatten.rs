@@ -1,0 +1,53 @@
+//! Flatten layer: NCHW → [batch, features].
+
+use serde::{Deserialize, Serialize};
+use spatl_tensor::Tensor;
+
+/// Flattens all trailing dimensions into one: `[n, ...] -> [n, prod(...)]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    #[serde(skip)]
+    in_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Create a flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_dims: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let dims = input.dims().to_vec();
+        let n = dims[0];
+        let feat: usize = dims[1..].iter().product();
+        self.in_dims = if train { Some(dims) } else { None };
+        input.reshape([n, feat]).expect("flatten reshape")
+    }
+
+    /// Backward pass: reshape gradient back to the input dims.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self.in_dims.as_ref().expect("flatten backward without forward");
+        grad_out.reshape(dims.clone()).expect("flatten grad reshape")
+    }
+
+    /// Drop cached state.
+    pub fn clear_cache(&mut self) {
+        self.in_dims = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros([2, 3, 4, 5]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 60]);
+        let g = f.backward(&Tensor::ones([2, 60]));
+        assert_eq!(g.dims(), &[2, 3, 4, 5]);
+    }
+}

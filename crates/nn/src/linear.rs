@@ -1,0 +1,143 @@
+//! Fully-connected layer.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use spatl_tensor::{matmul, matmul_nt, matmul_tn, Tensor, TensorRng};
+
+/// A fully-connected (dense) layer `y = x·Wᵀ + b` over `[batch, in]` inputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight `[out, in]`.
+    pub weight: Param,
+    /// Bias `[out]`.
+    pub bias: Param,
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+    #[serde(skip)]
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Create a dense layer with Kaiming-uniform weights.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut TensorRng) -> Self {
+        Linear {
+            weight: Param::new(rng.kaiming_uniform([out_features, in_features], in_features)),
+            bias: Param::new(Tensor::zeros([out_features])),
+            in_features,
+            out_features,
+            cache: None,
+        }
+    }
+
+    /// Forward pass over `[batch, in]`.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.dims().len(), 2, "linear input must be [batch, in]");
+        assert_eq!(input.dims()[1], self.in_features, "linear in_features mismatch");
+        let mut out = matmul_nt(input, &self.weight.value);
+        let b = self.bias.value.data();
+        let of = self.out_features;
+        for row in out.data_mut().chunks_mut(of) {
+            for (v, bv) in row.iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        if train {
+            self.cache = Some(input.clone());
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    /// Backward pass: accumulate gradients, return input gradient.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.as_ref().expect("linear backward without forward");
+        // grad_w = grad_outᵀ · x -> [out, in]
+        let gw = matmul_tn(grad_out, x);
+        self.weight.grad.add_assign(&gw).expect("linear grad shape");
+        // grad_b = column sums.
+        {
+            let gb = self.bias.grad.data_mut();
+            for row in grad_out.data().chunks(self.out_features) {
+                for (g, r) in gb.iter_mut().zip(row) {
+                    *g += r;
+                }
+            }
+        }
+        // grad_x = grad_out · W -> [batch, in]
+        matmul(grad_out, &self.weight.value)
+    }
+
+    /// Drop cached activations.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut lin = Linear::new(2, 3, &mut rng);
+        lin.weight.value = Tensor::from_vec([3, 2], vec![1., 0., 0., 1., 1., 1.]).unwrap();
+        lin.bias.value = Tensor::from_slice(&[0.5, -0.5, 0.0]);
+        let x = Tensor::from_vec([1, 2], vec![2.0, 3.0]).unwrap();
+        let y = lin.forward(&x, false);
+        assert_eq!(y.data(), &[2.5, 2.5, 5.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        let x = rng.normal_tensor([2, 4], 0.0, 1.0);
+        let y = lin.forward(&x, true);
+        let gx = lin.backward(&Tensor::ones(y.dims().to_vec()));
+
+        let eps = 1e-3;
+        for wi in 0..lin.weight.value.numel() {
+            let mut lp = lin.clone();
+            lp.weight.value.data_mut()[wi] += eps;
+            let up = lp.forward(&x, false).sum();
+            let mut lm = lin.clone();
+            lm.weight.value.data_mut()[wi] -= eps;
+            let down = lm.forward(&x, false).sum();
+            let fd = (up - down) / (2.0 * eps);
+            let an = lin.weight.grad.data()[wi];
+            assert!((fd - an).abs() < 1e-2 * (1.0 + an.abs()), "w[{wi}]: {fd} vs {an}");
+        }
+        for xi in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let up = lin.clone().forward(&xp, false).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let down = lin.clone().forward(&xm, false).sum();
+            let fd = (up - down) / (2.0 * eps);
+            let an = gx.data()[xi];
+            assert!((fd - an).abs() < 1e-2 * (1.0 + an.abs()), "x[{xi}]: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_across_backwards() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let x = rng.normal_tensor([1, 2], 0.0, 1.0);
+        let y = lin.forward(&x, true);
+        let g = Tensor::ones(y.dims().to_vec());
+        lin.backward(&g);
+        let snap = lin.weight.grad.clone();
+        lin.forward(&x, true);
+        lin.backward(&g);
+        let doubled = snap.scaled(2.0);
+        for (a, b) in lin.weight.grad.data().iter().zip(doubled.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

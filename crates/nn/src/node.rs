@@ -1,0 +1,194 @@
+//! The layer enum — networks as plain data.
+
+use crate::{AvgPool2d, BasicBlock, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Param, Relu};
+use serde::{Deserialize, Serialize};
+use spatl_tensor::Tensor;
+
+/// A network layer.
+///
+/// Using an enum instead of trait objects keeps networks `Clone +
+/// Serialize`, which federated learning relies on constantly (clients clone
+/// the global model, the server serialises encoders, the RL agent snapshots
+/// candidate sub-models).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Node {
+    /// 2-D convolution.
+    Conv(Conv2d),
+    /// Batch normalisation.
+    BatchNorm(BatchNorm2d),
+    /// Fully-connected layer.
+    Linear(Linear),
+    /// ReLU activation.
+    Relu(Relu),
+    /// Max pooling.
+    MaxPool(MaxPool2d),
+    /// Average pooling.
+    AvgPool(AvgPool2d),
+    /// Global average pooling.
+    GlobalAvgPool(GlobalAvgPool),
+    /// Flatten to `[batch, features]`.
+    Flatten(Flatten),
+    /// Inverted dropout.
+    Dropout(Dropout),
+    /// Residual basic block.
+    Residual(Box<BasicBlock>),
+}
+
+impl Node {
+    /// Forward pass through this layer.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        match self {
+            Node::Conv(l) => l.forward(input, train),
+            Node::BatchNorm(l) => l.forward(input, train),
+            Node::Linear(l) => l.forward(input, train),
+            Node::Relu(l) => l.forward(input, train),
+            Node::MaxPool(l) => l.forward(input, train),
+            Node::AvgPool(l) => l.forward(input, train),
+            Node::GlobalAvgPool(l) => l.forward(input, train),
+            Node::Flatten(l) => l.forward(input, train),
+            Node::Dropout(l) => l.forward(input, train),
+            Node::Residual(l) => l.forward(input, train),
+        }
+    }
+
+    /// Backward pass through this layer.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self {
+            Node::Conv(l) => l.backward(grad_out),
+            Node::BatchNorm(l) => l.backward(grad_out),
+            Node::Linear(l) => l.backward(grad_out),
+            Node::Relu(l) => l.backward(grad_out),
+            Node::MaxPool(l) => l.backward(grad_out),
+            Node::AvgPool(l) => l.backward(grad_out),
+            Node::GlobalAvgPool(l) => l.backward(grad_out),
+            Node::Flatten(l) => l.backward(grad_out),
+            Node::Dropout(l) => l.backward(grad_out),
+            Node::Residual(l) => l.backward(grad_out),
+        }
+    }
+
+    /// Visit trainable parameters in a stable order, with dotted name paths.
+    pub fn visit_params<'a>(&'a self, prefix: &str, f: &mut impl FnMut(String, &'a Param)) {
+        match self {
+            Node::Conv(l) => {
+                f(format!("{prefix}.w"), &l.weight);
+                f(format!("{prefix}.b"), &l.bias);
+            }
+            Node::BatchNorm(l) => {
+                f(format!("{prefix}.gamma"), &l.gamma);
+                f(format!("{prefix}.beta"), &l.beta);
+            }
+            Node::Linear(l) => {
+                f(format!("{prefix}.w"), &l.weight);
+                f(format!("{prefix}.b"), &l.bias);
+            }
+            Node::Residual(l) => {
+                l.conv1.visit_into(&format!("{prefix}.conv1"), f);
+                l.bn1.visit_into(&format!("{prefix}.bn1"), f);
+                l.conv2.visit_into(&format!("{prefix}.conv2"), f);
+                l.bn2.visit_into(&format!("{prefix}.bn2"), f);
+                if let Some(dc) = &l.down_conv {
+                    dc.visit_into(&format!("{prefix}.down_conv"), f);
+                }
+                if let Some(db) = &l.down_bn {
+                    db.visit_into(&format!("{prefix}.down_bn"), f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Visit trainable parameters mutably, same order as [`Node::visit_params`].
+    pub fn visit_params_mut(&mut self, prefix: &str, f: &mut impl FnMut(String, &mut Param)) {
+        match self {
+            Node::Conv(l) => {
+                f(format!("{prefix}.w"), &mut l.weight);
+                f(format!("{prefix}.b"), &mut l.bias);
+            }
+            Node::BatchNorm(l) => {
+                f(format!("{prefix}.gamma"), &mut l.gamma);
+                f(format!("{prefix}.beta"), &mut l.beta);
+            }
+            Node::Linear(l) => {
+                f(format!("{prefix}.w"), &mut l.weight);
+                f(format!("{prefix}.b"), &mut l.bias);
+            }
+            Node::Residual(l) => {
+                l.conv1.visit_into_mut(&format!("{prefix}.conv1"), f);
+                l.bn1.visit_into_mut(&format!("{prefix}.bn1"), f);
+                l.conv2.visit_into_mut(&format!("{prefix}.conv2"), f);
+                l.bn2.visit_into_mut(&format!("{prefix}.bn2"), f);
+                if let Some(dc) = &mut l.down_conv {
+                    dc.visit_into_mut(&format!("{prefix}.down_conv"), f);
+                }
+                if let Some(db) = &mut l.down_bn {
+                    db.visit_into_mut(&format!("{prefix}.down_bn"), f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Visit non-trainable buffers (batch-norm running statistics).
+    pub fn visit_buffers_mut(&mut self, f: &mut impl FnMut(&mut Tensor)) {
+        match self {
+            Node::BatchNorm(l) => {
+                f(&mut l.running_mean);
+                f(&mut l.running_var);
+            }
+            Node::Residual(l) => {
+                f(&mut l.bn1.running_mean);
+                f(&mut l.bn1.running_var);
+                f(&mut l.bn2.running_mean);
+                f(&mut l.bn2.running_var);
+                if let Some(db) = &mut l.down_bn {
+                    f(&mut db.running_mean);
+                    f(&mut db.running_var);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Drop cached activations.
+    pub fn clear_cache(&mut self) {
+        match self {
+            Node::Conv(l) => l.clear_cache(),
+            Node::BatchNorm(l) => l.clear_cache(),
+            Node::Linear(l) => l.clear_cache(),
+            Node::Relu(l) => l.clear_cache(),
+            Node::MaxPool(l) => l.clear_cache(),
+            Node::AvgPool(l) => l.clear_cache(),
+            Node::GlobalAvgPool(l) => l.clear_cache(),
+            Node::Flatten(l) => l.clear_cache(),
+            Node::Dropout(l) => l.clear_cache(),
+            Node::Residual(l) => l.clear_cache(),
+        }
+    }
+}
+
+// Helper trait-like impls for the leaf layer types used inside residual
+// blocks, keeping visitation logic in one place per type.
+impl Conv2d {
+    pub(crate) fn visit_into<'a>(&'a self, prefix: &str, f: &mut impl FnMut(String, &'a Param)) {
+        f(format!("{prefix}.w"), &self.weight);
+        f(format!("{prefix}.b"), &self.bias);
+    }
+
+    pub(crate) fn visit_into_mut(&mut self, prefix: &str, f: &mut impl FnMut(String, &mut Param)) {
+        f(format!("{prefix}.w"), &mut self.weight);
+        f(format!("{prefix}.b"), &mut self.bias);
+    }
+}
+
+impl BatchNorm2d {
+    pub(crate) fn visit_into<'a>(&'a self, prefix: &str, f: &mut impl FnMut(String, &'a Param)) {
+        f(format!("{prefix}.gamma"), &self.gamma);
+        f(format!("{prefix}.beta"), &self.beta);
+    }
+
+    pub(crate) fn visit_into_mut(&mut self, prefix: &str, f: &mut impl FnMut(String, &mut Param)) {
+        f(format!("{prefix}.gamma"), &mut self.gamma);
+        f(format!("{prefix}.beta"), &mut self.beta);
+    }
+}

@@ -1,0 +1,269 @@
+//! First-order optimisers over a network's parameter list.
+
+use crate::Network;
+use serde::{Deserialize, Serialize};
+use spatl_tensor::Tensor;
+
+/// A first-order optimiser that steps a [`Network`]'s parameters using the
+/// gradients accumulated by its backward pass.
+///
+/// Optimiser state (momentum buffers, Adam moments) is keyed by parameter
+/// *position*, so an optimiser must only ever be used with networks of
+/// identical architecture — which is how federated clients use them (one
+/// optimiser per client, re-created or retained per round).
+pub trait Optimizer {
+    /// Apply one update step using the currently accumulated gradients.
+    fn step(&mut self, net: &mut Network);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Update the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum and weight decay.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Network) {
+        let mut params = net.params_mut();
+        if self.momentum != 0.0 && self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims().to_vec()))
+                .collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let n = p.numel();
+            let (value, grad) = (&mut p.value, &p.grad);
+            if self.momentum != 0.0 {
+                let v = &mut self.velocity[i];
+                let vd = v.data_mut();
+                let gd = grad.data();
+                let wd = self.weight_decay;
+                let xd = value.data_mut();
+                for j in 0..n {
+                    let g = gd[j] + wd * xd[j];
+                    vd[j] = self.momentum * vd[j] + g;
+                    xd[j] -= self.lr * vd[j];
+                }
+            } else {
+                let gd = grad.data();
+                let wd = self.weight_decay;
+                let xd = value.data_mut();
+                for j in 0..n {
+                    let g = gd[j] + wd * xd[j];
+                    xd[j] -= self.lr * g;
+                }
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimiser (Kingma & Ba), used for the PPO agent per the paper's
+/// hyper-parameter settings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Network) {
+        let mut params = net.params_mut();
+        if self.m.len() != params.len() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.dims().to_vec()))
+                .collect();
+            self.v = self.m.clone();
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let n = p.numel();
+            let md = self.m[i].data_mut();
+            let vd = self.v[i].data_mut();
+            let gd = p.grad.data().to_vec();
+            let xd = p.value.data_mut();
+            for j in 0..n {
+                let g = gd[j] + self.weight_decay * xd[j];
+                md[j] = self.beta1 * md[j] + (1.0 - self.beta1) * g;
+                vd[j] = self.beta2 * vd[j] + (1.0 - self.beta2) * g * g;
+                let mhat = md[j] / b1t;
+                let vhat = vd[j] / b2t;
+                xd[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Node};
+    use spatl_tensor::TensorRng;
+
+    fn one_param_net(rng: &mut TensorRng) -> Network {
+        Network::new(vec![Node::Linear(Linear::new(1, 1, rng))])
+    }
+
+    fn set_grads(net: &mut Network, g: f32) {
+        for p in net.params_mut() {
+            p.grad.fill(g);
+        }
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut net = one_param_net(&mut rng);
+        let before = net.to_flat();
+        set_grads(&mut net, 1.0);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut net);
+        let after = net.to_flat();
+        for (a, b) in after.iter().zip(&before) {
+            assert!((a - (b - 0.1)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut net = one_param_net(&mut rng);
+        let w0 = net.to_flat()[0];
+        let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+        set_grads(&mut net, 1.0);
+        opt.step(&mut net); // v=1, w -= 0.1
+        set_grads(&mut net, 1.0);
+        opt.step(&mut net); // v=1.9, w -= 0.19
+        let w = net.to_flat()[0];
+        assert!((w - (w0 - 0.1 - 0.19)).abs() < 1e-5, "w={w} w0={w0}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_grad() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut net = one_param_net(&mut rng);
+        // Force a known positive weight.
+        net.from_flat(&vec![1.0; net.num_params()]);
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.5);
+        set_grads(&mut net, 0.0);
+        opt.step(&mut net);
+        // w = 1 - lr*wd*w = 1 - 0.05
+        for w in net.to_flat() {
+            assert!((w - 0.95).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut net = one_param_net(&mut rng);
+        let before = net.to_flat();
+        set_grads(&mut net, 3.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut net);
+        let after = net.to_flat();
+        // Bias-corrected first Adam step ≈ lr regardless of gradient scale.
+        for (a, b) in after.iter().zip(&before) {
+            assert!(((b - a) - 0.01).abs() < 1e-4, "step {}", b - a);
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimise (w-2)^2 via analytic gradient 2(w-2).
+        let mut rng = TensorRng::seed_from(5);
+        let mut net = one_param_net(&mut rng);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..500 {
+            let w = net.to_flat();
+            for (p, wi) in net.params_mut().iter_mut().zip(&w) {
+                p.grad.fill(2.0 * (wi - 2.0));
+            }
+            opt.step(&mut net);
+        }
+        for w in net.to_flat() {
+            assert!((w - 2.0).abs() < 0.05, "w={w}");
+        }
+    }
+}

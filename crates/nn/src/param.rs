@@ -1,0 +1,56 @@
+//! Trainable parameter container.
+
+use serde::{Deserialize, Serialize};
+use spatl_tensor::Tensor;
+
+/// A trainable parameter: value plus accumulated gradient.
+///
+/// Gradients are accumulated (`+=`) by backward passes so that gradient
+/// accumulation over micro-batches and the SCAFFOLD-style corrections in
+/// `spatl-fl` compose naturally; call [`Param::zero_grad`] between steps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wrap a value tensor with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims().to_vec());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Reset the gradient to zero, keeping the allocation.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones([2, 3]));
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert!(p.grad.data().iter().all(|&v| v == 0.0));
+        assert_eq!(p.numel(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones([4]));
+        p.grad.fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,295 @@
+//! Spatial pooling layers.
+
+use serde::{Deserialize, Serialize};
+use spatl_tensor::Tensor;
+
+/// Max pooling with a square window over NCHW inputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    /// Window size.
+    pub kernel: usize,
+    /// Stride (normally equal to `kernel`).
+    pub stride: usize,
+    #[serde(skip)]
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct PoolCache {
+    argmax: Vec<usize>,
+    in_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Create a max-pool layer.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let dims = input.dims().to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros([n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let src = input.data();
+        let dst = out.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let in_base = (img * c + ch) * h * w;
+                let out_base = (img * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                let idx = in_base + iy * w + ix;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        dst[out_base + oy * ow + ox] = best;
+                        argmax[out_base + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(PoolCache {
+                argmax,
+                in_dims: dims,
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    /// Backward pass: route gradients to the argmax positions.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("maxpool backward without forward");
+        let mut gx = Tensor::zeros(cache.in_dims.clone());
+        let dst = gx.data_mut();
+        for (g, &idx) in grad_out.data().iter().zip(&cache.argmax) {
+            dst[idx] += g;
+        }
+        gx
+    }
+
+    /// Drop cached state.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Average pooling with a square window over NCHW inputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AvgPool2d {
+    /// Window size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    #[serde(skip)]
+    in_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Create an average-pool layer.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d {
+            kernel,
+            stride,
+            in_dims: None,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let dims = input.dims().to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut out = Tensor::zeros([n, c, oh, ow]);
+        let src = input.data();
+        let dst = out.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let in_base = (img * c + ch) * h * w;
+                let out_base = (img * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                acc += src[in_base + (oy * self.stride + ky) * w + ox * self.stride + kx];
+                            }
+                        }
+                        dst[out_base + oy * ow + ox] = acc * inv;
+                    }
+                }
+            }
+        }
+        self.in_dims = if train { Some(dims) } else { None };
+        out
+    }
+
+    /// Backward pass: spread gradient uniformly over each window.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self.in_dims.as_ref().expect("avgpool backward without forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let od = grad_out.dims();
+        let (oh, ow) = (od[2], od[3]);
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut gx = Tensor::zeros(dims.clone());
+        let src = grad_out.data();
+        let dst = gx.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let in_base = (img * c + ch) * h * w;
+                let out_base = (img * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = src[out_base + oy * ow + ox] * inv;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                dst[in_base + (oy * self.stride + ky) * w + ox * self.stride + kx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    /// Drop cached state.
+    pub fn clear_cache(&mut self) {
+        self.in_dims = None;
+    }
+}
+
+/// Global average pooling: `[n, c, h, w] -> [n, c]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GlobalAvgPool {
+    #[serde(skip)]
+    in_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Create a global average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { in_dims: None }
+    }
+
+    /// Forward pass producing `[n, c]`.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let dims = input.dims().to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let spatial = h * w;
+        let inv = 1.0 / spatial as f32;
+        let mut out = Tensor::zeros([n, c]);
+        let src = input.data();
+        let dst = out.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * spatial;
+                dst[img * c + ch] = src[base..base + spatial].iter().sum::<f32>() * inv;
+            }
+        }
+        self.in_dims = if train { Some(dims) } else { None };
+        out
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self.in_dims.as_ref().expect("gap backward without forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let spatial = h * w;
+        let inv = 1.0 / spatial as f32;
+        let mut gx = Tensor::zeros(dims.clone());
+        let src = grad_out.data();
+        let dst = gx.data_mut();
+        for img in 0..n {
+            for ch in 0..c {
+                let g = src[img * c + ch] * inv;
+                let base = (img * c + ch) * spatial;
+                for v in &mut dst[base..base + spatial] {
+                    *v = g;
+                }
+            }
+        }
+        gx
+    }
+
+    /// Drop cached state.
+    pub fn clear_cache(&mut self) {
+        self.in_dims = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max_and_routes_grad() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1., 2., 5., 4., //
+                3., 0., 1., 1., //
+                0., 0., 9., 8., //
+                0., 7., 6., 5.,
+            ],
+        )
+        .unwrap();
+        let y = p.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3., 5., 7., 9.]);
+        let g = p.backward(&Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap());
+        // Gradient lands exactly on the argmax positions.
+        assert_eq!(g.at(&[0, 0, 1, 0]), 1.0);
+        assert_eq!(g.at(&[0, 0, 0, 2]), 2.0);
+        assert_eq!(g.at(&[0, 0, 3, 1]), 3.0);
+        assert_eq!(g.at(&[0, 0, 2, 2]), 4.0);
+        assert_eq!(g.sum(), 10.0);
+    }
+
+    #[test]
+    fn avgpool_averages_and_spreads_grad() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[2.5]);
+        let g = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![4.0]).unwrap());
+        assert_eq!(g.data(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn gap_reduces_to_channel_means() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec([1, 2, 2, 2], vec![1., 1., 1., 1., 2., 4., 6., 8.]).unwrap();
+        let y = p.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[1.0, 5.0]);
+        let g = p.backward(&Tensor::from_vec([1, 2], vec![4.0, 8.0]).unwrap());
+        assert_eq!(&g.data()[..4], &[1., 1., 1., 1.]);
+        assert_eq!(&g.data()[4..], &[2., 2., 2., 2.]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Residual basic block (CIFAR-style ResNet).
+
+use crate::{BatchNorm2d, Conv2d, Relu};
+use serde::{Deserialize, Serialize};
+use spatl_tensor::{Tensor, TensorRng};
+
+/// A ResNet "basic block": two 3×3 convolutions with batch-norm, a ReLU in
+/// between, an (optionally projected) shortcut connection, and a final ReLU.
+///
+/// When `stride > 1` or the channel count changes, the shortcut is a 1×1
+/// strided convolution + batch-norm (projection shortcut, option B of the
+/// ResNet paper); otherwise it is the identity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// First 3×3 convolution (may be strided).
+    pub conv1: Conv2d,
+    /// Batch norm after `conv1`.
+    pub bn1: BatchNorm2d,
+    relu1: Relu,
+    /// Second 3×3 convolution (stride 1).
+    pub conv2: Conv2d,
+    /// Batch norm after `conv2`.
+    pub bn2: BatchNorm2d,
+    /// Projection shortcut convolution, if the block changes shape.
+    pub down_conv: Option<Conv2d>,
+    /// Batch norm of the projection shortcut.
+    pub down_bn: Option<BatchNorm2d>,
+    relu_out: Relu,
+}
+
+impl BasicBlock {
+    /// Create a basic block mapping `in_c` channels to `out_c` channels with
+    /// the given stride on the first convolution.
+    pub fn new(in_c: usize, out_c: usize, stride: usize, rng: &mut TensorRng) -> Self {
+        let needs_projection = stride != 1 || in_c != out_c;
+        BasicBlock {
+            conv1: Conv2d::new(in_c, out_c, 3, stride, 1, rng),
+            bn1: BatchNorm2d::new(out_c),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(out_c, out_c, 3, 1, 1, rng),
+            bn2: BatchNorm2d::new(out_c),
+            down_conv: needs_projection.then(|| Conv2d::new(in_c, out_c, 1, stride, 0, rng)),
+            down_bn: needs_projection.then(|| BatchNorm2d::new(out_c)),
+            relu_out: Relu::new(),
+        }
+    }
+
+    /// Whether the shortcut is a projection.
+    pub fn has_projection(&self) -> bool {
+        self.down_conv.is_some()
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut m = self.conv1.forward(input, train);
+        m = self.bn1.forward(&m, train);
+        m = self.relu1.forward(&m, train);
+        m = self.conv2.forward(&m, train);
+        m = self.bn2.forward(&m, train);
+        let s = match (&mut self.down_conv, &mut self.down_bn) {
+            (Some(dc), Some(db)) => {
+                let t = dc.forward(input, train);
+                db.forward(&t, train)
+            }
+            _ => input.clone(),
+        };
+        m.add_assign(&s).expect("residual add shape");
+        self.relu_out.forward(&m, train)
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.relu_out.backward(grad_out);
+        // Main path.
+        let mut gm = self.bn2.backward(&g);
+        gm = self.conv2.backward(&gm);
+        gm = self.relu1.backward(&gm);
+        gm = self.bn1.backward(&gm);
+        let gx_main = self.conv1.backward(&gm);
+        // Shortcut path.
+        let gx_short = match (&mut self.down_conv, &mut self.down_bn) {
+            (Some(dc), Some(db)) => {
+                let t = db.backward(&g);
+                dc.backward(&t)
+            }
+            _ => g,
+        };
+        gx_main.add(&gx_short).expect("residual grad shape")
+    }
+
+    /// Drop cached activations in all sub-layers.
+    pub fn clear_cache(&mut self) {
+        self.conv1.clear_cache();
+        self.bn1.clear_cache();
+        self.relu1.clear_cache();
+        self.conv2.clear_cache();
+        self.bn2.clear_cache();
+        if let Some(dc) = &mut self.down_conv {
+            dc.clear_cache();
+        }
+        if let Some(db) = &mut self.down_bn {
+            db.clear_cache();
+        }
+        self.relu_out.clear_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut blk = BasicBlock::new(4, 4, 1, &mut rng);
+        assert!(!blk.has_projection());
+        let x = rng.normal_tensor([2, 4, 8, 8], 0.0, 1.0);
+        let y = blk.forward(&x, true);
+        assert_eq!(y.dims(), x.dims());
+        let g = blk.backward(&Tensor::ones(y.dims().to_vec()));
+        assert_eq!(g.dims(), x.dims());
+    }
+
+    #[test]
+    fn strided_block_halves_spatial_dims() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut blk = BasicBlock::new(4, 8, 2, &mut rng);
+        assert!(blk.has_projection());
+        let x = rng.normal_tensor([1, 4, 8, 8], 0.0, 1.0);
+        let y = blk.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 8, 4, 4]);
+        let g = blk.backward(&Tensor::ones(y.dims().to_vec()));
+        assert_eq!(g.dims(), x.dims());
+    }
+
+    #[test]
+    fn gradient_flows_through_both_paths() {
+        // With an identity shortcut and weighted loss, the input gradient
+        // should differ from the pure shortcut gradient (main path active)
+        // and be non-zero (shortcut active).
+        let mut rng = TensorRng::seed_from(3);
+        let mut blk = BasicBlock::new(2, 2, 1, &mut rng);
+        let x = rng.normal_tensor([1, 2, 4, 4], 0.0, 1.0);
+        let y = blk.forward(&x, true);
+        let gy = rng.normal_tensor(y.dims().to_vec(), 0.0, 1.0);
+        let gx = blk.backward(&gy);
+        assert!(gx.norm() > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-layer sparsity allocation under a global FLOPs budget.
+
+use crate::{apply_sparsities, Criterion};
+use spatl_data::Dataset;
+use spatl_models::SplitModel;
+
+/// Uniform allocation: the same sparsity at every prune point.
+pub fn uniform_sparsities(model: &SplitModel, sparsity: f32) -> Vec<f32> {
+    vec![sparsity.clamp(0.0, 0.95); model.prune_points.len()]
+}
+
+/// Simplified DSA-style (differentiable sparsity allocation) budgeted
+/// search: find per-layer sparsities meeting `target_flops_ratio` while
+/// minimising validation-accuracy loss.
+///
+/// The original DSA relaxes the allocation with differentiable masks; this
+/// reproduction uses the same objective but optimises it with coordinate
+/// descent over layers, measuring accuracy on a held-out batch — adequate
+/// at the model scales of the harness and entirely deterministic.
+pub fn dsa_allocate(
+    model: &SplitModel,
+    target_flops_ratio: f32,
+    val: &Dataset,
+    criterion: Criterion,
+    iterations: usize,
+) -> Vec<f32> {
+    let n = model.prune_points.len();
+    let dense = model.flops_dense() as f32;
+    assert!(n > 0, "model has no prune points");
+
+    let eval = |sparsities: &[f32]| -> (f32, f32) {
+        let mut m = model.clone();
+        apply_sparsities(&mut m, sparsities, criterion);
+        let batch = val.as_batch();
+        let acc = m.evaluate(&batch.images, &batch.labels);
+        let ratio = m.flops() as f32 / dense;
+        (acc, ratio)
+    };
+
+    // Start uniform at the sparsity that roughly hits the budget.
+    let mut lo = 0.0f32;
+    let mut hi = 0.95f32;
+    for _ in 0..8 {
+        let mid = 0.5 * (lo + hi);
+        let (_, ratio) = eval(&vec![mid; n]);
+        if ratio > target_flops_ratio {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let mut sparsities = vec![0.5 * (lo + hi); n];
+    let (mut best_acc, _) = eval(&sparsities);
+
+    // Coordinate descent: try shifting sparsity between layer pairs,
+    // keeping moves that preserve the budget and improve accuracy.
+    let step = 0.15f32;
+    for it in 0..iterations {
+        let i = it % n;
+        let j = (it + 1 + it / n) % n;
+        if i == j {
+            continue;
+        }
+        let mut cand = sparsities.clone();
+        cand[i] = (cand[i] - step).clamp(0.0, 0.95);
+        cand[j] = (cand[j] + step).clamp(0.0, 0.95);
+        let (acc, ratio) = eval(&cand);
+        if ratio <= target_flops_ratio * 1.05 && acc >= best_acc {
+            sparsities = cand;
+            best_acc = acc;
+        }
+    }
+    sparsities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatl_data::{synth_cifar10, SynthConfig};
+    use spatl_models::{ModelConfig, ModelKind};
+
+    #[test]
+    fn uniform_matches_prune_point_count() {
+        let m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let s = uniform_sparsities(&m, 0.4);
+        assert_eq!(s.len(), m.prune_points.len());
+        assert!(s.iter().all(|&v| (v - 0.4).abs() < 1e-6));
+    }
+
+    #[test]
+    fn uniform_clamps_extremes() {
+        let m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        assert!(uniform_sparsities(&m, 2.0).iter().all(|&v| v <= 0.95));
+    }
+
+    #[test]
+    fn dsa_meets_flops_budget() {
+        let m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let cfg = SynthConfig::cifar10_like();
+        let val = synth_cifar10(&cfg, 40, 1);
+        let s = dsa_allocate(&m, 0.6, &val, Criterion::L2, 6);
+        let mut pruned = m.clone();
+        apply_sparsities(&mut pruned, &s, Criterion::L2);
+        let ratio = pruned.flops() as f32 / m.flops_dense() as f32;
+        assert!(ratio <= 0.7, "ratio {ratio}");
+    }
+}

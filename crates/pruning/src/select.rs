@@ -1,0 +1,128 @@
+//! Salient-parameter index selection (§IV-C1).
+//!
+//! After the agent masks encoder channels, SPATL uploads **only the
+//! parameters of surviving channels** plus their indices. This module maps
+//! the model's current channel masks to flat indices into
+//! `encoder.to_flat()` — the exact payload the `spatl-fl` server aggregates
+//! with Eq. 12.
+
+use spatl_models::{LayerRef, SplitModel};
+
+/// Flat-layout parameter names (`weight`, `bias`) of a prune point, as they
+/// appear in `encoder.param_specs()`.
+pub fn prune_point_param_names(layer: LayerRef) -> (String, String) {
+    match layer {
+        LayerRef::Seq(i) => (format!("node{i}.w"), format!("node{i}.b")),
+        LayerRef::ResConv1(i) => (format!("node{i}.conv1.w"), format!("node{i}.conv1.b")),
+    }
+}
+
+/// Indices into the encoder's flat parameter vector that are *salient*
+/// under the model's current channel masks: for each masked convolution,
+/// only the weight rows / bias entries of active output channels; every
+/// parameter of all other layers.
+///
+/// The result is sorted and duplicate-free, so it can be paired with the
+/// values it selects and aggregated server-side without any dimension
+/// mismatch (the server indexes its own copy of the dense layout).
+pub fn salient_param_indices(model: &SplitModel) -> Vec<u32> {
+    // Masked-layer lookup: spec name -> (mask, is_weight).
+    let mut masked: std::collections::HashMap<String, (Vec<f32>, bool)> =
+        std::collections::HashMap::new();
+    for p in &model.prune_points {
+        let conv = model.conv_at(p.layer);
+        let (wname, bname) = prune_point_param_names(p.layer);
+        masked.insert(wname, (conv.channel_mask.clone(), true));
+        masked.insert(bname, (conv.channel_mask.clone(), false));
+    }
+
+    let mut out: Vec<u32> = Vec::new();
+    for spec in model.encoder.param_specs() {
+        match masked.get(&spec.name) {
+            Some((mask, is_weight)) => {
+                let out_c = mask.len();
+                if *is_weight {
+                    let rows = spec.numel / out_c;
+                    for (c, &m) in mask.iter().enumerate() {
+                        if m != 0.0 {
+                            let base = spec.offset + c * rows;
+                            out.extend((base..base + rows).map(|i| i as u32));
+                        }
+                    }
+                } else {
+                    for (c, &m) in mask.iter().enumerate() {
+                        if m != 0.0 {
+                            out.push((spec.offset + c) as u32);
+                        }
+                    }
+                }
+            }
+            None => {
+                out.extend((spec.offset..spec.offset + spec.numel).map(|i| i as u32));
+            }
+        }
+    }
+    debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "indices must be sorted unique");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apply_sparsities, Criterion};
+    use spatl_models::{ModelConfig, ModelKind};
+
+    #[test]
+    fn unmasked_model_selects_everything() {
+        let m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let idx = salient_param_indices(&m);
+        assert_eq!(idx.len(), m.encoder.num_params());
+        assert_eq!(idx[0], 0);
+        assert_eq!(*idx.last().unwrap() as usize, m.encoder.num_params() - 1);
+    }
+
+    #[test]
+    fn masking_reduces_selection() {
+        let mut m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let full = salient_param_indices(&m).len();
+        let n = m.prune_points.len();
+        apply_sparsities(&mut m, &vec![0.5; n], Criterion::L1);
+        let idx = salient_param_indices(&m);
+        assert!(idx.len() < full, "{} !< {full}", idx.len());
+        // Sorted and unique.
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        // All indices in range.
+        assert!(idx.iter().all(|&i| (i as usize) < m.encoder.num_params()));
+    }
+
+    #[test]
+    fn selected_fraction_tracks_sparsity_roughly() {
+        let mut m = ModelConfig::cifar(ModelKind::Vgg11).build();
+        let total = m.encoder.num_params() as f32;
+        let n = m.prune_points.len();
+        apply_sparsities(&mut m, &vec![0.5; n], Criterion::L2);
+        let frac = salient_param_indices(&m).len() as f32 / total;
+        // VGG's prunable convs hold most encoder params, so ~half the
+        // encoder should be dropped (exact value depends on layer shares).
+        assert!(frac > 0.3 && frac < 0.8, "frac {frac}");
+    }
+
+    #[test]
+    fn selected_values_match_active_channels() {
+        // Every selected weight index must belong to an active channel row.
+        let mut m = ModelConfig::femnist().build();
+        apply_sparsities(&mut m, &[0.75], Criterion::L1);
+        let idx = salient_param_indices(&m);
+        let conv = m.conv_at(m.prune_points[0].layer);
+        let specs = m.encoder.param_specs();
+        let wspec = specs.iter().find(|s| s.name == "node0.w").unwrap();
+        let rows = wspec.numel / conv.out_channels;
+        for &i in &idx {
+            let i = i as usize;
+            if i >= wspec.offset && i < wspec.offset + wspec.numel {
+                let ch = (i - wspec.offset) / rows;
+                assert!(conv.channel_mask[ch] != 0.0, "index {i} in pruned channel {ch}");
+            }
+        }
+    }
+}

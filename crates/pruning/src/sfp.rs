@@ -1,0 +1,104 @@
+//! Soft filter pruning (SFP, He et al. 2018) baseline.
+
+use crate::{channel_saliency, mask_from_sparsity, Criterion};
+use serde::{Deserialize, Serialize};
+use spatl_models::SplitModel;
+
+/// Soft filter pruning: between training epochs, the lowest-norm filters of
+/// each prunable layer are *zeroed but kept trainable*, letting the network
+/// recover capacity; after the final epoch the zeroing becomes a hard mask.
+///
+/// Used as a Table IV baseline against the RL selection agent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoftFilterPruner {
+    /// Fraction of channels to prune in every prunable layer.
+    pub sparsity: f32,
+    /// Saliency criterion (SFP uses the L2 norm in the original paper).
+    pub criterion: Criterion,
+}
+
+impl SoftFilterPruner {
+    /// Create an SFP schedule with the given per-layer sparsity.
+    pub fn new(sparsity: f32) -> Self {
+        SoftFilterPruner {
+            sparsity,
+            criterion: Criterion::L2,
+        }
+    }
+
+    /// Soft step: zero the weights of the lowest-saliency channels in every
+    /// prunable layer, but leave them unmasked so gradients keep flowing.
+    pub fn soft_step(&self, model: &mut SplitModel) {
+        for idx in 0..model.prune_points.len() {
+            let layer = model.prune_points[idx].layer;
+            let mask = {
+                let conv = model.conv_at(layer);
+                let sal = channel_saliency(conv, self.criterion);
+                mask_from_sparsity(&sal, self.sparsity)
+            };
+            let conv = model.conv_at_mut(layer);
+            let out_c = conv.out_channels;
+            let patch = conv.weight.value.numel() / out_c;
+            for (c, &m) in mask.iter().enumerate() {
+                if m == 0.0 {
+                    for v in &mut conv.weight.value.data_mut()[c * patch..(c + 1) * patch] {
+                        *v = 0.0;
+                    }
+                    conv.bias.value.data_mut()[c] = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Final hard step: convert the zeroing into channel masks so FLOPs
+    /// accounting reflects the pruned structure.
+    pub fn harden(&self, model: &mut SplitModel) {
+        for idx in 0..model.prune_points.len() {
+            let layer = model.prune_points[idx].layer;
+            let mask = {
+                let conv = model.conv_at(layer);
+                let sal = channel_saliency(conv, self.criterion);
+                mask_from_sparsity(&sal, self.sparsity)
+            };
+            model.set_mask(idx, mask);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatl_models::{ModelConfig, ModelKind};
+
+    #[test]
+    fn soft_step_zeroes_but_does_not_mask() {
+        let mut m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let sfp = SoftFilterPruner::new(0.5);
+        sfp.soft_step(&mut m);
+        // No masks applied yet — FLOPs unchanged.
+        assert_eq!(m.flops(), m.flops_dense());
+        // But some filters are exactly zero.
+        let conv = m.conv_at(m.prune_points[0].layer);
+        let patch = conv.weight.value.numel() / conv.out_channels;
+        let zero_channels = (0..conv.out_channels)
+            .filter(|&c| {
+                conv.weight.value.data()[c * patch..(c + 1) * patch]
+                    .iter()
+                    .all(|&v| v == 0.0)
+            })
+            .count();
+        assert_eq!(zero_channels, conv.out_channels / 2);
+    }
+
+    #[test]
+    fn harden_applies_masks() {
+        let mut m = ModelConfig::cifar(ModelKind::ResNet20).build();
+        let sfp = SoftFilterPruner::new(0.5);
+        sfp.soft_step(&mut m);
+        sfp.harden(&mut m);
+        assert!(m.flops() < m.flops_dense());
+        for r in m.keep_ratios() {
+            assert!(r <= 0.51, "keep ratio {r}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! `spatl-cli` — command-line front end for the SPATL reproduction.
+//!
+//! ```text
+//! spatl-cli run       --algorithm spatl --model resnet20 --clients 10 --rounds 20
+//! spatl-cli pretrain  --model resnet56 --rounds 30 --out agent.json
+//! spatl-cli prune     --model resnet56 --budget 0.6 [--agent agent.json]
+//! spatl-cli transfer  --encoder run.json --samples 300
+//! ```
+//!
+//! Arguments are `--key value` pairs; unknown keys are rejected. Every
+//! command prints a human-readable summary and (with `--out`) writes a
+//! JSON artefact.
+
+use spatl::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --key, got '{key}'"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("missing value for --{name}"));
+        };
+        map.insert(name.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: '{v}'")),
+    }
+}
+
+fn parse_model(name: &str) -> Result<ModelKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "resnet20" => ModelKind::ResNet20,
+        "resnet32" => ModelKind::ResNet32,
+        "resnet56" => ModelKind::ResNet56,
+        "resnet18" => ModelKind::ResNet18,
+        "vgg11" => ModelKind::Vgg11,
+        "cnn2" => ModelKind::Cnn2,
+        other => return Err(format!("unknown model '{other}'")),
+    })
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "spatl" => Algorithm::Spatl(SpatlOptions::default()),
+        "fedavg" => Algorithm::FedAvg,
+        "fedprox" => Algorithm::FedProx { mu: 0.01 },
+        "scaffold" => Algorithm::Scaffold,
+        "fednova" => Algorithm::FedNova,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn cmd_run(map: HashMap<String, String>) -> Result<(), String> {
+    let algorithm = parse_algorithm(&get(&map, "algorithm", "spatl".to_string())?)?;
+    let model = parse_model(&get(&map, "model", "resnet20".to_string())?)?;
+    let clients: usize = get(&map, "clients", 10)?;
+    let rounds: usize = get(&map, "rounds", 10)?;
+    let samples: usize = get(&map, "samples-per-client", 80)?;
+    let epochs: usize = get(&map, "local-epochs", 2)?;
+    let beta: f64 = get(&map, "beta", 0.5)?;
+    let ratio: f32 = get(&map, "sample-ratio", 1.0)?;
+    let seed: u64 = get(&map, "seed", 0)?;
+
+    println!(
+        "running {} / {} — {clients} clients × {rounds} rounds (β={beta}, ratio={ratio})",
+        algorithm.name(),
+        model.name()
+    );
+    let mut sim = ExperimentBuilder::new(algorithm)
+        .model(model)
+        .clients(clients)
+        .sample_ratio(ratio)
+        .samples_per_client(samples)
+        .rounds(rounds)
+        .local_epochs(epochs)
+        .beta(beta)
+        .seed(seed)
+        .build();
+    for _ in 0..rounds {
+        let r = sim.run_round();
+        println!(
+            "round {:>3}: acc {:5.1}%  comm {:8.2} MB  upload-keep {:4.0}%",
+            r.round + 1,
+            r.mean_acc * 100.0,
+            r.cumulative_bytes as f64 / 1e6,
+            r.mean_keep_ratio * 100.0
+        );
+    }
+    let result = sim.result();
+    println!(
+        "\nbest {:.1}% | final {:.1}% | {:.2} MB total",
+        result.best_acc() * 100.0,
+        result.final_acc() * 100.0,
+        result.total_bytes() as f64 / 1e6
+    );
+    if let Some(out) = map.get("out") {
+        spatl::save_result(&result, out).map_err(|e| e.to_string())?;
+        println!("results written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_pretrain(map: HashMap<String, String>) -> Result<(), String> {
+    let model_kind = parse_model(&get(&map, "model", "resnet56".to_string())?)?;
+    let rounds: usize = get(&map, "rounds", 20)?;
+    let budget: f32 = get(&map, "budget", 0.7)?;
+    let seed: u64 = get(&map, "seed", 0)?;
+
+    let synth = SynthConfig {
+        noise_std: 1.0,
+        ..SynthConfig::cifar10_like()
+    };
+    let val = synth_cifar10(&synth, 120, seed ^ 1);
+    let model = ModelConfig::cifar(model_kind).with_seed(seed).build();
+    let env = PruningEnv::new(model, val, budget);
+    let mut agent = ActorCritic::new(AgentConfig::default(), seed);
+    let mut rng = TensorRng::seed_from(seed ^ 2);
+    println!("pre-training agent on {} pruning ({rounds} rounds)…", model_kind.name());
+    let log = pretrain_agent(&mut agent, &env, rounds, 4, 4, &mut rng);
+    for (i, r) in log.rewards.iter().enumerate() {
+        println!("update {:>3}: mean reward {r:.3}", i + 1);
+    }
+    if let Some(out) = map.get("out") {
+        spatl::save_agent(&agent, out).map_err(|e| e.to_string())?;
+        println!("agent ({} KB) written to {out}", agent.param_bytes() / 1024);
+    }
+    Ok(())
+}
+
+fn cmd_prune(map: HashMap<String, String>) -> Result<(), String> {
+    let model_kind = parse_model(&get(&map, "model", "resnet56".to_string())?)?;
+    let budget: f32 = get(&map, "budget", 0.6)?;
+    let seed: u64 = get(&map, "seed", 0)?;
+
+    let mut model = ModelConfig::cifar(model_kind).with_seed(seed).build();
+    let action = match map.get("agent") {
+        Some(path) => {
+            let agent = spatl::load_agent(path).map_err(|e| e.to_string())?;
+            agent.evaluate(&extract(&model)).mu
+        }
+        None => vec![0.0; model.prune_points.len()],
+    };
+    let applied = spatl::agent::project_to_budget(&model, &action, budget, Criterion::L2);
+    apply_sparsities(&mut model, &applied, Criterion::L2);
+    let ratio = model.flops() as f64 / model.flops_dense() as f64;
+    println!(
+        "{}: FLOPs {:.1}% of dense ({} → {} FLOPs)",
+        model_kind.name(),
+        ratio * 100.0,
+        model.flops_dense(),
+        model.flops()
+    );
+    for (p, s) in model.prune_points.iter().zip(&applied) {
+        println!("  {:<24} sparsity {:.2}", p.name, s);
+    }
+    if let Some(out) = map.get("out") {
+        spatl::save_model(&model, out).map_err(|e| e.to_string())?;
+        println!("pruned model written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_transfer(map: HashMap<String, String>) -> Result<(), String> {
+    let samples: usize = get(&map, "samples", 200)?;
+    let epochs: usize = get(&map, "epochs", 6)?;
+    let seed: u64 = get(&map, "seed", 0)?;
+
+    let synth = SynthConfig {
+        noise_std: 1.2,
+        ..SynthConfig::cifar10_like()
+    };
+    let train = synth_cifar10(&synth, samples, seed ^ 0xAB);
+    let val = synth_cifar10(&synth, samples / 2, seed ^ 0xCD);
+
+    let mut model = match map.get("model-file") {
+        Some(path) => spatl::load_model(path).map_err(|e| e.to_string())?,
+        None => ModelConfig::cifar(ModelKind::ResNet20).with_seed(seed).build(),
+    };
+    let before = {
+        let b = val.as_batch();
+        model.evaluate(&b.images, &b.labels)
+    };
+    adapt_predictor(&mut model, &train, epochs, 0.05, seed);
+    let after = {
+        let b = val.as_batch();
+        model.evaluate(&b.images, &b.labels)
+    };
+    println!("predictor-only adaptation: {:.1}% → {:.1}%", before * 100.0, after * 100.0);
+    Ok(())
+}
+
+const USAGE: &str = "usage: spatl-cli <run|pretrain|prune|transfer> [--key value]…
+  run       --algorithm spatl|fedavg|fedprox|scaffold|fednova --model resnet20|resnet32|resnet56|resnet18|vgg11|cnn2
+            --clients N --rounds N --samples-per-client N --local-epochs N --beta F --sample-ratio F --seed N [--out FILE]
+  pretrain  --model resnet56 --rounds N --budget F --seed N [--out FILE]
+  prune     --model resnet56 --budget F [--agent FILE] [--out FILE]
+  transfer  [--model-file FILE] --samples N --epochs N --seed N";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = parse_args(rest).and_then(|map| match cmd.as_str() {
+        "run" => cmd_run(map),
+        "pretrain" => cmd_pretrain(map),
+        "prune" => cmd_prune(map),
+        "transfer" => cmd_transfer(map),
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

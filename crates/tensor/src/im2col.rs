@@ -1,0 +1,221 @@
+//! `im2col`/`col2im` lowering for 2-D convolution.
+//!
+//! Convolution in `spatl-nn` is implemented as `im2col` followed by a matrix
+//! multiplication — the classic lowering used by CPU deep-learning runtimes.
+//! `col2im` is the adjoint scatter used in the backward pass.
+
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution: input/output spatial extents and the
+/// kernel/stride/padding that relate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height after convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Number of columns produced per image: `out_h * out_w`.
+    pub fn cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Rows of the patch matrix: `in_channels * kernel * kernel`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unfold a batch of images `[n, c, h, w]` into a patch matrix
+/// `[n * out_h * out_w, c * k * k]`, so that convolution with a weight matrix
+/// `[out_c, c * k * k]` becomes a single matmul.
+pub fn im2col(input: &Tensor, g: &Conv2dGeometry) -> Tensor {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "im2col expects [n,c,h,w]");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, g.in_channels, "channel mismatch");
+    assert_eq!(h, g.in_h, "height mismatch");
+    assert_eq!(w, g.in_w, "width mismatch");
+
+    let (oh, ow, k, s, p) = (g.out_h(), g.out_w(), g.kernel, g.stride, g.padding);
+    let patch = g.patch_len();
+    let mut out = Tensor::zeros([n * oh * ow, patch]);
+    let src = input.data();
+    let dst = out.data_mut();
+
+    for img in 0..n {
+        let img_base = img * c * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((img * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    let ch_base = img_base + ch * h * w;
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        let dst_off = row + (ch * k + ky) * k;
+                        if iy < 0 || iy as usize >= h {
+                            // Padding row: already zero.
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            dst[dst_off + kx] = src[ch_base + iy * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`im2col`]: scatter-add a patch-matrix gradient
+/// `[n * out_h * out_w, c * k * k]` back into an image gradient
+/// `[n, c, h, w]`.
+pub fn col2im(cols: &Tensor, g: &Conv2dGeometry, n: usize) -> Tensor {
+    let (oh, ow, k, s, p) = (g.out_h(), g.out_w(), g.kernel, g.stride, g.padding);
+    let (c, h, w) = (g.in_channels, g.in_h, g.in_w);
+    let patch = g.patch_len();
+    assert_eq!(cols.dims(), &[n * oh * ow, patch], "col2im shape mismatch");
+
+    let mut out = Tensor::zeros([n, c, h, w]);
+    let src = cols.data();
+    let dst = out.data_mut();
+
+    for img in 0..n {
+        let img_base = img * c * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((img * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    let ch_base = img_base + ch * h * w;
+                    for ky in 0..k {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        let src_off = row + (ch * k + ky) * k;
+                        for kx in 0..k {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            dst[ch_base + iy * w + ix as usize] += src[src_off + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            kernel: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn output_dims_formula() {
+        let g = geom(3, 8, 8, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (8, 8));
+        let g2 = geom(3, 8, 8, 3, 2, 1);
+        assert_eq!((g2.out_h(), g2.out_w()), (4, 4));
+        let g3 = geom(1, 5, 5, 1, 1, 0);
+        assert_eq!((g3.out_h(), g3.out_w()), (5, 5));
+    }
+
+    #[test]
+    fn identity_kernel_1x1_is_permuted_copy() {
+        let g = geom(2, 2, 2, 1, 1, 0);
+        let x = Tensor::from_vec([1, 2, 2, 2], (0..8).map(|v| v as f32).collect()).unwrap();
+        let cols = im2col(&x, &g);
+        // Rows iterate over spatial positions, columns over channels.
+        assert_eq!(cols.dims(), &[4, 2]);
+        assert_eq!(cols.data(), &[0., 4., 1., 5., 2., 6., 3., 7.]);
+    }
+
+    #[test]
+    fn padding_fills_zeros() {
+        let g = geom(1, 1, 1, 3, 1, 1);
+        let x = Tensor::from_vec([1, 1, 1, 1], vec![5.0]).unwrap();
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.dims(), &[1, 9]);
+        let mut expect = vec![0.0; 9];
+        expect[4] = 5.0; // centre of the 3x3 patch
+        assert_eq!(cols.data(), &expect[..]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint scatter.
+        let g = geom(2, 5, 4, 3, 2, 1);
+        let nimg = 2;
+        let mut x = Tensor::zeros([nimg, 2, 5, 4]);
+        let mut state = 1234u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for v in x.data_mut() {
+            *v = next();
+        }
+        let cols = im2col(&x, &g);
+        let mut y = Tensor::zeros(cols.dims().to_vec());
+        for v in y.data_mut() {
+            *v = next();
+        }
+        let lhs = cols.dot(&y).unwrap();
+        let back = col2im(&y, &g, nimg);
+        let rhs = x.dot(&back).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn stride_two_no_padding_counts() {
+        let g = geom(1, 4, 4, 2, 2, 0);
+        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.dims(), &[4, 4]);
+        // First patch is the top-left 2x2 block.
+        assert_eq!(&cols.data()[0..4], &[0., 1., 4., 5.]);
+        // Last patch is the bottom-right 2x2 block.
+        assert_eq!(&cols.data()[12..16], &[10., 11., 14., 15.]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Blocked, rayon-parallel matrix multiplication.
+//!
+//! Essentially all training time in this project is spent here (convolution
+//! is lowered to matmul via `im2col`). The kernel is a cache-blocked `ikj`
+//! loop parallelised over row blocks of the output; for the matrix sizes the
+//! scaled-down SPATL models produce (hundreds × hundreds) this is within a
+//! small factor of a tuned BLAS and entirely safe Rust.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Row-block size for parallel partitioning.
+const ROW_BLOCK: usize = 32;
+/// Inner (k) blocking factor, sized to keep a block of B in L1.
+const K_BLOCK: usize = 128;
+
+/// `C = A · B` for row-major `A: [m,k]`, `B: [k,n]`.
+///
+/// Panics if the inner dimensions disagree; shape errors here are programmer
+/// bugs (layer wiring), not runtime data errors.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros([a.dims()[0], b.dims()[1]]);
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C += 0; C = A · B` writing into a preallocated output tensor.
+pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    assert_eq!(a.dims().len(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.dims().len(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    assert_eq!(c.dims(), &[m, n], "matmul output shape mismatch");
+
+    let av = a.data();
+    let bv = b.data();
+    c.data_mut()
+        .par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_rows)| {
+            let row0 = blk * ROW_BLOCK;
+            let rows = c_rows.len() / n;
+            for r in c_rows.iter_mut() {
+                *r = 0.0;
+            }
+            let mut k0 = 0;
+            while k0 < k {
+                let k1 = (k0 + K_BLOCK).min(k);
+                for i in 0..rows {
+                    let a_row = &av[(row0 + i) * k..(row0 + i) * k + k];
+                    let c_row = &mut c_rows[i * n..(i + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &bv[kk * n..(kk + 1) * n];
+                        for (cv, bv_) in c_row.iter_mut().zip(b_row) {
+                            *cv += aik * bv_;
+                        }
+                    }
+                }
+                k0 = k1;
+            }
+        });
+}
+
+/// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` → `C: [m,n]`, without
+/// materialising the transpose. Used for weight gradients.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_tn inner dimension mismatch");
+    let av = a.data();
+    let bv = b.data();
+    let mut c = Tensor::zeros([m, n]);
+    c.data_mut()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            for kk in 0..k {
+                let aki = av[kk * m + i];
+                if aki == 0.0 {
+                    continue;
+                }
+                let b_row = &bv[kk * n..(kk + 1) * n];
+                for (cv, bv_) in c_row.iter_mut().zip(b_row) {
+                    *cv += aki * bv_;
+                }
+            }
+        });
+    c
+}
+
+/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` → `C: [m,n]`, without
+/// materialising the transpose. Used for input gradients.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dimension mismatch");
+    let av = a.data();
+    let bv = b.data();
+    let mut c = Tensor::zeros([m, n]);
+    c.data_mut()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            let a_row = &av[i * k..(i + 1) * k];
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                let b_row = &bv[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *cv = acc;
+            }
+        });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                c.data_mut()[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    fn rand_t(dims: [usize; 2], seed: u64) -> Tensor {
+        // Small deterministic pseudo-random fill without pulling in rand here.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut t = Tensor::zeros(dims);
+        for v in t.data_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+        }
+        t
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matches_naive_on_odd_sizes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (33, 129, 17), (64, 64, 64), (70, 130, 40)] {
+            let a = rand_t([m, k], (m * k) as u64);
+            let b = rand_t([k, n], (k * n + 7) as u64);
+            assert_close(&matmul(&a, &b), &naive(&a, &b));
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = rand_t([9, 5], 3);
+        let b = rand_t([9, 4], 4);
+        assert_close(&matmul_tn(&a, &b), &matmul(&a.transpose2(), &b));
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = rand_t([6, 8], 5);
+        let b = rand_t([7, 8], 6);
+        assert_close(&matmul_nt(&a, &b), &matmul(&a, &b.transpose2()));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = rand_t([5, 5], 11);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            eye.data_mut()[i * 5 + i] = 1.0;
+        }
+        assert_close(&matmul(&a, &eye), &a);
+        assert_close(&matmul(&eye, &a), &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dim_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

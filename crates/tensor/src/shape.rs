@@ -1,0 +1,121 @@
+//! Shape handling for row-major contiguous tensors.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a tensor: dimension sizes in row-major order.
+///
+/// A `Shape` is a thin wrapper over `Vec<usize>` providing element counts and
+/// row-major stride computation. Rank-0 shapes are permitted and describe a
+/// scalar with one element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for rank 0).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// Panics in debug builds if `index` has the wrong rank or is out of
+    /// bounds; release builds perform the unchecked arithmetic.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.0.len(), "index rank mismatch");
+        let strides = self.strides();
+        index
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| {
+                debug_assert!(i < self.0[d], "index {i} out of bounds in dim {d}");
+                i * strides[d]
+            })
+            .sum()
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_empty_shape_is_one() {
+        assert_eq!(Shape::new(Vec::<usize>::new()).numel(), 1);
+    }
+
+    #[test]
+    fn numel_multiplies_dims() {
+        assert_eq!(Shape::from([2, 3, 4]).numel(), 24);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    fn zero_dim_gives_zero_numel() {
+        assert_eq!(Shape::from([4, 0, 2]).numel(), 0);
+    }
+}

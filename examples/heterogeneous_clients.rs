@@ -1,0 +1,51 @@
+//! Heterogeneous clients: SPATL vs. the SoTA baselines on skewed data.
+//!
+//! Run with: `cargo run --release --example heterogeneous_clients`
+//!
+//! Reproduces the qualitative story of the paper's learning-efficiency
+//! experiments (§V-B): under strong label skew, algorithms that share a
+//! uniform model show high per-client variance, while SPATL's private
+//! predictors keep every client's accuracy close to the mean.
+
+use spatl::prelude::*;
+
+fn run(algorithm: Algorithm, label: &str) -> (RunResult, Vec<f32>) {
+    let mut sim = ExperimentBuilder::new(algorithm)
+        .model(ModelKind::ResNet20)
+        .clients(8)
+        .samples_per_client(60)
+        .beta(0.3) // strong skew
+        .rounds(6)
+        .local_epochs(2)
+        .seed(7)
+        .build();
+    let result = sim.run();
+    let last = result.history.last().expect("ran rounds");
+    println!(
+        "{label:<10} mean={:5.1}%  min={:5.1}%  max={:5.1}%  spread={:4.1}pp  {:6.2} MB total",
+        last.mean_acc * 100.0,
+        last.per_client_acc.iter().copied().fold(1.0f32, f32::min) * 100.0,
+        last.per_client_acc.iter().copied().fold(0.0f32, f32::max) * 100.0,
+        (last.per_client_acc.iter().copied().fold(0.0f32, f32::max)
+            - last.per_client_acc.iter().copied().fold(1.0f32, f32::min))
+            * 100.0,
+        result.total_bytes() as f64 / 1e6,
+    );
+    let accs = last.per_client_acc.clone();
+    (result, accs)
+}
+
+fn main() {
+    println!("8 clients, Dirichlet(0.3) — per-client accuracy after 6 rounds\n");
+    let (_, spatl_accs) = run(Algorithm::Spatl(SpatlOptions::default()), "SPATL");
+    run(Algorithm::FedAvg, "FedAvg");
+    run(Algorithm::FedProx { mu: 0.01 }, "FedProx");
+    run(Algorithm::Scaffold, "SCAFFOLD");
+    run(Algorithm::FedNova, "FedNova");
+
+    println!("\nSPATL per-client accuracies (the paper's Fig. 'local_acc'):");
+    for (i, a) in spatl_accs.iter().enumerate() {
+        let bar = "#".repeat((a * 40.0) as usize);
+        println!("  client {i}: {:5.1}% {bar}", a * 100.0);
+    }
+}

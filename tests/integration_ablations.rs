@@ -1,0 +1,149 @@
+//! Ablation integration tests mirroring §V-F of the paper: each SPATL
+//! component can be switched off, the system still runs, and the expected
+//! bookkeeping differences appear.
+
+use spatl::prelude::*;
+
+fn run_with(opts: SpatlOptions, seed: u64) -> RunResult {
+    ExperimentBuilder::new(Algorithm::Spatl(opts))
+        .model(ModelKind::ResNet20)
+        .clients(4)
+        .samples_per_client(50)
+        .rounds(3)
+        .local_epochs(1)
+        .seed(seed)
+        .run()
+}
+
+#[test]
+fn no_selection_means_dense_uploads() {
+    let opts = SpatlOptions {
+        selection: false,
+        ..Default::default()
+    };
+    let result = run_with(opts, 1);
+    for r in &result.history {
+        assert_eq!(r.mean_keep_ratio, 1.0, "round {} uploaded sparsely", r.round);
+        assert_eq!(r.mean_flops_ratio, 1.0);
+    }
+}
+
+#[test]
+fn selection_reduces_upload_bytes_vs_no_selection() {
+    let on = run_with(SpatlOptions::default(), 2);
+    let off = run_with(
+        SpatlOptions {
+            selection: false,
+            ..Default::default()
+        },
+        2,
+    );
+    let up = |r: &RunResult| r.history.iter().map(|h| h.bytes.upload).sum::<u64>();
+    assert!(
+        up(&on) < up(&off),
+        "selection did not reduce upload: {} vs {}",
+        up(&on),
+        up(&off)
+    );
+    // Downloads are identical (same encoder + control).
+    let down = |r: &RunResult| r.history.iter().map(|h| h.bytes.download).sum::<u64>();
+    assert_eq!(down(&on), down(&off));
+}
+
+#[test]
+fn no_transfer_shares_the_predictor() {
+    let opts = SpatlOptions {
+        transfer: false,
+        ..Default::default()
+    };
+    let alg = Algorithm::Spatl(opts);
+    assert!(!alg.uses_transfer());
+    let mut sim = ExperimentBuilder::new(alg)
+        .clients(3)
+        .samples_per_client(40)
+        .rounds(2)
+        .local_epochs(1)
+        .seed(3)
+        .build();
+    let model = sim.clients[0].model.clone();
+    assert_eq!(
+        sim.global.shared.len(),
+        model.encoder.num_params() + model.predictor.num_params(),
+        "without transfer the predictor must be in the shared vector"
+    );
+    sim.run();
+    // All predictors equal the global copy after the final sync.
+    let p0 = sim.clients[0].model.predictor.to_flat();
+    let p1 = sim.clients[1].model.predictor.to_flat();
+    assert_eq!(p0, p1);
+}
+
+#[test]
+fn no_gradient_control_drops_control_state_and_bytes() {
+    let opts = SpatlOptions {
+        gradient_control: false,
+        selection: false, // isolate the control ablation
+        ..Default::default()
+    };
+    let with_ctrl = SpatlOptions {
+        gradient_control: true,
+        selection: false,
+        ..Default::default()
+    };
+    let off = run_with(opts, 4);
+    let on = run_with(with_ctrl, 4);
+    let down = |r: &RunResult| r.history.iter().map(|h| h.bytes.download).sum::<u64>();
+    assert!(
+        down(&off) < down(&on),
+        "disabling control should halve downloads: {} vs {}",
+        down(&off),
+        down(&on)
+    );
+
+    let mut sim = ExperimentBuilder::new(Algorithm::Spatl(opts))
+        .clients(2)
+        .samples_per_client(30)
+        .rounds(1)
+        .local_epochs(1)
+        .seed(5)
+        .build();
+    sim.run();
+    assert!(sim.global.control.is_empty());
+    assert!(sim.clients.iter().all(|c| c.control.is_empty()));
+}
+
+#[test]
+fn all_ablations_still_learn_something() {
+    // Every ablated variant must remain a *working* FL algorithm.
+    for (i, opts) in [
+        SpatlOptions {
+            selection: false,
+            ..Default::default()
+        },
+        SpatlOptions {
+            transfer: false,
+            ..Default::default()
+        },
+        SpatlOptions {
+            gradient_control: false,
+            ..Default::default()
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let result = ExperimentBuilder::new(Algorithm::Spatl(opts))
+            .clients(4)
+            .samples_per_client(60)
+            .noise_std(1.0)
+            .rounds(4)
+            .local_epochs(2)
+            .seed(60 + i as u64)
+            .run();
+        assert!(
+            result.best_acc() > 0.2,
+            "ablation {i} failed to learn: {}",
+            result.best_acc()
+        );
+    }
+}

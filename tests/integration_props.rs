@@ -1,0 +1,92 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! configurations of the public API.
+
+use proptest::prelude::*;
+use spatl::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any Dirichlet partition of any synthetic dataset is a permutation:
+    /// every sample lands on exactly one client.
+    #[test]
+    fn partitions_are_exact_covers(
+        n in 40usize..120,
+        clients in 2usize..8,
+        beta in 0.1f64..5.0,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SynthConfig::cifar10_like();
+        let data = synth_cifar10(&cfg, n, seed);
+        let mut rng = TensorRng::seed_from(seed);
+        let parts = dirichlet_partition(&data.labels, 10, clients, beta, &mut rng);
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Selection never produces out-of-range or duplicate indices, for any
+    /// sparsity level on any model kind.
+    #[test]
+    fn salient_indices_always_valid(
+        sparsity in 0.0f32..0.95,
+        kind_idx in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let kind = [ModelKind::ResNet20, ModelKind::Vgg11, ModelKind::Cnn2][kind_idx];
+        let mut model = match kind {
+            ModelKind::Cnn2 => ModelConfig::femnist().with_seed(seed).build(),
+            k => ModelConfig::cifar(k).with_seed(seed).build(),
+        };
+        let n = model.prune_points.len();
+        apply_sparsities(&mut model, &vec![sparsity; n], Criterion::L1);
+        let idx = salient_param_indices(&model);
+        prop_assert!(!idx.is_empty());
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(idx.iter().all(|&i| (i as usize) < model.encoder.num_params()));
+    }
+
+    /// Flat export/import round-trips for every architecture.
+    #[test]
+    fn model_flat_round_trip(kind_idx in 0usize..5, seed in 0u64..50) {
+        let kind = [
+            ModelKind::ResNet20,
+            ModelKind::ResNet32,
+            ModelKind::ResNet18,
+            ModelKind::Vgg11,
+            ModelKind::Cnn2,
+        ][kind_idx];
+        let mut model = match kind {
+            ModelKind::Cnn2 => ModelConfig::femnist().with_seed(seed).build(),
+            k => ModelConfig::cifar(k).with_seed(seed).build(),
+        };
+        let flat = model.encoder.to_flat();
+        model.encoder.from_flat(&flat);
+        prop_assert_eq!(model.encoder.to_flat(), flat);
+    }
+
+    /// The FLOPs profile under masks is monotone: more sparsity never
+    /// increases FLOPs, and never goes to zero.
+    #[test]
+    fn flops_monotone_in_sparsity(s1 in 0.0f32..0.4, extra in 0.1f32..0.5, seed in 0u64..50) {
+        let mut a = ModelConfig::cifar(ModelKind::ResNet20).with_seed(seed).build();
+        let mut b = a.clone();
+        let n = a.prune_points.len();
+        apply_sparsities(&mut a, &vec![s1; n], Criterion::L2);
+        apply_sparsities(&mut b, &vec![(s1 + extra).min(0.95); n], Criterion::L2);
+        prop_assert!(b.flops() <= a.flops());
+        prop_assert!(b.flops() > 0);
+    }
+
+    /// Graph extraction is total over the model zoo and prune nodes always
+    /// match prune points.
+    #[test]
+    fn graph_extraction_total(kind_idx in 0usize..4, width in 1usize..4) {
+        let kind = [ModelKind::ResNet20, ModelKind::ResNet56, ModelKind::Vgg11, ModelKind::ResNet18][kind_idx];
+        let cfg = ModelConfig::cifar(kind).with_width(width as f32 * 0.25);
+        let model = cfg.build();
+        let g = extract(&model);
+        prop_assert_eq!(g.prune_nodes.len(), model.prune_points.len());
+        prop_assert!(!g.features.has_non_finite());
+    }
+}
