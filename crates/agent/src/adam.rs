@@ -27,8 +27,14 @@ impl AdamState {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m: params.iter().map(|p| Tensor::zeros(p.dims().to_vec())).collect(),
-            v: params.iter().map(|p| Tensor::zeros(p.dims().to_vec())).collect(),
+            m: params
+                .iter()
+                .map(|p| Tensor::zeros(p.dims().to_vec()))
+                .collect(),
+            v: params
+                .iter()
+                .map(|p| Tensor::zeros(p.dims().to_vec()))
+                .collect(),
         }
     }
 

@@ -55,7 +55,12 @@ impl PruningEnv {
     /// Apply an action (per-layer sparsities), projecting it onto the FLOPs
     /// budget first, and return the reward.
     pub fn step(&self, sparsities: &[f32]) -> EnvOutcome {
-        let applied = project_to_budget(&self.model, sparsities, self.target_flops_ratio, self.criterion);
+        let applied = project_to_budget(
+            &self.model,
+            sparsities,
+            self.target_flops_ratio,
+            self.criterion,
+        );
         let mut candidate = self.model.clone();
         apply_sparsities(&mut candidate, &applied, self.criterion);
         let flops_ratio = candidate.flops() as f32 / self.model.flops_dense() as f32;

@@ -101,21 +101,21 @@ impl ActorCritic {
         let dh = cfg.mlp_hidden;
         let f = FEATURE_DIM;
         let params = vec![
-            rng.kaiming_uniform([f, d], f),    // W1
-            Tensor::zeros([1, d]),             // b1
-            rng.kaiming_uniform([d, d], d),    // W2
-            Tensor::zeros([1, d]),             // b2
-            rng.kaiming_uniform([d, dh], d),   // M1
-            Tensor::zeros([1, dh]),            // m1
-            rng.kaiming_uniform([dh, 1], dh),  // M2
+            rng.kaiming_uniform([f, d], f),   // W1
+            Tensor::zeros([1, d]),            // b1
+            rng.kaiming_uniform([d, d], d),   // W2
+            Tensor::zeros([1, d]),            // b2
+            rng.kaiming_uniform([d, dh], d),  // M1
+            Tensor::zeros([1, dh]),           // m1
+            rng.kaiming_uniform([dh, 1], dh), // M2
             // Conservative initial policy: σ(−1.5) ≈ 0.18, so the agent
             // starts by pruning lightly and only raises sparsity where the
             // reward (masked validation accuracy) supports it.
-            Tensor::full([1, 1], -1.5),        // m2
-            rng.kaiming_uniform([d, dh], d),   // C1
-            Tensor::zeros([1, dh]),            // c1
-            rng.kaiming_uniform([dh, 1], dh),  // C2
-            Tensor::zeros([1, 1]),             // c2
+            Tensor::full([1, 1], -1.5),       // m2
+            rng.kaiming_uniform([d, dh], d),  // C1
+            Tensor::zeros([1, dh]),           // c1
+            rng.kaiming_uniform([dh, 1], dh), // C2
+            Tensor::zeros([1, 1]),            // c2
         ];
         let adam = AdamState::new(&params, cfg.lr);
         ActorCritic { cfg, params, adam }
@@ -157,7 +157,10 @@ impl ActorCritic {
         let x = graph.features.clone();
         let [w1, b1, w2, b2, m1w, m1b, m2w, m2b, c1w, c1b, c2w, c2b] = {
             let p = &self.params;
-            [&p[0], &p[1], &p[2], &p[3], &p[4], &p[5], &p[6], &p[7], &p[8], &p[9], &p[10], &p[11]]
+            [
+                &p[0], &p[1], &p[2], &p[3], &p[4], &p[5], &p[6], &p[7], &p[8], &p[9], &p[10],
+                &p[11],
+            ]
         };
         let s1 = Self::add_bias(graph.adj.spmm(&matmul(&x, w1)), b1);
         let h1 = Self::relu(s1.clone());
@@ -194,10 +197,7 @@ impl ActorCritic {
         let v = Self::add_bias(matmul(&cu, c2w), c2b).data()[0];
 
         (
-            Evaluation {
-                mu,
-                value: v,
-            },
+            Evaluation { mu, value: v },
             ForwardCache {
                 x,
                 s1,
@@ -334,7 +334,7 @@ impl ActorCritic {
         grads[6].add_assign(&d_m2w).expect("M2 grad");
         grads[7].data_mut()[0] += dmu_raw.sum();
         let mut du = matmul_nt(&dmu_raw, &self.params[6]); // [k, dh]
-        // U = relu(Us).
+                                                           // U = relu(Us).
         for (v, &s) in du.data_mut().iter_mut().zip(cache.us.data()) {
             if s <= 0.0 {
                 *v = 0.0;
@@ -468,7 +468,11 @@ mod tests {
         // Paper: agent memory consumption ~26 KB. Ours must be the same
         // order of magnitude.
         let agent = ActorCritic::new(AgentConfig::default(), 1);
-        assert!(agent.param_bytes() < 64 * 1024, "{} bytes", agent.param_bytes());
+        assert!(
+            agent.param_bytes() < 64 * 1024,
+            "{} bytes",
+            agent.param_bytes()
+        );
     }
 
     #[test]
@@ -501,7 +505,14 @@ mod tests {
         let action: Vec<f32> = eval0.mu.iter().map(|&m| (m + 0.2).min(0.8)).collect();
         let old_lp = agent.log_prob(&eval0.mu, &action);
         for _ in 0..30 {
-            agent.ppo_step(&[&g], &[action.clone()], &[old_lp], &[1.0], &[1.0], false);
+            agent.ppo_step(
+                &[&g],
+                std::slice::from_ref(&action),
+                &[old_lp],
+                &[1.0],
+                &[1.0],
+                false,
+            );
         }
         let eval1 = agent.evaluate(&g);
         let lp0 = agent.log_prob(&eval0.mu, &action);
@@ -518,7 +529,14 @@ mod tests {
         let old_lp = agent.log_prob(&eval.mu, &action);
         let target = 0.7f32;
         for _ in 0..200 {
-            agent.ppo_step(&[&g], &[action.clone()], &[old_lp], &[0.0], &[target], false);
+            agent.ppo_step(
+                &[&g],
+                std::slice::from_ref(&action),
+                &[old_lp],
+                &[0.0],
+                &[target],
+                false,
+            );
         }
         let v = agent.evaluate(&g).value;
         assert!((v - target).abs() < 0.15, "value {v} target {target}");
@@ -537,7 +555,13 @@ mod tests {
             assert_eq!(a.data(), b.data(), "GNN params changed despite freeze");
         }
         // Heads did move.
-        assert!(agent.params()[4..].iter().zip(agent.params()[4..].iter()).count() > 0);
+        assert!(
+            agent.params()[4..]
+                .iter()
+                .zip(agent.params()[4..].iter())
+                .count()
+                > 0
+        );
     }
 
     #[test]
@@ -564,11 +588,24 @@ mod tests {
         let mut cfg = stepped.cfg;
         cfg.clip = 10.0;
         stepped.cfg = cfg;
-        stepped.ppo_step(&[&g], &[action.clone()], &[old_lp], &[1.0], &[eval.value], false);
+        stepped.ppo_step(
+            &[&g],
+            std::slice::from_ref(&action),
+            &[old_lp],
+            &[1.0],
+            &[eval.value],
+            false,
+        );
 
         let eps = 1e-3;
         let mut checked = 0;
-        for wi in [0usize, 3, 7] {
+        // Scan for live units instead of probing fixed indices: which
+        // units are dead depends on the RNG stream behind initialization.
+        let head_len = agent.params()[6].data().len();
+        for wi in 0..head_len.min(64) {
+            if checked >= 3 {
+                break;
+            }
             let mut plus = agent.clone();
             plus.perturb(6, wi, eps);
             let mut minus = agent.clone();
@@ -579,10 +616,7 @@ mod tests {
             }
             let moved = stepped.params()[6].data()[wi] - agent.params()[6].data()[wi];
             // Adam moves against the gradient: sign(moved) == -sign(fd).
-            assert!(
-                (moved < 0.0) == (fd > 0.0),
-                "w[{wi}] fd={fd} moved={moved}"
-            );
+            assert!((moved < 0.0) == (fd > 0.0), "w[{wi}] fd={fd} moved={moved}");
             checked += 1;
         }
         assert!(checked > 0, "all probed units dead");

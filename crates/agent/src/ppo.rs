@@ -48,7 +48,10 @@ pub fn ppo_update(
     let mut advantages: Vec<f32> = batch.iter().map(|t| t.reward - t.value).collect();
     if batch.len() > 1 {
         let mean = advantages.iter().sum::<f32>() / advantages.len() as f32;
-        let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>()
+        let var = advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f32>()
             / advantages.len() as f32;
         let std = var.sqrt().max(1e-6);
         for a in advantages.iter_mut() {
@@ -65,7 +68,14 @@ pub fn ppo_update(
         ..Default::default()
     };
     for _ in 0..epochs {
-        let (pl, vl) = agent.ppo_step(&graphs, &actions, &old_lps, &advantages, &rewards, freeze_gnn);
+        let (pl, vl) = agent.ppo_step(
+            &graphs,
+            &actions,
+            &old_lps,
+            &advantages,
+            &rewards,
+            freeze_gnn,
+        );
         stats.policy_loss += pl / epochs as f32;
         stats.value_loss += vl / epochs as f32;
     }

@@ -61,7 +61,15 @@ pub fn pretrain_agent(
     epochs_per_round: usize,
     rng: &mut TensorRng,
 ) -> TrainLog {
-    run_rounds(agent, env, rounds, steps_per_round, epochs_per_round, false, rng)
+    run_rounds(
+        agent,
+        env,
+        rounds,
+        steps_per_round,
+        epochs_per_round,
+        false,
+        rng,
+    )
 }
 
 /// Fine-tune a pre-trained agent on a new encoder, updating **only the MLP
@@ -75,5 +83,13 @@ pub fn finetune_agent(
     epochs_per_round: usize,
     rng: &mut TensorRng,
 ) -> TrainLog {
-    run_rounds(agent, env, rounds, steps_per_round, epochs_per_round, true, rng)
+    run_rounds(
+        agent,
+        env,
+        rounds,
+        steps_per_round,
+        epochs_per_round,
+        true,
+        rng,
+    )
 }

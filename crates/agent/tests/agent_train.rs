@@ -42,7 +42,10 @@ fn pretraining_produces_valid_log_and_learns_signal() {
     assert_eq!(log.rewards.len(), 8);
     assert_eq!(log.stats.len(), 8);
     assert!(log.rewards.iter().all(|&r| (0.0..=1.0).contains(&r)));
-    assert!(log.stats.iter().all(|s| s.policy_loss.is_finite() && s.value_loss.is_finite()));
+    assert!(log
+        .stats
+        .iter()
+        .all(|s| s.policy_loss.is_finite() && s.value_loss.is_finite()));
 }
 
 #[test]
@@ -51,8 +54,14 @@ fn finetune_freezes_gnn_and_moves_heads() {
     let val = synth_cifar10(&SynthConfig::cifar10_like(), 40, 98);
     let env = PruningEnv::new(model, val, 0.7);
     let mut agent = ActorCritic::new(AgentConfig::default(), 5);
-    let gnn_before: Vec<Vec<f32>> = agent.params()[..4].iter().map(|t| t.data().to_vec()).collect();
-    let heads_before: Vec<Vec<f32>> = agent.params()[4..].iter().map(|t| t.data().to_vec()).collect();
+    let gnn_before: Vec<Vec<f32>> = agent.params()[..4]
+        .iter()
+        .map(|t| t.data().to_vec())
+        .collect();
+    let heads_before: Vec<Vec<f32>> = agent.params()[4..]
+        .iter()
+        .map(|t| t.data().to_vec())
+        .collect();
     let mut rng = TensorRng::seed_from(6);
     finetune_agent(&mut agent, &env, 3, 3, 2, &mut rng);
     for (a, b) in agent.params()[..4].iter().zip(&gnn_before) {
@@ -76,7 +85,10 @@ fn critic_value_tracks_reward_scale_after_training() {
     let mean_reward: f32 = log.rewards.iter().sum::<f32>() / log.rewards.len() as f32;
     let v = agent.evaluate(&env.graph()).value;
     // The critic should be in the right ballpark of observed rewards.
-    assert!((v - mean_reward).abs() < 0.5, "value {v}, mean reward {mean_reward}");
+    assert!(
+        (v - mean_reward).abs() < 0.5,
+        "value {v}, mean reward {mean_reward}"
+    );
 }
 
 #[test]

@@ -38,10 +38,24 @@ fn bench_ppo_update(c: &mut Criterion) {
     let action = eval.mu.clone();
     let lp = agent.log_prob(&eval.mu, &action);
     group.bench_function("single_transition", |b| {
-        b.iter(|| agent.ppo_step(&[&graph], &[action.clone()], &[lp], &[1.0], &[0.5], false));
+        b.iter(|| {
+            agent.ppo_step(
+                &[&graph],
+                std::slice::from_ref(&action),
+                &[lp],
+                &[1.0],
+                &[0.5],
+                false,
+            )
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_graph_extraction, bench_agent_inference, bench_ppo_update);
+criterion_group!(
+    benches,
+    bench_graph_extraction,
+    bench_agent_inference,
+    bench_ppo_update
+);
 criterion_main!(benches);

@@ -15,6 +15,7 @@ fn fake_outcome(p: usize, id: usize, sparse: bool) -> LocalOutcome {
             indices,
             values,
             channels: 64,
+            channel_ids: (0..64).collect(),
         }
     });
     LocalOutcome {
@@ -23,9 +24,13 @@ fn fake_outcome(p: usize, id: usize, sparse: bool) -> LocalOutcome {
         tau: 10,
         delta,
         selected,
+        control_delta: None,
+        velocity: None,
         buffers: Vec::new(),
         diverged: false,
         bytes: CommModel::dense(p),
+        wire: spatl::fl::WireBytes::default(),
+        frames: Vec::new(),
         keep_ratio: if sparse { 0.5 } else { 1.0 },
         flops_ratio: 1.0,
     }
@@ -41,7 +46,11 @@ fn bench_aggregation(c: &mut Criterion) {
         (Algorithm::FedAvg, "fedavg", false),
         (Algorithm::FedNova, "fednova", false),
         (Algorithm::Scaffold, "scaffold", false),
-        (Algorithm::Spatl(SpatlOptions::default()), "spatl_sparse", true),
+        (
+            Algorithm::Spatl(SpatlOptions::default()),
+            "spatl_sparse",
+            true,
+        ),
     ];
     for (alg, name, sparse) in cases {
         let cfg = FlConfig::new(alg);
@@ -51,7 +60,12 @@ fn bench_aggregation(c: &mut Criterion) {
             b.iter(|| {
                 let mut g = GlobalState {
                     shared: vec![0.0; p],
-                    control: if alg.uses_control() { vec![0.0; p] } else { Vec::new() },
+                    control: if alg.uses_control() {
+                        vec![0.0; p]
+                    } else {
+                        Vec::new()
+                    },
+                    momentum: Vec::new(),
                     buffers: Vec::new(),
                 };
                 g.aggregate(&cfg, &outcomes, n_clients);

@@ -62,5 +62,11 @@ fn bench_sfp_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_saliency, bench_apply_masks, bench_flops_profile, bench_sfp_step);
+criterion_group!(
+    benches,
+    bench_saliency,
+    bench_apply_masks,
+    bench_flops_profile,
+    bench_sfp_step
+);
 criterion_main!(benches);

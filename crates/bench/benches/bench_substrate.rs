@@ -54,5 +54,10 @@ fn bench_model_forward_backward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_im2col, bench_model_forward_backward);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_im2col,
+    bench_model_forward_backward
+);
 criterion_main!(benches);

@@ -49,10 +49,23 @@ fn main() {
                 selection: on,
                 ..Default::default()
             };
-            let r = curve(Algorithm::Spatl(opts), ModelKind::ResNet20, clients, rounds, spc, 0.5, 2.5, 91);
+            let r = curve(
+                Algorithm::Spatl(opts),
+                ModelKind::ResNet20,
+                clients,
+                rounds,
+                spc,
+                0.5,
+                2.5,
+                91,
+            );
             println!(
                 "selection/{label}/{clients}c: {}",
-                series(&r).iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" ")
+                series(&r)
+                    .iter()
+                    .map(|a| format!("{a:.3}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             );
             table.row(vec![
                 "selection".into(),
@@ -78,10 +91,23 @@ fn main() {
             ..Default::default()
         };
         let clients = scale.pick(4, 10);
-        let r = curve(Algorithm::Spatl(opts), ModelKind::ResNet20, clients, rounds, spc, 0.2, 3.0, 92);
+        let r = curve(
+            Algorithm::Spatl(opts),
+            ModelKind::ResNet20,
+            clients,
+            rounds,
+            spc,
+            0.2,
+            3.0,
+            92,
+        );
         println!(
             "transfer/{label}: {}",
-            series(&r).iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" ")
+            series(&r)
+                .iter()
+                .map(|a| format!("{a:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         table.row(vec![
             "transfer".into(),
@@ -96,17 +122,33 @@ fn main() {
     }
 
     // --- Fig. 5(b): gradient control on/off (VGG-11) ---
-    for (on, label) in [(true, "with gradient control"), (false, "no gradient control")] {
+    for (on, label) in [
+        (true, "with gradient control"),
+        (false, "no gradient control"),
+    ] {
         let opts = SpatlOptions {
             gradient_control: on,
             ..Default::default()
         };
         let clients = scale.pick(4, 10);
         let model = scale.pick(ModelKind::ResNet20, ModelKind::Vgg11);
-        let r = curve(Algorithm::Spatl(opts), model, clients, rounds, spc, 0.2, 3.0, 93);
+        let r = curve(
+            Algorithm::Spatl(opts),
+            model,
+            clients,
+            rounds,
+            spc,
+            0.2,
+            3.0,
+            93,
+        );
         println!(
             "gradient-control/{label}: {}",
-            series(&r).iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" ")
+            series(&r)
+                .iter()
+                .map(|a| format!("{a:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         table.row(vec![
             "gradient control".into(),

@@ -38,7 +38,11 @@ fn main() {
         let curve: Vec<f32> = result.history.iter().map(|r| r.mean_acc).collect();
         println!(
             "{name:<10} {}",
-            curve.iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" ")
+            curve
+                .iter()
+                .map(|a| format!("{a:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         table.row(vec![
             name.to_string(),

@@ -40,11 +40,13 @@ fn main() {
         let mean = accs.iter().sum::<f32>() / accs.len() as f32;
         let min = accs.iter().copied().fold(1.0f32, f32::min);
         let max = accs.iter().copied().fold(0.0f32, f32::max);
-        let std =
-            (accs.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / accs.len() as f32).sqrt();
+        let std = (accs.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / accs.len() as f32).sqrt();
         println!(
             "{name:<10} {}",
-            accs.iter().map(|a| format!("{:.2}", a)).collect::<Vec<_>>().join(" ")
+            accs.iter()
+                .map(|a| format!("{:.2}", a))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         table.row(vec![
             name.to_string(),

@@ -45,7 +45,11 @@ fn main() {
     let pre = pretrain_agent(&mut agent, &env56, rounds, 4, 4, &mut rng);
     println!(
         "ResNet-56 rewards: {}",
-        pre.rewards.iter().map(|r| format!("{r:.3}")).collect::<Vec<_>>().join(" ")
+        pre.rewards
+            .iter()
+            .map(|r| format!("{r:.3}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 
     println!("\nfine-tuning task: ResNet-18 pruning (MLP head only)");
@@ -54,7 +58,11 @@ fn main() {
     let fine = finetune_agent(&mut agent, &env18, rounds, 4, 4, &mut rng);
     println!(
         "ResNet-18 rewards: {}",
-        fine.rewards.iter().map(|r| format!("{r:.3}")).collect::<Vec<_>>().join(" ")
+        fine.rewards
+            .iter()
+            .map(|r| format!("{r:.3}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 
     let avg = |xs: &[f32]| xs.iter().sum::<f32>() / xs.len().max(1) as f32;
@@ -62,7 +70,10 @@ fn main() {
     let tail = |xs: &[f32], k: usize| avg(&xs[xs.len().saturating_sub(k)..]);
 
     let mut table = Table::new(&["phase", "first rewards", "last rewards", "best"]);
-    for (name, log) in [("pre-train ResNet-56", &pre), ("fine-tune ResNet-18", &fine)] {
+    for (name, log) in [
+        ("pre-train ResNet-56", &pre),
+        ("fine-tune ResNet-18", &fine),
+    ] {
         table.row(vec![
             name.to_string(),
             format!("{:.3}", head(&log.rewards, 3)),

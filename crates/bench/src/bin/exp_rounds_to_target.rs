@@ -21,7 +21,9 @@ fn main() {
         (Algorithm::FedNova, "FedNova"),
     ];
 
-    let mut table = Table::new(&["setting", "SPATL", "FedAvg", "FedProx", "SCAFFOLD", "FedNova"]);
+    let mut table = Table::new(&[
+        "setting", "SPATL", "FedAvg", "FedProx", "SCAFFOLD", "FedNova",
+    ]);
     let mut artefact = Vec::new();
     println!(
         "rounds to reach {:.0}% mean accuracy (ResNet-20, ≤{max_rounds} rounds)\n",
@@ -40,7 +42,11 @@ fn main() {
                 .seed(17)
                 .run();
             let rounds = result.rounds_to_target(target);
-            cells.push(rounds.map(|r| r.to_string()).unwrap_or_else(|| format!(">{max_rounds}")));
+            cells.push(
+                rounds
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| format!(">{max_rounds}")),
+            );
             artefact.push(serde_json::json!({
                 "clients": clients,
                 "sample_ratio": ratio,

@@ -52,7 +52,9 @@ fn main() {
     if let Some(v) = load("table1_comm_cost") {
         println!("## Table I — total bytes to target (speed-up vs FedAvg)");
         let runs: Vec<&serde_json::Value> = v.as_array().into_iter().flatten().collect();
-        let mut t = Table::new(&["model", "algorithm", "rounds", "total MB", "speedup"]);
+        let mut t = Table::new(&[
+            "model", "algorithm", "rounds", "total MB", "wire MB", "transfer", "speedup",
+        ]);
         for model in ["ResNet-20", "ResNet-32", "VGG-11"] {
             let fedavg: Option<f64> = runs
                 .iter()
@@ -64,11 +66,23 @@ fn main() {
                     .filter(|&fa| fa > 0.0 && total > 0.0)
                     .map(|fa| format!("{:.2}x", fa / total))
                     .unwrap_or_else(|| "-".into());
+                // Measured on-wire traffic (framed) and simulated transfer
+                // time, when the artefact carries the wire fields.
+                let framed = r["framed_bytes"]
+                    .as_f64()
+                    .map(|b| format!("{:.1}", b / 1e6))
+                    .unwrap_or_else(|| "-".into());
+                let transfer = r["transfer_s"]
+                    .as_f64()
+                    .map(|s| format!("{s:.1}s"))
+                    .unwrap_or_else(|| "-".into());
                 t.row(vec![
                     model.to_string(),
                     r["algorithm"].as_str().unwrap_or("?").to_string(),
                     r["rounds"].to_string(),
                     format!("{:.1}", total / 1e6),
+                    framed,
+                    transfer,
                     speed,
                 ]);
             }
@@ -79,14 +93,21 @@ fn main() {
 
     if let Some(v) = load("table2_convergence") {
         println!("## Table II — converge accuracy / cost");
-        let mut t = Table::new(&["model", "clients", "algorithm", "final acc", "total MB"]);
+        let mut t = Table::new(&[
+            "model", "clients", "algorithm", "final acc", "total MB", "transfer",
+        ]);
         for r in v.as_array().into_iter().flatten() {
+            let transfer = r["transfer_s"]
+                .as_f64()
+                .map(|s| format!("{s:.1}s"))
+                .unwrap_or_else(|| "-".into());
             t.row(vec![
                 r["model"].as_str().unwrap_or("?").to_string(),
                 r["clients"].to_string(),
                 r["algorithm"].as_str().unwrap_or("?").to_string(),
                 format!("{:.1}%", f(&r["final_acc"]) * 100.0),
                 format!("{:.1}", f(&r["total_bytes"]) / 1e6),
+                transfer,
             ]);
         }
         t.print();
@@ -171,8 +192,18 @@ fn main() {
 
     if let Some(v) = load("fig_rl_finetune") {
         println!("## Agent pre-train / fine-tune rewards");
-        let pre: Vec<f64> = v["pretrain_rewards"].as_array().into_iter().flatten().map(f).collect();
-        let fine: Vec<f64> = v["finetune_rewards"].as_array().into_iter().flatten().map(f).collect();
+        let pre: Vec<f64> = v["pretrain_rewards"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .map(f)
+            .collect();
+        let fine: Vec<f64> = v["finetune_rewards"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .map(f)
+            .collect();
         let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
         println!(
             "pre-train  : first 3 avg {:.3} → last 3 avg {:.3}",

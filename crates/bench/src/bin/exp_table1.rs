@@ -14,6 +14,8 @@ struct Row {
     rounds: Option<usize>,
     per_round_client: u64,
     total: u64,
+    framed: u64,
+    transfer_s: f64,
 }
 
 fn main() {
@@ -70,6 +72,8 @@ fn main() {
                 rounds: reached,
                 per_round_client: result.bytes_per_round_per_client,
                 total: result.total_bytes(),
+                framed: result.total_framed_bytes(),
+                transfer_s: result.total_transfer_s(),
             });
             eprintln!(
                 "  {} / {}: rounds={:?} total={}",
@@ -87,6 +91,8 @@ fn main() {
         "Rounds",
         "Round/Client",
         "Total",
+        "On-wire",
+        "Transfer",
         "Speedup vs FedAvg",
     ]);
     let mut artefact = Vec::new();
@@ -105,9 +111,13 @@ fn main() {
             table.row(vec![
                 r.algorithm.to_string(),
                 r.model.to_string(),
-                r.rounds.map(|v| v.to_string()).unwrap_or_else(|| format!(">{max_rounds}")),
+                r.rounds
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| format!(">{max_rounds}")),
                 mb(r.per_round_client),
                 mb(r.total),
+                mb(r.framed),
+                format!("{:.1}s", r.transfer_s),
                 speedup,
             ]);
             artefact.push(serde_json::json!({
@@ -117,6 +127,8 @@ fn main() {
                 "rounds": r.rounds,
                 "bytes_per_round_per_client": r.per_round_client,
                 "total_bytes": r.total,
+                "framed_bytes": r.framed,
+                "transfer_s": r.transfer_s,
             }));
         }
     }

@@ -84,6 +84,8 @@ fn main() {
                 "rounds": rounds,
                 "final_acc": acc,
                 "total_bytes": result.total_bytes(),
+                "framed_bytes": result.total_framed_bytes(),
+                "transfer_s": result.total_transfer_s(),
                 "bytes_per_round_per_client": result.bytes_per_round_per_client,
                 "diverged_rounds": result.history.iter().filter(|h| h.diverged_clients > 0).count(),
             }));

@@ -48,7 +48,9 @@ fn main() {
 
         // The shared vector's encoder part transfers; baselines share
         // encoder+predictor, SPATL shares encoder only.
-        let model = ModelConfig::cifar(ModelKind::ResNet20).with_seed(999).build();
+        let model = ModelConfig::cifar(ModelKind::ResNet20)
+            .with_seed(999)
+            .build();
         let enc_len = model.encoder.num_params();
         let encoder_flat = &sim.global.shared[..enc_len];
         let acc = transfer_evaluate(
@@ -60,11 +62,7 @@ fn main() {
             0.05,
             13,
         );
-        table.row(vec![
-            name.to_string(),
-            pct(result.final_acc()),
-            pct(acc),
-        ]);
+        table.row(vec![name.to_string(), pct(result.final_acc()), pct(acc)]);
         artefact.push(serde_json::json!({
             "algorithm": name,
             "fl_final_acc": result.final_acc(),
@@ -74,7 +72,9 @@ fn main() {
     }
 
     // Control: a never-trained encoder.
-    let model = ModelConfig::cifar(ModelKind::ResNet20).with_seed(999).build();
+    let model = ModelConfig::cifar(ModelKind::ResNet20)
+        .with_seed(999)
+        .build();
     let rand_flat = model.encoder.to_flat();
     let rand_acc = transfer_evaluate(
         model,

@@ -43,7 +43,11 @@ fn main() {
     let mut model = ModelConfig::cifar(ModelKind::ResNet56).with_seed(4).build();
     train(&mut model, &train_set, scale.pick(3, 6), 5);
     let dense_acc = eval(&mut model.clone(), &val_set);
-    println!("dense accuracy {} | FLOPs budget {:.0}%\n", pct(dense_acc), budget * 100.0);
+    println!(
+        "dense accuracy {} | FLOPs budget {:.0}%\n",
+        pct(dense_acc),
+        budget * 100.0
+    );
 
     let mut table = Table::new(&["method", "acc", "Δacc", "FLOPs kept", "FLOPs ↓"]);
     let mut artefact = vec![serde_json::json!({
@@ -103,8 +107,12 @@ fn main() {
     // FPGM at a uniform budget-projected sparsity.
     {
         let mut m = model.clone();
-        let uni =
-            spatl::agent::project_to_budget(&m, &vec![0.0; m.prune_points.len()], budget, Criterion::Fpgm);
+        let uni = spatl::agent::project_to_budget(
+            &m,
+            &vec![0.0; m.prune_points.len()],
+            budget,
+            Criterion::Fpgm,
+        );
         apply_sparsities(&mut m, &uni, Criterion::Fpgm);
         train(&mut m, &train_set, recovery_epochs, 62);
         report("FPGM", &mut m, &mut table);
@@ -122,8 +130,12 @@ fn main() {
     // Uniform L1 and random controls.
     {
         let mut m = model.clone();
-        let uni =
-            spatl::agent::project_to_budget(&m, &vec![0.0; m.prune_points.len()], budget, Criterion::L1);
+        let uni = spatl::agent::project_to_budget(
+            &m,
+            &vec![0.0; m.prune_points.len()],
+            budget,
+            Criterion::L1,
+        );
         apply_sparsities(&mut m, &uni, Criterion::L1);
         train(&mut m, &train_set, recovery_epochs, 64);
         report("uniform L1", &mut m, &mut table);

@@ -48,8 +48,11 @@ pub fn results_dir() -> PathBuf {
 /// Write a JSON artefact for an experiment.
 pub fn write_json(name: &str, value: &serde_json::Value) {
     let path = results_dir().join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialise"),
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("\n[results written to {}]", path.display());
 }
 

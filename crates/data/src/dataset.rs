@@ -125,8 +125,7 @@ impl Dataset {
         for d in parts {
             assert_eq!(d.image_dims(), [c, h, w], "image dims mismatch in concat");
             assert_eq!(d.num_classes, num_classes, "class count mismatch in concat");
-            images.data_mut()[row * slab..(row + d.len()) * slab]
-                .copy_from_slice(d.images.data());
+            images.data_mut()[row * slab..(row + d.len()) * slab].copy_from_slice(d.images.data());
             labels.extend_from_slice(&d.labels);
             row += d.len();
         }

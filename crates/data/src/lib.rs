@@ -22,5 +22,7 @@ mod partition;
 mod synth;
 
 pub use dataset::{Batch, Dataset};
-pub use partition::{dirichlet_partition, iid_partition, label_distribution, partition_stats, PartitionStats};
+pub use partition::{
+    dirichlet_partition, iid_partition, label_distribution, partition_stats, PartitionStats,
+};
 pub use synth::{synth_cifar10, synth_femnist, SynthConfig, WriterStyle};

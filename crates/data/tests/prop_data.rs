@@ -1,7 +1,9 @@
 //! Property-based tests for data synthesis and partitioning.
 
 use proptest::prelude::*;
-use spatl_data::{dirichlet_partition, partition_stats, synth_cifar10, synth_femnist, Dataset, SynthConfig};
+use spatl_data::{
+    dirichlet_partition, partition_stats, synth_cifar10, synth_femnist, Dataset, SynthConfig,
+};
 use spatl_tensor::TensorRng;
 
 proptest! {

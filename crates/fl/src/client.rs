@@ -18,6 +18,11 @@ pub struct SelectedUpdate {
     pub values: Vec<f32>,
     /// Number of surviving channels (what the index upload actually costs).
     pub channels: usize,
+    /// Surviving channel ids in the session's [`SelectionLayout`] — what
+    /// the wire actually carries; `indices` is their expansion.
+    ///
+    /// [`SelectionLayout`]: spatl_wire::SelectionLayout
+    pub channel_ids: Vec<u32>,
 }
 
 /// Everything a client sends back (plus bookkeeping the simulator keeps).
@@ -35,12 +40,23 @@ pub struct LocalOutcome {
     /// SPATL-only: the sparse upload. When present the server must ignore
     /// `delta` outside `selected.indices`.
     pub selected: Option<SelectedUpdate>,
+    /// SCAFFOLD: the client's control-variate step `Δcᵢ = cᵢ⁺ − cᵢ`,
+    /// uploaded next to the delta.
+    pub control_delta: Option<Vec<f32>>,
+    /// FedNova: the local momentum buffer, uploaded next to the delta.
+    pub velocity: Option<Vec<f32>>,
     /// Batch-norm running statistics after local training.
     pub buffers: Vec<f32>,
     /// True if the update contained non-finite values (rejected server-side).
     pub diverged: bool,
-    /// Bytes this client's round cost.
+    /// Analytic bytes this client's round cost (Eq. 13).
     pub bytes: RoundBytes,
+    /// Measured wire traffic (upload side filled by the client; download
+    /// side filled by the simulator, which knows the broadcast frames).
+    pub wire: crate::WireBytes,
+    /// The sealed upload frames this outcome travels as; the server decodes
+    /// these, never the fields above, when aggregating a wire round.
+    pub frames: Vec<Vec<u8>>,
     /// Fraction of shared parameters uploaded (1.0 = dense).
     pub keep_ratio: f32,
     /// FLOPs of the client's (masked) model relative to dense.
@@ -111,7 +127,12 @@ impl ClientState {
 
     /// Run one local update per the configured algorithm; returns the
     /// upload.
-    pub fn local_update(&mut self, cfg: &FlConfig, global: &GlobalState, round: usize) -> LocalOutcome {
+    pub fn local_update(
+        &mut self,
+        cfg: &FlConfig,
+        global: &GlobalState,
+        round: usize,
+    ) -> LocalOutcome {
         let include_pred = !cfg.algorithm.uses_transfer();
         let uses_control = cfg.algorithm.uses_control();
 
@@ -212,13 +233,27 @@ impl ClientState {
         //    With momentum-m SGD the cumulative step per unit gradient is
         //    ≈ η/(1−m), so the effective learning rate replaces η in the
         //    gradient estimate (x − y)/(K·η).
+        let mut control_delta = None;
         if uses_control && !diverged && tau > 0 {
             let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
             let scale = 1.0 / (tau as f32 * eta_eff);
+            let mut step = Vec::with_capacity(self.control.len());
             for ((ci, &c), &d) in self.control.iter_mut().zip(&global.control).zip(&delta) {
-                *ci = *ci - c - d * scale;
+                let d_ci = -c - d * scale;
+                *ci += d_ci;
+                step.push(d_ci);
             }
+            control_delta = Some(step);
         }
+
+        // FedNova uploads the local momentum buffer next to the delta.
+        let velocity = matches!(cfg.algorithm, Algorithm::FedNova).then(|| {
+            let mut v = opt_enc.velocity_flat(enc_len);
+            if include_pred {
+                v.extend(opt_pred.velocity_flat(delta.len() - enc_len));
+            }
+            v
+        });
 
         // 5. SPATL: salient selection.
         let mut selected = None;
@@ -227,7 +262,7 @@ impl ClientState {
         let bytes;
         match cfg.algorithm {
             Algorithm::Spatl(opts) if opts.selection && !diverged => {
-                let (idx, channels) = self.run_selection(cfg, &opts, round);
+                let (idx, channel_ids) = self.run_selection(cfg, &opts, round);
                 flops_ratio = self.model.flops() as f32 / self.model.flops_dense() as f32;
                 // Under transfer the shared vector *is* the encoder; without
                 // transfer the predictor part is always fully selected.
@@ -240,13 +275,14 @@ impl ClientState {
                 bytes = CommModel::spatl(
                     global.shared.len(),
                     indices.len(),
-                    channels,
+                    channel_ids.len(),
                     opts.gradient_control,
                 );
                 selected = Some(SelectedUpdate {
                     indices,
                     values,
-                    channels,
+                    channels: channel_ids.len(),
+                    channel_ids,
                 });
             }
             Algorithm::Spatl(opts) => {
@@ -267,31 +303,46 @@ impl ClientState {
         }
 
         self.participations += 1;
-        LocalOutcome {
+        let mut outcome = LocalOutcome {
             client_id: self.id,
             n_samples: self.train.len(),
             tau,
             delta,
             selected,
+            control_delta,
+            velocity,
             buffers: self.model.encoder.buffers_flat(),
             diverged,
             bytes,
+            wire: crate::WireBytes::default(),
+            frames: Vec::new(),
             keep_ratio,
             flops_ratio,
-        }
+        };
+        // Seal the upload: these frames, not the fields above, are what the
+        // server decodes when the simulator runs a wire round.
+        let encoded = crate::wire::encode_upload(cfg, &outcome);
+        outcome.wire.upload_payload = encoded.payload;
+        outcome.wire.upload_framed = encoded.framed();
+        outcome.frames = encoded.frames;
+        outcome
     }
 
     /// Run (and possibly fine-tune) the selection agent; applies the chosen
     /// masks to `self.model` and returns the salient flat indices of the
-    /// *encoder* plus the surviving channel count.
+    /// *encoder* plus the surviving channel ids (numbered in prune-point
+    /// order, then channel order — the session [`SelectionLayout`] scheme).
+    ///
+    /// [`SelectionLayout`]: spatl_wire::SelectionLayout
     fn run_selection(
         &mut self,
         cfg: &FlConfig,
         opts: &crate::SpatlOptions,
         round: usize,
-    ) -> (Vec<u32>, usize) {
+    ) -> (Vec<u32>, Vec<u32>) {
         let budget = self.flops_budget.unwrap_or(opts.target_flops_ratio);
-        let mut rng = TensorRng::seed_from(cfg.seed ^ 0xA6E47 ^ (self.id as u64) << 17 ^ round as u64);
+        let mut rng =
+            TensorRng::seed_from(cfg.seed ^ 0xA6E47 ^ (self.id as u64) << 17 ^ round as u64);
         let mut env_model = self.model.clone();
         env_model.clear_caches();
         let env = PruningEnv::new(env_model, self.val.clone(), budget);
@@ -299,7 +350,14 @@ impl ClientState {
         let action = match &mut self.agent {
             Some(agent) => {
                 if self.participations < opts.finetune_rounds {
-                    finetune_agent(agent, &env, 1, opts.agent_steps, opts.agent_epochs, &mut rng);
+                    finetune_agent(
+                        agent,
+                        &env,
+                        1,
+                        opts.agent_steps,
+                        opts.agent_epochs,
+                        &mut rng,
+                    );
                 }
                 let graph = env.graph();
                 agent.evaluate(&graph).mu
@@ -312,13 +370,18 @@ impl ClientState {
         let applied = spatl_agent::project_to_budget(&self.model, &action, budget, Criterion::L2);
         apply_sparsities(&mut self.model, &applied, Criterion::L2);
         let indices = salient_param_indices(&self.model);
-        let channels: usize = self
-            .model
-            .prune_points
-            .iter()
-            .map(|p| self.model.conv_at(p.layer).active_channels())
-            .sum();
-        (indices, channels)
+        let mut channel_ids = Vec::new();
+        let mut base = 0u32;
+        for p in &self.model.prune_points {
+            let conv = self.model.conv_at(p.layer);
+            for (c, &m) in conv.channel_mask.iter().enumerate() {
+                if m != 0.0 {
+                    channel_ids.push(base + c as u32);
+                }
+            }
+            base += conv.out_channels as u32;
+        }
+        (indices, channel_ids)
     }
 
     /// Re-run salient selection against the client's *current* weights —
@@ -335,12 +398,8 @@ impl ClientState {
             }
             None => vec![0.0; self.model.prune_points.len()],
         };
-        let applied = spatl_agent::project_to_budget(
-            &self.model,
-            &action,
-            target_flops_ratio,
-            Criterion::L2,
-        );
+        let applied =
+            spatl_agent::project_to_budget(&self.model, &action, target_flops_ratio, Criterion::L2);
         apply_sparsities(&mut self.model, &applied, Criterion::L2);
     }
 

@@ -75,7 +75,11 @@ impl CommModel {
         selected_channels: usize,
         gradient_control: bool,
     ) -> RoundBytes {
-        let down_ctrl = if gradient_control { 4 * encoder_params as u64 } else { 0 };
+        let down_ctrl = if gradient_control {
+            4 * encoder_params as u64
+        } else {
+            0
+        };
         RoundBytes {
             download: 4 * encoder_params as u64 + down_ctrl,
             upload: 4 * selected_params as u64 + 4 * selected_channels as u64,
@@ -90,13 +94,19 @@ mod tests {
     #[test]
     fn scaffold_doubles_fedavg() {
         let p = 1000;
-        assert_eq!(CommModel::scaffold(p).total(), 2 * CommModel::dense(p).total());
+        assert_eq!(
+            CommModel::scaffold(p).total(),
+            2 * CommModel::dense(p).total()
+        );
     }
 
     #[test]
     fn fednova_doubles_fedavg() {
         let p = 500;
-        assert_eq!(CommModel::fednova(p).total(), 2 * CommModel::dense(p).total());
+        assert_eq!(
+            CommModel::fednova(p).total(),
+            2 * CommModel::dense(p).total()
+        );
     }
 
     #[test]

@@ -1,6 +1,56 @@
 //! Federated-learning run configuration.
 
 use serde::{Deserialize, Serialize};
+use spatl_wire::{LinkSpec, SimNet};
+
+/// Network profile of the simulated deployment, mapped to a
+/// [`SimNet`] transport model. Kept as a small serializable enum so run
+/// configurations stay self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NetProfile {
+    /// Symmetric broadband (100 Mbit/s, 20 ms, lossless).
+    Broadband,
+    /// Constrained mobile uplink and downlink (10 Mbit/s, 60 ms, 1% loss).
+    Mobile,
+    /// Explicit asymmetric link parameters.
+    Custom {
+        /// Downlink bandwidth, bits per second.
+        down_bps: f64,
+        /// Uplink bandwidth, bits per second.
+        up_bps: f64,
+        /// One-way latency, seconds (both directions).
+        latency_s: f64,
+        /// Independent per-packet loss probability in `[0, 1)`.
+        loss: f64,
+    },
+}
+
+impl NetProfile {
+    /// The transport model this profile describes.
+    pub fn simnet(&self) -> SimNet {
+        match *self {
+            NetProfile::Broadband => SimNet::symmetric(LinkSpec::broadband()),
+            NetProfile::Mobile => SimNet::symmetric(LinkSpec::mobile()),
+            NetProfile::Custom {
+                down_bps,
+                up_bps,
+                latency_s,
+                loss,
+            } => SimNet {
+                downlink: LinkSpec {
+                    bandwidth_bps: down_bps,
+                    latency_s,
+                    loss,
+                },
+                uplink: LinkSpec {
+                    bandwidth_bps: up_bps,
+                    latency_s,
+                    loss,
+                },
+            },
+        }
+    }
+}
 
 /// Options specific to SPATL; each switch corresponds to one of the paper's
 /// ablations (§V-F).
@@ -106,6 +156,8 @@ pub struct FlConfig {
     pub seed: u64,
     /// The algorithm under test.
     pub algorithm: Algorithm,
+    /// Simulated transport the round's frames travel over.
+    pub net: NetProfile,
 }
 
 impl FlConfig {
@@ -124,13 +176,13 @@ impl FlConfig {
             server_lr: 1.0,
             seed: 0,
             algorithm,
+            net: NetProfile::Broadband,
         }
     }
 
     /// Number of clients sampled each round (at least one).
     pub fn clients_per_round(&self) -> usize {
-        ((self.n_clients as f32 * self.sample_ratio).round() as usize)
-            .clamp(1, self.n_clients)
+        ((self.n_clients as f32 * self.sample_ratio).round() as usize).clamp(1, self.n_clients)
     }
 }
 

@@ -21,10 +21,15 @@ mod config;
 mod server;
 mod simulation;
 mod transfer;
+pub mod wire;
 
 pub use client::{ClientState, LocalOutcome, SelectedUpdate};
 pub use comm::{CommModel, RoundBytes};
-pub use config::{Algorithm, FlConfig, SpatlOptions};
+pub use config::{Algorithm, FlConfig, NetProfile, SpatlOptions};
 pub use server::GlobalState;
 pub use simulation::{RoundRecord, RunResult, Simulation};
 pub use transfer::{adapt_predictor, transfer_evaluate};
+pub use wire::{
+    build_selection_layout, decode_download, decode_upload, encode_download, encode_upload,
+    Encoded, WireBytes,
+};

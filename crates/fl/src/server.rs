@@ -14,6 +14,8 @@ pub struct GlobalState {
     /// Global control variate `c` (same length as `shared`; empty when the
     /// algorithm doesn't use control).
     pub control: Vec<f32>,
+    /// Aggregated momentum buffer broadcast by FedNova (empty otherwise).
+    pub momentum: Vec<f32>,
     /// Batch-norm running statistics, averaged across uploads.
     pub buffers: Vec<f32>,
 }
@@ -28,11 +30,17 @@ impl GlobalState {
         } else {
             Vec::new()
         };
+        let momentum = if matches!(algorithm, Algorithm::FedNova) {
+            vec![0.0; shared.len()]
+        } else {
+            Vec::new()
+        };
         let mut m = model.clone();
         let buffers = m.encoder.buffers_flat();
         GlobalState {
             shared,
             control,
+            momentum,
             buffers,
         }
     }
@@ -72,6 +80,19 @@ impl GlobalState {
                         self.shared[j] += w * o.delta[j];
                     }
                 }
+                // Refresh the broadcast momentum buffer from the uploaded
+                // local buffers (data-weighted mean over senders).
+                if valid.iter().any(|o| o.velocity.is_some()) {
+                    self.momentum = vec![0.0; p];
+                    for o in &valid {
+                        if let Some(v) = &o.velocity {
+                            let w = o.n_samples as f32 / total;
+                            for (m, &vj) in self.momentum.iter_mut().zip(v) {
+                                *m += w * vj;
+                            }
+                        }
+                    }
+                }
             }
             Algorithm::Scaffold => {
                 // x ← x + η_g · mean(δᵢ); c ← c + (1/N)·Σ Δcᵢ with
@@ -85,7 +106,13 @@ impl GlobalState {
                     #[allow(clippy::needless_range_loop)] // j co-indexes three vectors
                     for j in 0..p {
                         self.shared[j] += cfg.server_lr * inv_s * o.delta[j];
-                        c_delta[j] += -self.control[j] - o.delta[j] * scale;
+                        // Prefer the client's explicit Δcᵢ (what the wire
+                        // carries); fall back to the server-side derivation
+                        // for synthetic outcomes that skip the upload path.
+                        c_delta[j] += match &o.control_delta {
+                            Some(cd) => cd[j],
+                            None => -self.control[j] - o.delta[j] * scale,
+                        };
                     }
                 }
                 for (c, &d) in self.control.iter_mut().zip(&c_delta) {
@@ -164,9 +191,13 @@ mod tests {
             tau,
             delta,
             selected: None,
+            control_delta: None,
+            velocity: None,
             buffers: Vec::new(),
             diverged: false,
             bytes: CommModel::dense(0),
+            wire: crate::WireBytes::default(),
+            frames: Vec::new(),
             keep_ratio: 1.0,
             flops_ratio: 1.0,
         }
@@ -181,6 +212,7 @@ mod tests {
         let mut g = GlobalState {
             shared: vec![0.0; 2],
             control: Vec::new(),
+            momentum: Vec::new(),
             buffers: Vec::new(),
         };
         let cfg = base_cfg(Algorithm::FedAvg);
@@ -196,6 +228,7 @@ mod tests {
         let mut g = GlobalState {
             shared: vec![0.0; 1],
             control: Vec::new(),
+            momentum: Vec::new(),
             buffers: Vec::new(),
         };
         let cfg = base_cfg(Algorithm::FedAvg);
@@ -215,6 +248,7 @@ mod tests {
         let mut g = GlobalState {
             shared: vec![0.0; 1],
             control: Vec::new(),
+            momentum: Vec::new(),
             buffers: Vec::new(),
         };
         let cfg = base_cfg(Algorithm::FedNova);
@@ -230,6 +264,7 @@ mod tests {
         let mut g = GlobalState {
             shared: vec![0.0; 1],
             control: vec![0.0; 1],
+            momentum: Vec::new(),
             buffers: Vec::new(),
         };
         let mut cfg = base_cfg(Algorithm::Scaffold);
@@ -247,6 +282,7 @@ mod tests {
         let mut g = GlobalState {
             shared: vec![0.0; 4],
             control: vec![0.0; 4],
+            momentum: Vec::new(),
             buffers: Vec::new(),
         };
         let cfg = base_cfg(Algorithm::Spatl(SpatlOptions::default()));
@@ -255,12 +291,14 @@ mod tests {
             indices: vec![0, 2],
             values: vec![1.0, 3.0],
             channels: 2,
+            channel_ids: Vec::new(),
         });
         let mut o2 = outcome(1, vec![2.0, 2.0, 2.0, 2.0], 10, 1);
         o2.selected = Some(crate::SelectedUpdate {
             indices: vec![0],
             values: vec![2.0],
             channels: 1,
+            channel_ids: Vec::new(),
         });
         g.aggregate(&cfg, &[o1, o2], 2);
         // Index 0: mean(1, 2) = 1.5. Index 2: 3.0. Indices 1, 3: untouched.
@@ -275,6 +313,7 @@ mod tests {
         let mut g = GlobalState {
             shared: vec![1.0; 2],
             control: Vec::new(),
+            momentum: Vec::new(),
             buffers: Vec::new(),
         };
         let cfg = base_cfg(Algorithm::FedAvg);

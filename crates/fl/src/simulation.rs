@@ -1,7 +1,8 @@
 //! The federated-learning driver: rounds, sampling, evaluation, history.
 
 use crate::{
-    client::write_shared, Algorithm, ClientState, FlConfig, GlobalState, RoundBytes,
+    client::write_shared, wire, Algorithm, ClientState, FlConfig, GlobalState, RoundBytes,
+    WireBytes,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -9,6 +10,7 @@ use spatl_agent::{pretrain_agent, ActorCritic, AgentConfig, PruningEnv};
 use spatl_data::Dataset;
 use spatl_models::{ModelConfig, SplitModel};
 use spatl_tensor::TensorRng;
+use spatl_wire::{SelectionLayout, SimNet};
 
 /// Metrics recorded after each communication round.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -19,8 +21,18 @@ pub struct RoundRecord {
     pub mean_acc: f32,
     /// Per-client accuracy.
     pub per_client_acc: Vec<f32>,
-    /// Bytes moved this round (sum over participants).
+    /// Analytic bytes moved this round, Eq. 13 (sum over participants).
     pub bytes: RoundBytes,
+    /// Measured wire traffic this round (sum over participants); the
+    /// payload components cross-check `bytes` exactly.
+    pub wire: WireBytes,
+    /// Simulated transfer wall-clock of the round (slowest participant's
+    /// download + upload over the configured [`NetProfile`]).
+    ///
+    /// [`NetProfile`]: crate::NetProfile
+    pub transfer_wall_s: f64,
+    /// Sum of every participant's transfer seconds (device-time cost).
+    pub transfer_device_s: f64,
     /// Running total of bytes since round 0.
     pub cumulative_bytes: u64,
     /// Clients whose updates were rejected as non-finite.
@@ -80,6 +92,16 @@ impl RunResult {
         self.rounds_to_target(target)
             .map(|r| self.history[r - 1].cumulative_bytes)
     }
+
+    /// Total simulated transfer wall-clock over the run, in seconds.
+    pub fn total_transfer_s(&self) -> f64 {
+        self.history.iter().map(|r| r.transfer_wall_s).sum()
+    }
+
+    /// Total measured bytes on the wire over the run, framing included.
+    pub fn total_framed_bytes(&self) -> u64 {
+        self.history.iter().map(|r| r.wire.total_framed()).sum()
+    }
 }
 
 /// A complete federated simulation.
@@ -92,6 +114,11 @@ pub struct Simulation {
     pub clients: Vec<ClientState>,
     /// Per-round records so far.
     pub history: Vec<RoundRecord>,
+    /// Channel-id ↔ flat-index map of the session (SPATL with selection
+    /// only); the server expands uploaded channel ids through this.
+    pub layout: Option<SelectionLayout>,
+    /// Transport model frames travel over.
+    pub net: SimNet,
     rng: TensorRng,
     cumulative_bytes: u64,
 }
@@ -125,12 +152,22 @@ impl Simulation {
             })
             .collect();
 
+        let layout = match cfg.algorithm {
+            Algorithm::Spatl(opts) if opts.selection => Some(wire::build_selection_layout(
+                &model,
+                !cfg.algorithm.uses_transfer(),
+            )),
+            _ => None,
+        };
+
         Simulation {
             rng: TensorRng::seed_from(cfg.seed ^ 0x51A1),
+            net: cfg.net.simnet(),
             cfg,
             global,
             clients,
             history: Vec::new(),
+            layout,
             cumulative_bytes: 0,
         }
     }
@@ -186,25 +223,66 @@ impl Simulation {
             v
         };
 
+        // Broadcast: seal the server state once; every participant trains
+        // against the *decoded* copy, so the round's tensors really crossed
+        // the wire in both directions.
+        let p = self.global.shared.len();
+        let down = wire::encode_download(&self.cfg, &self.global);
+        let wire_global = wire::decode_download(&self.cfg, &down.frames, p)
+            .expect("server broadcast must decode");
+
         // Parallel local updates on the sampled clients.
         let cfg = self.cfg;
-        let global = &self.global;
-        let outcomes: Vec<crate::LocalOutcome> = self
+        let global_ref = &wire_global;
+        let mut outcomes: Vec<crate::LocalOutcome> = self
             .clients
             .par_iter_mut()
             .enumerate()
             .filter(|(i, _)| in_round[*i])
-            .map(|(_, c)| c.local_update(&cfg, global, round))
+            .map(|(_, c)| c.local_update(&cfg, global_ref, round))
             .collect();
 
-        // Aggregate.
-        self.global.aggregate(&self.cfg, &outcomes, self.cfg.n_clients);
+        // Wire accounting + transport simulation. Every participant
+        // received the same broadcast frames.
+        let mut wire_total = WireBytes::default();
+        let mut per_client_framed = Vec::with_capacity(outcomes.len());
+        for o in &mut outcomes {
+            o.wire.download_payload = down.payload;
+            o.wire.download_framed = down.framed();
+            // Cross-check: the measured tensor payload must equal the
+            // analytic Eq. 13 accounting, byte for byte.
+            debug_assert_eq!(
+                o.wire.download_payload, o.bytes.download,
+                "download payload"
+            );
+            debug_assert_eq!(o.wire.upload_payload, o.bytes.upload, "upload payload");
+            wire_total.accumulate(&o.wire);
+            per_client_framed.push((
+                o.wire.download_framed as usize,
+                o.wire.upload_framed as usize,
+            ));
+        }
+        let transfer = self.net.round(&per_client_framed);
+
+        // Uplink: the server aggregates what it decodes from each client's
+        // frames, never the in-memory tensors.
+        let received: Vec<crate::LocalOutcome> = outcomes
+            .iter()
+            .map(|o| {
+                wire::decode_upload(&self.cfg, o, self.layout.as_ref(), p)
+                    .expect("client upload must decode")
+            })
+            .collect();
+        self.global
+            .aggregate(&self.cfg, &received, self.cfg.n_clients);
 
         // Account communication.
-        let bytes = outcomes.iter().fold(RoundBytes::default(), |acc, o| RoundBytes {
-            download: acc.download + o.bytes.download,
-            upload: acc.upload + o.bytes.upload,
-        });
+        let bytes = outcomes
+            .iter()
+            .fold(RoundBytes::default(), |acc, o| RoundBytes {
+                download: acc.download + o.bytes.download,
+                upload: acc.upload + o.bytes.upload,
+            });
         self.cumulative_bytes += bytes.total();
         let diverged = outcomes.iter().filter(|o| o.diverged).count();
         let mean_keep =
@@ -221,6 +299,9 @@ impl Simulation {
             mean_acc,
             per_client_acc,
             bytes,
+            wire: wire_total,
+            transfer_wall_s: transfer.wall_clock_s,
+            transfer_device_s: transfer.device_seconds,
             cumulative_bytes: self.cumulative_bytes,
             diverged_clients: diverged,
             mean_keep_ratio: mean_keep,

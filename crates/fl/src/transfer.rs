@@ -39,7 +39,9 @@ pub fn adapt_predictor(
             model.encoder.forward(&batch.images, true);
         }
     }
-    model.encoder.for_each_batchnorm_mut(&mut |bn| bn.momentum = saved_momentum);
+    model
+        .encoder
+        .for_each_batchnorm_mut(&mut |bn| bn.momentum = saved_momentum);
     model.encoder.clear_caches();
     model.encoder.zero_grad();
     for _ in 0..epochs {
@@ -90,8 +92,16 @@ mod tests {
         let enc_before = model.encoder.to_flat();
         let pred_before = model.predictor.to_flat();
         adapt_predictor(&mut model, &train, 2, 0.05, 7);
-        assert_eq!(model.encoder.to_flat(), enc_before, "encoder must stay frozen");
-        assert_ne!(model.predictor.to_flat(), pred_before, "predictor must train");
+        assert_eq!(
+            model.encoder.to_flat(),
+            enc_before,
+            "encoder must stay frozen"
+        );
+        assert_ne!(
+            model.predictor.to_flat(),
+            pred_before,
+            "predictor must train"
+        );
     }
 
     #[test]

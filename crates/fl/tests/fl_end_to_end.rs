@@ -63,7 +63,11 @@ fn fedprox_learns_above_chance() {
 #[test]
 fn scaffold_learns_above_chance() {
     let res = run(Algorithm::Scaffold, 6, 3);
-    assert!(res.best_acc() > 0.25, "SCAFFOLD best acc {}", res.best_acc());
+    assert!(
+        res.best_acc() > 0.25,
+        "SCAFFOLD best acc {}",
+        res.best_acc()
+    );
 }
 
 #[test]
@@ -78,8 +82,16 @@ fn spatl_learns_above_chance_and_selects() {
     assert!(res.best_acc() > 0.25, "SPATL best acc {}", res.best_acc());
     // Selection actually happened: uploads were sparse.
     let last = res.history.last().unwrap();
-    assert!(last.mean_keep_ratio < 1.0, "keep ratio {}", last.mean_keep_ratio);
-    assert!(last.mean_flops_ratio < 1.0, "flops ratio {}", last.mean_flops_ratio);
+    assert!(
+        last.mean_keep_ratio < 1.0,
+        "keep ratio {}",
+        last.mean_keep_ratio
+    );
+    assert!(
+        last.mean_flops_ratio < 1.0,
+        "flops ratio {}",
+        last.mean_flops_ratio
+    );
 }
 
 #[test]
@@ -140,7 +152,10 @@ fn spatl_predictors_diverge_across_clients() {
     // Heterogeneous predictors: clients' heads differ after training.
     let p0 = sim.clients[0].model.predictor.to_flat();
     let p1 = sim.clients[1].model.predictor.to_flat();
-    assert_ne!(p0, p1, "predictors should be client-specific under transfer");
+    assert_ne!(
+        p0, p1,
+        "predictors should be client-specific under transfer"
+    );
     // Encoders agree with the global (after final sync in evaluate_all).
     let e0 = sim.clients[0].model.encoder.to_flat();
     let e1 = sim.clients[1].model.encoder.to_flat();
@@ -160,7 +175,10 @@ fn single_class_clients_do_not_crash() {
             let s = data.subset(&idx);
             let n = s.len();
             // Tiny val split; may contain one class only.
-            (s.subset(&(0..n.max(1) - 1).collect::<Vec<_>>()), s.subset(&[n - 1]))
+            (
+                s.subset(&(0..n.max(1) - 1).collect::<Vec<_>>()),
+                s.subset(&[n - 1]),
+            )
         })
         .collect();
     let mut fl = mini_cfg(Algorithm::FedAvg, 1, 11);

@@ -1,7 +1,9 @@
 //! Invariant and failure-injection tests for the FL machinery.
 
 use spatl_data::{synth_cifar10, Dataset, SynthConfig};
-use spatl_fl::{Algorithm, ClientState, CommModel, FlConfig, GlobalState, Simulation, SpatlOptions};
+use spatl_fl::{
+    Algorithm, ClientState, CommModel, FlConfig, GlobalState, Simulation, SpatlOptions,
+};
 use spatl_models::{ModelConfig, ModelKind};
 use spatl_tensor::TensorRng;
 
@@ -34,7 +36,11 @@ fn spatl_aggregation_never_touches_unselected_weights() {
     // Freeze a snapshot; after one SPATL round, every index NOT selected by
     // any client must be bit-identical to the snapshot.
     let cfg = tiny_cfg(Algorithm::Spatl(SpatlOptions::default()), 3, 1);
-    let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(3, 1));
+    let mut sim = Simulation::new(
+        cfg,
+        ModelConfig::cifar(ModelKind::ResNet20),
+        tiny_shards(3, 1),
+    );
     let before = sim.global.shared.clone();
 
     // Collect the union of selected indices by running the round manually.
@@ -128,7 +134,11 @@ fn comm_model_matches_recorded_bytes_for_all_algorithms() {
         (Algorithm::FedNova, 13),
     ] {
         let cfg = tiny_cfg(alg, 2, seed);
-        let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(2, seed));
+        let mut sim = Simulation::new(
+            cfg,
+            ModelConfig::cifar(ModelKind::ResNet20),
+            tiny_shards(2, seed),
+        );
         let rec = sim.run_round();
         let p = sim.global.shared.len();
         let expect = match alg {
@@ -180,7 +190,11 @@ fn global_state_matches_algorithm_shape() {
 #[test]
 fn deployment_reselection_meets_budget_and_is_idempotent() {
     let cfg = tiny_cfg(Algorithm::Spatl(SpatlOptions::default()), 2, 6);
-    let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(2, 6));
+    let mut sim = Simulation::new(
+        cfg,
+        ModelConfig::cifar(ModelKind::ResNet20),
+        tiny_shards(2, 6),
+    );
     sim.run();
     let c = &mut sim.clients[0];
     c.select_for_deployment(0.7);
@@ -188,7 +202,10 @@ fn deployment_reselection_meets_budget_and_is_idempotent() {
     assert!(r1 <= 0.72, "budget missed: {r1}");
     c.select_for_deployment(0.7);
     let r2 = c.model.flops() as f32 / c.model.flops_dense() as f32;
-    assert!((r1 - r2).abs() < 1e-6, "reselection not idempotent: {r1} vs {r2}");
+    assert!(
+        (r1 - r2).abs() < 1e-6,
+        "reselection not idempotent: {r1} vs {r2}"
+    );
 }
 
 #[test]
@@ -196,7 +213,11 @@ fn per_client_flops_budgets_are_respected() {
     // Resource heterogeneity: a weak device (tight budget) must end up with
     // a smaller deployed model than a strong one, within one federation.
     let cfg = tiny_cfg(Algorithm::Spatl(SpatlOptions::default()), 2, 42);
-    let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(2, 42));
+    let mut sim = Simulation::new(
+        cfg,
+        ModelConfig::cifar(ModelKind::ResNet20),
+        tiny_shards(2, 42),
+    );
     sim.set_client_budgets(&[0.5, 0.95]);
     sim.run();
     let r0 = {
@@ -218,9 +239,17 @@ fn finalize_adapts_only_never_sampled_clients() {
     let mut cfg = tiny_cfg(Algorithm::Spatl(SpatlOptions::default()), 4, 77);
     cfg.sample_ratio = 0.5; // two of four clients participate per round
     cfg.rounds = 1;
-    let mut sim = Simulation::new(cfg, ModelConfig::cifar(ModelKind::ResNet20), tiny_shards(4, 77));
+    let mut sim = Simulation::new(
+        cfg,
+        ModelConfig::cifar(ModelKind::ResNet20),
+        tiny_shards(4, 77),
+    );
     sim.run_round();
-    let heads_before: Vec<Vec<f32>> = sim.clients.iter().map(|c| c.model.predictor.to_flat()).collect();
+    let heads_before: Vec<Vec<f32>> = sim
+        .clients
+        .iter()
+        .map(|c| c.model.predictor.to_flat())
+        .collect();
     let participated: Vec<bool> = sim.clients.iter().map(|c| c.participations > 0).collect();
     assert!(participated.iter().any(|&p| p) && participated.iter().any(|&p| !p));
     let accs = sim.finalize(2);

@@ -108,7 +108,9 @@ mod tests {
     fn rows_are_normalised() {
         let a = Csr::from_edges(3, &[(0, 1), (1, 2)]);
         for row in 0..3 {
-            let s: f32 = (a.indptr[row]..a.indptr[row + 1]).map(|e| a.weights[e]).sum();
+            let s: f32 = (a.indptr[row]..a.indptr[row + 1])
+                .map(|e| a.weights[e])
+                .sum();
             assert!((s - 1.0).abs() < 1e-6);
         }
     }

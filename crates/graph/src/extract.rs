@@ -84,7 +84,13 @@ struct Builder {
 }
 
 impl Builder {
-    fn add_node(&mut self, op: OpKind, channels: usize, spatial: usize, from: Option<usize>) -> usize {
+    fn add_node(
+        &mut self,
+        op: OpKind,
+        channels: usize,
+        spatial: usize,
+        from: Option<usize>,
+    ) -> usize {
         let id = self.ops.len();
         self.ops.push(op);
         self.channels.push(channels);
@@ -147,18 +153,30 @@ pub fn extract(model: &SplitModel) -> CompGraph {
             }
             Node::Residual(blk) => {
                 let entry = cur;
-                let s1 = (spatial + 2 * blk.conv1.padding - blk.conv1.kernel) / blk.conv1.stride + 1;
-                let c1 = b.add_node(OpKind::conv(blk.conv1.kernel), blk.conv1.out_channels, s1, Some(entry));
+                let s1 =
+                    (spatial + 2 * blk.conv1.padding - blk.conv1.kernel) / blk.conv1.stride + 1;
+                let c1 = b.add_node(
+                    OpKind::conv(blk.conv1.kernel),
+                    blk.conv1.out_channels,
+                    s1,
+                    Some(entry),
+                );
                 res_conv1_node[i] = Some(c1);
                 let bn1 = b.add_node(OpKind::BatchNorm, blk.bn1.channels, s1, Some(c1));
                 let r1 = b.add_node(OpKind::Relu, blk.bn1.channels, s1, Some(bn1));
-                let c2 = b.add_node(OpKind::conv(blk.conv2.kernel), blk.conv2.out_channels, s1, Some(r1));
+                let c2 = b.add_node(
+                    OpKind::conv(blk.conv2.kernel),
+                    blk.conv2.out_channels,
+                    s1,
+                    Some(r1),
+                );
                 let bn2 = b.add_node(OpKind::BatchNorm, blk.bn2.channels, s1, Some(c2));
                 let add = b.add_node(OpKind::Add, blk.conv2.out_channels, s1, Some(bn2));
                 // Shortcut path.
                 match &blk.down_conv {
                     Some(dc) => {
-                        let d = b.add_node(OpKind::conv(dc.kernel), dc.out_channels, s1, Some(entry));
+                        let d =
+                            b.add_node(OpKind::conv(dc.kernel), dc.out_channels, s1, Some(entry));
                         let dbn = b.add_node(OpKind::BatchNorm, dc.out_channels, s1, Some(d));
                         b.edges.push((dbn, add));
                     }

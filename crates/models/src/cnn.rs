@@ -20,7 +20,14 @@ pub(crate) fn build_cnn2(config: &ModelConfig) -> (Network, Network, Vec<PrunePo
     let mut prune_points = Vec::new();
 
     let node_idx = nodes.len();
-    nodes.push(Node::Conv(Conv2d::new(config.in_channels, c1, 5, 1, 2, &mut rng)));
+    nodes.push(Node::Conv(Conv2d::new(
+        config.in_channels,
+        c1,
+        5,
+        1,
+        2,
+        &mut rng,
+    )));
     prune_points.push(PrunePoint {
         name: "conv1".to_string(),
         layer: LayerRef::Seq(node_idx),

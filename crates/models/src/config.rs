@@ -120,7 +120,9 @@ mod tests {
 
     #[test]
     fn builders_set_fields() {
-        let c = ModelConfig::cifar(ModelKind::ResNet20).with_seed(9).with_width(0.5);
+        let c = ModelConfig::cifar(ModelKind::ResNet20)
+            .with_seed(9)
+            .with_width(0.5);
         assert_eq!(c.seed, 9);
         assert_eq!(c.width_mult, 0.5);
         assert_eq!(c.num_classes, 10);

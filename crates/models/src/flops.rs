@@ -33,7 +33,13 @@ enum Sig {
     Vector(usize),
 }
 
-fn conv_profile(c: &Conv2d, name: String, in_active: usize, h: usize, w: usize) -> (LayerProfile, Sig) {
+fn conv_profile(
+    c: &Conv2d,
+    name: String,
+    in_active: usize,
+    h: usize,
+    w: usize,
+) -> (LayerProfile, Sig) {
     let g = spatl_tensor::Conv2dGeometry {
         in_channels: c.in_channels,
         in_h: h,

@@ -18,7 +18,14 @@ pub(crate) fn build_cifar_resnet(
     let mut nodes = Vec::new();
     let mut prune_points = Vec::new();
 
-    nodes.push(Node::Conv(Conv2d::new(config.in_channels, widths[0], 3, 1, 1, &mut rng)));
+    nodes.push(Node::Conv(Conv2d::new(
+        config.in_channels,
+        widths[0],
+        3,
+        1,
+        1,
+        &mut rng,
+    )));
     nodes.push(Node::BatchNorm(BatchNorm2d::new(widths[0])));
     nodes.push(Node::Relu(Relu::new()));
 
@@ -27,7 +34,9 @@ pub(crate) fn build_cifar_resnet(
         for blk in 0..n {
             let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
             let node_idx = nodes.len();
-            nodes.push(Node::Residual(Box::new(BasicBlock::new(in_c, out_c, stride, &mut rng))));
+            nodes.push(Node::Residual(Box::new(BasicBlock::new(
+                in_c, out_c, stride, &mut rng,
+            ))));
             prune_points.push(PrunePoint {
                 name: format!("stage{}.block{}.conv1", stage + 1, blk),
                 layer: LayerRef::ResConv1(node_idx),
@@ -58,7 +67,14 @@ pub(crate) fn build_resnet18(config: &ModelConfig) -> (Network, Network, Vec<Pru
     let mut nodes = Vec::new();
     let mut prune_points = Vec::new();
 
-    nodes.push(Node::Conv(Conv2d::new(config.in_channels, widths[0], 3, 1, 1, &mut rng)));
+    nodes.push(Node::Conv(Conv2d::new(
+        config.in_channels,
+        widths[0],
+        3,
+        1,
+        1,
+        &mut rng,
+    )));
     nodes.push(Node::BatchNorm(BatchNorm2d::new(widths[0])));
     nodes.push(Node::Relu(Relu::new()));
 
@@ -67,7 +83,9 @@ pub(crate) fn build_resnet18(config: &ModelConfig) -> (Network, Network, Vec<Pru
         for blk in 0..2 {
             let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
             let node_idx = nodes.len();
-            nodes.push(Node::Residual(Box::new(BasicBlock::new(in_c, out_c, stride, &mut rng))));
+            nodes.push(Node::Residual(Box::new(BasicBlock::new(
+                in_c, out_c, stride, &mut rng,
+            ))));
             prune_points.push(PrunePoint {
                 name: format!("stage{}.block{}.conv1", stage + 1, blk),
                 layer: LayerRef::ResConv1(node_idx),

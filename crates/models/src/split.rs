@@ -198,14 +198,22 @@ mod tests {
     fn check_model(cfg: ModelConfig, batch: usize) {
         let mut model = cfg.build();
         let mut rng = TensorRng::seed_from(1);
-        let x = rng.normal_tensor([batch, cfg.in_channels, cfg.input_hw, cfg.input_hw], 0.0, 1.0);
+        let x = rng.normal_tensor(
+            [batch, cfg.in_channels, cfg.input_hw, cfg.input_hw],
+            0.0,
+            1.0,
+        );
         let y = model.forward(&x, true);
         assert_eq!(y.dims(), &[batch, cfg.num_classes], "{:?}", cfg.kind);
         let gx = model.backward(&Tensor::ones(y.dims().to_vec()));
         assert_eq!(gx.dims(), x.dims());
         assert!(!model.encoder.has_non_finite());
         assert!(!model.predictor.has_non_finite());
-        assert!(!model.prune_points.is_empty(), "{:?} has no prune points", cfg.kind);
+        assert!(
+            !model.prune_points.is_empty(),
+            "{:?} has no prune points",
+            cfg.kind
+        );
         // Every prune point resolves to a conv with the declared channels.
         for p in &model.prune_points {
             assert_eq!(model.conv_at(p.layer).out_channels, p.out_channels);
@@ -349,7 +357,14 @@ mod bn_mask_tests {
     fn clear_masks_revives_bn_channels() {
         let mut m = ModelConfig::cifar(ModelKind::ResNet20).build();
         let ch = m.prune_points[0].out_channels;
-        m.set_mask(0, vec![0.0; ch].into_iter().enumerate().map(|(i, _)| if i == 0 { 1.0 } else { 0.0 }).collect());
+        m.set_mask(
+            0,
+            vec![0.0; ch]
+                .into_iter()
+                .enumerate()
+                .map(|(i, _)| if i == 0 { 1.0 } else { 0.0 })
+                .collect(),
+        );
         m.clear_masks();
         let mut rng = TensorRng::seed_from(2);
         let x = rng.normal_tensor([1, 3, 16, 16], 0.0, 1.0);

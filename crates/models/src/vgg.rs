@@ -1,7 +1,9 @@
 //! VGG-11 with batch normalisation.
 
 use crate::{scaled, LayerRef, ModelConfig, PrunePoint};
-use spatl_nn::{BatchNorm2d, Conv2d, Dropout, GlobalAvgPool, Linear, MaxPool2d, Network, Node, Relu};
+use spatl_nn::{
+    BatchNorm2d, Conv2d, Dropout, GlobalAvgPool, Linear, MaxPool2d, Network, Node, Relu,
+};
 use spatl_tensor::TensorRng;
 
 /// VGG-11 plan: channel widths with 'M' = 2×2 max-pool.

@@ -168,7 +168,10 @@ impl BatchNorm2d {
     /// Backward pass using the standard batch-norm gradient:
     /// `dx = (γ·istd/N) · (N·dy − Σdy − x̂·Σ(dy·x̂))`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("batchnorm backward without forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("batchnorm backward without forward");
         let dims = &cache.dims;
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let spatial = h * w;
@@ -298,7 +301,10 @@ mod tests {
             xm.data_mut()[xi] -= eps;
             let fd = (loss(&bn, &xp) - loss(&bn, &xm)) / (2.0 * eps);
             let an = gx.data()[xi];
-            assert!((fd - an).abs() < 3e-2 * (1.0 + an.abs()), "x[{xi}]: {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 3e-2 * (1.0 + an.abs()),
+                "x[{xi}]: {fd} vs {an}"
+            );
         }
         // Gamma/beta grads.
         for gi in 0..2 {
@@ -308,7 +314,10 @@ mod tests {
             bm.gamma.value.data_mut()[gi] -= eps;
             let fd = (loss(&bp, &x) - loss(&bm, &x)) / (2.0 * eps);
             let an = bn.gamma.grad.data()[gi];
-            assert!((fd - an).abs() < 3e-2 * (1.0 + an.abs()), "gamma[{gi}]: {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 3e-2 * (1.0 + an.abs()),
+                "gamma[{gi}]: {fd} vs {an}"
+            );
         }
     }
 }

@@ -2,7 +2,9 @@
 
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
-use spatl_tensor::{col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor, TensorRng};
+use spatl_tensor::{
+    col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor, TensorRng,
+};
 
 /// A 2-D convolution layer over NCHW inputs.
 ///
@@ -248,7 +250,10 @@ mod tests {
             let down = cm.forward(&x, false).sum();
             let fd = (up - down) / (2.0 * eps);
             let an = conv.weight.grad.data()[wi];
-            assert!((fd - an).abs() < 2e-2 * (1.0 + an.abs()), "w[{wi}]: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                "w[{wi}]: fd={fd} an={an}"
+            );
         }
         for &xi in &[0usize, 7, 24, 49] {
             let mut xp = x.clone();
@@ -259,7 +264,10 @@ mod tests {
             let down = conv.clone().forward(&xm, false).sum();
             let fd = (up - down) / (2.0 * eps);
             let an = gx.data()[xi];
-            assert!((fd - an).abs() < 2e-2 * (1.0 + an.abs()), "x[{xi}]: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                "x[{xi}]: fd={fd} an={an}"
+            );
         }
     }
 

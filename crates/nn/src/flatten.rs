@@ -27,8 +27,13 @@ impl Flatten {
 
     /// Backward pass: reshape gradient back to the input dims.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self.in_dims.as_ref().expect("flatten backward without forward");
-        grad_out.reshape(dims.clone()).expect("flatten grad reshape")
+        let dims = self
+            .in_dims
+            .as_ref()
+            .expect("flatten backward without forward");
+        grad_out
+            .reshape(dims.clone())
+            .expect("flatten grad reshape")
     }
 
     /// Drop cached state.

@@ -34,7 +34,11 @@ impl Linear {
     /// Forward pass over `[batch, in]`.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.dims().len(), 2, "linear input must be [batch, in]");
-        assert_eq!(input.dims()[1], self.in_features, "linear in_features mismatch");
+        assert_eq!(
+            input.dims()[1],
+            self.in_features,
+            "linear in_features mismatch"
+        );
         let mut out = matmul_nt(input, &self.weight.value);
         let b = self.bias.value.data();
         let of = self.out_features;
@@ -53,7 +57,10 @@ impl Linear {
 
     /// Backward pass: accumulate gradients, return input gradient.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cache.as_ref().expect("linear backward without forward");
+        let x = self
+            .cache
+            .as_ref()
+            .expect("linear backward without forward");
         // grad_w = grad_outᵀ · x -> [out, in]
         let gw = matmul_tn(grad_out, x);
         self.weight.grad.add_assign(&gw).expect("linear grad shape");
@@ -109,7 +116,10 @@ mod tests {
             let down = lm.forward(&x, false).sum();
             let fd = (up - down) / (2.0 * eps);
             let an = lin.weight.grad.data()[wi];
-            assert!((fd - an).abs() < 1e-2 * (1.0 + an.abs()), "w[{wi}]: {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 1e-2 * (1.0 + an.abs()),
+                "w[{wi}]: {fd} vs {an}"
+            );
         }
         for xi in 0..x.numel() {
             let mut xp = x.clone();
@@ -120,7 +130,10 @@ mod tests {
             let down = lin.clone().forward(&xm, false).sum();
             let fd = (up - down) / (2.0 * eps);
             let an = gx.data()[xi];
-            assert!((fd - an).abs() < 1e-2 * (1.0 + an.abs()), "x[{xi}]: {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 1e-2 * (1.0 + an.abs()),
+                "x[{xi}]: {fd} vs {an}"
+            );
         }
     }
 

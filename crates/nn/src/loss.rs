@@ -144,7 +144,11 @@ mod tests {
             let mut l1 = CrossEntropyLoss::new();
             let mut l2 = CrossEntropyLoss::new();
             let fd = (l1.forward(&lp, &labels) - l2.forward(&lm, &labels)) / (2.0 * eps);
-            assert!((fd - g.data()[i]).abs() < 1e-3, "i={i}: {fd} vs {}", g.data()[i]);
+            assert!(
+                (fd - g.data()[i]).abs() < 1e-3,
+                "i={i}: {fd} vs {}",
+                g.data()[i]
+            );
         }
     }
 
@@ -174,8 +178,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits =
-            Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
+        let logits = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
     }

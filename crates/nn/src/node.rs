@@ -1,6 +1,9 @@
 //! The layer enum — networks as plain data.
 
-use crate::{AvgPool2d, BasicBlock, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Param, Relu};
+use crate::{
+    AvgPool2d, BasicBlock, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d,
+    Param, Relu,
+};
 use serde::{Deserialize, Serialize};
 use spatl_tensor::Tensor;
 

@@ -54,6 +54,19 @@ impl Sgd {
             velocity: Vec::new(),
         }
     }
+
+    /// The momentum buffer flattened in parameter order, zero-padded to
+    /// `numel` if the optimiser has not stepped yet. FedNova clients
+    /// upload this alongside their normalised gradient.
+    pub fn velocity_flat(&self, numel: usize) -> Vec<f32> {
+        let mut out: Vec<f32> = self
+            .velocity
+            .iter()
+            .flat_map(|t| t.data().iter().copied())
+            .collect();
+        out.resize(numel, 0.0);
+        out
+    }
 }
 
 impl Optimizer for Sgd {

@@ -31,7 +31,10 @@ impl MaxPool2d {
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
     }
 
     /// Forward pass.
@@ -81,7 +84,10 @@ impl MaxPool2d {
 
     /// Backward pass: route gradients to the argmax positions.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("maxpool backward without forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("maxpool backward without forward");
         let mut gx = Tensor::zeros(cache.in_dims.clone());
         let dst = gx.data_mut();
         for (g, &idx) in grad_out.data().iter().zip(&cache.argmax) {
@@ -136,7 +142,8 @@ impl AvgPool2d {
                         let mut acc = 0.0f32;
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
-                                acc += src[in_base + (oy * self.stride + ky) * w + ox * self.stride + kx];
+                                acc += src
+                                    [in_base + (oy * self.stride + ky) * w + ox * self.stride + kx];
                             }
                         }
                         dst[out_base + oy * ow + ox] = acc * inv;
@@ -150,7 +157,10 @@ impl AvgPool2d {
 
     /// Backward pass: spread gradient uniformly over each window.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self.in_dims.as_ref().expect("avgpool backward without forward");
+        let dims = self
+            .in_dims
+            .as_ref()
+            .expect("avgpool backward without forward");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let od = grad_out.dims();
         let (oh, ow) = (od[2], od[3]);
@@ -167,7 +177,10 @@ impl AvgPool2d {
                         let g = src[out_base + oy * ow + ox] * inv;
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
-                                dst[in_base + (oy * self.stride + ky) * w + ox * self.stride + kx] += g;
+                                dst[in_base
+                                    + (oy * self.stride + ky) * w
+                                    + ox * self.stride
+                                    + kx] += g;
                             }
                         }
                     }

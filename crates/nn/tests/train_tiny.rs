@@ -1,6 +1,9 @@
 //! End-to-end sanity: the substrate can actually learn.
 
-use spatl_nn::{accuracy, Adam, Conv2d, CrossEntropyLoss, Flatten, GlobalAvgPool, Linear, Network, Node, Optimizer, Relu, Sgd};
+use spatl_nn::{
+    accuracy, Adam, Conv2d, CrossEntropyLoss, Flatten, GlobalAvgPool, Linear, Network, Node,
+    Optimizer, Relu, Sgd,
+};
 use spatl_tensor::{Tensor, TensorRng};
 
 /// Generate a linearly separable 2-class problem in 8 dims.
@@ -45,7 +48,10 @@ fn mlp_learns_linearly_separable_data() {
     let acc = accuracy(&logits, &labels);
     let final_loss = loss.forward(&logits, &labels);
     assert!(acc > 0.95, "accuracy {acc}");
-    assert!(final_loss < last, "loss did not decrease: {final_loss} vs {last}");
+    assert!(
+        final_loss < last,
+        "loss did not decrease: {final_loss} vs {last}"
+    );
 }
 
 #[test]

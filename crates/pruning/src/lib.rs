@@ -16,6 +16,6 @@ mod select;
 mod sfp;
 
 pub use allocate::{dsa_allocate, uniform_sparsities};
-pub use saliency::{channel_saliency, mask_from_sparsity, apply_sparsities, Criterion};
-pub use select::{salient_param_indices, prune_point_param_names};
+pub use saliency::{apply_sparsities, channel_saliency, mask_from_sparsity, Criterion};
+pub use select::{prune_point_param_names, salient_param_indices};
 pub use sfp::SoftFilterPruner;

@@ -62,7 +62,10 @@ pub fn salient_param_indices(model: &SplitModel) -> Vec<u32> {
             }
         }
     }
-    debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "indices must be sorted unique");
+    debug_assert!(
+        out.windows(2).all(|w| w[0] < w[1]),
+        "indices must be sorted unique"
+    );
     out
 }
 
@@ -121,7 +124,10 @@ mod tests {
             let i = i as usize;
             if i >= wspec.offset && i < wspec.offset + wspec.numel {
                 let ch = (i - wspec.offset) / rows;
-                assert!(conv.channel_mask[ch] != 0.0, "index {i} in pruned channel {ch}");
+                assert!(
+                    conv.channel_mask[ch] != 0.0,
+                    "index {i} in pruned channel {ch}"
+                );
             }
         }
     }

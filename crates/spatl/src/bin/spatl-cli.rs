@@ -30,10 +30,16 @@ fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(map)
 }
 
-fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn get<T: std::str::FromStr>(
+    map: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match map.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: '{v}'")),
     }
 }
 
@@ -125,7 +131,10 @@ fn cmd_pretrain(map: HashMap<String, String>) -> Result<(), String> {
     let env = PruningEnv::new(model, val, budget);
     let mut agent = ActorCritic::new(AgentConfig::default(), seed);
     let mut rng = TensorRng::seed_from(seed ^ 2);
-    println!("pre-training agent on {} pruning ({rounds} rounds)…", model_kind.name());
+    println!(
+        "pre-training agent on {} pruning ({rounds} rounds)…",
+        model_kind.name()
+    );
     let log = pretrain_agent(&mut agent, &env, rounds, 4, 4, &mut rng);
     for (i, r) in log.rewards.iter().enumerate() {
         println!("update {:>3}: mean reward {r:.3}", i + 1);
@@ -184,7 +193,9 @@ fn cmd_transfer(map: HashMap<String, String>) -> Result<(), String> {
 
     let mut model = match map.get("model-file") {
         Some(path) => spatl::load_model(path).map_err(|e| e.to_string())?,
-        None => ModelConfig::cifar(ModelKind::ResNet20).with_seed(seed).build(),
+        None => ModelConfig::cifar(ModelKind::ResNet20)
+            .with_seed(seed)
+            .build(),
     };
     let before = {
         let b = val.as_batch();
@@ -195,7 +206,11 @@ fn cmd_transfer(map: HashMap<String, String>) -> Result<(), String> {
         let b = val.as_batch();
         model.evaluate(&b.images, &b.labels)
     };
-    println!("predictor-only adaptation: {:.1}% → {:.1}%", before * 100.0, after * 100.0);
+    println!(
+        "predictor-only adaptation: {:.1}% → {:.1}%",
+        before * 100.0,
+        after * 100.0
+    );
     Ok(())
 }
 

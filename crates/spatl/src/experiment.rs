@@ -160,8 +160,13 @@ impl ExperimentBuilder {
                 let total = self.n_clients * self.samples_per_client;
                 let data = synth_cifar10(&synth, total, self.seed);
                 let mut rng = TensorRng::seed_from(self.seed ^ 0xDA7A);
-                let parts =
-                    dirichlet_partition(&data.labels, synth.num_classes, self.n_clients, self.beta, &mut rng);
+                let parts = dirichlet_partition(
+                    &data.labels,
+                    synth.num_classes,
+                    self.n_clients,
+                    self.beta,
+                    &mut rng,
+                );
                 let shards: Vec<(Dataset, Dataset)> = parts
                     .into_iter()
                     .map(|idx| data.subset(&idx).split(0.75, &mut rng))
@@ -175,10 +180,13 @@ impl ExperimentBuilder {
                     noise_std: self.noise_std.unwrap_or(0.8),
                     ..SynthConfig::femnist_like()
                 };
-                let writers = synth_femnist(&synth, self.n_clients, self.samples_per_client, self.seed);
+                let writers =
+                    synth_femnist(&synth, self.n_clients, self.samples_per_client, self.seed);
                 let mut rng = TensorRng::seed_from(self.seed ^ 0xFE);
-                let shards: Vec<(Dataset, Dataset)> =
-                    writers.into_iter().map(|d| d.split(0.75, &mut rng)).collect();
+                let shards: Vec<(Dataset, Dataset)> = writers
+                    .into_iter()
+                    .map(|d| d.split(0.75, &mut rng))
+                    .collect();
                 let mut mc = ModelConfig::femnist();
                 mc.kind = self.model;
                 mc.width_mult = self.width_mult;

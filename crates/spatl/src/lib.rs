@@ -45,12 +45,10 @@ pub use experiment::{DatasetKind, ExperimentBuilder};
 /// Convenient glob import for examples and downstream users.
 pub mod prelude {
     pub use crate::{DatasetKind, ExperimentBuilder};
-    pub use spatl_agent::{
-        finetune_agent, pretrain_agent, ActorCritic, AgentConfig, PruningEnv,
-    };
+    pub use spatl_agent::{finetune_agent, pretrain_agent, ActorCritic, AgentConfig, PruningEnv};
     pub use spatl_data::{
-        dirichlet_partition, iid_partition, partition_stats, synth_cifar10, synth_femnist,
-        Dataset, SynthConfig,
+        dirichlet_partition, iid_partition, partition_stats, synth_cifar10, synth_femnist, Dataset,
+        SynthConfig,
     };
     pub use spatl_fl::{
         adapt_predictor, transfer_evaluate, Algorithm, FlConfig, RunResult, Simulation,
@@ -75,3 +73,4 @@ pub use spatl_models as models;
 pub use spatl_nn as nn;
 pub use spatl_pruning as pruning;
 pub use spatl_tensor as tensor;
+pub use spatl_wire as wire;

@@ -176,7 +176,7 @@ mod tests {
         let x = Tensor::from_vec([1, 1, 1, 1], vec![5.0]).unwrap();
         let cols = im2col(&x, &g);
         assert_eq!(cols.dims(), &[1, 9]);
-        let mut expect = vec![0.0; 9];
+        let mut expect = [0.0; 9];
         expect[4] = 5.0; // centre of the 3x3 patch
         assert_eq!(cols.data(), &expect[..]);
     }

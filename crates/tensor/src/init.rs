@@ -38,7 +38,9 @@ impl TensorRng {
 
     /// Standard normal sample scaled by `std` around `mean`.
     pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
-        Normal::new(mean, std).expect("std must be finite").sample(&mut self.rng)
+        Normal::new(mean, std)
+            .expect("std must be finite")
+            .sample(&mut self.rng)
     }
 
     /// Uniform integer in `[0, n)`.

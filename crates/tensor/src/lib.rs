@@ -23,7 +23,7 @@ mod tensor;
 
 pub use im2col::{col2im, im2col, Conv2dGeometry};
 pub use init::TensorRng;
-pub use matmul::{matmul, matmul_into, matmul_tn, matmul_nt};
+pub use matmul::{matmul, matmul_into, matmul_nt, matmul_tn};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -145,7 +145,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut t = Tensor::zeros(dims);
         for v in t.data_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
         }
         t
@@ -168,7 +170,13 @@ mod tests {
 
     #[test]
     fn matches_naive_on_odd_sizes() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (33, 129, 17), (64, 64, 64), (70, 130, 40)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (33, 129, 17),
+            (64, 64, 64),
+            (70, 130, 40),
+        ] {
             let a = rand_t([m, k], (m * k) as u64);
             let b = rand_t([k, n], (k * n + 7) as u64);
             assert_close(&matmul(&a, &b), &naive(&a, &b));

@@ -126,7 +126,10 @@ impl Tensor {
 
     /// Maximum element (negative infinity for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Index of the maximum element of a rank-1 tensor (first on ties).

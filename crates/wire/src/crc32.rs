@@ -1,0 +1,109 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//!
+//! This is the same checksum gzip/zlib/PNG use, so frames can be verified
+//! with standard tooling. Pure std, no `unsafe`.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` in one call.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Incremental CRC-32 state, for checksumming a frame as it is written.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Hasher { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &byte in data {
+            let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+            crc = (crc >> 8) ^ TABLE[idx];
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"spatl wire protocol frame";
+        let mut h = Hasher::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![0u8; 64];
+        let base = crc32(&data);
+        for i in 0..64 {
+            data[i] ^= 1 << (i % 8);
+            assert_ne!(crc32(&data), base, "flip at byte {i} undetected");
+            data[i] ^= 1 << (i % 8);
+        }
+    }
+}

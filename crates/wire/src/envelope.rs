@@ -1,0 +1,237 @@
+//! The frame envelope: a fixed 16-byte header wrapping every payload.
+//!
+//! Layout (all multi-byte fields little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        b"SPTL"
+//! 4       1     version      WIRE_VERSION (currently 1)
+//! 5       1     msg type     MsgType tag byte
+//! 6       2     reserved     zero on encode, ignored on decode
+//! 8       4     payload len  u32, bytes following the header
+//! 12      4     crc32        IEEE CRC-32 of the payload bytes
+//! 16      ...   payload
+//! ```
+//!
+//! The reserved halfword keeps the payload 8-byte-aligned relative to the
+//! frame start and leaves room for flags without a version bump.
+
+use crate::crc32::crc32;
+use crate::error::WireError;
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"SPTL";
+
+/// Protocol version this build encodes and accepts.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Size of the fixed header preceding every payload.
+pub const HEADER_LEN: usize = 16;
+
+/// Message kinds carried over the wire, one per direction/algorithm pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MsgType {
+    /// Server→client: dense f32 model weights (FedAvg / FedProx download,
+    /// FedNova download without momentum).
+    DenseModel = 0x01,
+    /// Client→server: dense f32 model delta (FedAvg / FedProx upload).
+    DenseUpdate = 0x02,
+    /// Server→client: weights + server control variate (SCAFFOLD download).
+    ScaffoldModel = 0x03,
+    /// Client→server: delta + client control-variate delta (SCAFFOLD upload).
+    ScaffoldUpdate = 0x04,
+    /// Server→client: weights + aggregated momentum (FedNova download).
+    FedNovaModel = 0x05,
+    /// Client→server: normalized delta + local momentum (FedNova upload).
+    FedNovaUpdate = 0x06,
+    /// Server→client: encoder parameters (SPATL download), optionally with
+    /// the gradient-control vector.
+    SpatlEncoder = 0x07,
+    /// Client→server: salient values + selected channel ids (SPATL upload).
+    SpatlUpdate = 0x08,
+    /// Either direction: top-k sparse tensor (u32 indices + f32 values).
+    SparseTopK = 0x09,
+    /// Either direction: f16-quantized dense tensor.
+    QuantizedF16 = 0x0A,
+    /// Either direction: batch-norm running statistics, sent as a dense f32
+    /// auxiliary frame next to the main model/update frame.
+    BnStats = 0x0B,
+}
+
+impl MsgType {
+    /// Parse a tag byte.
+    pub fn from_tag(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            0x01 => MsgType::DenseModel,
+            0x02 => MsgType::DenseUpdate,
+            0x03 => MsgType::ScaffoldModel,
+            0x04 => MsgType::ScaffoldUpdate,
+            0x05 => MsgType::FedNovaModel,
+            0x06 => MsgType::FedNovaUpdate,
+            0x07 => MsgType::SpatlEncoder,
+            0x08 => MsgType::SpatlUpdate,
+            0x09 => MsgType::SparseTopK,
+            0x0A => MsgType::QuantizedF16,
+            0x0B => MsgType::BnStats,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+
+    /// The wire tag byte.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Wrap `payload` in a framed envelope.
+pub fn seal(msg: MsgType, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(WIRE_VERSION);
+    frame.push(msg.tag());
+    frame.extend_from_slice(&[0u8; 2]);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Validate a framed envelope and return `(msg type, payload bytes)`.
+///
+/// Checks, in order: length for a header, magic, version, tag, advertised
+/// payload length against the buffer, and finally the payload CRC. The
+/// error reports the *first* failed check, so version mismatches are
+/// reported as such even when the rest of the frame is garbage.
+pub fn open(frame: &[u8]) -> Result<(MsgType, &[u8]), WireError> {
+    if frame.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            available: frame.len(),
+        });
+    }
+    let magic: [u8; 4] = frame[0..4].try_into().expect("sliced 4 bytes");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = frame[4];
+    if version != WIRE_VERSION {
+        return Err(WireError::Version {
+            found: version,
+            supported: WIRE_VERSION,
+        });
+    }
+    let msg = MsgType::from_tag(frame[5])?;
+    let advertised = u32::from_le_bytes(frame[8..12].try_into().expect("sliced 4 bytes")) as usize;
+    let actual = frame.len() - HEADER_LEN;
+    if advertised > actual {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN + advertised,
+            available: frame.len(),
+        });
+    }
+    if advertised < actual {
+        return Err(WireError::LengthMismatch { advertised, actual });
+    }
+    let payload = &frame[HEADER_LEN..];
+    let expected = u32::from_le_bytes(frame[12..16].try_into().expect("sliced 4 bytes"));
+    let computed = crc32(payload);
+    if expected != computed {
+        return Err(WireError::Crc {
+            expected,
+            actual: computed,
+        });
+    }
+    Ok((msg, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_round_trip() {
+        let payload = b"hello federated world";
+        let frame = seal(MsgType::DenseUpdate, payload);
+        assert_eq!(frame.len(), HEADER_LEN + payload.len());
+        let (msg, got) = open(&frame).unwrap();
+        assert_eq!(msg, MsgType::DenseUpdate);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = seal(MsgType::SparseTopK, &[]);
+        let (msg, got) = open(&frame).unwrap();
+        assert_eq!(msg, MsgType::SparseTopK);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn short_frame_is_truncated() {
+        let frame = seal(MsgType::DenseModel, b"abc");
+        for cut in 0..frame.len() {
+            let err = open(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut frame = seal(MsgType::DenseModel, b"abc");
+        frame[0] = b'X';
+        assert!(matches!(open(&frame), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn version_bump_is_version_error_not_panic() {
+        let mut frame = seal(MsgType::DenseModel, b"abc");
+        frame[4] = WIRE_VERSION + 1;
+        assert_eq!(
+            open(&frame).unwrap_err(),
+            WireError::Version {
+                found: WIRE_VERSION + 1,
+                supported: WIRE_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut frame = seal(MsgType::DenseModel, b"abc");
+        frame[5] = 0xEE;
+        // Recompute nothing: tag precedes CRC check and CRC covers payload only.
+        assert_eq!(open(&frame).unwrap_err(), WireError::BadTag(0xEE));
+    }
+
+    #[test]
+    fn payload_corruption_fails_crc() {
+        let mut frame = seal(MsgType::DenseModel, b"abcdefgh");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert!(matches!(open(&frame), Err(WireError::Crc { .. })));
+    }
+
+    #[test]
+    fn trailing_garbage_is_length_mismatch() {
+        let mut frame = seal(MsgType::DenseModel, b"abc");
+        frame.push(0xFF);
+        assert!(matches!(
+            open(&frame),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn all_tags_round_trip() {
+        for tag in 0x01..=0x0B {
+            let msg = MsgType::from_tag(tag).unwrap();
+            assert_eq!(msg.tag(), tag);
+        }
+        assert!(MsgType::from_tag(0x00).is_err());
+        assert!(MsgType::from_tag(0x0C).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type shared by every decoder in the crate.
+//!
+//! Decoders never panic on attacker-controlled (or merely corrupted)
+//! bytes: every failure mode maps to a [`WireError`] variant so callers
+//! can distinguish truncation from corruption from version skew.
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the advertised structure was complete.
+    Truncated {
+        /// Bytes needed to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The frame does not start with the `SPTL` magic.
+    BadMagic([u8; 4]),
+    /// The frame's protocol version is not the one this build speaks.
+    Version {
+        /// Version found in the frame header.
+        found: u8,
+        /// Version this build supports.
+        supported: u8,
+    },
+    /// The message-type tag byte is not a known [`MsgType`](crate::envelope::MsgType).
+    BadTag(u8),
+    /// The payload checksum did not match the header CRC.
+    Crc {
+        /// CRC recorded in the frame header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// The payload length field disagrees with the actual payload.
+    LengthMismatch {
+        /// Length the header advertised.
+        advertised: usize,
+        /// Length implied by the buffer.
+        actual: usize,
+    },
+    /// The payload decoded but its contents are structurally invalid
+    /// (e.g. index out of range, inconsistent counts).
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {available}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?} (expected \"SPTL\")"),
+            WireError::Version { found, supported } => {
+                write!(
+                    f,
+                    "unsupported wire version {found} (this build speaks {supported})"
+                )
+            }
+            WireError::BadTag(t) => write!(f, "unknown message-type tag {t:#04x}"),
+            WireError::Crc { expected, actual } => {
+                write!(
+                    f,
+                    "payload CRC mismatch: header {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            WireError::LengthMismatch { advertised, actual } => {
+                write!(
+                    f,
+                    "payload length mismatch: header says {advertised}, buffer has {actual}"
+                )
+            }
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

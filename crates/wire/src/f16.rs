@@ -1,0 +1,169 @@
+//! IEEE 754 binary16 conversion, implemented on bit patterns (no `unsafe`,
+//! no hardware f16 support assumed).
+//!
+//! Round-to-nearest-even on encode; subnormals, infinities and NaN are
+//! handled on both directions. Values whose magnitude exceeds f16's max
+//! finite value (65504) saturate to ±inf, which the quantized codec
+//! documents as part of its loss model.
+
+/// Convert an f32 to its binary16 bit pattern.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mantissa = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN; preserve a NaN payload bit so NaN stays NaN.
+        let nan_bit = if mantissa != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | nan_bit | ((mantissa >> 13) as u16 & 0x03FF);
+    }
+
+    // Unbiased exponent, rebiasing from f32 (127) to f16 (15).
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflows f16 range: saturate to infinity.
+        return sign | 0x7C00;
+    }
+    if unbiased >= -14 {
+        // Normal f16. Round mantissa from 23 to 10 bits, nearest-even.
+        let mut m = mantissa >> 13;
+        let rest = mantissa & 0x1FFF;
+        if rest > 0x1000 || (rest == 0x1000 && (m & 1) == 1) {
+            m += 1;
+        }
+        let mut e = (unbiased + 15) as u32;
+        if m == 0x400 {
+            // Mantissa rounding carried out; bump the exponent.
+            m = 0;
+            e += 1;
+            if e >= 0x1F {
+                return sign | 0x7C00;
+            }
+        }
+        return sign | ((e as u16) << 10) | (m as u16);
+    }
+    if unbiased >= -24 {
+        // Subnormal f16: shift the implicit leading 1 into the mantissa.
+        let full = mantissa | 0x0080_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let m = full >> shift;
+        let rest = full & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut m = m;
+        if rest > half || (rest == half && (m & 1) == 1) {
+            m += 1;
+        }
+        // A carry here overflows into the smallest normal, which the
+        // bit layout represents correctly (exponent becomes 1).
+        return sign | (m as u16);
+    }
+    // Underflows to signed zero.
+    sign
+}
+
+/// Convert a binary16 bit pattern back to f32.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mantissa = (h & 0x03FF) as u32;
+
+    let bits = match (exp, mantissa) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: normalize by shifting the mantissa up.
+            let lead = m.leading_zeros() - 22; // zeros within the 10-bit field
+            let e = 127 - 15 - lead;
+            let m = (m << (lead + 1)) & 0x03FF;
+            sign | (e << 23) | (m << 13)
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13) | 0x0040_0000,
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &x in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, -65504.0] {
+            let back = f16_bits_to_f32(f32_to_f16_bits(x));
+            assert_eq!(back, x, "{x} -> {back}");
+            assert_eq!(back.is_sign_negative(), x.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)),
+            f32::INFINITY
+        );
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+        // 65520 rounds up past max-finite into infinity.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(65520.0)), f32::INFINITY);
+    }
+
+    #[test]
+    fn tiny_values_flush_or_subnormal() {
+        // Smallest f16 subnormal is 2^-24 ≈ 5.96e-8.
+        let x = 6.0e-8f32;
+        let back = f16_bits_to_f32(f32_to_f16_bits(x));
+        assert!(back > 0.0 && (back - x).abs() < 3.0e-8, "{x} -> {back}");
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1.0e-9)), 0.0);
+    }
+
+    #[test]
+    fn relative_error_within_half_ulp() {
+        // 11-bit significand → relative error ≤ 2^-11 for normal values.
+        let mut x = 1.0e-4f32;
+        while x < 6.0e4 {
+            let back = f16_bits_to_f32(f32_to_f16_bits(x));
+            let rel = ((back - x) / x).abs();
+            assert!(rel <= 1.0 / 2048.0, "x={x} back={back} rel={rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and the next f16 (1 + 2^-10);
+        // nearest-even picks 1.0.
+        let x = 1.0 + f32::powi(2.0, -11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), 1.0);
+        // 1 + 3·2^-11 is between (1+2^-10) and (1+2^-9); even picks 1+2^-9.
+        let x = 1.0 + 3.0 * f32::powi(2.0, -11);
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(x)),
+            1.0 + f32::powi(2.0, -9)
+        );
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_survive_f32_round_trip() {
+        for h in 0..=u16::MAX {
+            let x = f16_bits_to_f32(h);
+            let back = f32_to_f16_bits(x);
+            if x.is_nan() {
+                assert!(f16_bits_to_f32(back).is_nan());
+            } else {
+                assert_eq!(back, h, "bits {h:#06x} -> {x} -> {back:#06x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Selection layout: the model-architecture metadata both ends of a SPATL
+//! session share, mapping *channel ids* (what the upload actually carries)
+//! to *flat parameter indices* (what aggregation operates on).
+//!
+//! SPATL's salient-parameter selection is channel-granular: a client keeps
+//! or drops whole output channels of prunable convolutions, plus every
+//! parameter of non-prunable layers. The upload therefore only needs to
+//! name the surviving channels — 4 bytes each — instead of every surviving
+//! flat index, which is exactly the accounting the paper's Eq. 13 uses.
+//!
+//! The layout is a pure function of the model architecture (shapes, prune
+//! points), *not* of any client's mask, so the server builds it once at
+//! startup and every client implicitly agrees. This keeps the wire format
+//! model-agnostic: the codec moves `(channel ids, values)` and this module
+//! alone knows how channels expand to indices.
+
+use crate::error::WireError;
+
+/// One contiguous run of flat parameter indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexRange {
+    /// First flat index in the run.
+    pub start: u32,
+    /// Number of indices in the run.
+    pub len: u32,
+}
+
+/// Channel-id → flat-index mapping for one model architecture.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionLayout {
+    /// `per_channel[c]` lists the flat-index runs owned by global channel
+    /// id `c` (its conv kernel row and its bias entry, typically).
+    per_channel: Vec<Vec<IndexRange>>,
+    /// Runs always transmitted regardless of selection (non-prunable
+    /// layers: classifier heads, batch-norm affine weights, …).
+    always: Vec<IndexRange>,
+}
+
+impl SelectionLayout {
+    /// Start an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the next channel id; returns the id assigned.
+    pub fn push_channel(&mut self, ranges: Vec<IndexRange>) -> u32 {
+        self.per_channel.push(ranges);
+        (self.per_channel.len() - 1) as u32
+    }
+
+    /// Register flat indices always included in a transfer.
+    pub fn push_always(&mut self, range: IndexRange) {
+        self.always.push(range);
+    }
+
+    /// Number of channel ids this layout knows.
+    pub fn num_channels(&self) -> usize {
+        self.per_channel.len()
+    }
+
+    /// Parameters owned by one channel.
+    pub fn channel_param_count(&self, channel: u32) -> usize {
+        self.per_channel[channel as usize]
+            .iter()
+            .map(|r| r.len as usize)
+            .sum()
+    }
+
+    /// Parameters always included.
+    pub fn always_param_count(&self) -> usize {
+        self.always.iter().map(|r| r.len as usize).sum()
+    }
+
+    /// Total selected parameters for a set of channels (without
+    /// materializing the index list).
+    pub fn selected_param_count(&self, channels: &[u32]) -> usize {
+        self.always_param_count()
+            + channels
+                .iter()
+                .map(|&c| self.channel_param_count(c))
+                .sum::<usize>()
+    }
+
+    /// Expand selected channel ids into the sorted flat-index list the
+    /// aggregation rule (Eq. 12) consumes. Errors on unknown channel ids
+    /// so a corrupted-but-CRC-valid frame cannot panic the server.
+    pub fn expand(&self, channels: &[u32]) -> Result<Vec<u32>, WireError> {
+        let mut out = Vec::with_capacity(self.always_param_count());
+        for r in &self.always {
+            out.extend(r.start..r.start + r.len);
+        }
+        for &c in channels {
+            let ranges = self.per_channel.get(c as usize).ok_or_else(|| {
+                WireError::Malformed(format!(
+                    "channel id {c} out of range (layout has {})",
+                    self.per_channel.len()
+                ))
+            })?;
+            for r in ranges {
+                out.extend(r.start..r.start + r.len);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Invert a flat-index selection into channel ids: a channel is
+    /// selected iff *all* of its indices appear. Used by the encoding side
+    /// to go from a model's salient-index list to the channel ids that
+    /// travel on the wire.
+    pub fn channels_for(&self, sorted_indices: &[u32]) -> Vec<u32> {
+        let contains = |i: u32| sorted_indices.binary_search(&i).is_ok();
+        (0..self.per_channel.len() as u32)
+            .filter(|&c| {
+                let ranges = &self.per_channel[c as usize];
+                !ranges.is_empty()
+                    && ranges
+                        .iter()
+                        .all(|r| (r.start..r.start + r.len).all(contains))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_layout() -> SelectionLayout {
+        // Two prunable channels (a conv row + bias each) and an
+        // always-included classifier tail.
+        let mut l = SelectionLayout::new();
+        l.push_channel(vec![
+            IndexRange { start: 0, len: 3 },
+            IndexRange { start: 6, len: 1 },
+        ]);
+        l.push_channel(vec![
+            IndexRange { start: 3, len: 3 },
+            IndexRange { start: 7, len: 1 },
+        ]);
+        l.push_always(IndexRange { start: 8, len: 4 });
+        l
+    }
+
+    #[test]
+    fn expand_produces_sorted_union() {
+        let l = toy_layout();
+        assert_eq!(l.expand(&[]).unwrap(), vec![8, 9, 10, 11]);
+        assert_eq!(l.expand(&[0]).unwrap(), vec![0, 1, 2, 6, 8, 9, 10, 11]);
+        assert_eq!(l.expand(&[0, 1]).unwrap(), (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn counts_match_expansion() {
+        let l = toy_layout();
+        for channels in [vec![], vec![0], vec![1], vec![0, 1]] {
+            assert_eq!(
+                l.selected_param_count(&channels),
+                l.expand(&channels).unwrap().len()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_channel_is_malformed_not_panic() {
+        let l = toy_layout();
+        assert!(matches!(l.expand(&[7]), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn channels_for_inverts_expand() {
+        let l = toy_layout();
+        for channels in [vec![], vec![0u32], vec![1], vec![0, 1]] {
+            let indices = l.expand(&channels).unwrap();
+            assert_eq!(l.channels_for(&indices), channels);
+        }
+    }
+
+    #[test]
+    fn partial_channel_is_not_selected() {
+        let l = toy_layout();
+        // Channel 0 minus its bias index 6: not fully present.
+        assert_eq!(l.channels_for(&[0, 1, 2, 8, 9, 10, 11]), Vec::<u32>::new());
+    }
+}

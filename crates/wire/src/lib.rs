@@ -1,0 +1,41 @@
+//! spatl-wire: the binary wire protocol for federated rounds.
+//!
+//! Every server↔client exchange in the SPATL simulation moves through
+//! this crate: payload codecs serialize each algorithm's traffic into
+//! little-endian bytes, a fixed 16-byte envelope frames them with a
+//! magic, version, message-type tag, length and CRC-32, and [`SimNet`]
+//! converts the resulting frame sizes into simulated transfer times.
+//!
+//! Module map:
+//!
+//! * [`envelope`] — frame header, [`seal`]/[`open`], [`MsgType`] tags.
+//! * [`codec`] — payload layouts: dense f32, paired vectors (SCAFFOLD /
+//!   FedNova), SPATL encoder download and channel-indexed upload, top-k
+//!   sparse, f16 quantized.
+//! * [`layout`] — [`SelectionLayout`], the channel-id ↔ flat-index map
+//!   shared by both ends of a SPATL session.
+//! * [`sim`] — [`SimNet`] analytic transport model.
+//! * [`crc32`] / [`f16`] — checksum and half-precision primitives.
+//!
+//! Design rules: explicit little-endian everywhere, no `unsafe`, no
+//! self-describing serialization on the hot path, and decoders return
+//! [`WireError`] instead of panicking on any malformed input.
+
+pub mod codec;
+pub mod crc32;
+pub mod envelope;
+pub mod error;
+pub mod f16;
+pub mod layout;
+pub mod sim;
+
+pub use codec::{
+    decode_dense, decode_f16_dense, decode_pair, decode_spatl_encoder, decode_spatl_update,
+    decode_topk, encode_dense, encode_f16_dense, encode_pair, encode_spatl_encoder,
+    encode_spatl_update, encode_topk, Pair, SparseTopK, SpatlEncoder, SpatlUpdate, SPARSE_METADATA,
+    SPATL_UPDATE_METADATA,
+};
+pub use envelope::{open, seal, MsgType, HEADER_LEN, MAGIC, WIRE_VERSION};
+pub use error::WireError;
+pub use layout::{IndexRange, SelectionLayout};
+pub use sim::{LinkSpec, RoundTransfer, SimNet};

@@ -1,0 +1,139 @@
+//! Property-based round-trip tests for every payload codec, plus envelope
+//! corruption properties: a flipped byte fails the CRC, a bumped version
+//! byte yields `WireError::Version`, and no malformed input ever panics.
+
+use proptest::prelude::*;
+use spatl_wire::{
+    decode_dense, decode_f16_dense, decode_pair, decode_spatl_encoder, decode_spatl_update,
+    decode_topk, encode_dense, encode_f16_dense, encode_pair, encode_spatl_encoder,
+    encode_spatl_update, encode_topk, f16, open, seal, MsgType, SparseTopK, WireError, HEADER_LEN,
+};
+
+fn tensor() -> impl Strategy<Value = Vec<f32>> {
+    // Includes the empty and length-1 tensors the codecs must handle.
+    prop::collection::vec(-1.0e3f32..1.0e3, 0..65)
+}
+
+fn nonempty_tensor() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0e3f32..1.0e3, 1..65)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_roundtrip(v in tensor()) {
+        let frame = seal(MsgType::DenseUpdate, &encode_dense(&v));
+        let (msg, payload) = open(&frame).unwrap();
+        prop_assert_eq!(msg, MsgType::DenseUpdate);
+        prop_assert_eq!(decode_dense(payload).unwrap(), v);
+    }
+
+    #[test]
+    fn pair_roundtrip(a in tensor()) {
+        let b: Vec<f32> = a.iter().map(|x| -x * 0.5).collect();
+        let frame = seal(MsgType::ScaffoldUpdate, &encode_pair(&a, &b));
+        let (_, payload) = open(&frame).unwrap();
+        let pair = decode_pair(payload).unwrap();
+        prop_assert_eq!(pair.primary, a);
+        prop_assert_eq!(pair.secondary, b);
+    }
+
+    #[test]
+    fn spatl_encoder_roundtrip(enc in tensor(), with_control in 0u8..2) {
+        let with_control = with_control == 1;
+        let control: Vec<f32> = enc.iter().map(|x| x + 1.0).collect();
+        let body = encode_spatl_encoder(&enc, with_control.then_some(control.as_slice()));
+        let out = decode_spatl_encoder(&body, with_control).unwrap();
+        prop_assert_eq!(out.encoder, enc);
+        prop_assert_eq!(out.control.is_some(), with_control);
+        if let Some(c) = out.control {
+            prop_assert_eq!(c, control);
+        }
+    }
+
+    #[test]
+    fn spatl_update_roundtrip(values in tensor(), stride in 1u32..5) {
+        // Strictly increasing channel ids, decoupled from the value count.
+        let channels: Vec<u32> = (0..values.len() as u32 / 2).map(|i| i * stride).collect();
+        let body = encode_spatl_update(&channels, &values);
+        let update = decode_spatl_update(&body).unwrap();
+        prop_assert_eq!(update.channels, channels);
+        prop_assert_eq!(update.values, values);
+    }
+
+    #[test]
+    fn topk_roundtrip_recovers_largest_magnitudes(dense in nonempty_tensor(), k in 0usize..16) {
+        let k = k.min(dense.len());
+        let sparse = SparseTopK::from_dense(&dense, k);
+        prop_assert_eq!(sparse.indices.len(), k);
+        let body = encode_topk(&sparse);
+        let back = decode_topk(&body).unwrap();
+        prop_assert_eq!(back.dense_len, dense.len() as u32);
+        prop_assert_eq!(&back.indices, &sparse.indices);
+        prop_assert_eq!(&back.values, &sparse.values);
+        // Every kept value is at least as large as every dropped one.
+        let kept_min = sparse.values.iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        for (i, v) in dense.iter().enumerate() {
+            if !sparse.indices.contains(&(i as u32)) && k > 0 {
+                prop_assert!(v.abs() <= kept_min + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_within_half_ulp(v in nonempty_tensor()) {
+        let body = encode_f16_dense(&v);
+        prop_assert_eq!(body.len(), 2 * v.len());
+        let back = decode_f16_dense(&body).unwrap();
+        for (&x, &y) in v.iter().zip(&back) {
+            // 11-bit significand: relative error ≤ 2^-11 in f16's range.
+            prop_assert!((y - x).abs() <= x.abs() / 2048.0 + 1e-7, "{} -> {}", x, y);
+        }
+    }
+
+    #[test]
+    fn flipped_byte_fails_crc(v in nonempty_tensor(), pos_seed in 0usize..1000, bit in 0u8..8) {
+        let mut frame = seal(MsgType::DenseModel, &encode_dense(&v));
+        // Corrupt one payload byte (headers have their own checks).
+        let pos = HEADER_LEN + pos_seed % (frame.len() - HEADER_LEN);
+        frame[pos] ^= 1 << bit;
+        prop_assert!(matches!(open(&frame), Err(WireError::Crc { .. })));
+    }
+
+    #[test]
+    fn bumped_version_is_version_error_not_panic(v in tensor()) {
+        let mut frame = seal(MsgType::DenseModel, &encode_dense(&v));
+        frame[4] = frame[4].wrapping_add(1);
+        prop_assert!(matches!(open(&frame), Err(WireError::Version { .. })));
+    }
+
+    #[test]
+    fn truncation_never_panics(v in tensor(), cut_seed in 0usize..1000) {
+        let frame = seal(MsgType::DenseUpdate, &encode_dense(&v));
+        let cut = cut_seed % frame.len();
+        // Any prefix is an error, never a panic.
+        prop_assert!(open(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_any_decoder(bytes in prop::collection::vec(0u8..255, 0..96)) {
+        // Decoders must reject garbage gracefully, whatever the content.
+        let _ = open(&bytes);
+        let _ = decode_dense(&bytes);
+        let _ = decode_pair(&bytes);
+        let _ = decode_spatl_encoder(&bytes, true);
+        let _ = decode_spatl_encoder(&bytes, false);
+        let _ = decode_spatl_update(&bytes);
+        let _ = decode_topk(&bytes);
+        let _ = decode_f16_dense(&bytes);
+    }
+
+    #[test]
+    fn f16_bits_total_roundtrip(h in 0u16..u16::MAX) {
+        let x = f16::f16_bits_to_f32(h);
+        if !x.is_nan() {
+            prop_assert_eq!(f16::f32_to_f16_bits(x), h);
+        }
+    }
+}

@@ -47,7 +47,11 @@ fn main() {
     let model = train_model(ModelKind::ResNet56, &train, 4, 3);
     let mut dense = model.clone();
     let dense_acc = eval(&mut dense, &val);
-    println!("dense accuracy: {:.1}%  (FLOPs budget: {:.0}%)\n", dense_acc * 100.0, budget * 100.0);
+    println!(
+        "dense accuracy: {:.1}%  (FLOPs budget: {:.0}%)\n",
+        dense_acc * 100.0,
+        budget * 100.0
+    );
 
     // RL agent: pre-train on the pruning environment, then act greedily.
     let env = PruningEnv::new(model.clone(), val.clone(), budget);
@@ -77,13 +81,23 @@ fn main() {
 
     // Uniform L1 at the same budget.
     let mut l1 = model.clone();
-    let uni = spatl::agent::project_to_budget(&l1, &vec![0.0; l1.prune_points.len()], budget, Criterion::L1);
+    let uni = spatl::agent::project_to_budget(
+        &l1,
+        &vec![0.0; l1.prune_points.len()],
+        budget,
+        Criterion::L1,
+    );
     apply_sparsities(&mut l1, &uni, Criterion::L1);
     report("uniform L1", &mut l1);
 
     // FPGM at the same budget.
     let mut fpgm = model.clone();
-    let uni = spatl::agent::project_to_budget(&fpgm, &vec![0.0; fpgm.prune_points.len()], budget, Criterion::Fpgm);
+    let uni = spatl::agent::project_to_budget(
+        &fpgm,
+        &vec![0.0; fpgm.prune_points.len()],
+        budget,
+        Criterion::Fpgm,
+    );
     apply_sparsities(&mut fpgm, &uni, Criterion::Fpgm);
     report("FPGM", &mut fpgm);
 
@@ -95,9 +109,18 @@ fn main() {
 
     // Random control.
     let mut rnd = model.clone();
-    let uni = spatl::agent::project_to_budget(&rnd, &vec![0.0; rnd.prune_points.len()], budget, Criterion::Random(5));
+    let uni = spatl::agent::project_to_budget(
+        &rnd,
+        &vec![0.0; rnd.prune_points.len()],
+        budget,
+        Criterion::Random(5),
+    );
     apply_sparsities(&mut rnd, &uni, Criterion::Random(5));
     report("random channels", &mut rnd);
 
-    println!("\nagent inference cost: {} parameters ({} KB)", agent.num_params(), agent.param_bytes() / 1024);
+    println!(
+        "\nagent inference cost: {} parameters ({} KB)",
+        agent.num_params(),
+        agent.param_bytes() / 1024
+    );
 }

@@ -36,17 +36,25 @@ fn main() {
     let local_val = synth_cifar10(&synth, 40, 1000);
 
     println!("\nphase 2: onboarding a new client (80 local samples)…");
-    let mut fresh = ModelConfig::cifar(ModelKind::ResNet20).with_seed(77).build();
+    let mut fresh = ModelConfig::cifar(ModelKind::ResNet20)
+        .with_seed(77)
+        .build();
     let val_batch = local_val.as_batch();
     let random_acc = fresh.evaluate(&val_batch.images, &val_batch.labels);
-    println!("  random encoder + random head : {:.1}%", random_acc * 100.0);
+    println!(
+        "  random encoder + random head : {:.1}%",
+        random_acc * 100.0
+    );
 
     // Download the federated encoder, keep the head local (Eq. 4).
     fresh.encoder.from_flat(&sim.global.shared);
     let mut adapted = fresh.clone();
     adapt_predictor(&mut adapted, &local_train, 6, 0.05, 5);
     let adapted_acc = adapted.evaluate(&val_batch.images, &val_batch.labels);
-    println!("  federated encoder + local head: {:.1}%", adapted_acc * 100.0);
+    println!(
+        "  federated encoder + local head: {:.1}%",
+        adapted_acc * 100.0
+    );
 
     println!(
         "\nonboarding gain: {:+.1} percentage points without sharing any local data",

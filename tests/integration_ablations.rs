@@ -23,7 +23,11 @@ fn no_selection_means_dense_uploads() {
     };
     let result = run_with(opts, 1);
     for r in &result.history {
-        assert_eq!(r.mean_keep_ratio, 1.0, "round {} uploaded sparsely", r.round);
+        assert_eq!(
+            r.mean_keep_ratio, 1.0,
+            "round {} uploaded sparsely",
+            r.round
+        );
         assert_eq!(r.mean_flops_ratio, 1.0);
     }
 }

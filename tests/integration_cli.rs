@@ -55,7 +55,11 @@ fn tiny_run_completes_and_writes_results() {
         .output()
         .expect("spawn cli");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stdout: {stdout}\nstderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("round   1"), "stdout: {stdout}");
     let loaded = spatl::load_result(&out_file).expect("read results back");
     assert_eq!(loaded.history.len(), 1);
@@ -69,6 +73,10 @@ fn prune_without_agent_uses_uniform_budget() {
         .output()
         .expect("spawn cli");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("FLOPs"), "stdout: {stdout}");
 }

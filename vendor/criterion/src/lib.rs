@@ -1,0 +1,371 @@
+//! Offline stand-in for `criterion`, covering the benchmark surface this
+//! workspace uses: benchmark groups, `Bencher::iter` / `iter_batched`,
+//! `BenchmarkId`, `Throughput::Bytes` reporting, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated so one sample runs long
+//! enough to time reliably (≥ ~2 ms), then `sample_size` samples are taken
+//! and the median ns/iteration is reported to stdout, with MB/s when a
+//! byte throughput is set. No plots, no statistics beyond median/min/max.
+//!
+//! Under `cargo test` (cargo passes `--test` to `harness = false` bench
+//! executables) every benchmark body runs exactly once as a smoke test.
+
+#![allow(clippy::all)]
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` inputs are grouped. All variants behave identically
+/// here: setup runs once per timed invocation, outside the timing window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name: `&str`, `String`, [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Render the display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// ns per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_count: usize,
+    /// Smoke-test mode: run the body once, skip calibration.
+    quick: bool,
+}
+
+const CALIBRATION_TARGET: Duration = Duration::from_millis(2);
+const MAX_CALIBRATION_ITERS: u64 = 1 << 22;
+
+impl Bencher {
+    /// Time `routine`, called in a tight loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            black_box(routine());
+            self.samples.push(0.0);
+            return;
+        }
+        // Calibrate iterations-per-sample so timing noise is amortized.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            if start.elapsed() >= CALIBRATION_TARGET || iters >= MAX_CALIBRATION_ITERS {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` on inputs built by `setup`; setup runs outside the
+    /// timing window.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.quick {
+            black_box(routine(setup()));
+            self.samples.push(0.0);
+            return;
+        }
+        // Calibrate: how many timed invocations make up one sample.
+        let mut iters = 1u64;
+        loop {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            if timed >= CALIBRATION_TARGET || iters >= MAX_CALIBRATION_ITERS {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_count {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            self.samples.push(timed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--test` when running `harness = false` bench
+        // targets under `cargo test`; run one-shot smoke tests then.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 30,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let group = self.benchmark_group(label.clone());
+        group.run(label, None, f);
+        group.finish();
+        self
+    }
+
+    /// Upstream prints the summary report here; no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set per-iteration throughput for MB/s reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.run(label, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        self.run(label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group. (Consumes it; reporting already happened per-bench.)
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&self, label: String, throughput: Option<Throughput>, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+            quick: self.criterion.quick,
+        };
+        f(&mut bencher);
+        if self.criterion.quick {
+            println!("{label}: ok (smoke test)");
+            return;
+        }
+        if bencher.samples.is_empty() {
+            println!("{label}: no samples recorded");
+            return;
+        }
+        let mut xs = bencher.samples;
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let median = xs[xs.len() / 2];
+        let min = xs[0];
+        let max = xs[xs.len() - 1];
+        let rate = match throughput {
+            Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+                // bytes/ns == GB/s; report MB/s.
+                format!("  {:10.1} MB/s", bytes as f64 / median * 1000.0)
+            }
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:10.1} Melem/s", n as f64 / median * 1000.0)
+            }
+            _ => String::new(),
+        };
+        println!("{label}: median {median:12.1} ns/iter  (min {min:.1}, max {max:.1}){rate}");
+    }
+}
+
+/// Declare a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_group(quick: bool) -> Vec<f64> {
+        let mut c = Criterion { quick };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: 3,
+            quick,
+        };
+        bencher.iter(|| black_box(1u64 + 1));
+        g.finish();
+        bencher.samples
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let samples = run_group(true);
+        assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let samples = run_group(false);
+        assert_eq!(samples.len(), 3);
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: 2,
+            quick: false,
+        };
+        let mut built = 0u64;
+        bencher.iter_batched(
+            || {
+                built += 1;
+                vec![1u8; 64]
+            },
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        assert!(built > 0);
+        assert_eq!(bencher.samples.len(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::from_parameter(32).label, "32");
+        assert_eq!(BenchmarkId::new("f", 7).label, "f/7");
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait plus the
+//! three distributions this workspace samples — [`Uniform`], [`Normal`]
+//! (Box-Muller) and [`Dirichlet`] (via Marsaglia-Tsang gamma sampling).
+
+#![allow(clippy::all)]
+use rand::{Rng, RngCore};
+
+/// Types that can draw samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Types [`Uniform`] can sample (floats here; ints go through `Rng::gen_range`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_between<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Uniform f64 in [0, 1) with 53 random bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        low + unit_f64(rng) as f32 * (high - low)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        low + unit_f64(rng) * (high - low)
+    }
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// `U[low, high)`; panics if the range is empty (matching upstream
+    /// rand 0.8's `Uniform::new`).
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new called with empty range");
+        Uniform { low, high }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_between(self.low, self.high, rng)
+    }
+}
+
+/// Error for invalid normal parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f32,
+    std: f32,
+}
+
+impl Normal {
+    /// Construct; errors on non-finite or negative `std`.
+    pub fn new(mean: f32, std: f32) -> Result<Self, NormalError> {
+        if !std.is_finite() || !mean.is_finite() || std < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+/// One standard-normal f64 draw via the Box-Muller transform.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1 = 1.0 - rng.gen::<f64>();
+    let u2 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f32> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        self.mean + self.std * standard_normal(rng) as f32
+    }
+}
+
+/// Error for invalid Dirichlet parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirichletError;
+
+impl std::fmt::Display for DirichletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Dirichlet requires ≥ 2 strictly positive concentrations")
+    }
+}
+
+impl std::error::Error for DirichletError {}
+
+/// Dirichlet distribution over the probability simplex.
+#[derive(Debug, Clone)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Construct from concentration parameters.
+    pub fn new(alpha: &[f64]) -> Result<Self, DirichletError> {
+        if alpha.len() < 2 || alpha.iter().any(|&a| !(a > 0.0) || !a.is_finite()) {
+            return Err(DirichletError);
+        }
+        Ok(Dirichlet {
+            alpha: alpha.to_vec(),
+        })
+    }
+}
+
+/// Gamma(shape, 1) sample via Marsaglia-Tsang, with the `U^(1/α)` boost
+/// for shape < 1.
+fn gamma_sample<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        // G(α) = G(α+1) · U^(1/α).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+impl Distribution<Vec<f64>> for Dirichlet {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut draws: Vec<f64> = self.alpha.iter().map(|&a| gamma_sample(a, rng)).collect();
+        let sum: f64 = draws.iter().sum();
+        if sum <= 0.0 || !sum.is_finite() {
+            // Degenerate underflow (tiny α): fall back to a one-hot at a
+            // uniformly chosen coordinate, the limiting Dir(α→0) behaviour.
+            let k = rng.gen_range(0..draws.len());
+            draws.iter_mut().for_each(|d| *d = 0.0);
+            draws[k] = 1.0;
+            return draws;
+        }
+        draws.iter_mut().for_each(|d| *d /= sum);
+        draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let d = Uniform::new(-2.0f32, 3.0);
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let d = Normal::new(1.0, 2.0).unwrap();
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_std() {
+        assert!(Normal::new(0.0, f32::NAN).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for &beta in &[0.05, 0.5, 5.0] {
+            let d = Dirichlet::new(&vec![beta; 8]).unwrap();
+            for _ in 0..100 {
+                let p = d.sample(&mut r);
+                let sum: f64 = p.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+                assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            }
+        }
+    }
+
+    #[test]
+    fn small_beta_is_skewed_large_beta_is_flat() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let max_of = |beta: f64, r: &mut SmallRng| {
+            let d = Dirichlet::new(&vec![beta; 10]).unwrap();
+            let mut acc = 0.0;
+            for _ in 0..200 {
+                let p = d.sample(r);
+                acc += p.iter().cloned().fold(0.0, f64::max);
+            }
+            acc / 200.0
+        };
+        let skewed = max_of(0.1, &mut r);
+        let flat = max_of(50.0, &mut r);
+        assert!(
+            skewed > flat + 0.2,
+            "expected skew: max@0.1 = {skewed}, max@50 = {flat}"
+        );
+    }
+
+    #[test]
+    fn dirichlet_rejects_bad_alpha() {
+        assert!(Dirichlet::new(&[1.0]).is_err());
+        assert!(Dirichlet::new(&[1.0, 0.0]).is_err());
+    }
+}

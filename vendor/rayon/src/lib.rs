@@ -1,0 +1,513 @@
+//! Offline stand-in for `rayon`, covering the parallel-iterator surface
+//! this workspace uses: `par_iter`, `par_iter_mut`, `par_chunks_mut` on
+//! slices, the `enumerate` / `map` / `filter` adapters, and the `for_each`
+//! / `collect` terminals.
+//!
+//! Execution model: instead of a work-stealing pool, a terminal splits its
+//! source into one contiguous partition per available core and runs each
+//! partition on a `std::thread::scope` thread. Small inputs (and
+//! `par_chunks_mut` under [`PAR_CHUNK_ELEMENTS`] total elements, the hot
+//! matmul path) run inline on the calling thread, so tiny tensor ops pay
+//! no spawn cost. Results are concatenated in partition order, which
+//! preserves item order exactly like rayon's indexed `collect`.
+
+#![allow(clippy::all)]
+use std::num::NonZeroUsize;
+
+/// Below this many base elements a `par_chunks_mut` call runs inline —
+/// thread spawn costs more than the work for small tensors.
+pub const PAR_CHUNK_ELEMENTS: usize = 32_768;
+
+/// A splittable, sequentially drivable work source.
+pub trait ParallelIterator: Sized + Send {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Number of base items remaining (before `filter`).
+    fn len(&self) -> usize;
+
+    /// True when no base items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when this source is worth spawning threads for.
+    fn parallel_worthwhile(&self) -> bool;
+
+    /// Split into two sources at base-item index `i`.
+    fn split_at(self, i: usize) -> (Self, Self);
+
+    /// Drive the whole partition sequentially into `sink`.
+    fn drive(self, sink: &mut dyn FnMut(Self::Item));
+
+    /// Pair every item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            offset: 0,
+        }
+    }
+
+    /// Transform items.
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep items satisfying a predicate.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Clone + Send,
+    {
+        Filter { inner: self, p }
+    }
+
+    /// Run a closure on every item, in parallel partitions.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Clone + Send,
+    {
+        run_parts(self, move |part| {
+            let f = f.clone();
+            let mut sink = move |item| f(item);
+            part.drive(&mut sink);
+        });
+    }
+
+    /// Collect items, preserving order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Sum items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = collect_parts(self, |part| {
+            let mut items = Vec::new();
+            part.drive(&mut |item| items.push(item));
+            items.into_iter().sum::<S>()
+        });
+        parts.into_iter().sum()
+    }
+}
+
+/// Containers buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build from the iterator, preserving item order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let parts = collect_parts(iter, |part| {
+            let mut items = Vec::new();
+            part.drive(&mut |item| items.push(item));
+            items
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `iter` into up to `thread_count` partitions and run `job` on each,
+/// returning per-partition results in order. Falls back to a single inline
+/// call when parallelism isn't worthwhile.
+fn collect_parts<I, R, F>(iter: I, job: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I) -> R + Clone + Send,
+{
+    let threads = thread_count();
+    if threads <= 1 || iter.len() <= 1 || !iter.parallel_worthwhile() {
+        return vec![job(iter)];
+    }
+    let parts = split_into(iter, threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                let job = job.clone();
+                scope.spawn(move || job(part))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+fn run_parts<I, F>(iter: I, job: F)
+where
+    I: ParallelIterator,
+    F: Fn(I) + Clone + Send,
+{
+    let _ = collect_parts(iter, move |part| {
+        job(part);
+    });
+}
+
+fn split_into<I: ParallelIterator>(iter: I, parts: usize) -> Vec<I> {
+    let n = iter.len();
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = iter;
+    // The first `extra` partitions take one extra item.
+    for i in 0..parts - 1 {
+        let take = base + usize::from(i < extra);
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+    }
+    out.push(rest);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel shared-slice iterator.
+pub struct Iter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + Send> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn parallel_worthwhile(&self) -> bool {
+        true
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(i);
+        (Iter { slice: a }, Iter { slice: b })
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        for item in self.slice {
+            sink(item);
+        }
+    }
+}
+
+/// Parallel mutable-slice iterator.
+pub struct IterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn parallel_worthwhile(&self) -> bool {
+        true
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(i);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        for item in self.slice {
+            sink(item);
+        }
+    }
+}
+
+/// Parallel mutable-chunk iterator.
+pub struct ChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn parallel_worthwhile(&self) -> bool {
+        // Chunked slices are the tensor hot path; small tensors stay
+        // inline.
+        self.slice.len() >= PAR_CHUNK_ELEMENTS
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let mid = (i * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            ChunksMut {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ChunksMut {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        for item in self.slice.chunks_mut(self.chunk) {
+            sink(item);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// `enumerate` adapter: items paired with global indices.
+pub struct Enumerate<I> {
+    inner: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn parallel_worthwhile(&self) -> bool {
+        self.inner.parallel_worthwhile()
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let offset = self.offset;
+        let (a, b) = self.inner.split_at(i);
+        (
+            Enumerate { inner: a, offset },
+            Enumerate {
+                inner: b,
+                offset: offset + i,
+            },
+        )
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        let mut idx = self.offset;
+        self.inner.drive(&mut |item| {
+            sink((idx, item));
+            idx += 1;
+        });
+    }
+}
+
+/// `map` adapter.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn parallel_worthwhile(&self) -> bool {
+        self.inner.parallel_worthwhile()
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(i);
+        (
+            Map {
+                inner: a,
+                f: self.f.clone(),
+            },
+            Map {
+                inner: b,
+                f: self.f,
+            },
+        )
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        let f = self.f;
+        self.inner.drive(&mut |item| sink(f(item)));
+    }
+}
+
+/// `filter` adapter.
+pub struct Filter<I, P> {
+    inner: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Clone + Send,
+{
+    type Item = I::Item;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn parallel_worthwhile(&self) -> bool {
+        self.inner.parallel_worthwhile()
+    }
+
+    fn split_at(self, i: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(i);
+        (
+            Filter {
+                inner: a,
+                p: self.p.clone(),
+            },
+            Filter {
+                inner: b,
+                p: self.p,
+            },
+        )
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        let p = self.p;
+        self.inner.drive(&mut |item| {
+            if p(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice entry points
+// ---------------------------------------------------------------------------
+
+/// `par_iter` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> Iter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+    /// Parallel iterator over mutable chunks of `chunk` elements.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunksMut { slice: self, chunk }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_filter_map_collect() {
+        let mut xs: Vec<u64> = vec![7; 100];
+        let picked: Vec<u64> = xs
+            .par_iter_mut()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(i, v)| {
+                *v += 1;
+                i as u64
+            })
+            .collect();
+        assert_eq!(picked, (0..100).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+        // Non-selected items untouched.
+        assert_eq!(xs.iter().filter(|&&v| v == 8).count(), 34);
+    }
+
+    #[test]
+    fn for_each_mutates_every_item() {
+        let mut xs = vec![0u32; 1000];
+        xs.par_iter_mut().for_each(|v| *v += 5);
+        assert!(xs.iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    fn chunks_cover_slice_in_order() {
+        let mut xs: Vec<usize> = vec![0; 100_000];
+        xs.par_chunks_mut(333).enumerate().for_each(|(blk, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = blk;
+            }
+        });
+        for (i, &v) in xs.iter().enumerate() {
+            assert_eq!(v, i / 333);
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut xs: Vec<u8> = Vec::new();
+        let out: Vec<u8> = xs.par_iter_mut().map(|v| *v).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let xs: Vec<u64> = (0..50_000).collect();
+        let total: u64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(total, xs.iter().sum::<u64>());
+    }
+}
