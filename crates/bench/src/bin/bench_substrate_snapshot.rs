@@ -1,0 +1,236 @@
+//! Compute-substrate performance snapshot.
+//!
+//! Measures the kernels every experiment's wall-clock reduces to — matmul
+//! GFLOP/s at the shapes ResNet-20 and VGG-11 actually produce, `im2col`
+//! bandwidth, and one simulated federated round — and writes the numbers to
+//! `BENCH_substrate.json` at the repo root so subsequent PRs have a
+//! comparable baseline on the same machine.
+//!
+//! `SPATL_EXP_SCALE=quick` runs a fast smoke pass (CI); the default takes a
+//! few seconds. `SPATL_BENCH_OUT` overrides the output path.
+
+use serde_json::json;
+use spatl::prelude::*;
+use spatl::tensor::{im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor};
+use std::time::Instant;
+
+/// Median seconds per call over `samples` timed samples, with enough
+/// iterations per sample for the clock to resolve the body.
+fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
+    // Calibrate: grow iterations until one sample takes ≥ ~2 ms.
+    let mut iters = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t0.elapsed().as_secs_f64() >= 2e-3 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    per_call[per_call.len() / 2]
+}
+
+fn rand_t(dims: [usize; 2], rng: &mut TensorRng) -> Tensor {
+    rng.normal_tensor(dims, 0.0, 1.0)
+}
+
+struct MatmulCase {
+    /// Stable label, also the JSON key.
+    name: &'static str,
+    /// Which kernel variant the model layer calls.
+    variant: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+}
+
+/// The GEMM shapes the scaled-down SPATL models spend their time in
+/// (batch 8, 16×16 inputs — see `ModelConfig::cifar`).
+const MATMUL_CASES: &[MatmulCase] = &[
+    // VGG-11 classifier `Linear(128, 128)` at batch 256: y = x·Wᵀ.
+    MatmulCase {
+        name: "vgg11_classifier",
+        variant: "nt",
+        m: 256,
+        n: 128,
+        k: 128,
+    },
+    // VGG-11 widest conv (128→128ch, 3×3) lowered: cols · Wᵀ.
+    MatmulCase {
+        name: "vgg11_conv",
+        variant: "nt",
+        m: 2048,
+        n: 128,
+        k: 1152,
+    },
+    // Same conv's weight gradient: grad_rowsᵀ · cols.
+    MatmulCase {
+        name: "vgg11_conv_gradw",
+        variant: "tn",
+        m: 128,
+        n: 1152,
+        k: 2048,
+    },
+    // ResNet-20 stage-1 conv (16→16ch, 3×3).
+    MatmulCase {
+        name: "resnet20_conv",
+        variant: "nt",
+        m: 2048,
+        n: 16,
+        k: 144,
+    },
+    // Square reference points.
+    MatmulCase {
+        name: "square_128",
+        variant: "nn",
+        m: 128,
+        n: 128,
+        k: 128,
+    },
+    MatmulCase {
+        name: "square_256",
+        variant: "nn",
+        m: 256,
+        n: 256,
+        k: 256,
+    },
+];
+
+fn main() {
+    let quick = matches!(std::env::var("SPATL_EXP_SCALE").as_deref(), Ok("quick"));
+    let samples = if quick { 1 } else { 7 };
+    let mut rng = TensorRng::seed_from(42);
+
+    let mut matmul_rows: Vec<(String, serde_json::Value)> = Vec::new();
+    for case in MATMUL_CASES {
+        let (a, b) = match case.variant {
+            "nt" => (
+                rand_t([case.m, case.k], &mut rng),
+                rand_t([case.n, case.k], &mut rng),
+            ),
+            "tn" => (
+                rand_t([case.k, case.m], &mut rng),
+                rand_t([case.k, case.n], &mut rng),
+            ),
+            _ => (
+                rand_t([case.m, case.k], &mut rng),
+                rand_t([case.k, case.n], &mut rng),
+            ),
+        };
+        let secs = match case.variant {
+            "nt" => time_median(samples, || {
+                std::hint::black_box(matmul_nt(&a, &b));
+            }),
+            "tn" => time_median(samples, || {
+                std::hint::black_box(matmul_tn(&a, &b));
+            }),
+            _ => time_median(samples, || {
+                std::hint::black_box(matmul(&a, &b));
+            }),
+        };
+        let gflops = 2.0 * (case.m * case.n * case.k) as f64 / secs / 1e9;
+        println!(
+            "matmul/{:<18} {:>4}x{:<4}x{:<4} [{}] {:>10.1} µs  {:>7.2} GFLOP/s",
+            case.name,
+            case.m,
+            case.n,
+            case.k,
+            case.variant,
+            secs * 1e6,
+            gflops
+        );
+        matmul_rows.push((
+            case.name.to_string(),
+            json!({
+                "variant": case.variant,
+                "m": case.m, "n": case.n, "k": case.k,
+                "seconds": secs,
+                "gflops": gflops,
+            }),
+        ));
+    }
+
+    // im2col bandwidth at the ResNet/VGG body shape (batch 8, 16ch, 16×16,
+    // 3×3 stride-1 pad-1). GB/s counts the patch matrix written.
+    let x = rng.normal_tensor([8, 16, 16, 16], 0.0, 1.0);
+    let g = Conv2dGeometry {
+        in_channels: 16,
+        in_h: 16,
+        in_w: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let out_bytes = (8 * g.cols() * g.patch_len() * std::mem::size_of::<f32>()) as f64;
+    let secs = time_median(samples, || {
+        std::hint::black_box(im2col(&x, &g));
+    });
+    let im2col_gbps = out_bytes / secs / 1e9;
+    println!(
+        "im2col/8x16x16x16_k3            {:>10.1} µs  {:>7.2} GB/s written",
+        secs * 1e6,
+        im2col_gbps
+    );
+
+    // One simulated FL round (FedAvg, miniature scale — matches
+    // bench_fl_round's configuration).
+    let build = || {
+        ExperimentBuilder::new(Algorithm::FedAvg)
+            .clients(3)
+            .samples_per_client(24)
+            .rounds(1)
+            .local_epochs(1)
+            .batch_size(12)
+            .seed(5)
+            .build()
+    };
+    let round_samples = if quick { 1 } else { 5 };
+    let mut round_secs: Vec<f64> = (0..round_samples)
+        .map(|_| {
+            let mut sim = build();
+            let t0 = Instant::now();
+            sim.run_round();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    round_secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let round_sec = round_secs[round_secs.len() / 2];
+    println!(
+        "fl_round/fedavg_3clients        {:>10.1} ms",
+        round_sec * 1e3
+    );
+
+    let out = json!({
+        "schema": 1,
+        "mode": if quick { "quick" } else { "full" },
+        "matmul": serde_json::Value::Map(matmul_rows),
+        "im2col": json!({
+            "shape": "8x16x16x16_k3s1p1",
+            "seconds": secs,
+            "gbps_written": im2col_gbps,
+        }),
+        "fl_round": json!({
+            "config": "fedavg_3clients_24samples_1epoch",
+            "seconds": round_sec,
+        }),
+    });
+    let path = std::env::var("SPATL_BENCH_OUT").unwrap_or_else(|_| "BENCH_substrate.json".into());
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&out).expect("serialise"),
+    )
+    .expect("write BENCH_substrate.json");
+    println!("wrote {path}");
+}

@@ -53,7 +53,13 @@ fn main() {
         println!("## Table I — total bytes to target (speed-up vs FedAvg)");
         let runs: Vec<&serde_json::Value> = v.as_array().into_iter().flatten().collect();
         let mut t = Table::new(&[
-            "model", "algorithm", "rounds", "total MB", "wire MB", "transfer", "speedup",
+            "model",
+            "algorithm",
+            "rounds",
+            "total MB",
+            "wire MB",
+            "transfer",
+            "speedup",
         ]);
         for model in ["ResNet-20", "ResNet-32", "VGG-11"] {
             let fedavg: Option<f64> = runs
@@ -94,7 +100,12 @@ fn main() {
     if let Some(v) = load("table2_convergence") {
         println!("## Table II — converge accuracy / cost");
         let mut t = Table::new(&[
-            "model", "clients", "algorithm", "final acc", "total MB", "transfer",
+            "model",
+            "clients",
+            "algorithm",
+            "final acc",
+            "total MB",
+            "transfer",
         ]);
         for r in v.as_array().into_iter().flatten() {
             let transfer = r["transfer_s"]

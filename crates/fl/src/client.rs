@@ -176,9 +176,13 @@ impl ClientState {
                 self.model.zero_grad();
                 let emb = self.model.encoder.forward(&batch.images, true);
                 let logits = self.model.predictor.forward(&emb, true);
+                self.model.encoder.recycle(emb);
                 loss.forward(&logits, &batch.labels);
+                self.model.predictor.recycle(logits);
                 let g = loss.backward();
-                self.model.predictor.backward(&g);
+                let gemb = self.model.predictor.backward(&g);
+                self.model.predictor.recycle(g);
+                self.model.predictor.recycle(gemb);
                 opt_pred.step(&mut self.model.predictor);
             }
             self.model.encoder.clear_caches();
@@ -189,8 +193,11 @@ impl ClientState {
                 self.model.zero_grad();
                 let logits = self.model.forward(&batch.images, true);
                 loss.forward(&logits, &batch.labels);
+                self.model.recycle(logits);
                 let g = loss.backward();
-                self.model.backward(&g);
+                let gx = self.model.backward(&g);
+                self.model.recycle(g);
+                self.model.recycle(gx);
 
                 // FedProx: + μ(w − w_global) on the shared part.
                 if let Algorithm::FedProx { mu } = cfg.algorithm {

@@ -36,7 +36,8 @@ pub fn adapt_predictor(
     };
     for _ in 0..2 {
         for batch in train.batches(64, &mut rng).into_iter().take(6) {
-            model.encoder.forward(&batch.images, true);
+            let emb = model.encoder.forward(&batch.images, true);
+            model.encoder.recycle(emb);
         }
     }
     model
@@ -51,9 +52,13 @@ pub fn adapt_predictor(
             // must not drift either.
             let emb = model.encoder.forward(&batch.images, false);
             let logits = model.predictor.forward(&emb, true);
+            model.encoder.recycle(emb);
             last = loss_fn.forward(&logits, &batch.labels);
+            model.predictor.recycle(logits);
             let g = loss_fn.backward();
-            model.predictor.backward(&g);
+            let gemb = model.predictor.backward(&g);
+            model.predictor.recycle(g);
+            model.predictor.recycle(gemb);
             opt.step(&mut model.predictor);
         }
     }

@@ -66,13 +66,25 @@ impl SplitModel {
     /// Full forward pass: encoder then predictor.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let emb = self.encoder.forward(input, train);
-        self.predictor.forward(&emb, train)
+        let out = self.predictor.forward(&emb, train);
+        self.encoder.recycle(emb);
+        out
     }
 
-    /// Full backward pass; returns the gradient w.r.t. the input.
+    /// Full backward pass; returns the gradient w.r.t. the input
+    /// (recyclable via [`SplitModel::recycle`]).
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let g = self.predictor.backward(grad_out);
-        self.encoder.backward(&g)
+        let gx = self.encoder.backward(&g);
+        self.predictor.recycle(g);
+        gx
+    }
+
+    /// Return a tensor produced by [`SplitModel::forward`] /
+    /// [`SplitModel::backward`] to the scratch pools once consumed, keeping
+    /// steady-state local training allocation-free.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.encoder.recycle(t);
     }
 
     /// Zero gradients in both parts.

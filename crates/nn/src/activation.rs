@@ -1,7 +1,7 @@
 //! Activation functions.
 
 use serde::{Deserialize, Serialize};
-use spatl_tensor::Tensor;
+use spatl_tensor::{Tensor, Workspace};
 
 /// Rectified linear unit, `y = max(x, 0)`, applied element-wise.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -18,19 +18,31 @@ impl Relu {
 
     /// Forward pass; caches the activation mask when `train` is set.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut out = input.clone();
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing the output from `ws`; the boolean mask buffer is
+    /// reused across steps in place.
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let mut out = ws.take_tensor(input.dims().to_vec());
         if train {
-            let mut mask = vec![false; input.numel()];
-            for (i, v) in out.data_mut().iter_mut().enumerate() {
-                if *v > 0.0 {
+            let mut mask = self.mask.take().unwrap_or_default();
+            mask.clear();
+            mask.resize(input.numel(), false);
+            for (i, (d, &s)) in out.data_mut().iter_mut().zip(input.data()).enumerate() {
+                if s > 0.0 {
                     mask[i] = true;
+                    *d = s;
                 } else {
-                    *v = 0.0;
+                    *d = 0.0;
                 }
             }
             self.mask = Some(mask);
         } else {
-            out.map_in_place(|v| v.max(0.0));
+            for (d, &s) in out.data_mut().iter_mut().zip(input.data()) {
+                *d = s.max(0.0);
+            }
             self.mask = None;
         }
         out
@@ -38,12 +50,16 @@ impl Relu {
 
     /// Backward pass: gradient flows only through positive activations.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing the gradient buffer from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let mask = self.mask.as_ref().expect("relu backward without forward");
-        let mut g = grad_out.clone();
-        for (v, &m) in g.data_mut().iter_mut().zip(mask) {
-            if !m {
-                *v = 0.0;
-            }
+        let mut g = ws.take_tensor(grad_out.dims().to_vec());
+        for ((d, &s), &m) in g.data_mut().iter_mut().zip(grad_out.data()).zip(mask) {
+            *d = if m { s } else { 0.0 };
         }
         g
     }

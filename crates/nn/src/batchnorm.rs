@@ -2,7 +2,7 @@
 
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
-use spatl_tensor::Tensor;
+use spatl_tensor::{Tensor, Workspace};
 
 /// Batch normalisation over the channel dimension of NCHW inputs.
 ///
@@ -40,7 +40,7 @@ pub struct BatchNorm2d {
 struct BnCache {
     x_hat: Tensor,
     inv_std: Vec<f32>,
-    dims: Vec<usize>,
+    dims: [usize; 4],
 }
 
 impl BatchNorm2d {
@@ -72,21 +72,34 @@ impl BatchNorm2d {
 
     /// Forward pass over `[n, c, h, w]`.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let dims = input.dims().to_vec();
-        assert_eq!(dims.len(), 4, "batchnorm input must be NCHW");
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing all temporaries from `ws`. Identical arithmetic
+    /// to [`BatchNorm2d::forward`] (which delegates here).
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let dims_slice = input.dims();
+        assert_eq!(dims_slice.len(), 4, "batchnorm input must be NCHW");
+        let dims = [dims_slice[0], dims_slice[1], dims_slice[2], dims_slice[3]];
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         assert_eq!(c, self.channels, "batchnorm channel mismatch");
         let spatial = h * w;
         let count = (n * spatial) as f32;
 
-        let mut out = Tensor::zeros(dims.clone());
+        // The previous step's normalised-activation cache feeds this step.
+        if let Some(old) = self.cache.take() {
+            ws.recycle(old.x_hat);
+            ws.give(old.inv_std);
+        }
+        let mut out = ws.take_tensor(dims.to_vec());
         let src = input.data();
         let gamma = self.gamma.value.data();
         let beta = self.beta.value.data();
 
         if train {
-            let mut x_hat = Tensor::zeros(dims.clone());
-            let mut inv_std = vec![0.0f32; c];
+            let mut x_hat = ws.take_tensor(dims.to_vec());
+            let mut inv_std = ws.take(c);
             for ch in 0..c {
                 // Batch statistics for this channel.
                 let mut mean = 0.0f32;
@@ -145,7 +158,6 @@ impl BatchNorm2d {
                     }
                 }
             }
-            self.cache = None;
         }
         if self.channel_mask.iter().any(|&m| m != 1.0) {
             let dst = out.data_mut();
@@ -168,19 +180,26 @@ impl BatchNorm2d {
     /// Backward pass using the standard batch-norm gradient:
     /// `dx = (γ·istd/N) · (N·dy − Σdy − x̂·Σ(dy·x̂))`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing all temporaries from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = self
             .cache
             .as_ref()
             .expect("batchnorm backward without forward");
-        let dims = &cache.dims;
+        let dims = cache.dims;
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let spatial = h * w;
         let count = (n * spatial) as f32;
 
-        let mut gated;
-        let gy: &[f32] = if self.channel_mask.iter().any(|&m| m != 1.0) {
-            gated = grad_out.clone();
-            let d = gated.data_mut();
+        let mut gated = None;
+        if self.channel_mask.iter().any(|&m| m != 1.0) {
+            let mut t = ws.take_tensor(dims.to_vec());
+            t.data_mut().copy_from_slice(grad_out.data());
+            let d = t.data_mut();
             for ch in 0..c {
                 let m = self.channel_mask[ch];
                 if m == 1.0 {
@@ -193,14 +212,16 @@ impl BatchNorm2d {
                     }
                 }
             }
-            gated.data()
-        } else {
-            grad_out.data()
+            gated = Some(t);
+        }
+        let gy: &[f32] = match &gated {
+            Some(t) => t.data(),
+            None => grad_out.data(),
         };
         let xh = cache.x_hat.data();
         let gamma = self.gamma.value.data();
 
-        let mut gx = Tensor::zeros(dims.clone());
+        let mut gx = ws.take_tensor(dims.to_vec());
         #[allow(clippy::needless_range_loop)] // ch co-indexes gamma, inv_std and strided buffers
         for ch in 0..c {
             let mut sum_dy = 0.0f32;
@@ -224,6 +245,9 @@ impl BatchNorm2d {
                         coef * (count * gy[base + i] - sum_dy - xh[base + i] * sum_dy_xhat);
                 }
             }
+        }
+        if let Some(t) = gated {
+            ws.recycle(t);
         }
         gx
     }

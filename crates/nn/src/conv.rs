@@ -3,7 +3,8 @@
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
 use spatl_tensor::{
-    col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor, TensorRng,
+    col2im_into, im2col_into, matmul_into, matmul_nt_into, matmul_tn_into, Conv2dGeometry, Tensor,
+    TensorRng, Workspace,
 };
 
 /// A 2-D convolution layer over NCHW inputs.
@@ -98,35 +99,49 @@ impl Conv2d {
 
     /// Forward pass over `[n, c, h, w]`.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing all temporaries from `ws`. Identical arithmetic
+    /// to [`Conv2d::forward`] (which delegates here), but steady-state
+    /// allocation-free once the workspace is warm.
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let dims = input.dims();
         assert_eq!(dims.len(), 4, "conv input must be NCHW");
         let (n, _c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let g = self.geometry(h, w);
         let (oh, ow) = (g.out_h(), g.out_w());
 
-        let cols = im2col(input, &g);
+        // The previous step's cached patch matrix feeds this step's buffers.
+        if let Some(old) = self.cache.take() {
+            ws.recycle(old.cols);
+        }
+        let mut cols = ws.take_tensor([n * g.cols(), g.patch_len()]);
+        im2col_into(input, &g, &mut cols);
         // rows: [n·oh·ow, patch] · [patch, out_c] -> [n·oh·ow, out_c]
-        let rows = matmul_nt(&cols, &self.weight.value);
-        let mut out = Tensor::zeros([n, self.out_channels, oh, ow]);
+        let mut rows = ws.take_tensor([n * g.cols(), self.out_channels]);
+        matmul_nt_into(&cols, &self.weight.value, &mut rows);
+        let mut out = ws.take_tensor([n, self.out_channels, oh, ow]);
         let spatial = oh * ow;
         {
             let src = rows.data();
             let dst = out.data_mut();
             let b = self.bias.value.data();
+            // Every output element is written (masked channels as explicit
+            // zeros), so the recycled buffer needs no pre-clearing.
             for img in 0..n {
                 for pos in 0..spatial {
                     let row = (img * spatial + pos) * self.out_channels;
                     for oc in 0..self.out_channels {
                         let m = self.channel_mask[oc];
-                        if m == 0.0 {
-                            continue;
-                        }
                         dst[(img * self.out_channels + oc) * spatial + pos] =
                             (src[row + oc] + b[oc]) * m;
                     }
                 }
             }
         }
+        ws.recycle(rows);
         if train {
             self.cache = Some(ConvCache {
                 cols,
@@ -134,7 +149,7 @@ impl Conv2d {
                 batch: n,
             });
         } else {
-            self.cache = None;
+            ws.recycle(cols);
         }
         out
     }
@@ -142,6 +157,13 @@ impl Conv2d {
     /// Backward pass: accumulate weight/bias gradients and return the
     /// gradient with respect to the input.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing all temporaries from `ws`; see
+    /// [`Conv2d::forward_ws`].
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = self.cache.as_ref().expect("conv backward without forward");
         let g = cache.geometry;
         let n = cache.batch;
@@ -149,17 +171,14 @@ impl Conv2d {
         let spatial = oh * ow;
 
         // NCHW grad -> row-major [n·oh·ow, out_c] applying the channel mask
-        // (masked channels contribute no gradient).
-        let mut grad_rows = Tensor::zeros([n * spatial, self.out_channels]);
+        // (masked channels contribute no gradient; every element written).
+        let mut grad_rows = ws.take_tensor([n * spatial, self.out_channels]);
         {
             let src = grad_out.data();
             let dst = grad_rows.data_mut();
             for img in 0..n {
                 for oc in 0..self.out_channels {
                     let m = self.channel_mask[oc];
-                    if m == 0.0 {
-                        continue;
-                    }
                     for pos in 0..spatial {
                         dst[(img * spatial + pos) * self.out_channels + oc] =
                             src[(img * self.out_channels + oc) * spatial + pos] * m;
@@ -169,8 +188,10 @@ impl Conv2d {
         }
 
         // grad_w = grad_rowsᵀ · cols  -> [out_c, patch]
-        let gw = matmul_tn(&grad_rows, &cache.cols);
+        let mut gw = ws.take_tensor([self.out_channels, g.patch_len()]);
+        matmul_tn_into(&grad_rows, &cache.cols, &mut gw);
         self.weight.grad.add_assign(&gw).expect("weight grad shape");
+        ws.recycle(gw);
 
         // grad_b = column sums of grad_rows.
         {
@@ -184,8 +205,13 @@ impl Conv2d {
         }
 
         // grad_cols = grad_rows · w -> [n·oh·ow, patch]; grad_x = col2im.
-        let grad_cols = matmul(&grad_rows, &self.weight.value);
-        col2im(&grad_cols, &g, n)
+        let mut grad_cols = ws.take_tensor([n * spatial, g.patch_len()]);
+        matmul_into(&grad_rows, &self.weight.value, &mut grad_cols);
+        ws.recycle(grad_rows);
+        let mut gx = ws.take_tensor([n, g.in_channels, g.in_h, g.in_w]);
+        col2im_into(&grad_cols, &g, &mut gx);
+        ws.recycle(grad_cols);
+        gx
     }
 
     /// Drop any cached activations (e.g. before serialising).

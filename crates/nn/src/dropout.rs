@@ -1,7 +1,7 @@
 //! Inverted dropout.
 
 use serde::{Deserialize, Serialize};
-use spatl_tensor::{Tensor, TensorRng};
+use spatl_tensor::{Tensor, TensorRng, Workspace};
 
 /// Inverted dropout: at train time, zeroes each activation with probability
 /// `p` and scales survivors by `1/(1-p)`; identity at evaluation time.
@@ -32,23 +32,32 @@ impl Dropout {
 
     /// Forward pass.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing the output and mask buffers from `ws`.
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        if let Some(old) = self.mask.take() {
+            ws.give(old);
+        }
+        let mut out = ws.take_tensor(input.dims().to_vec());
         if !train || self.p == 0.0 {
-            self.mask = None;
-            return input.clone();
+            out.data_mut().copy_from_slice(input.data());
+            return out;
         }
         let mut rng = TensorRng::seed_from(self.seed ^ self.step.wrapping_mul(0x9E3779B97F4A7C15));
         self.step += 1;
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mut mask = vec![0.0f32; input.numel()];
-        let mut out = input.clone();
-        for (i, v) in out.data_mut().iter_mut().enumerate() {
+        let mut mask = ws.take(input.numel());
+        for (i, (d, &s)) in out.data_mut().iter_mut().zip(input.data()).enumerate() {
             if rng.flip(keep as f64) {
                 mask[i] = scale;
-                *v *= scale;
+                *d = s * scale;
             } else {
                 mask[i] = 0.0;
-                *v = 0.0;
+                *d = 0.0;
             }
         }
         self.mask = Some(mask);
@@ -57,16 +66,22 @@ impl Dropout {
 
     /// Backward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing the gradient buffer from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut g = ws.take_tensor(grad_out.dims().to_vec());
         match &self.mask {
-            None => grad_out.clone(),
+            None => g.data_mut().copy_from_slice(grad_out.data()),
             Some(mask) => {
-                let mut g = grad_out.clone();
-                for (v, &m) in g.data_mut().iter_mut().zip(mask) {
-                    *v *= m;
+                for ((d, &s), &m) in g.data_mut().iter_mut().zip(grad_out.data()).zip(mask) {
+                    *d = s * m;
                 }
-                g
             }
         }
+        g
     }
 
     /// Drop cached state.

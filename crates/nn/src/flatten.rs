@@ -1,7 +1,7 @@
 //! Flatten layer: NCHW → [batch, features].
 
 use serde::{Deserialize, Serialize};
-use spatl_tensor::Tensor;
+use spatl_tensor::{Tensor, Workspace};
 
 /// Flattens all trailing dimensions into one: `[n, ...] -> [n, prod(...)]`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -18,22 +18,43 @@ impl Flatten {
 
     /// Forward pass.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let dims = input.dims().to_vec();
-        let n = dims[0];
-        let feat: usize = dims[1..].iter().product();
-        self.in_dims = if train { Some(dims) } else { None };
-        input.reshape([n, feat]).expect("flatten reshape")
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing the output from `ws`; the cached dims vector is
+    /// reused in place across steps.
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let n = input.dims()[0];
+        let feat: usize = input.dims()[1..].iter().product();
+        self.in_dims = if train {
+            let mut d = self.in_dims.take().unwrap_or_default();
+            d.clear();
+            d.extend_from_slice(input.dims());
+            Some(d)
+        } else {
+            None
+        };
+        let mut out = ws.take_tensor([n, feat]);
+        out.data_mut().copy_from_slice(input.data());
+        out
     }
 
     /// Backward pass: reshape gradient back to the input dims.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing the gradient buffer from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let dims = self
             .in_dims
             .as_ref()
             .expect("flatten backward without forward");
-        grad_out
-            .reshape(dims.clone())
-            .expect("flatten grad reshape")
+        let mut g = ws.take_tensor(dims.clone());
+        g.data_mut().copy_from_slice(grad_out.data());
+        g
     }
 
     /// Drop cached state.

@@ -2,7 +2,7 @@
 
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
-use spatl_tensor::{matmul, matmul_nt, matmul_tn, Tensor, TensorRng};
+use spatl_tensor::{matmul_into, matmul_nt_into, matmul_tn_into, Tensor, TensorRng, Workspace};
 
 /// A fully-connected (dense) layer `y = x·Wᵀ + b` over `[batch, in]` inputs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,13 +33,22 @@ impl Linear {
 
     /// Forward pass over `[batch, in]`.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing all temporaries from `ws`. Identical arithmetic
+    /// to [`Linear::forward`] (which delegates here).
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         assert_eq!(input.dims().len(), 2, "linear input must be [batch, in]");
         assert_eq!(
             input.dims()[1],
             self.in_features,
             "linear in_features mismatch"
         );
-        let mut out = matmul_nt(input, &self.weight.value);
+        let batch = input.dims()[0];
+        let mut out = ws.take_tensor([batch, self.out_features]);
+        matmul_nt_into(input, &self.weight.value, &mut out);
         let b = self.bias.value.data();
         let of = self.out_features;
         for row in out.data_mut().chunks_mut(of) {
@@ -47,23 +56,34 @@ impl Linear {
                 *v += bv;
             }
         }
+        if let Some(old) = self.cache.take() {
+            ws.recycle(old);
+        }
         if train {
-            self.cache = Some(input.clone());
-        } else {
-            self.cache = None;
+            let mut cached = ws.take_tensor([batch, self.in_features]);
+            cached.data_mut().copy_from_slice(input.data());
+            self.cache = Some(cached);
         }
         out
     }
 
     /// Backward pass: accumulate gradients, return input gradient.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing all temporaries from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .cache
             .as_ref()
             .expect("linear backward without forward");
         // grad_w = grad_outᵀ · x -> [out, in]
-        let gw = matmul_tn(grad_out, x);
+        let mut gw = ws.take_tensor([self.out_features, self.in_features]);
+        matmul_tn_into(grad_out, x, &mut gw);
         self.weight.grad.add_assign(&gw).expect("linear grad shape");
+        ws.recycle(gw);
         // grad_b = column sums.
         {
             let gb = self.bias.grad.data_mut();
@@ -74,7 +94,9 @@ impl Linear {
             }
         }
         // grad_x = grad_out · W -> [batch, in]
-        matmul(grad_out, &self.weight.value)
+        let mut gx = ws.take_tensor([grad_out.dims()[0], self.in_features]);
+        matmul_into(grad_out, &self.weight.value, &mut gx);
+        gx
     }
 
     /// Drop cached activations.

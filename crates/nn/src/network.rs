@@ -2,7 +2,7 @@
 
 use crate::{Node, Param};
 use serde::{Deserialize, Serialize};
-use spatl_tensor::Tensor;
+use spatl_tensor::{Tensor, Workspace, WorkspaceStats};
 
 /// Description of one parameter tensor inside a network's flat layout.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,36 +28,82 @@ pub struct ParamSpec {
 pub struct Network {
     /// Layers in execution order.
     pub nodes: Vec<Node>,
+    /// Scratch-buffer arena shared by every layer's forward/backward. Not
+    /// serialised; cloning a network yields an empty workspace (see
+    /// `Workspace`'s `Clone`), so model snapshots stay cheap.
+    #[serde(skip)]
+    workspace: Workspace,
 }
 
 impl Network {
     /// Create a network from layers.
     pub fn new(nodes: Vec<Node>) -> Self {
-        Network { nodes }
+        Network {
+            nodes,
+            workspace: Workspace::new(),
+        }
     }
 
     /// Empty network (identity function).
     pub fn empty() -> Self {
-        Network { nodes: Vec::new() }
+        Network::new(Vec::new())
     }
 
     /// Forward pass through all layers.
+    ///
+    /// All intermediate activations come from (and return to) the network's
+    /// workspace, so after a warm-up step the forward pass performs no heap
+    /// allocation. The returned output tensor is the caller's; hand it back
+    /// via [`Network::recycle`] once consumed to keep the loop allocation
+    /// free.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut x = input.clone();
-        for node in &mut self.nodes {
-            x = node.forward(&x, train);
+        let Network { nodes, workspace } = self;
+        let mut x: Option<Tensor> = None;
+        for node in nodes.iter_mut() {
+            let y = match &x {
+                Some(t) => node.forward_ws(t, train, workspace),
+                None => node.forward_ws(input, train, workspace),
+            };
+            if let Some(prev) = x.replace(y) {
+                workspace.recycle(prev);
+            }
         }
-        x
+        x.unwrap_or_else(|| input.clone())
     }
 
     /// Backward pass through all layers in reverse, accumulating parameter
-    /// gradients; returns the gradient with respect to the network input.
+    /// gradients; returns the gradient with respect to the network input
+    /// (recyclable via [`Network::recycle`]).
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for node in self.nodes.iter_mut().rev() {
-            g = node.backward(&g);
+        let Network { nodes, workspace } = self;
+        let mut g: Option<Tensor> = None;
+        for node in nodes.iter_mut().rev() {
+            let y = match &g {
+                Some(t) => node.backward_ws(t, workspace),
+                None => node.backward_ws(grad_out, workspace),
+            };
+            if let Some(prev) = g.replace(y) {
+                workspace.recycle(prev);
+            }
         }
-        g
+        g.unwrap_or_else(|| grad_out.clone())
+    }
+
+    /// Return a tensor produced by [`Network::forward`] /
+    /// [`Network::backward`] to the scratch pool once it has been consumed.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.workspace.recycle(t);
+    }
+
+    /// Allocation counters of the embedded workspace — steady-state training
+    /// must leave `fresh_allocs`/`grows` unchanged between steps.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats()
+    }
+
+    /// Mutable access to the embedded workspace (tests, custom loops).
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.workspace
     }
 
     /// Visit all trainable parameters in stable (layer, declaration) order.

@@ -5,7 +5,7 @@ use crate::{
     Param, Relu,
 };
 use serde::{Deserialize, Serialize};
-use spatl_tensor::Tensor;
+use spatl_tensor::{Tensor, Workspace};
 
 /// A network layer.
 ///
@@ -40,33 +40,45 @@ pub enum Node {
 impl Node {
     /// Forward pass through this layer.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing all temporaries from `ws`.
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         match self {
-            Node::Conv(l) => l.forward(input, train),
-            Node::BatchNorm(l) => l.forward(input, train),
-            Node::Linear(l) => l.forward(input, train),
-            Node::Relu(l) => l.forward(input, train),
-            Node::MaxPool(l) => l.forward(input, train),
-            Node::AvgPool(l) => l.forward(input, train),
-            Node::GlobalAvgPool(l) => l.forward(input, train),
-            Node::Flatten(l) => l.forward(input, train),
-            Node::Dropout(l) => l.forward(input, train),
-            Node::Residual(l) => l.forward(input, train),
+            Node::Conv(l) => l.forward_ws(input, train, ws),
+            Node::BatchNorm(l) => l.forward_ws(input, train, ws),
+            Node::Linear(l) => l.forward_ws(input, train, ws),
+            Node::Relu(l) => l.forward_ws(input, train, ws),
+            Node::MaxPool(l) => l.forward_ws(input, train, ws),
+            Node::AvgPool(l) => l.forward_ws(input, train, ws),
+            Node::GlobalAvgPool(l) => l.forward_ws(input, train, ws),
+            Node::Flatten(l) => l.forward_ws(input, train, ws),
+            Node::Dropout(l) => l.forward_ws(input, train, ws),
+            Node::Residual(l) => l.forward_ws(input, train, ws),
         }
     }
 
     /// Backward pass through this layer.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing all temporaries from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         match self {
-            Node::Conv(l) => l.backward(grad_out),
-            Node::BatchNorm(l) => l.backward(grad_out),
-            Node::Linear(l) => l.backward(grad_out),
-            Node::Relu(l) => l.backward(grad_out),
-            Node::MaxPool(l) => l.backward(grad_out),
-            Node::AvgPool(l) => l.backward(grad_out),
-            Node::GlobalAvgPool(l) => l.backward(grad_out),
-            Node::Flatten(l) => l.backward(grad_out),
-            Node::Dropout(l) => l.backward(grad_out),
-            Node::Residual(l) => l.backward(grad_out),
+            Node::Conv(l) => l.backward_ws(grad_out, ws),
+            Node::BatchNorm(l) => l.backward_ws(grad_out, ws),
+            Node::Linear(l) => l.backward_ws(grad_out, ws),
+            Node::Relu(l) => l.backward_ws(grad_out, ws),
+            Node::MaxPool(l) => l.backward_ws(grad_out, ws),
+            Node::AvgPool(l) => l.backward_ws(grad_out, ws),
+            Node::GlobalAvgPool(l) => l.backward_ws(grad_out, ws),
+            Node::Flatten(l) => l.backward_ws(grad_out, ws),
+            Node::Dropout(l) => l.backward_ws(grad_out, ws),
+            Node::Residual(l) => l.backward_ws(grad_out, ws),
         }
     }
 

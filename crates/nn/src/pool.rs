@@ -1,7 +1,7 @@
 //! Spatial pooling layers.
 
 use serde::{Deserialize, Serialize};
-use spatl_tensor::Tensor;
+use spatl_tensor::{Tensor, Workspace};
 
 /// Max pooling with a square window over NCHW inputs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -17,7 +17,7 @@ pub struct MaxPool2d {
 #[derive(Debug, Clone)]
 struct PoolCache {
     argmax: Vec<usize>,
-    in_dims: Vec<usize>,
+    in_dims: [usize; 4],
 }
 
 impl MaxPool2d {
@@ -39,11 +39,27 @@ impl MaxPool2d {
 
     /// Forward pass.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let dims = input.dims().to_vec();
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing temporaries from `ws`; the argmax index buffer
+    /// is recycled from the previous step's cache.
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let d = input.dims();
+        let dims = [d[0], d[1], d[2], d[3]];
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let (oh, ow) = self.out_hw(h, w);
-        let mut out = Tensor::zeros([n, c, oh, ow]);
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut out = ws.take_tensor([n, c, oh, ow]);
+        let mut argmax = match self.cache.take() {
+            Some(cache) => {
+                let mut v = cache.argmax;
+                v.clear();
+                v.resize(n * c * oh * ow, 0);
+                v
+            }
+            None => vec![0usize; n * c * oh * ow],
+        };
         let src = input.data();
         let dst = out.data_mut();
         for img in 0..n {
@@ -76,19 +92,23 @@ impl MaxPool2d {
                 argmax,
                 in_dims: dims,
             });
-        } else {
-            self.cache = None;
         }
         out
     }
 
     /// Backward pass: route gradients to the argmax positions.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing temporaries from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = self
             .cache
             .as_ref()
             .expect("maxpool backward without forward");
-        let mut gx = Tensor::zeros(cache.in_dims.clone());
+        let mut gx = ws.take_zeroed_tensor(cache.in_dims.to_vec());
         let dst = gx.data_mut();
         for (g, &idx) in grad_out.data().iter().zip(&cache.argmax) {
             dst[idx] += g;
@@ -110,7 +130,7 @@ pub struct AvgPool2d {
     /// Stride.
     pub stride: usize,
     #[serde(skip)]
-    in_dims: Option<Vec<usize>>,
+    in_dims: Option<[usize; 4]>,
 }
 
 impl AvgPool2d {
@@ -125,12 +145,19 @@ impl AvgPool2d {
 
     /// Forward pass.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let dims = input.dims().to_vec();
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing temporaries from `ws`.
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let d = input.dims();
+        let dims = [d[0], d[1], d[2], d[3]];
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let oh = (h - self.kernel) / self.stride + 1;
         let ow = (w - self.kernel) / self.stride + 1;
         let inv = 1.0 / (self.kernel * self.kernel) as f32;
-        let mut out = Tensor::zeros([n, c, oh, ow]);
+        let mut out = ws.take_tensor([n, c, oh, ow]);
         let src = input.data();
         let dst = out.data_mut();
         for img in 0..n {
@@ -157,15 +184,18 @@ impl AvgPool2d {
 
     /// Backward pass: spread gradient uniformly over each window.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self
-            .in_dims
-            .as_ref()
-            .expect("avgpool backward without forward");
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing temporaries from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let dims = self.in_dims.expect("avgpool backward without forward");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let od = grad_out.dims();
         let (oh, ow) = (od[2], od[3]);
         let inv = 1.0 / (self.kernel * self.kernel) as f32;
-        let mut gx = Tensor::zeros(dims.clone());
+        let mut gx = ws.take_zeroed_tensor(dims.to_vec());
         let src = grad_out.data();
         let dst = gx.data_mut();
         for img in 0..n {
@@ -200,7 +230,7 @@ impl AvgPool2d {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct GlobalAvgPool {
     #[serde(skip)]
-    in_dims: Option<Vec<usize>>,
+    in_dims: Option<[usize; 4]>,
 }
 
 impl GlobalAvgPool {
@@ -211,11 +241,18 @@ impl GlobalAvgPool {
 
     /// Forward pass producing `[n, c]`.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let dims = input.dims().to_vec();
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing temporaries from `ws`.
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let d = input.dims();
+        let dims = [d[0], d[1], d[2], d[3]];
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let spatial = h * w;
         let inv = 1.0 / spatial as f32;
-        let mut out = Tensor::zeros([n, c]);
+        let mut out = ws.take_tensor([n, c]);
         let src = input.data();
         let dst = out.data_mut();
         for img in 0..n {
@@ -230,11 +267,18 @@ impl GlobalAvgPool {
 
     /// Backward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self.in_dims.as_ref().expect("gap backward without forward");
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing temporaries from `ws`. Every element of the
+    /// input gradient is assigned, so the buffer needs no pre-zeroing.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let dims = self.in_dims.expect("gap backward without forward");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let spatial = h * w;
         let inv = 1.0 / spatial as f32;
-        let mut gx = Tensor::zeros(dims.clone());
+        let mut gx = ws.take_tensor(dims.to_vec());
         let src = grad_out.data();
         let dst = gx.data_mut();
         for img in 0..n {

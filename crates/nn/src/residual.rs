@@ -2,7 +2,7 @@
 
 use crate::{BatchNorm2d, Conv2d, Relu};
 use serde::{Deserialize, Serialize};
-use spatl_tensor::{Tensor, TensorRng};
+use spatl_tensor::{Tensor, TensorRng, Workspace};
 
 /// A ResNet "basic block": two 3×3 convolutions with batch-norm, a ReLU in
 /// between, an (optionally projected) shortcut connection, and a final ReLU.
@@ -52,40 +52,73 @@ impl BasicBlock {
 
     /// Forward pass.
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut m = self.conv1.forward(input, train);
-        m = self.bn1.forward(&m, train);
-        m = self.relu1.forward(&m, train);
-        m = self.conv2.forward(&m, train);
-        m = self.bn2.forward(&m, train);
-        let s = match (&mut self.down_conv, &mut self.down_bn) {
+        let mut ws = Workspace::new();
+        self.forward_ws(input, train, &mut ws)
+    }
+
+    /// Forward pass drawing all temporaries from `ws`: intermediate
+    /// activations are recycled as soon as the next layer has consumed them,
+    /// and the identity shortcut adds `input` directly instead of cloning it.
+    pub fn forward_ws(&mut self, input: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let m1 = self.conv1.forward_ws(input, train, ws);
+        let m2 = self.bn1.forward_ws(&m1, train, ws);
+        ws.recycle(m1);
+        let m3 = self.relu1.forward_ws(&m2, train, ws);
+        ws.recycle(m2);
+        let m4 = self.conv2.forward_ws(&m3, train, ws);
+        ws.recycle(m3);
+        let mut m = self.bn2.forward_ws(&m4, train, ws);
+        ws.recycle(m4);
+        match (&mut self.down_conv, &mut self.down_bn) {
             (Some(dc), Some(db)) => {
-                let t = dc.forward(input, train);
-                db.forward(&t, train)
+                let t = dc.forward_ws(input, train, ws);
+                let s = db.forward_ws(&t, train, ws);
+                ws.recycle(t);
+                m.add_assign(&s).expect("residual add shape");
+                ws.recycle(s);
             }
-            _ => input.clone(),
-        };
-        m.add_assign(&s).expect("residual add shape");
-        self.relu_out.forward(&m, train)
+            _ => m.add_assign(input).expect("residual add shape"),
+        }
+        let out = self.relu_out.forward_ws(&m, train, ws);
+        ws.recycle(m);
+        out
     }
 
     /// Backward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let g = self.relu_out.backward(grad_out);
+        let mut ws = Workspace::new();
+        self.backward_ws(grad_out, &mut ws)
+    }
+
+    /// Backward pass drawing all temporaries from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let g = self.relu_out.backward_ws(grad_out, ws);
         // Main path.
-        let mut gm = self.bn2.backward(&g);
-        gm = self.conv2.backward(&gm);
-        gm = self.relu1.backward(&gm);
-        gm = self.bn1.backward(&gm);
-        let gx_main = self.conv1.backward(&gm);
+        let gm1 = self.bn2.backward_ws(&g, ws);
+        let gm2 = self.conv2.backward_ws(&gm1, ws);
+        ws.recycle(gm1);
+        let gm3 = self.relu1.backward_ws(&gm2, ws);
+        ws.recycle(gm2);
+        let gm4 = self.bn1.backward_ws(&gm3, ws);
+        ws.recycle(gm3);
+        let mut gx = self.conv1.backward_ws(&gm4, ws);
+        ws.recycle(gm4);
         // Shortcut path.
-        let gx_short = match (&mut self.down_conv, &mut self.down_bn) {
+        match (&mut self.down_conv, &mut self.down_bn) {
             (Some(dc), Some(db)) => {
-                let t = db.backward(&g);
-                dc.backward(&t)
+                let t = db.backward_ws(&g, ws);
+                ws.recycle(g);
+                let gs = dc.backward_ws(&t, ws);
+                ws.recycle(t);
+                gx.add_assign(&gs).expect("residual grad shape");
+                ws.recycle(gs);
             }
-            _ => g,
-        };
-        gx_main.add(&gx_short).expect("residual grad shape")
+            _ => {
+                gx.add_assign(&g).expect("residual grad shape");
+                ws.recycle(g);
+            }
+        }
+        gx
     }
 
     /// Drop cached activations in all sub-layers.

@@ -3,8 +3,16 @@
 //! Convolution in `spatl-nn` is implemented as `im2col` followed by a matrix
 //! multiplication — the classic lowering used by CPU deep-learning runtimes.
 //! `col2im` is the adjoint scatter used in the backward pass.
+//!
+//! Both directions are parallel: `im2col` over output rows (each patch row of
+//! the column matrix is an independent gather) and `col2im` over images (each
+//! image's gradient is a disjoint scatter target, so `par_chunks_mut` is
+//! race-free). The `_into` variants reuse caller-provided buffers and write
+//! **every** element of their output — padding positions are stored as
+//! explicit zeros — so recycled workspace buffers need no pre-zeroing.
 
 use crate::Tensor;
+use rayon::prelude::*;
 
 /// Geometry of a 2-D convolution: input/output spatial extents and the
 /// kernel/stride/padding that relate them.
@@ -50,6 +58,16 @@ impl Conv2dGeometry {
 /// `[n * out_h * out_w, c * k * k]`, so that convolution with a weight matrix
 /// `[out_c, c * k * k]` becomes a single matmul.
 pub fn im2col(input: &Tensor, g: &Conv2dGeometry) -> Tensor {
+    let n = input.dims()[0];
+    let mut out = Tensor::zeros([n * g.cols(), g.patch_len()]);
+    im2col_into(input, g, &mut out);
+    out
+}
+
+/// [`im2col`] into a preallocated `[n * out_h * out_w, c * k * k]` tensor.
+/// Every element is written (padding as explicit `0.0`), so the previous
+/// contents of `out` are irrelevant.
+pub fn im2col_into(input: &Tensor, g: &Conv2dGeometry, out: &mut Tensor) {
     let dims = input.dims();
     assert_eq!(dims.len(), 4, "im2col expects [n,c,h,w]");
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -59,80 +77,100 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeometry) -> Tensor {
 
     let (oh, ow, k, s, p) = (g.out_h(), g.out_w(), g.kernel, g.stride, g.padding);
     let patch = g.patch_len();
-    let mut out = Tensor::zeros([n * oh * ow, patch]);
+    assert_eq!(
+        out.dims(),
+        &[n * oh * ow, patch],
+        "im2col output shape mismatch"
+    );
     let src = input.data();
-    let dst = out.data_mut();
 
-    for img in 0..n {
-        let img_base = img * c * h * w;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((img * oh + oy) * ow + ox) * patch;
-                for ch in 0..c {
-                    let ch_base = img_base + ch * h * w;
-                    for ky in 0..k {
-                        let iy = (oy * s + ky) as isize - p as isize;
-                        let dst_off = row + (ch * k + ky) * k;
-                        if iy < 0 || iy as usize >= h {
-                            // Padding row: already zero.
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        for kx in 0..k {
-                            let ix = (ox * s + kx) as isize - p as isize;
-                            if ix < 0 || ix as usize >= w {
-                                continue;
-                            }
-                            dst[dst_off + kx] = src[ch_base + iy * w + ix as usize];
-                        }
+    // One patch row per output position: rows are disjoint, so this is an
+    // embarrassingly parallel gather.
+    out.data_mut()
+        .par_chunks_mut(patch)
+        .enumerate()
+        .for_each(|(row, dst)| {
+            let ox = row % ow;
+            let oy = (row / ow) % oh;
+            let img = row / (oh * ow);
+            let img_base = img * c * h * w;
+            for ch in 0..c {
+                let ch_base = img_base + ch * h * w;
+                for ky in 0..k {
+                    let iy = (oy * s + ky) as isize - p as isize;
+                    let dst_row = &mut dst[(ch * k + ky) * k..(ch * k + ky) * k + k];
+                    if iy < 0 || iy as usize >= h {
+                        dst_row.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &src[ch_base + iy as usize * w..ch_base + (iy as usize + 1) * w];
+                    for (kx, d) in dst_row.iter_mut().enumerate() {
+                        let ix = (ox * s + kx) as isize - p as isize;
+                        *d = if ix < 0 || ix as usize >= w {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
                     }
                 }
             }
-        }
-    }
-    out
+        });
 }
 
 /// Adjoint of [`im2col`]: scatter-add a patch-matrix gradient
 /// `[n * out_h * out_w, c * k * k]` back into an image gradient
 /// `[n, c, h, w]`.
 pub fn col2im(cols: &Tensor, g: &Conv2dGeometry, n: usize) -> Tensor {
+    let mut out = Tensor::zeros([n, g.in_channels, g.in_h, g.in_w]);
+    col2im_into(cols, g, &mut out);
+    out
+}
+
+/// [`col2im`] into a preallocated `[n, c, h, w]` tensor. The output is
+/// zeroed before the scatter, so the previous contents of `out` are
+/// irrelevant.
+pub fn col2im_into(cols: &Tensor, g: &Conv2dGeometry, out: &mut Tensor) {
     let (oh, ow, k, s, p) = (g.out_h(), g.out_w(), g.kernel, g.stride, g.padding);
     let (c, h, w) = (g.in_channels, g.in_h, g.in_w);
     let patch = g.patch_len();
+    let dims = out.dims();
+    assert_eq!(dims.len(), 4, "col2im output must be [n,c,h,w]");
+    let n = dims[0];
+    assert_eq!(&dims[1..], &[c, h, w], "col2im output geometry mismatch");
     assert_eq!(cols.dims(), &[n * oh * ow, patch], "col2im shape mismatch");
-
-    let mut out = Tensor::zeros([n, c, h, w]);
     let src = cols.data();
-    let dst = out.data_mut();
 
-    for img in 0..n {
-        let img_base = img * c * h * w;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((img * oh + oy) * ow + ox) * patch;
-                for ch in 0..c {
-                    let ch_base = img_base + ch * h * w;
-                    for ky in 0..k {
-                        let iy = (oy * s + ky) as isize - p as isize;
-                        if iy < 0 || iy as usize >= h {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        let src_off = row + (ch * k + ky) * k;
-                        for kx in 0..k {
-                            let ix = (ox * s + kx) as isize - p as isize;
-                            if ix < 0 || ix as usize >= w {
+    // Images scatter into disjoint `c*h*w` chunks of the output, so the
+    // accumulation is race-free under per-image parallelism.
+    out.data_mut()
+        .par_chunks_mut(c * h * w)
+        .enumerate()
+        .for_each(|(img, dst)| {
+            dst.fill(0.0);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((img * oh + oy) * ow + ox) * patch;
+                    for ch in 0..c {
+                        let ch_base = ch * h * w;
+                        for ky in 0..k {
+                            let iy = (oy * s + ky) as isize - p as isize;
+                            if iy < 0 || iy as usize >= h {
                                 continue;
                             }
-                            dst[ch_base + iy * w + ix as usize] += src[src_off + kx];
+                            let iy = iy as usize;
+                            let src_off = row + (ch * k + ky) * k;
+                            for kx in 0..k {
+                                let ix = (ox * s + kx) as isize - p as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                dst[ch_base + iy * w + ix as usize] += src[src_off + kx];
+                            }
                         }
                     }
                 }
             }
-        }
-    }
-    out
+        });
 }
 
 #[cfg(test)]
@@ -179,6 +217,26 @@ mod tests {
         let mut expect = [0.0; 9];
         expect[4] = 5.0; // centre of the 3x3 patch
         assert_eq!(cols.data(), &expect[..]);
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_buffers() {
+        // Recycled workspace buffers arrive dirty; both directions must
+        // fully overwrite their output.
+        let g = geom(2, 5, 4, 3, 1, 1);
+        let nimg = 2;
+        let x = Tensor::from_vec(
+            [nimg, 2, 5, 4],
+            (0..nimg * 2 * 5 * 4).map(|v| v as f32 * 0.1).collect(),
+        )
+        .unwrap();
+        let mut cols = Tensor::full([nimg * g.cols(), g.patch_len()], f32::NAN);
+        im2col_into(&x, &g, &mut cols);
+        assert_eq!(cols, im2col(&x, &g));
+
+        let mut back = Tensor::full([nimg, 2, 5, 4], f32::NAN);
+        col2im_into(&cols, &g, &mut back);
+        assert_eq!(back, col2im(&cols, &g, nimg));
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! * All tensors are owned, contiguous, row-major `Vec<f32>` buffers. The
 //!   models in this project are small enough that views/strides would buy
 //!   complexity, not speed; convolution goes through explicit `im2col`.
-//! * Matrix multiplication is blocked and parallelised with rayon, which is
-//!   where essentially all training time is spent.
+//! * Matrix multiplication is a packed, register-tiled, rayon-parallel
+//!   kernel (see `matmul` module docs), which is where essentially all
+//!   training time is spent. Hot paths use the `_into` kernel variants plus
+//!   a [`Workspace`] scratch arena so steady-state training performs zero
+//!   heap allocation; freshly allocated outputs are written exactly once.
 //! * Random initialisation is deterministic given a seed (ChaCha8), so every
 //!   experiment in the benchmark harness is reproducible.
 
@@ -20,12 +23,14 @@ mod matmul;
 mod ops;
 mod shape;
 mod tensor;
+mod workspace;
 
-pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use im2col::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use init::TensorRng;
-pub use matmul::{matmul, matmul_into, matmul_nt, matmul_tn};
+pub use matmul::{matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WorkspaceStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,18 +1,63 @@
-//! Blocked, rayon-parallel matrix multiplication.
+//! Packed, register-tiled, rayon-parallel matrix multiplication.
 //!
 //! Essentially all training time in this project is spent here (convolution
-//! is lowered to matmul via `im2col`). The kernel is a cache-blocked `ikj`
-//! loop parallelised over row blocks of the output; for the matrix sizes the
-//! scaled-down SPATL models produce (hundreds × hundreds) this is within a
-//! small factor of a tuned BLAS and entirely safe Rust.
+//! is lowered to matmul via `im2col`), so the kernel follows the classic
+//! BLIS-style CPU recipe:
+//!
+//! * The output is computed in `MR`×`NR` **register tiles**: the micro-kernel
+//!   keeps a full accumulator tile in registers across an entire k-block, so
+//!   C traffic is one store (or load+store) per tile per k-block instead of
+//!   one load+store per scalar multiply.
+//! * Operands are read through **packed panels**: for each k-block a worker
+//!   packs its A rows into `MR`-high column-interleaved panels and each B
+//!   column strip into an `NR`-wide row-interleaved panel, so the
+//!   micro-kernel's inner loop reads two short contiguous runs per k step
+//!   regardless of the original layouts. Packing also zero-pads edge tiles,
+//!   which keeps the micro-kernel free of bounds logic for arbitrary m/n/k.
+//! * The transposed variants [`matmul_tn`] / [`matmul_nt`] reuse the same
+//!   micro-kernel — only the packing routines differ — so the gradient
+//!   GEMMs run at the same throughput as the forward one (the old
+//!   dot-product `nt` loop could not vectorise at all).
+//!
+//! Work is parallelised over `MC`-row blocks of C via `par_chunks_mut`; each
+//! worker owns stack-allocated pack buffers, so a matmul performs no heap
+//! allocation beyond its output (and none at all through the `_into`
+//! variants). Tile/block constants and retuning notes live in DESIGN.md §7.
 
 use crate::Tensor;
 use rayon::prelude::*;
 
-/// Row-block size for parallel partitioning.
-const ROW_BLOCK: usize = 32;
-/// Inner (k) blocking factor, sized to keep a block of B in L1.
-const K_BLOCK: usize = 128;
+/// Micro-kernel tile height: rows of C accumulated in registers at once.
+/// `MR·NR/4 + NR/4 + 1` SSE registers must fit in the 16 available on
+/// baseline x86-64, so 4×8 (8 accumulator registers) is the sweet spot;
+/// an 8×8 tile spills and runs ~40% slower.
+pub const MR: usize = 4;
+/// Micro-kernel tile width: two 128-bit vectors after auto-vectorisation.
+pub const NR: usize = 8;
+/// k-block: one `MR×KC` A panel plus a `KC×NR` B panel stay L1-resident
+/// (8·128·4 B + 128·8·4 B = 8 KiB).
+pub const KC: usize = 128;
+/// Row block: the unit of parallel partitioning and of A packing
+/// (`MC·KC` floats = 32 KiB, L2-resident next to streamed B panels).
+pub const MC: usize = 64;
+
+/// How the left operand is stored relative to the product `C = A·B`.
+#[derive(Clone, Copy)]
+enum AKind {
+    /// `A: [m,k]` row-major; element `(i,p)` at `a[i·k + p]`.
+    RowMajor,
+    /// `A` stored `[k,m]` (the product uses `Aᵀ`); `(i,p)` at `a[p·m + i]`.
+    Transposed,
+}
+
+/// How the right operand is stored relative to the product `C = A·B`.
+#[derive(Clone, Copy)]
+enum BKind {
+    /// `B: [k,n]` row-major; element `(p,j)` at `b[p·n + j]`.
+    RowMajor,
+    /// `B` stored `[n,k]` (the product uses `Bᵀ`); `(p,j)` at `b[j·k + p]`.
+    Transposed,
+}
 
 /// `C = A · B` for row-major `A: [m,k]`, `B: [k,n]`.
 ///
@@ -24,7 +69,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     c
 }
 
-/// `C += 0; C = A · B` writing into a preallocated output tensor.
+/// `C = A · B` writing into a preallocated output tensor. Every element of
+/// `c` is overwritten, so the buffer's previous contents are irrelevant.
 pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     assert_eq!(a.dims().len(), 2, "matmul lhs must be rank 2");
     assert_eq!(b.dims().len(), 2, "matmul rhs must be rank 2");
@@ -32,91 +78,293 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     assert_eq!(c.dims(), &[m, n], "matmul output shape mismatch");
-
-    let av = a.data();
-    let bv = b.data();
-    c.data_mut()
-        .par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_rows)| {
-            let row0 = blk * ROW_BLOCK;
-            let rows = c_rows.len() / n;
-            for r in c_rows.iter_mut() {
-                *r = 0.0;
-            }
-            let mut k0 = 0;
-            while k0 < k {
-                let k1 = (k0 + K_BLOCK).min(k);
-                for i in 0..rows {
-                    let a_row = &av[(row0 + i) * k..(row0 + i) * k + k];
-                    let c_row = &mut c_rows[i * n..(i + 1) * n];
-                    for kk in k0..k1 {
-                        let aik = a_row[kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &bv[kk * n..(kk + 1) * n];
-                        for (cv, bv_) in c_row.iter_mut().zip(b_row) {
-                            *cv += aik * bv_;
-                        }
-                    }
-                }
-                k0 = k1;
-            }
-        });
+    gemm(
+        a.data(),
+        AKind::RowMajor,
+        b.data(),
+        BKind::RowMajor,
+        m,
+        n,
+        k,
+        c.data_mut(),
+    );
 }
 
 /// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` → `C: [m,n]`, without
 /// materialising the transpose. Used for weight gradients.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    let (k, m) = (a.dims()[0], a.dims()[1]);
-    let (k2, n) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, k2, "matmul_tn inner dimension mismatch");
-    let av = a.data();
-    let bv = b.data();
-    let mut c = Tensor::zeros([m, n]);
-    c.data_mut()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, c_row)| {
-            for kk in 0..k {
-                let aki = av[kk * m + i];
-                if aki == 0.0 {
-                    continue;
-                }
-                let b_row = &bv[kk * n..(kk + 1) * n];
-                for (cv, bv_) in c_row.iter_mut().zip(b_row) {
-                    *cv += aki * bv_;
-                }
-            }
-        });
+    let mut c = Tensor::zeros([a.dims()[1], b.dims()[1]]);
+    matmul_tn_into(a, b, &mut c);
     c
 }
 
+/// `C = Aᵀ · B` writing into a preallocated output tensor.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    assert_eq!(a.dims().len(), 2, "matmul_tn lhs must be rank 2");
+    assert_eq!(b.dims().len(), 2, "matmul_tn rhs must be rank 2");
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_tn inner dimension mismatch: {k} vs {k2}");
+    assert_eq!(c.dims(), &[m, n], "matmul_tn output shape mismatch");
+    gemm(
+        a.data(),
+        AKind::Transposed,
+        b.data(),
+        BKind::RowMajor,
+        m,
+        n,
+        k,
+        c.data_mut(),
+    );
+}
+
 /// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` → `C: [m,n]`, without
-/// materialising the transpose. Used for input gradients.
+/// materialising the transpose. Used for input gradients and for the
+/// `y = x·Wᵀ` forward of conv/linear layers.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros([a.dims()[0], b.dims()[0]]);
+    matmul_nt_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · Bᵀ` writing into a preallocated output tensor.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    assert_eq!(a.dims().len(), 2, "matmul_nt lhs must be rank 2");
+    assert_eq!(b.dims().len(), 2, "matmul_nt rhs must be rank 2");
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (n, k2) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, k2, "matmul_nt inner dimension mismatch");
-    let av = a.data();
-    let bv = b.data();
-    let mut c = Tensor::zeros([m, n]);
-    c.data_mut()
-        .par_chunks_mut(n)
+    assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
+    assert_eq!(c.dims(), &[m, n], "matmul_nt output shape mismatch");
+    gemm(
+        a.data(),
+        AKind::RowMajor,
+        b.data(),
+        BKind::Transposed,
+        m,
+        n,
+        k,
+        c.data_mut(),
+    );
+}
+
+/// Blocked driver shared by all three layout variants.
+///
+/// C is partitioned into `MC`-row blocks processed in parallel; each worker
+/// packs its A rows once per k-block and streams `NR`-wide packed B panels
+/// through the register-tiled micro-kernel. The first k-block *stores* tile
+/// accumulators (so `c` need not be zeroed beforehand); later k-blocks
+/// accumulate.
+#[allow(clippy::too_many_arguments)]
+fn gemm(
+    a: &[f32],
+    akind: AKind,
+    b: &[f32],
+    bkind: BKind,
+    m: usize,
+    n: usize,
+    k: usize,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    let astride = match akind {
+        AKind::RowMajor => k,
+        AKind::Transposed => m,
+    };
+    let bstride = match bkind {
+        BKind::RowMajor => n,
+        BKind::Transposed => k,
+    };
+
+    c.par_chunks_mut(MC * n)
         .enumerate()
-        .for_each(|(i, c_row)| {
-            let a_row = &av[i * k..(i + 1) * k];
-            for (j, cv) in c_row.iter_mut().enumerate() {
-                let b_row = &bv[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
+        .for_each(|(blk, c_rows)| {
+            let row0 = blk * MC;
+            let rows = c_rows.len() / n;
+            // Stack-allocated pack buffers: no heap allocation per call,
+            // and fresh scoped threads (the rayon stand-in) need no TLS.
+            let mut apack = [0.0f32; MC * KC];
+            let mut bpack = [0.0f32; KC * NR];
+            let panels = rows.div_ceil(MR);
+
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                pack_a(&mut apack, a, akind, astride, row0, rows, pc, kc);
+                let mut j0 = 0;
+                while j0 < n {
+                    let nr = NR.min(n - j0);
+                    pack_b(&mut bpack, b, bkind, bstride, j0, nr, pc, kc);
+                    for p in 0..panels {
+                        let mut acc = [[0.0f32; NR]; MR];
+                        micro_kernel(kc, &apack[p * kc * MR..(p + 1) * kc * MR], &bpack, &mut acc);
+                        let ir = p * MR;
+                        let mr = MR.min(rows - ir);
+                        write_tile(c_rows, n, ir, j0, mr, nr, &acc, pc > 0);
+                    }
+                    j0 += NR;
                 }
-                *cv = acc;
+                pc += KC;
             }
         });
-    c
+}
+
+/// Pack A rows `[row0, row0+rows)` × k `[pc, pc+kc)` into `MR`-high panels.
+///
+/// Panel `p` holds rows `row0 + p·MR ..`, laid out k-major (`MR` contiguous
+/// values per k step, zero-padded past the last real row) so the
+/// micro-kernel reads one short contiguous run per k step.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    apack: &mut [f32],
+    a: &[f32],
+    kind: AKind,
+    stride: usize,
+    row0: usize,
+    rows: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let panels = rows.div_ceil(MR);
+    debug_assert!(
+        apack.len() >= panels * kc * MR,
+        "A pack buffer too small: {} < {}",
+        apack.len(),
+        panels * kc * MR
+    );
+    for p in 0..panels {
+        let r0 = row0 + p * MR;
+        let mr = MR.min(row0 + rows - r0);
+        let dst = &mut apack[p * kc * MR..(p + 1) * kc * MR];
+        debug_assert!(mr >= 1, "empty A panel: rows={rows} p={p}");
+        if mr < MR {
+            dst.fill(0.0); // zero-pad the edge panel once, then overwrite
+        }
+        match kind {
+            AKind::RowMajor => {
+                for r in 0..mr {
+                    let src = &a[(r0 + r) * stride + pc..(r0 + r) * stride + pc + kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        dst[kk * MR + r] = v;
+                    }
+                }
+            }
+            AKind::Transposed => {
+                for kk in 0..kc {
+                    let src = &a[(pc + kk) * stride + r0..(pc + kk) * stride + r0 + mr];
+                    dst[kk * MR..kk * MR + mr].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Pack the B strip columns `[j0, j0+nr)` × k `[pc, pc+kc)` into one
+/// `NR`-wide panel, k-major (`NR` contiguous values per k step), zero-padded
+/// past the last real column.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    bpack: &mut [f32],
+    b: &[f32],
+    kind: BKind,
+    stride: usize,
+    j0: usize,
+    nr: usize,
+    pc: usize,
+    kc: usize,
+) {
+    debug_assert!(
+        bpack.len() >= kc * NR && (1..=NR).contains(&nr),
+        "B pack: len={} kc={kc} nr={nr}",
+        bpack.len()
+    );
+    match kind {
+        BKind::RowMajor => {
+            for kk in 0..kc {
+                let src = &b[(pc + kk) * stride + j0..(pc + kk) * stride + j0 + nr];
+                let dst = &mut bpack[kk * NR..(kk + 1) * NR];
+                dst[..nr].copy_from_slice(src);
+                dst[nr..].fill(0.0);
+            }
+        }
+        BKind::Transposed => {
+            if nr < NR {
+                bpack[..kc * NR].fill(0.0);
+            }
+            for j in 0..nr {
+                let src = &b[(j0 + j) * stride + pc..(j0 + j) * stride + pc + kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    bpack[kk * NR + j] = v;
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled inner loop: `acc += Apanel · Bpanel` over one k-block.
+///
+/// Reads `MR` + `NR` contiguous floats per k step; the fixed-size accumulator
+/// tile stays in registers, and the `NR`-wide update auto-vectorises.
+#[inline(always)]
+fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(
+        ap.len() >= kc * MR,
+        "A panel short: {} < {}",
+        ap.len(),
+        kc * MR
+    );
+    debug_assert!(
+        bp.len() >= kc * NR,
+        "B panel short: {} < {}",
+        bp.len(),
+        kc * NR
+    );
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        let a: &[f32; MR] = a.try_into().unwrap();
+        let b: &[f32; NR] = b.try_into().unwrap();
+        for r in 0..MR {
+            let ar = a[r];
+            for j in 0..NR {
+                acc[r][j] += ar * b[j];
+            }
+        }
+    }
+}
+
+/// Write the valid `mr × nr` part of an accumulator tile to C rows
+/// (`ir` is the row offset inside the worker's row block).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn write_tile(
+    c_rows: &mut [f32],
+    ldc: usize,
+    ir: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+    acc: &[[f32; NR]; MR],
+    accumulate: bool,
+) {
+    debug_assert!(
+        (1..=MR).contains(&mr) && (1..=NR).contains(&nr),
+        "edge tile {mr}x{nr}"
+    );
+    for (r, acc_row) in acc.iter().enumerate().take(mr) {
+        let dst = &mut c_rows[(ir + r) * ldc + j0..(ir + r) * ldc + j0 + nr];
+        if accumulate {
+            for (d, &v) in dst.iter_mut().zip(acc_row) {
+                *d += v;
+            }
+        } else {
+            dst.copy_from_slice(&acc_row[..nr]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,12 +418,19 @@ mod tests {
 
     #[test]
     fn matches_naive_on_odd_sizes() {
+        // Deliberately straddles every blocking boundary: m/n around MR/NR
+        // and MC multiples, k around KC.
         for &(m, k, n) in &[
             (1, 1, 1),
             (3, 5, 7),
             (33, 129, 17),
             (64, 64, 64),
             (70, 130, 40),
+            (8, 8, 8),
+            (9, 127, 9),
+            (65, 128, 8),
+            (63, 257, 15),
+            (129, 256, 65),
         ] {
             let a = rand_t([m, k], (m * k) as u64);
             let b = rand_t([k, n], (k * n + 7) as u64);
@@ -185,16 +440,49 @@ mod tests {
 
     #[test]
     fn tn_matches_explicit_transpose() {
-        let a = rand_t([9, 5], 3);
-        let b = rand_t([9, 4], 4);
-        assert_close(&matmul_tn(&a, &b), &matmul(&a.transpose2(), &b));
+        for &(k, m, n) in &[(9, 5, 4), (130, 33, 17), (257, 8, 9)] {
+            let a = rand_t([k, m], (k + m) as u64);
+            let b = rand_t([k, n], (k + n + 3) as u64);
+            assert_close(&matmul_tn(&a, &b), &matmul(&a.transpose2(), &b));
+        }
     }
 
     #[test]
     fn nt_matches_explicit_transpose() {
-        let a = rand_t([6, 8], 5);
-        let b = rand_t([7, 8], 6);
-        assert_close(&matmul_nt(&a, &b), &matmul(&a, &b.transpose2()));
+        for &(m, k, n) in &[(6, 8, 7), (33, 130, 19), (9, 257, 8)] {
+            let a = rand_t([m, k], (m + k) as u64);
+            let b = rand_t([n, k], (n + k + 5) as u64);
+            assert_close(&matmul_nt(&a, &b), &matmul(&a, &b.transpose2()));
+        }
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_buffers() {
+        // `_into` outputs must not depend on prior buffer contents.
+        let a = rand_t([13, 21], 1);
+        let b = rand_t([21, 11], 2);
+        let mut c = Tensor::full([13, 11], f32::NAN);
+        matmul_into(&a, &b, &mut c);
+        assert_close(&c, &naive(&a, &b));
+
+        let at = rand_t([21, 13], 3);
+        let mut c2 = Tensor::full([13, 11], 1e30);
+        matmul_tn_into(&at, &b, &mut c2);
+        assert_close(&c2, &matmul(&at.transpose2(), &b));
+
+        let bt = rand_t([11, 21], 4);
+        let mut c3 = Tensor::full([13, 11], -7.0);
+        matmul_nt_into(&a, &bt, &mut c3);
+        assert_close(&c3, &matmul(&a, &bt.transpose2()));
+    }
+
+    #[test]
+    fn zero_inner_dimension_yields_zeros() {
+        let a = Tensor::zeros([3, 0]);
+        let b = Tensor::zeros([0, 4]);
+        let mut c = Tensor::full([3, 4], 9.0);
+        matmul_into(&a, &b, &mut c);
+        assert!(c.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -1,10 +1,54 @@
 //! Property-based tests for tensor invariants.
 
 use proptest::prelude::*;
-use spatl_tensor::{col2im, im2col, matmul, Conv2dGeometry, Shape, Tensor};
+use spatl_tensor::{col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Shape, Tensor};
 
 fn small_dims() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..6, 1..4)
+}
+
+/// Matrix dimensions that deliberately straddle the packed kernel's tile and
+/// block boundaries (MR = 4, NR = 8, MC = 64), not just small values.
+fn dim_near_tiles() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..12,
+        Just(31usize),
+        Just(32usize),
+        Just(33usize),
+        Just(63usize),
+        Just(64usize),
+        Just(65usize),
+    ]
+}
+
+/// Inner dimensions that cross the KC = 128 k-blocking boundary.
+fn inner_near_kc() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..12, Just(127usize), Just(128usize), Just(129usize)]
+}
+
+/// Deterministic pseudo-random tensor fill (LCG), values roughly in ±0.5.
+fn lcg_tensor(dims: [usize; 2], seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    let mut st = seed.wrapping_add(0x9e37);
+    for v in t.data_mut() {
+        st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *v = ((st >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+    }
+    t
+}
+
+/// Reference triple-loop product of row-major `a` (`m`×`k`) and `b` (`k`×`n`).
+fn naive_mm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aik = a[i * k + p];
+            for j in 0..n {
+                c[i * n + j] += aik * b[p * n + j];
+            }
+        }
+    }
+    c
 }
 
 proptest! {
@@ -77,6 +121,59 @@ proptest! {
         let rhs = matmul(&a, &b1).add(&matmul(&a, &b2)).unwrap();
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
             prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn packed_matmul_matches_naive(
+        m in dim_near_tiles(),
+        k in inner_near_kc(),
+        n in dim_near_tiles(),
+        seed in 0u64..1000,
+    ) {
+        let a = lcg_tensor([m, k], seed);
+        let b = lcg_tensor([k, n], seed + 1);
+        let want = naive_mm(a.data(), b.data(), m, k, n);
+        let got = matmul(&a, &b);
+        prop_assert_eq!(got.dims(), &[m, n]);
+        for (x, y) in got.data().iter().zip(&want) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn packed_matmul_tn_matches_naive(
+        m in dim_near_tiles(),
+        k in inner_near_kc(),
+        n in dim_near_tiles(),
+        seed in 0u64..1000,
+    ) {
+        // a is stored transposed ([k, m]); compare against naive on aᵀ·b.
+        let at = lcg_tensor([k, m], seed);
+        let b = lcg_tensor([k, n], seed + 1);
+        let want = naive_mm(at.transpose2().data(), b.data(), m, k, n);
+        let got = matmul_tn(&at, &b);
+        prop_assert_eq!(got.dims(), &[m, n]);
+        for (x, y) in got.data().iter().zip(&want) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn packed_matmul_nt_matches_naive(
+        m in dim_near_tiles(),
+        k in inner_near_kc(),
+        n in dim_near_tiles(),
+        seed in 0u64..1000,
+    ) {
+        // b is stored transposed ([n, k]); compare against naive on a·bᵀ.
+        let a = lcg_tensor([m, k], seed);
+        let bt = lcg_tensor([n, k], seed + 1);
+        let want = naive_mm(a.data(), bt.transpose2().data(), m, k, n);
+        let got = matmul_nt(&a, &bt);
+        prop_assert_eq!(got.dims(), &[m, n]);
+        for (x, y) in got.data().iter().zip(&want) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "{} vs {}", x, y);
         }
     }
 

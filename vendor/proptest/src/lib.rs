@@ -141,6 +141,48 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Strategy drawing uniformly from one of several sub-strategies, the
+/// engine behind [`prop_oneof!`]. Unlike real proptest there are no
+/// weights; every arm is equally likely.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from boxed sub-strategies; panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "empty union strategy");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample_with(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample_with(rng)
+    }
+}
+
+/// Box a strategy while keeping its value type visible to inference —
+/// `Box::new(s) as _` inside [`prop_oneof!`] would erase it.
+pub fn boxed_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Draw from one of several strategies with equal probability (the real
+/// proptest's weighted form `N => strategy` is not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($strategy)),+])
+    };
+}
+
 /// Combinator strategies, mirroring proptest's `prop` module paths.
 pub mod prop {
     /// Collection strategies (`prop::collection::vec`).
@@ -261,8 +303,8 @@ macro_rules! __proptest_impl {
 /// The usual glob import.
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
-    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError, Union};
 }
 
 #[cfg(test)]
@@ -299,6 +341,10 @@ mod tests {
             let v = vec![0u8; n];
             prop_assert_eq!(v.len(), n);
             prop_assert_eq!(v.clone(), v);
+        }
+
+        fn oneof_draws_only_from_arms(n in prop_oneof![1usize..4, Just(64usize), Just(65usize)]) {
+            prop_assert!((1..4).contains(&n) || n == 64 || n == 65);
         }
     }
 

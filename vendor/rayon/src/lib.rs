@@ -10,12 +10,29 @@
 //! matmul path) run inline on the calling thread, so tiny tensor ops pay
 //! no spawn cost. Results are concatenated in partition order, which
 //! preserves item order exactly like rayon's indexed `collect`.
+//!
+//! The worker count defaults to `std::thread::available_parallelism()` and
+//! can be overridden with the `SPATL_THREADS` environment variable (read
+//! once, at the first parallel call). `SPATL_THREADS=1` forces fully
+//! sequential execution — useful for profiling the kernels themselves and
+//! for reproducing timing-sensitive bugs; values above the core count
+//! oversubscribe, which is occasionally useful on cgroup-limited CI
+//! runners where `available_parallelism` under-reports.
 
 #![allow(clippy::all)]
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 /// Below this many base elements a `par_chunks_mut` call runs inline —
 /// thread spawn costs more than the work for small tensors.
+///
+/// Rationale for the value: each scoped worker costs roughly 20–60 µs to
+/// spawn and join (no pool persists between calls). At the ~2–16 f32
+/// FLOP/element of the tensor hot paths, 32 Ki elements is the scale where
+/// the per-call work (≥ ~100 µs) starts to clearly dominate that overhead;
+/// below it, inline execution wins even on many-core hosts. The threshold
+/// counts *base slice elements*, not chunks, so a `par_chunks_mut` over a
+/// `[batch, C·H·W]` activation crosses it as soon as the whole tensor does.
 pub const PAR_CHUNK_ELEMENTS: usize = 32_768;
 
 /// A splittable, sequentially drivable work source.
@@ -116,10 +133,26 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     }
 }
 
+/// Resolve a `SPATL_THREADS` value; `None`, empty, zero, or unparsable
+/// strings fall back to the detected core count.
+fn parse_thread_override(raw: Option<&str>, detected: usize) -> usize {
+    match raw.map(str::trim) {
+        Some(s) if !s.is_empty() => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => detected,
+        },
+        _ => detected,
+    }
+}
+
 fn thread_count() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let detected = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        parse_thread_override(std::env::var("SPATL_THREADS").ok().as_deref(), detected)
+    })
 }
 
 /// Split `iter` into up to `thread_count` partitions and run `job` on each,
@@ -509,5 +542,18 @@ mod tests {
         let xs: Vec<u64> = (0..50_000).collect();
         let total: u64 = xs.par_iter().map(|&x| x).sum();
         assert_eq!(total, xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        use crate::parse_thread_override;
+        assert_eq!(parse_thread_override(None, 8), 8);
+        assert_eq!(parse_thread_override(Some(""), 8), 8);
+        assert_eq!(parse_thread_override(Some("  "), 8), 8);
+        assert_eq!(parse_thread_override(Some("0"), 8), 8);
+        assert_eq!(parse_thread_override(Some("nope"), 8), 8);
+        assert_eq!(parse_thread_override(Some("1"), 8), 1);
+        assert_eq!(parse_thread_override(Some(" 4 "), 8), 4);
+        assert_eq!(parse_thread_override(Some("64"), 8), 64);
     }
 }
