@@ -1,0 +1,85 @@
+//! FAULTS — accuracy under client dropout (DESIGN.md §8, EXPERIMENTS.md).
+//!
+//! Sweep the per-round dropout probability over {0, 0.1, 0.3} for FedAvg
+//! and SPATL on the CIFAR-like task, and report best/final accuracy plus
+//! the per-run fault ledger (dropouts, survivors, corrupted uploads,
+//! retries). The fault plan is seeded, so every row reproduces exactly.
+
+use spatl::prelude::*;
+use spatl_bench::{pct, write_json, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(5, 10);
+    let clients = scale.pick(4, 8);
+    let dropouts = [0.0, 0.1, 0.3];
+    let algs: Vec<(Algorithm, &'static str)> = vec![
+        (Algorithm::FedAvg, "FedAvg"),
+        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
+    ];
+
+    println!(
+        "accuracy vs per-round dropout, {clients} clients, {rounds} rounds, fault seed 0x5EED\n"
+    );
+    let mut table = Table::new(&[
+        "Method",
+        "Dropout",
+        "Best acc",
+        "Final acc",
+        "Dropped",
+        "Survived",
+        "No-op rounds",
+    ]);
+    let mut artefact = Vec::new();
+    for (alg, name) in &algs {
+        let mut baseline_best = 0.0f32;
+        for &p in &dropouts {
+            let mut builder = ExperimentBuilder::new(*alg)
+                .clients(clients)
+                .samples_per_client(scale.pick(60, 90))
+                .rounds(rounds)
+                .local_epochs(2)
+                .seed(1);
+            if p > 0.0 {
+                builder = builder.faults(FaultPlan::dropout_only(p));
+            }
+            let result = builder.run();
+            if p == 0.0 {
+                baseline_best = result.best_acc();
+            }
+            let dropped: usize = result.history.iter().map(|r| r.faults.dropouts).sum();
+            let survived: usize = result.history.iter().map(|r| r.faults.survivors).sum();
+            let sampled: usize = result.history.iter().map(|r| r.faults.sampled).sum();
+            let noop = result.history.iter().filter(|r| r.faults.no_op).count();
+            table.row(vec![
+                name.to_string(),
+                format!("{:.0}%", p * 100.0),
+                pct(result.best_acc()),
+                pct(result.final_acc()),
+                format!("{dropped}/{sampled}"),
+                survived.to_string(),
+                noop.to_string(),
+            ]);
+            artefact.push(serde_json::json!({
+                "algorithm": name,
+                "dropout": p,
+                "rounds": rounds,
+                "clients": clients,
+                "best_acc": result.best_acc(),
+                "final_acc": result.final_acc(),
+                "gap_to_fault_free": baseline_best - result.best_acc(),
+                "sampled": sampled,
+                "dropped": dropped,
+                "survived": survived,
+                "no_op_rounds": noop,
+            }));
+            eprintln!(
+                "  {name} dropout={p:.1}: best={:.3} final={:.3} dropped={dropped}/{sampled}",
+                result.best_acc(),
+                result.final_acc()
+            );
+        }
+    }
+    table.print();
+    write_json("faults_dropout_sweep", &serde_json::json!(artefact));
+}

@@ -201,6 +201,30 @@ fn main() {
         println!();
     }
 
+    if let Some(v) = load("faults_dropout_sweep") {
+        println!("## Faults — accuracy vs per-round dropout (seeded plan)");
+        let mut t = Table::new(&[
+            "algorithm",
+            "dropout",
+            "best acc",
+            "gap to fault-free",
+            "dropped/sampled",
+            "no-op rounds",
+        ]);
+        for r in v.as_array().into_iter().flatten() {
+            t.row(vec![
+                r["algorithm"].as_str().unwrap_or("?").to_string(),
+                format!("{:.0}%", f(&r["dropout"]) * 100.0),
+                format!("{:.1}%", f(&r["best_acc"]) * 100.0),
+                format!("{:.1}pp", f(&r["gap_to_fault_free"]) * 100.0),
+                format!("{}/{}", r["dropped"], r["sampled"]),
+                r["no_op_rounds"].to_string(),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
     if let Some(v) = load("fig_rl_finetune") {
         println!("## Agent pre-train / fine-tune rewards");
         let pre: Vec<f64> = v["pretrain_rewards"]

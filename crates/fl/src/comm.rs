@@ -15,6 +15,16 @@
 //! option II), so no control bytes travel upstream; the selection indices
 //! are *channel* indices (one u32 per surviving channel), which is the
 //! "negligible burden" of §IV-C1.
+//!
+//! This accounting is *logical*: it charges each upload once, matching
+//! Eq. 13's idealised cost. Under an injected [`FaultPlan`] a corrupted
+//! upload is retransmitted, and those extra copies are real traffic — they
+//! appear in the measured [`WireBytes::upload_framed`] (multiplied by the
+//! transmission count), never here. The two views are cross-checked every
+//! round before the multiplication is applied.
+//!
+//! [`FaultPlan`]: crate::FaultPlan
+//! [`WireBytes::upload_framed`]: crate::WireBytes
 
 use serde::{Deserialize, Serialize};
 

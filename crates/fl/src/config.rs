@@ -158,6 +158,11 @@ pub struct FlConfig {
     pub algorithm: Algorithm,
     /// Simulated transport the round's frames travel over.
     pub net: NetProfile,
+    /// Faults injected into every round ([`FaultPlan`]); `None` runs
+    /// pristine rounds.
+    ///
+    /// [`FaultPlan`]: crate::FaultPlan
+    pub faults: Option<crate::FaultPlan>,
 }
 
 impl FlConfig {
@@ -177,6 +182,7 @@ impl FlConfig {
             seed: 0,
             algorithm,
             net: NetProfile::Broadband,
+            faults: None,
         }
     }
 

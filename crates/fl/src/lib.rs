@@ -14,10 +14,20 @@
 //! The simulator is single-process: clients are plain structs trained in
 //! parallel with rayon, and every byte that a real deployment would move
 //! between client and server is accounted in [`CommModel`].
+//!
+//! Rounds are not assumed pristine: a seeded [`FaultPlan`] on [`FlConfig`]
+//! injects client dropout, straggler slowdown against a server deadline,
+//! and wire corruption (caught by the `spatl-wire` CRC envelope and
+//! retried with bounded backoff); every algorithm aggregates over
+//! whatever cohort survives, and each round's [`FaultRecord`] documents
+//! what happened. DESIGN.md §8 is the full failure model.
+
+#![deny(missing_docs)]
 
 mod client;
 mod comm;
 mod config;
+mod faults;
 mod server;
 mod simulation;
 mod transfer;
@@ -26,6 +36,7 @@ pub mod wire;
 pub use client::{ClientState, LocalOutcome, SelectedUpdate};
 pub use comm::{CommModel, RoundBytes};
 pub use config::{Algorithm, FlConfig, NetProfile, SpatlOptions};
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use server::GlobalState;
 pub use simulation::{RoundRecord, RunResult, Simulation};
 pub use transfer::{adapt_predictor, transfer_evaluate};

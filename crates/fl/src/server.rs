@@ -48,10 +48,27 @@ impl GlobalState {
     /// Aggregate one round of client outcomes (Eq. 12 for SPATL; the
     /// respective published rule for each baseline). Diverged uploads are
     /// rejected. `n_clients_total` is N in the control-variate update.
-    pub fn aggregate(&mut self, cfg: &FlConfig, outcomes: &[LocalOutcome], n_clients_total: usize) {
+    ///
+    /// `outcomes` is whatever cohort *survived* the round — under partial
+    /// participation (dropouts, missed deadlines, exhausted retries) every
+    /// rule renormalises over the survivors: FedAvg/FedProx reweight by
+    /// surviving sample counts, FedNova recomputes τ_eff over survivors,
+    /// SCAFFOLD averages deltas over the survivor count while its control
+    /// update keeps the 1/N scaling (the published partial-participation
+    /// rule), and SPATL's per-index counts simply see fewer votes.
+    ///
+    /// Returns `true` if an update was applied; `false` means the round
+    /// was a no-op (no survivors, all survivors diverged, or zero total
+    /// sample weight) and the global state is untouched — never NaN.
+    pub fn aggregate(
+        &mut self,
+        cfg: &FlConfig,
+        outcomes: &[LocalOutcome],
+        n_clients_total: usize,
+    ) -> bool {
         let valid: Vec<&LocalOutcome> = outcomes.iter().filter(|o| !o.diverged).collect();
         if valid.is_empty() {
-            return;
+            return false;
         }
         let p = self.shared.len();
 
@@ -59,6 +76,11 @@ impl GlobalState {
             Algorithm::FedAvg | Algorithm::FedProx { .. } => {
                 // Weighted average of deltas by sample count.
                 let total: f32 = valid.iter().map(|o| o.n_samples as f32).sum();
+                if total <= 0.0 {
+                    // Every survivor has an empty shard: dividing by the
+                    // total would poison the model with NaN — skip instead.
+                    return false;
+                }
                 for o in &valid {
                     let w = cfg.server_lr * o.n_samples as f32 / total;
                     for j in 0..p {
@@ -67,8 +89,12 @@ impl GlobalState {
                 }
             }
             Algorithm::FedNova => {
-                // Normalised averaging: x ← x − τ_eff · Σ pᵢ (−δᵢ/τᵢ).
+                // Normalised averaging: x ← x − τ_eff · Σ pᵢ (−δᵢ/τᵢ),
+                // with pᵢ and τ_eff over the surviving cohort.
                 let total: f32 = valid.iter().map(|o| o.n_samples as f32).sum();
+                if total <= 0.0 {
+                    return false;
+                }
                 let tau_eff: f32 = valid
                     .iter()
                     .map(|o| (o.n_samples as f32 / total) * o.tau as f32)
@@ -176,6 +202,7 @@ impl GlobalState {
             }
             self.buffers = acc;
         }
+        true
     }
 }
 
@@ -317,7 +344,27 @@ mod tests {
             buffers: Vec::new(),
         };
         let cfg = base_cfg(Algorithm::FedAvg);
-        g.aggregate(&cfg, &[], 5);
+        assert!(!g.aggregate(&cfg, &[], 5));
         assert_eq!(g.shared, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_sample_survivors_never_produce_nan() {
+        // Regression: when every survivor has an empty shard the
+        // sample-weighted rules used to divide by zero. The round must be
+        // reported as a no-op with the global state untouched instead.
+        for alg in [Algorithm::FedAvg, Algorithm::FedNova] {
+            let mut g = GlobalState {
+                shared: vec![1.0; 2],
+                control: Vec::new(),
+                momentum: Vec::new(),
+                buffers: Vec::new(),
+            };
+            let cfg = base_cfg(alg);
+            let o = outcome(0, vec![0.5, 0.5], 0, 1);
+            assert!(!g.aggregate(&cfg, &[o], 4), "{alg:?}");
+            assert_eq!(g.shared, vec![1.0, 1.0], "{alg:?}");
+            assert!(g.shared.iter().all(|v| v.is_finite()));
+        }
     }
 }

@@ -1,8 +1,8 @@
 //! The federated-learning driver: rounds, sampling, evaluation, history.
 
 use crate::{
-    client::write_shared, wire, Algorithm, ClientState, FlConfig, GlobalState, RoundBytes,
-    WireBytes,
+    client::write_shared, wire, Algorithm, ClientState, FaultInjector, FaultKind, FaultRecord,
+    FlConfig, GlobalState, RoundBytes, WireBytes,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -42,6 +42,11 @@ pub struct RoundRecord {
     pub mean_keep_ratio: f32,
     /// Mean FLOPs ratio of participants' (masked) models.
     pub mean_flops_ratio: f32,
+    /// What the configured [`FaultPlan`] did to this round (all-zero when
+    /// no faults are configured).
+    ///
+    /// [`FaultPlan`]: crate::FaultPlan
+    pub faults: FaultRecord,
 }
 
 /// Result of a full run.
@@ -129,6 +134,9 @@ impl Simulation {
     /// `model_cfg`.
     pub fn new(cfg: FlConfig, model_cfg: ModelConfig, shards: Vec<(Dataset, Dataset)>) -> Self {
         assert_eq!(shards.len(), cfg.n_clients, "one shard per client required");
+        if let Some(plan) = &cfg.faults {
+            plan.validate();
+        }
         let model = model_cfg.with_seed(cfg.seed).build();
         let global = GlobalState::from_model(&model, &cfg.algorithm);
 
@@ -211,10 +219,44 @@ impl Simulation {
     }
 
     /// Run one communication round; returns its record.
+    ///
+    /// With a [`FaultPlan`](crate::FaultPlan) configured, the round runs
+    /// the full degradation pipeline (DESIGN.md §8): sampled clients may
+    /// drop out before training, uploads may arrive corrupted and are
+    /// retransmitted with exponential backoff up to the plan's retry
+    /// budget, stragglers are slowed, and anyone finishing after the
+    /// collection deadline is excluded. Aggregation renormalises over the
+    /// survivors; a round that loses everyone is a recorded no-op, never a
+    /// panic or a NaN.
     pub fn run_round(&mut self) -> RoundRecord {
         let round = self.history.len();
         let k = self.cfg.clients_per_round();
-        let selected = self.rng.choose_k(self.cfg.n_clients, k);
+        let sampled = self.rng.choose_k(self.cfg.n_clients, k);
+        let injector = self.cfg.faults.map(FaultInjector::new);
+        let mut faults = FaultRecord::for_sample(sampled.len());
+
+        // Fault stage 1: dropout. A dropped client never trains, never
+        // transmits, and costs the round nothing but its absence.
+        let selected: Vec<usize> = sampled
+            .into_iter()
+            .filter(|&i| {
+                let drops = injector.as_ref().is_some_and(|inj| inj.drops_out(round, i));
+                if drops {
+                    faults.push(i, FaultKind::Dropout);
+                }
+                !drops
+            })
+            .collect();
+
+        if selected.is_empty() {
+            // Every sampled client dropped: a recorded no-op round. The
+            // global model must survive untouched (regression-tested; the
+            // sample-weighted aggregation rules would otherwise divide by
+            // an empty cohort).
+            faults.no_op = true;
+            return self.push_noop_round(round, faults);
+        }
+
         let in_round: Vec<bool> = {
             let mut v = vec![false; self.cfg.n_clients];
             for &i in &selected {
@@ -242,10 +284,22 @@ impl Simulation {
             .map(|(_, c)| c.local_update(&cfg, global_ref, round))
             .collect();
 
-        // Wire accounting + transport simulation. Every participant
-        // received the same broadcast frames.
+        // Uplink: the server aggregates what it decodes from each client's
+        // frames, never the in-memory tensors. Fault stage 2 corrupts
+        // transmission attempts (caught by the envelope CRC and rejected
+        // with a typed `WireError`, then retransmitted with exponential
+        // backoff up to `max_retries`); fault stage 3 slows stragglers and
+        // enforces the server's collection deadline. Wire accounting
+        // charges every retransmission.
+        let max_retries = injector
+            .as_ref()
+            .map(|inj| inj.plan().max_retries)
+            .unwrap_or(0);
+        let deadline = injector.as_ref().and_then(|inj| inj.plan().deadline_s);
         let mut wire_total = WireBytes::default();
-        let mut per_client_framed = Vec::with_capacity(outcomes.len());
+        let mut survivors: Vec<crate::LocalOutcome> = Vec::new();
+        let mut wall_clock_s = 0f64;
+        let mut device_seconds = 0f64;
         for o in &mut outcomes {
             o.wire.download_payload = down.payload;
             o.wire.download_framed = down.framed();
@@ -256,25 +310,90 @@ impl Simulation {
                 "download payload"
             );
             debug_assert_eq!(o.wire.upload_payload, o.bytes.upload, "upload payload");
+
+            // Bounded retransmit loop: `transmissions` counts attempts
+            // actually sent (so at most `1 + max_retries`).
+            let mut transmissions = 1u32;
+            let decoded = loop {
+                let corrupt = injector
+                    .as_ref()
+                    .filter(|inj| inj.corrupts_attempt(round, o.client_id, transmissions));
+                let result = match corrupt {
+                    Some(inj) => {
+                        let mut damaged = o.frames.clone();
+                        inj.corrupt_frames(&mut damaged, round, o.client_id, transmissions);
+                        wire::decode_upload(&self.cfg, o, &damaged, self.layout.as_ref(), p)
+                    }
+                    None => wire::decode_upload(&self.cfg, o, &o.frames, self.layout.as_ref(), p),
+                };
+                match result {
+                    Ok(d) => break Some(d),
+                    Err(e) => {
+                        // Without injected faults a decode failure is a
+                        // protocol bug, not a simulated condition.
+                        assert!(self.cfg.faults.is_some(), "client upload must decode: {e}");
+                        let retryable = e.is_transport_corruption();
+                        faults.push(
+                            o.client_id,
+                            FaultKind::CorruptUpload {
+                                error: e.to_string(),
+                            },
+                        );
+                        if retryable && transmissions <= max_retries {
+                            faults.retries += 1;
+                            transmissions += 1;
+                        } else {
+                            faults.push(o.client_id, FaultKind::RetriesExhausted);
+                            break None;
+                        }
+                    }
+                }
+            };
+
+            // Retransmissions are real bytes on the wire (the payload
+            // accounting stays logical — Eq. 13 charges one upload).
+            o.wire.upload_framed *= u64::from(transmissions);
             wire_total.accumulate(&o.wire);
-            per_client_framed.push((
+
+            // Per-client transfer time: straggler slowdown multiplies the
+            // link time; retry backoff adds dead air on top.
+            let factor = injector
+                .as_ref()
+                .map(|inj| inj.straggler_factor(round, o.client_id))
+                .unwrap_or(1.0);
+            if factor > 1.0 {
+                faults.push(o.client_id, FaultKind::Straggler);
+            }
+            let backoff = injector
+                .as_ref()
+                .map(|inj| inj.backoff_s(transmissions - 1))
+                .unwrap_or(0.0);
+            let t = self.net.client_time(
                 o.wire.download_framed as usize,
                 o.wire.upload_framed as usize,
-            ));
-        }
-        let transfer = self.net.round(&per_client_framed);
+            ) * factor
+                + backoff;
+            device_seconds += t;
+            // The server stops listening at the deadline, so the round
+            // never waits longer than `deadline` for any one client.
+            wall_clock_s = wall_clock_s.max(deadline.map_or(t, |d| t.min(d)));
 
-        // Uplink: the server aggregates what it decodes from each client's
-        // frames, never the in-memory tensors.
-        let received: Vec<crate::LocalOutcome> = outcomes
-            .iter()
-            .map(|o| {
-                wire::decode_upload(&self.cfg, o, self.layout.as_ref(), p)
-                    .expect("client upload must decode")
-            })
-            .collect();
-        self.global
-            .aggregate(&self.cfg, &received, self.cfg.n_clients);
+            if let Some(d) = decoded {
+                if deadline.is_some_and(|dl| t > dl) {
+                    faults.push(o.client_id, FaultKind::DeadlineMissed);
+                } else {
+                    survivors.push(d);
+                }
+            }
+        }
+
+        // Partial-participation aggregation over whatever survived; a
+        // survivor-less round leaves the global state untouched.
+        faults.survivors = survivors.len();
+        let applied = self
+            .global
+            .aggregate(&self.cfg, &survivors, self.cfg.n_clients);
+        faults.no_op = !applied;
 
         // Account communication.
         let bytes = outcomes
@@ -300,12 +419,38 @@ impl Simulation {
             per_client_acc,
             bytes,
             wire: wire_total,
-            transfer_wall_s: transfer.wall_clock_s,
-            transfer_device_s: transfer.device_seconds,
+            transfer_wall_s: wall_clock_s,
+            transfer_device_s: device_seconds,
             cumulative_bytes: self.cumulative_bytes,
             diverged_clients: diverged,
             mean_keep_ratio: mean_keep,
             mean_flops_ratio: mean_flops,
+            faults,
+        };
+        self.history.push(record.clone());
+        record
+    }
+
+    /// Record a round in which no client participated (every sampled
+    /// client dropped out): accuracy is re-evaluated against the unchanged
+    /// global model, nothing moves on the wire, and the fault ledger says
+    /// why the round was empty.
+    fn push_noop_round(&mut self, round: usize, faults: FaultRecord) -> RoundRecord {
+        let per_client_acc = self.evaluate_all();
+        let mean_acc = per_client_acc.iter().sum::<f32>() / per_client_acc.len().max(1) as f32;
+        let record = RoundRecord {
+            round,
+            mean_acc,
+            per_client_acc,
+            bytes: RoundBytes::default(),
+            wire: WireBytes::default(),
+            transfer_wall_s: 0.0,
+            transfer_device_s: 0.0,
+            cumulative_bytes: self.cumulative_bytes,
+            diverged_clients: 0,
+            mean_keep_ratio: 0.0,
+            mean_flops_ratio: 0.0,
+            faults,
         };
         self.history.push(record.clone());
         record

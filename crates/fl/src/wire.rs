@@ -300,18 +300,24 @@ pub fn encode_upload(cfg: &FlConfig, outcome: &LocalOutcome) -> Encoded {
 
 /// Decode a client's upload frames back into the tensors aggregation
 /// consumes. Bookkeeping (id, sample count, τ, ratios, byte accounting) is
-/// copied from `meta`; every tensor in the result comes from the frames.
+/// copied from `meta`; every tensor in the result comes from `frames`.
+///
+/// `frames` is passed separately from `meta` (rather than read from
+/// `meta.frames`) because under fault injection the bytes that *arrive*
+/// are not necessarily the bytes the client sealed — the simulator hands
+/// in whatever this transmission attempt delivered, possibly corrupted,
+/// and a typed [`WireError`] here is what triggers the retransmit path.
 ///
 /// `layout` is required to expand SPATL channel ids; `expected_params` is
 /// the shared-vector length dense uploads must match.
 pub fn decode_upload(
     cfg: &FlConfig,
     meta: &LocalOutcome,
+    frames: &[Vec<u8>],
     layout: Option<&SelectionLayout>,
     expected_params: usize,
 ) -> Result<LocalOutcome, WireError> {
-    let main = meta
-        .frames
+    let main = frames
         .first()
         .ok_or_else(|| WireError::Malformed("upload carried no frames".into()))?;
     let (msg, payload) = open(main)?;
@@ -381,7 +387,7 @@ pub fn decode_upload(
             )));
         }
     }
-    if let Some(aux) = meta.frames.get(1) {
+    if let Some(aux) = frames.get(1) {
         let (msg, payload) = open(aux)?;
         if msg != MsgType::BnStats {
             return Err(WireError::Malformed(format!(

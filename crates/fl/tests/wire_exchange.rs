@@ -137,7 +137,7 @@ fn dense_upload_roundtrips_and_ties_to_comm_model() {
     let cfg = FlConfig::new(Algorithm::FedAvg);
     let o = outcome(&cfg, delta.clone());
     assert_eq!(o.wire.upload_payload, CommModel::dense(p).upload);
-    let rx = decode_upload(&cfg, &o, None, p).expect("decode");
+    let rx = decode_upload(&cfg, &o, &o.frames, None, p).expect("decode");
     assert_eq!(rx.delta, delta);
     assert!(rx.selected.is_none());
 
@@ -147,7 +147,7 @@ fn dense_upload_roundtrips_and_ties_to_comm_model() {
     let enc = encode_upload(&cfg, &o);
     o.frames = enc.frames;
     assert_eq!(enc.payload, CommModel::scaffold(p).upload);
-    let rx = decode_upload(&cfg, &o, None, p).expect("decode");
+    let rx = decode_upload(&cfg, &o, &o.frames, None, p).expect("decode");
     assert_eq!(rx.delta, delta);
     assert_eq!(rx.control_delta.as_deref(), Some(&vec![0.125; p][..]));
 
@@ -157,7 +157,7 @@ fn dense_upload_roundtrips_and_ties_to_comm_model() {
     let enc = encode_upload(&cfg, &o);
     o.frames = enc.frames;
     assert_eq!(enc.payload, CommModel::fednova(p).upload);
-    let rx = decode_upload(&cfg, &o, None, p).expect("decode");
+    let rx = decode_upload(&cfg, &o, &o.frames, None, p).expect("decode");
     assert_eq!(rx.delta, delta);
     assert_eq!(rx.velocity.as_deref(), Some(&vec![-0.25; p][..]));
 }
@@ -221,7 +221,7 @@ fn spatl_upload_roundtrips_through_channel_ids() {
         CommModel::spatl(p, salient.len(), ids.len(), true).upload
     );
 
-    let rx = decode_upload(&cfg, &o, Some(&layout), p).expect("decode");
+    let rx = decode_upload(&cfg, &o, &o.frames, Some(&layout), p).expect("decode");
     let sel = rx.selected.expect("selected survives the wire");
     assert_eq!(sel.indices, salient);
     assert_eq!(sel.values, values);
@@ -234,12 +234,12 @@ fn corrupted_upload_is_rejected_not_panicking() {
     let mut o = outcome(&cfg, vec![1.0; 32]);
     let mid = o.frames[0].len() / 2;
     o.frames[0][mid] ^= 0x40;
-    assert!(decode_upload(&cfg, &o, None, 32).is_err());
+    assert!(decode_upload(&cfg, &o, &o.frames, None, 32).is_err());
 
     // Wrong message type for the algorithm is rejected too.
     let scaffold = FlConfig::new(Algorithm::Scaffold);
     let o = outcome(&cfg, vec![1.0; 32]); // sealed as DenseUpdate
-    assert!(decode_upload(&scaffold, &o, None, 32).is_err());
+    assert!(decode_upload(&scaffold, &o, &o.frames, None, 32).is_err());
 }
 
 #[test]

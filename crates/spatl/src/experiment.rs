@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use spatl_data::{dirichlet_partition, synth_cifar10, synth_femnist, Dataset, SynthConfig};
-use spatl_fl::{Algorithm, FlConfig, RunResult, Simulation};
+use spatl_fl::{Algorithm, FaultPlan, FlConfig, RunResult, Simulation};
 use spatl_models::{ModelConfig, ModelKind};
 use spatl_tensor::TensorRng;
 
@@ -35,6 +35,7 @@ pub struct ExperimentBuilder {
     noise_std: Option<f32>,
     width_mult: f32,
     seed: u64,
+    faults: Option<FaultPlan>,
 }
 
 impl ExperimentBuilder {
@@ -55,6 +56,7 @@ impl ExperimentBuilder {
             noise_std: None,
             width_mult: 0.25,
             seed: 0,
+            faults: None,
         }
     }
 
@@ -140,6 +142,13 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Inject faults into every round of the run (default: none). See
+    /// [`FaultPlan`] and DESIGN.md §8 for the failure model.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Materialise the simulation without running it.
     pub fn build(self) -> Simulation {
         let mut fl = FlConfig::new(self.algorithm);
@@ -150,6 +159,7 @@ impl ExperimentBuilder {
         fl.batch_size = self.batch_size;
         fl.lr = self.lr;
         fl.seed = self.seed;
+        fl.faults = self.faults;
 
         let (model_cfg, shards) = match self.dataset {
             DatasetKind::CifarLike => {
@@ -216,6 +226,16 @@ mod tests {
             .build();
         assert_eq!(sim.clients.len(), 3);
         assert_eq!(sim.cfg.rounds, 1);
+    }
+
+    #[test]
+    fn builder_wires_fault_plan() {
+        let sim = ExperimentBuilder::new(Algorithm::FedAvg)
+            .clients(2)
+            .samples_per_client(10)
+            .faults(FaultPlan::dropout_only(0.5))
+            .build();
+        assert_eq!(sim.cfg.faults, Some(FaultPlan::dropout_only(0.5)));
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub mod prelude {
         SynthConfig,
     };
     pub use spatl_fl::{
-        adapt_predictor, transfer_evaluate, Algorithm, FlConfig, RunResult, Simulation,
-        SpatlOptions,
+        adapt_predictor, transfer_evaluate, Algorithm, FaultKind, FaultPlan, FaultRecord, FlConfig,
+        RunResult, Simulation, SpatlOptions,
     };
     pub use spatl_graph::extract;
     pub use spatl_models::{profile, ModelConfig, ModelKind, SplitModel};

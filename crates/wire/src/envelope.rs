@@ -9,14 +9,21 @@
 //! 5       1     msg type     MsgType tag byte
 //! 6       2     reserved     zero on encode, ignored on decode
 //! 8       4     payload len  u32, bytes following the header
-//! 12      4     crc32        IEEE CRC-32 of the payload bytes
+//! 12      4     crc32        IEEE CRC-32 of header bytes 0-11 + payload
 //! 16      ...   payload
 //! ```
 //!
 //! The reserved halfword keeps the payload 8-byte-aligned relative to the
 //! frame start and leaves room for flags without a version bump.
+//!
+//! The CRC covers the first twelve header bytes as well as the payload.
+//! Covering only the payload would leave two single-bit-flip blind spots:
+//! the reserved halfword (ignored on decode, so a flip there would pass
+//! silently) and tag flips between two *valid* tags (e.g. `DenseUpdate`
+//! 0x02 ↔ `ScaffoldModel` 0x03), which would decode as the wrong message
+//! kind instead of failing.
 
-use crate::crc32::crc32;
+use crate::crc32::Hasher;
 use crate::error::WireError;
 
 /// First four bytes of every frame.
@@ -92,7 +99,10 @@ pub fn seal(msg: MsgType, payload: &[u8]) -> Vec<u8> {
     frame.push(msg.tag());
     frame.extend_from_slice(&[0u8; 2]);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    let mut h = Hasher::new();
+    h.update(&frame[..12]);
+    h.update(payload);
+    frame.extend_from_slice(&h.finalize().to_le_bytes());
     frame.extend_from_slice(payload);
     frame
 }
@@ -135,7 +145,10 @@ pub fn open(frame: &[u8]) -> Result<(MsgType, &[u8]), WireError> {
     }
     let payload = &frame[HEADER_LEN..];
     let expected = u32::from_le_bytes(frame[12..16].try_into().expect("sliced 4 bytes"));
-    let computed = crc32(payload);
+    let mut h = Hasher::new();
+    h.update(&frame[..12]);
+    h.update(payload);
+    let computed = h.finalize();
     if expected != computed {
         return Err(WireError::Crc {
             expected,
@@ -143,6 +156,21 @@ pub fn open(frame: &[u8]) -> Result<(MsgType, &[u8]), WireError> {
         });
     }
     Ok((msg, payload))
+}
+
+/// Flip one bit of a frame in place — the canonical fault-injection
+/// primitive for exercising the envelope's corruption detection.
+/// `bit_index` is taken modulo the frame's bit length, so callers can feed
+/// an arbitrary random draw without pre-clamping.
+///
+/// The CRC-32 covering both the header and the payload guarantees that
+/// *any* single-bit flip of a sealed frame makes [`open`] fail with a
+/// [`WireError::is_transport_corruption`] error — asserted exhaustively in
+/// this module's tests.
+pub fn flip_bit(frame: &mut [u8], bit_index: usize) {
+    assert!(!frame.is_empty(), "cannot flip a bit of an empty frame");
+    let bit = bit_index % (frame.len() * 8);
+    frame[bit / 8] ^= 1 << (bit % 8);
 }
 
 #[cfg(test)]
@@ -203,7 +231,9 @@ mod tests {
     fn unknown_tag_rejected() {
         let mut frame = seal(MsgType::DenseModel, b"abc");
         frame[5] = 0xEE;
-        // Recompute nothing: tag precedes CRC check and CRC covers payload only.
+        // Recompute nothing: the tag check runs before the CRC check, so an
+        // invalid tag is reported as such even though the CRC no longer
+        // matches the damaged header.
         assert_eq!(open(&frame).unwrap_err(), WireError::BadTag(0xEE));
     }
 
@@ -223,6 +253,34 @@ mod tests {
             open(&frame),
             Err(WireError::LengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected_as_transport_corruption() {
+        // The guarantee fault injection leans on: no single-bit flip of a
+        // sealed frame can decode successfully, and every failure is
+        // classified as transport corruption (so receivers request a
+        // retransmission instead of treating it as a protocol violation).
+        let frame = seal(MsgType::DenseUpdate, &[0x00, 0x5A, 0xFF, 0x13, 0x37]);
+        for bit in 0..frame.len() * 8 {
+            let mut damaged = frame.clone();
+            flip_bit(&mut damaged, bit);
+            let err = open(&damaged).expect_err("flipped frame must not decode");
+            assert!(
+                err.is_transport_corruption(),
+                "bit {bit} gave non-transport error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_bit_wraps_and_is_involutive() {
+        let mut frame = seal(MsgType::DenseModel, b"xy");
+        let original = frame.clone();
+        let n_bits = frame.len() * 8;
+        flip_bit(&mut frame, 3);
+        flip_bit(&mut frame, 3 + n_bits); // same bit after wrap-around
+        assert_eq!(frame, original);
     }
 
     #[test]

@@ -44,6 +44,23 @@ pub enum WireError {
     Malformed(String),
 }
 
+impl WireError {
+    /// Whether this failure is consistent with bytes being damaged in
+    /// transit (bit flips, truncation, duplication) rather than a
+    /// structural protocol violation.
+    ///
+    /// Every single-bit flip of a sealed frame lands in one of the
+    /// transport-shaped variants: a flip in the payload fails the CRC, a
+    /// flip in the header corrupts the magic, version, tag, length or the
+    /// stored CRC itself. Receivers use this to decide whether a
+    /// retransmission could help — a [`WireError::Malformed`] payload
+    /// passed its checksum, so the *sender* produced invalid structure and
+    /// resending the same bytes cannot fix it.
+    pub fn is_transport_corruption(&self) -> bool {
+        !matches!(self, WireError::Malformed(_))
+    }
+}
+
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -15,11 +15,14 @@
 //! * [`layout`] — [`SelectionLayout`], the channel-id ↔ flat-index map
 //!   shared by both ends of a SPATL session.
 //! * [`sim`] — [`SimNet`] analytic transport model.
-//! * [`crc32`] / [`f16`] — checksum and half-precision primitives.
+//! * [`crc32`] / [`f16`](mod@f16) — checksum and half-precision
+//!   primitives.
 //!
 //! Design rules: explicit little-endian everywhere, no `unsafe`, no
 //! self-describing serialization on the hot path, and decoders return
 //! [`WireError`] instead of panicking on any malformed input.
+
+#![deny(missing_docs)]
 
 pub mod codec;
 pub mod crc32;
@@ -35,7 +38,7 @@ pub use codec::{
     encode_spatl_update, encode_topk, Pair, SparseTopK, SpatlEncoder, SpatlUpdate, SPARSE_METADATA,
     SPATL_UPDATE_METADATA,
 };
-pub use envelope::{open, seal, MsgType, HEADER_LEN, MAGIC, WIRE_VERSION};
+pub use envelope::{flip_bit, open, seal, MsgType, HEADER_LEN, MAGIC, WIRE_VERSION};
 pub use error::WireError;
 pub use layout::{IndexRange, SelectionLayout};
 pub use sim::{LinkSpec, RoundTransfer, SimNet};
