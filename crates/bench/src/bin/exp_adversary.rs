@@ -1,0 +1,111 @@
+//! ADVERSARY — accuracy under Byzantine clients (DESIGN.md §9,
+//! EXPERIMENTS.md).
+//!
+//! Sweep the Byzantine fraction over {0, 0.1, 0.3} × aggregation rule for
+//! FedAvg and SPATL on the CIFAR-like task under the headline scale attack
+//! (λ = 100 model-replacement boosting). Defended configurations run the
+//! full stack — update screen plus robust aggregator — so the table shows
+//! defense in depth, not a single mechanism. The adversary plan is seeded;
+//! every row (including each quarantine decision on the ledger) reproduces
+//! exactly.
+
+use spatl::prelude::*;
+use spatl_bench::{pct, write_json, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(4, 8);
+    let clients = scale.pick(5, 10);
+    let fractions = [0.0, 0.1, 0.3];
+    let aggregators: Vec<AggregatorKind> = vec![
+        AggregatorKind::WeightedMean,
+        AggregatorKind::NormClippedMean,
+        AggregatorKind::CoordinateMedian,
+        AggregatorKind::CoordinateTrimmedMean { trim_ratio: 0.2 },
+    ];
+    let algs: Vec<(Algorithm, &'static str)> = vec![
+        (Algorithm::FedAvg, "FedAvg"),
+        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
+    ];
+
+    println!(
+        "accuracy vs Byzantine fraction (scale attack, λ=100), \
+         {clients} clients, {rounds} rounds\n"
+    );
+    let mut table = Table::new(&[
+        "Method",
+        "Aggregator",
+        "Byzantine",
+        "Best acc",
+        "Final acc",
+        "Tampered",
+        "Quarantined",
+    ]);
+    let mut artefact = Vec::new();
+    for (alg, name) in &algs {
+        let mut clean_final = 0.0f32;
+        for &frac in &fractions {
+            for kind in &aggregators {
+                // The attack-free baseline is aggregator-independent noise
+                // we don't need four times over; run it once per method.
+                if frac == 0.0 && *kind != AggregatorKind::WeightedMean {
+                    continue;
+                }
+                let defended = *kind != AggregatorKind::WeightedMean;
+                let mut builder = ExperimentBuilder::new(*alg)
+                    .clients(clients)
+                    .samples_per_client(scale.pick(60, 90))
+                    .rounds(rounds)
+                    .local_epochs(2)
+                    .seed(1)
+                    .aggregator(*kind);
+                if frac > 0.0 {
+                    builder = builder
+                        .adversary(AdversaryPlan::with_attack(frac, AttackKind::ScaleAttack));
+                }
+                if defended {
+                    builder = builder.screen(ScreenPolicy::default());
+                }
+                let result = builder.run();
+                if frac == 0.0 {
+                    clean_final = result.final_acc();
+                }
+                let tampered: usize = result.history.iter().map(|r| r.faults.byzantine).sum();
+                let quarantined: usize = result.history.iter().map(|r| r.faults.quarantined).sum();
+                table.row(vec![
+                    name.to_string(),
+                    kind.name().to_string(),
+                    format!("{:.0}%", frac * 100.0),
+                    pct(result.best_acc()),
+                    pct(result.final_acc()),
+                    tampered.to_string(),
+                    quarantined.to_string(),
+                ]);
+                artefact.push(serde_json::json!({
+                    "algorithm": name,
+                    "aggregator": kind.name(),
+                    "screened": defended,
+                    "byzantine_fraction": frac,
+                    "attack": "scale",
+                    "lambda": 100.0,
+                    "rounds": rounds,
+                    "clients": clients,
+                    "best_acc": result.best_acc(),
+                    "final_acc": result.final_acc(),
+                    "gap_to_attack_free": clean_final - result.final_acc(),
+                    "tampered_uploads": tampered,
+                    "quarantined": quarantined,
+                }));
+                eprintln!(
+                    "  {name} {} byz={frac:.1}: best={:.3} final={:.3} \
+                     tampered={tampered} quarantined={quarantined}",
+                    kind.name(),
+                    result.best_acc(),
+                    result.final_acc()
+                );
+            }
+        }
+    }
+    table.print();
+    write_json("adversary_sweep", &serde_json::json!(artefact));
+}

@@ -225,6 +225,32 @@ fn main() {
         println!();
     }
 
+    if let Some(v) = load("adversary_sweep") {
+        println!("## Adversary — accuracy vs Byzantine fraction (scale attack, λ=100)");
+        let mut t = Table::new(&[
+            "algorithm",
+            "aggregator",
+            "byzantine",
+            "final acc",
+            "gap to attack-free",
+            "tampered",
+            "quarantined",
+        ]);
+        for r in v.as_array().into_iter().flatten() {
+            t.row(vec![
+                r["algorithm"].as_str().unwrap_or("?").to_string(),
+                r["aggregator"].as_str().unwrap_or("?").to_string(),
+                format!("{:.0}%", f(&r["byzantine_fraction"]) * 100.0),
+                format!("{:.1}%", f(&r["final_acc"]) * 100.0),
+                format!("{:.1}pp", f(&r["gap_to_attack_free"]) * 100.0),
+                r["tampered_uploads"].to_string(),
+                r["quarantined"].to_string(),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
     if let Some(v) = load("fig_rl_finetune") {
         println!("## Agent pre-train / fine-tune rewards");
         let pre: Vec<f64> = v["pretrain_rewards"]

@@ -229,7 +229,12 @@ impl ClientState {
             }
         }
 
-        // 3. Delta and divergence check.
+        // 3. Delta and divergence check. A client that detects a
+        //    non-finite delta self-reports (`diverged`): aggregation skips
+        //    the upload and the round's ledger records it as
+        //    `FaultKind::LocalDivergence` — the honest counterpart of the
+        //    server-side `Quarantined` verdict, which exists for uploads
+        //    that *claim* to be healthy (see `crate::screen`).
         let new_shared = read_shared(&self.model, include_pred);
         let delta: Vec<f32> = new_shared
             .iter()

@@ -131,6 +131,64 @@ impl Algorithm {
     }
 }
 
+/// Which aggregation rule the server applies to a round's surviving
+/// cohort. [`AggregatorKind::WeightedMean`] is each algorithm's published
+/// rule (the default, bit-identical to the pre-defense behaviour); the
+/// other three are robust variants from the Byzantine-FL literature,
+/// implemented for all five algorithms — control variates, momentum
+/// buffers, batch-norm statistics and SPATL's channel-indexed sparse
+/// uploads included (robust statistics computed per coordinate over the
+/// subset of clients that uploaded that coordinate). DESIGN.md §9 covers
+/// the trade-offs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum AggregatorKind {
+    /// The algorithm's published sample-weighted rule (default). Fast and
+    /// statistically efficient, but a single Byzantine upload controls the
+    /// result.
+    #[default]
+    WeightedMean,
+    /// Weighted mean after clipping every update to the cohort's median
+    /// RMS: an attacker can still bias the direction, but no longer the
+    /// magnitude. Non-finite updates are zeroed outright.
+    NormClippedMean,
+    /// Per-coordinate median over the cohort: tolerates just under half
+    /// the cohort being Byzantine, at the cost of ignoring sample weights
+    /// and some statistical efficiency on honest rounds.
+    CoordinateMedian,
+    /// Per-coordinate trimmed mean: drops the `trim_ratio` fraction from
+    /// each tail before averaging — a middle ground between mean and
+    /// median.
+    CoordinateTrimmedMean {
+        /// Fraction trimmed from *each* tail, in `[0, 0.5)`. When trimming
+        /// would consume the whole sample the statistic falls back to the
+        /// median.
+        trim_ratio: f32,
+    },
+}
+
+impl AggregatorKind {
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregatorKind::WeightedMean => "weighted-mean",
+            AggregatorKind::NormClippedMean => "norm-clipped",
+            AggregatorKind::CoordinateMedian => "coord-median",
+            AggregatorKind::CoordinateTrimmedMean { .. } => "trimmed-mean",
+        }
+    }
+
+    /// Panics if a parameter is outside its documented range; called once
+    /// when a simulation is built.
+    pub fn validate(&self) {
+        if let AggregatorKind::CoordinateTrimmedMean { trim_ratio } = self {
+            assert!(
+                (0.0..0.5).contains(trim_ratio),
+                "trim_ratio must be in [0, 0.5)"
+            );
+        }
+    }
+}
+
 /// Full configuration of a federated run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FlConfig {
@@ -163,6 +221,20 @@ pub struct FlConfig {
     ///
     /// [`FaultPlan`]: crate::FaultPlan
     pub faults: Option<crate::FaultPlan>,
+    /// Byzantine clients simulated by an [`AdversaryPlan`]; `None` means
+    /// every client is honest.
+    ///
+    /// [`AdversaryPlan`]: crate::AdversaryPlan
+    pub adversary: Option<crate::AdversaryPlan>,
+    /// Server-side update screening ([`ScreenPolicy`]) applied between
+    /// decode and aggregation; `None` trusts every decoded upload.
+    ///
+    /// [`ScreenPolicy`]: crate::ScreenPolicy
+    pub screen: Option<crate::ScreenPolicy>,
+    /// The aggregation rule the server applies
+    /// ([`AggregatorKind::WeightedMean`] reproduces each algorithm's
+    /// published behaviour exactly).
+    pub aggregator: AggregatorKind,
 }
 
 impl FlConfig {
@@ -183,6 +255,9 @@ impl FlConfig {
             algorithm,
             net: NetProfile::Broadband,
             faults: None,
+            adversary: None,
+            screen: None,
+            aggregator: AggregatorKind::WeightedMean,
         }
     }
 

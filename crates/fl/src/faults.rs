@@ -113,7 +113,7 @@ impl FaultPlan {
 }
 
 /// What kind of fault an event records.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// The client was sampled but never trained (dropped out up front).
     Dropout,
@@ -132,6 +132,27 @@ pub enum FaultKind {
     /// The client finished after [`FaultPlan::deadline_s`]; its upload was
     /// discarded unread.
     DeadlineMissed,
+    /// The client self-reported a non-finite local delta and uploaded a
+    /// fallback instead of a salient selection; aggregation rejects the
+    /// update, and this event distinguishes *self-reported* divergence from
+    /// updates the server screened out
+    /// ([`FaultKind::Quarantined`]).
+    LocalDivergence,
+    /// Ground truth of the configured
+    /// [`AdversaryPlan`](crate::AdversaryPlan): this client's upload was
+    /// tampered with this round (the frames remained CRC-valid — only
+    /// semantic screening can catch it).
+    ByzantineUpload {
+        /// Which attack the plan applied.
+        attack: crate::AttackKind,
+    },
+    /// The server's update screen rejected this upload before aggregation
+    /// ([`ScreenPolicy`](crate::ScreenPolicy)); the reason says which check
+    /// fired.
+    Quarantined {
+        /// Which screening check rejected the update.
+        reason: crate::ScreenReason,
+    },
 }
 
 /// One fault that hit one client in one round.
@@ -163,6 +184,16 @@ pub struct FaultRecord {
     pub retries: usize,
     /// Participants dropped after exhausting the retry budget.
     pub retry_exhausted: usize,
+    /// Clients that self-reported a non-finite local delta
+    /// ([`FaultKind::LocalDivergence`]).
+    pub local_divergence: usize,
+    /// Ground truth: uploads the configured
+    /// [`AdversaryPlan`](crate::AdversaryPlan) tampered with this round.
+    pub byzantine: usize,
+    /// Decoded uploads the server's
+    /// [`ScreenPolicy`](crate::ScreenPolicy) rejected before aggregation;
+    /// the matching [`FaultKind::Quarantined`] events say why.
+    pub quarantined: usize,
     /// True when aggregation applied no update this round (every sampled
     /// client was lost, or every survivor was rejected).
     pub no_op: bool,
@@ -187,6 +218,9 @@ impl FaultRecord {
             FaultKind::CorruptUpload { .. } => self.corrupted_uploads += 1,
             FaultKind::RetriesExhausted => self.retry_exhausted += 1,
             FaultKind::DeadlineMissed => self.deadline_dropped += 1,
+            FaultKind::LocalDivergence => self.local_divergence += 1,
+            FaultKind::ByzantineUpload { .. } => self.byzantine += 1,
+            FaultKind::Quarantined { .. } => self.quarantined += 1,
         }
         self.events.push(FaultEvent { client_id, kind });
     }
@@ -202,8 +236,10 @@ const SALT_STRAGGLER: u64 = 0x57;
 const SALT_CORRUPT: u64 = 0xC0;
 
 /// splitmix64 finaliser — decorrelates the structured `(seed, round,
-/// client, salt)` tuples before they become ChaCha seeds.
-fn splitmix(mut x: u64) -> u64 {
+/// client, salt)` tuples before they become ChaCha seeds. Shared with the
+/// [`Adversary`](crate::Adversary) streams so both fault families derive
+/// decisions the same way.
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -406,12 +442,28 @@ mod tests {
         );
         rec.push(2, FaultKind::RetriesExhausted);
         rec.push(3, FaultKind::DeadlineMissed);
+        rec.push(0, FaultKind::LocalDivergence);
+        rec.push(
+            1,
+            FaultKind::ByzantineUpload {
+                attack: crate::AttackKind::SignFlip,
+            },
+        );
+        rec.push(
+            1,
+            FaultKind::Quarantined {
+                reason: crate::ScreenReason::NonFinite,
+            },
+        );
         assert_eq!(rec.dropouts, 1);
         assert_eq!(rec.stragglers, 1);
         assert_eq!(rec.corrupted_uploads, 1);
         assert_eq!(rec.retry_exhausted, 1);
         assert_eq!(rec.deadline_dropped, 1);
-        assert_eq!(rec.total(), 5);
+        assert_eq!(rec.local_divergence, 1);
+        assert_eq!(rec.byzantine, 1);
+        assert_eq!(rec.quarantined, 1);
+        assert_eq!(rec.total(), 8);
     }
 
     #[test]

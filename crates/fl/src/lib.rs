@@ -21,22 +21,34 @@
 //! retried with bounded backoff); every algorithm aggregates over
 //! whatever cohort survives, and each round's [`FaultRecord`] documents
 //! what happened. DESIGN.md §8 is the full failure model.
+//!
+//! Nor are clients assumed honest: a seeded [`AdversaryPlan`] turns a
+//! fixed fraction of them Byzantine — emitting CRC-valid frames whose
+//! payloads are poisoned (`NaN` injection, model-replacement scaling,
+//! sign flips). The server defends in depth with a [`ScreenPolicy`]
+//! (non-finite rejection plus median-based norm screening, every
+//! quarantine on the ledger) and a choice of robust [`AggregatorKind`]s.
+//! DESIGN.md §9 is the threat model.
 
 #![deny(missing_docs)]
 
+mod adversary;
 mod client;
 mod comm;
 mod config;
 mod faults;
+mod screen;
 mod server;
 mod simulation;
 mod transfer;
 pub mod wire;
 
+pub use adversary::{Adversary, AdversaryPlan, AttackKind};
 pub use client::{ClientState, LocalOutcome, SelectedUpdate};
 pub use comm::{CommModel, RoundBytes};
-pub use config::{Algorithm, FlConfig, NetProfile, SpatlOptions};
+pub use config::{AggregatorKind, Algorithm, FlConfig, NetProfile, SpatlOptions};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
+pub use screen::{screen_updates, ScreenPolicy, ScreenReason};
 pub use server::GlobalState;
 pub use simulation::{RoundRecord, RunResult, Simulation};
 pub use transfer::{adapt_predictor, transfer_evaluate};

@@ -1,0 +1,335 @@
+//! Server-side update screening: semantic defense between decode and
+//! aggregation.
+//!
+//! The envelope CRC proves an upload arrived *intact*; it proves nothing
+//! about the upload being *sane*. This module is the second line of
+//! defense (DESIGN.md §9): after the wire layer decodes a round's
+//! surviving uploads and before [`GlobalState::aggregate`] touches the
+//! model, every update passes through two checks:
+//!
+//! 1. **Non-finite rejection** — any `NaN`/`±∞` in the delta, salient
+//!    values, control step, momentum or batch-norm statistics quarantines
+//!    the upload outright. One poisoned coordinate reaching a mean
+//!    destroys that coordinate globally, so this check is absolute.
+//! 2. **Median-based norm screening** — the RMS of each update is compared
+//!    against the cohort median; anything above
+//!    `norm_tolerance × median` is quarantined as an outlier. RMS (not
+//!    L2) so SPATL's variable-length salient uploads are comparable with
+//!    dense ones. The median is the reference because it is itself robust:
+//!    a minority of attackers cannot drag it towards their own scale.
+//!
+//! Quarantined clients are recorded on the round's
+//! [`FaultRecord`](crate::FaultRecord) with a typed
+//! [`ScreenReason`], and aggregation renormalises over the remaining
+//! cohort exactly as it does for dropouts — the machinery introduced with
+//! the transport fault layer.
+//!
+//! What screening cannot catch: a sign-flipped update has the same norm as
+//! the honest one it negates, and a smart attacker can scale within the
+//! tolerance band. Those are the robust
+//! [`AggregatorKind`](crate::AggregatorKind)s' job.
+//!
+//! [`GlobalState::aggregate`]: crate::GlobalState::aggregate
+
+use crate::{FaultKind, FaultRecord, LocalOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the server's update screen. Part of
+/// [`FlConfig`](crate::FlConfig); `None` there trusts every decoded
+/// upload (the pre-defense behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScreenPolicy {
+    /// An update is quarantined when its RMS exceeds
+    /// `norm_tolerance × median RMS` of the round's cohort. Must be > 1.
+    pub norm_tolerance: f32,
+    /// Minimum cohort size for the norm screen to run: with fewer decoded
+    /// uploads the median is dominated by the attackers it is supposed to
+    /// expose, so only the non-finite check applies.
+    pub min_cohort: usize,
+}
+
+impl Default for ScreenPolicy {
+    fn default() -> Self {
+        ScreenPolicy {
+            norm_tolerance: 4.0,
+            min_cohort: 3,
+        }
+    }
+}
+
+impl ScreenPolicy {
+    /// Panics if the tolerance cannot separate inliers from outliers;
+    /// called once when a simulation is built.
+    pub fn validate(&self) {
+        assert!(
+            self.norm_tolerance > 1.0 && self.norm_tolerance.is_finite(),
+            "norm_tolerance must be a finite value > 1"
+        );
+    }
+}
+
+/// Why the screen rejected an upload; carried by
+/// [`FaultKind::Quarantined`](crate::FaultKind::Quarantined).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScreenReason {
+    /// The update contained `NaN` or `±∞`.
+    NonFinite,
+    /// The update's RMS exceeded the cohort's tolerance band.
+    NormOutlier {
+        /// RMS of the rejected update.
+        rms: f32,
+        /// Median RMS of the round's decoded cohort.
+        median_rms: f32,
+    },
+}
+
+/// Root-mean-square of a slice (`0` when empty). Returns `NaN` when the
+/// slice contains non-finite values — callers check finiteness first.
+pub(crate) fn rms(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| x * x).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Median of a scratch slice (sorted in place; mean of the middle pair for
+/// even lengths). Panics on empty input.
+pub(crate) fn median_in_place(xs: &mut [f32]) -> f32 {
+    assert!(!xs.is_empty(), "median of an empty sample");
+    xs.sort_unstable_by(f32::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// The vectors the server aggregates from this upload, in screening order.
+fn aggregated_vectors(o: &LocalOutcome) -> impl Iterator<Item = &[f32]> {
+    let update: &[f32] = match &o.selected {
+        Some(sel) => &sel.values,
+        None => &o.delta,
+    };
+    [
+        update,
+        o.control_delta.as_deref().unwrap_or(&[]),
+        o.velocity.as_deref().unwrap_or(&[]),
+        &o.buffers,
+    ]
+    .into_iter()
+}
+
+/// The screening statistic of one upload: RMS of its main update vector
+/// (salient values for a SPATL selection, the dense delta otherwise).
+pub(crate) fn update_rms(o: &LocalOutcome) -> f32 {
+    match &o.selected {
+        Some(sel) => rms(&sel.values),
+        None => rms(&o.delta),
+    }
+}
+
+/// Run the screen over a round's decoded cohort. Returns the survivors;
+/// every rejection is pushed onto `record` as a
+/// [`FaultKind::Quarantined`] event with its [`ScreenReason`].
+pub fn screen_updates(
+    policy: &ScreenPolicy,
+    cohort: Vec<LocalOutcome>,
+    record: &mut FaultRecord,
+) -> Vec<LocalOutcome> {
+    // Stage 1: non-finite rejection. Self-reported divergence
+    // (`o.diverged`) is already excluded by aggregation and separately
+    // recorded as `LocalDivergence`; this catches updates that *claim* to
+    // be healthy.
+    let mut kept: Vec<LocalOutcome> = Vec::with_capacity(cohort.len());
+    for o in cohort {
+        let finite = aggregated_vectors(&o).all(|xs| xs.iter().all(|v| v.is_finite()));
+        if finite {
+            kept.push(o);
+        } else {
+            record.push(
+                o.client_id,
+                FaultKind::Quarantined {
+                    reason: ScreenReason::NonFinite,
+                },
+            );
+        }
+    }
+
+    // Stage 2: median-based norm screening over the finite cohort.
+    if kept.len() < policy.min_cohort.max(2) {
+        return kept;
+    }
+    let norms: Vec<f32> = kept.iter().map(update_rms).collect();
+    let median = median_in_place(&mut norms.clone());
+    if median <= 0.0 {
+        // A degenerate all-zero cohort: no scale to compare against.
+        return kept;
+    }
+    let limit = policy.norm_tolerance * median;
+    let mut survivors = Vec::with_capacity(kept.len());
+    for (o, norm) in kept.into_iter().zip(norms) {
+        if norm > limit {
+            record.push(
+                o.client_id,
+                FaultKind::Quarantined {
+                    reason: ScreenReason::NormOutlier {
+                        rms: norm,
+                        median_rms: median,
+                    },
+                },
+            );
+        } else {
+            survivors.push(o);
+        }
+    }
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommModel;
+
+    fn outcome(id: usize, delta: Vec<f32>) -> LocalOutcome {
+        LocalOutcome {
+            client_id: id,
+            n_samples: 10,
+            tau: 1,
+            delta,
+            selected: None,
+            control_delta: None,
+            velocity: None,
+            buffers: Vec::new(),
+            diverged: false,
+            bytes: CommModel::dense(0),
+            wire: crate::WireBytes::default(),
+            frames: Vec::new(),
+            keep_ratio: 1.0,
+            flops_ratio: 1.0,
+        }
+    }
+
+    #[test]
+    fn median_odd_even_and_rms() {
+        assert_eq!(median_in_place(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!((rms(&[3.0, 4.0]) - (12.5f32).sqrt()).abs() < 1e-6);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn non_finite_updates_are_quarantined() {
+        let policy = ScreenPolicy::default();
+        let mut rec = FaultRecord::for_sample(3);
+        let cohort = vec![
+            outcome(0, vec![1.0, 1.0]),
+            outcome(1, vec![1.0, f32::NAN]),
+            outcome(2, vec![f32::INFINITY, 1.0]),
+        ];
+        let kept = screen_updates(&policy, cohort, &mut rec);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].client_id, 0);
+        assert_eq!(rec.quarantined, 2);
+    }
+
+    #[test]
+    fn norm_outliers_are_quarantined_with_context() {
+        let policy = ScreenPolicy::default();
+        let mut rec = FaultRecord::for_sample(4);
+        let cohort = vec![
+            outcome(0, vec![1.0, 1.0]),
+            outcome(1, vec![1.1, 0.9]),
+            outcome(2, vec![0.9, 1.1]),
+            outcome(3, vec![100.0, 100.0]), // 100× the cohort scale
+        ];
+        let kept = screen_updates(&policy, cohort, &mut rec);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(rec.quarantined, 1);
+        match &rec.events[0].kind {
+            FaultKind::Quarantined {
+                reason: ScreenReason::NormOutlier { rms, median_rms },
+            } => {
+                assert!(*rms > 99.0);
+                assert!(*median_rms < 2.0);
+            }
+            other => panic!("expected a norm-outlier quarantine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sign_flip_passes_norm_screen() {
+        // Norm screening is blind to sign flips by construction — the
+        // documented reason robust aggregators exist.
+        let policy = ScreenPolicy::default();
+        let mut rec = FaultRecord::for_sample(3);
+        let cohort = vec![
+            outcome(0, vec![1.0, 1.0]),
+            outcome(1, vec![1.0, 1.0]),
+            outcome(2, vec![-1.0, -1.0]),
+        ];
+        let kept = screen_updates(&policy, cohort, &mut rec);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(rec.quarantined, 0);
+    }
+
+    #[test]
+    fn small_cohorts_skip_the_norm_screen() {
+        let policy = ScreenPolicy::default(); // min_cohort = 3
+        let mut rec = FaultRecord::for_sample(2);
+        let cohort = vec![outcome(0, vec![1.0]), outcome(1, vec![1e6])];
+        let kept = screen_updates(&policy, cohort, &mut rec);
+        assert_eq!(kept.len(), 2, "two clients: no majority to trust");
+    }
+
+    #[test]
+    fn spatl_sparse_updates_screen_on_salient_values() {
+        let policy = ScreenPolicy::default();
+        let mut rec = FaultRecord::for_sample(3);
+        let mut big = outcome(2, Vec::new());
+        big.selected = Some(crate::SelectedUpdate {
+            indices: vec![0, 1],
+            values: vec![500.0, 500.0],
+            channels: 1,
+            channel_ids: vec![0],
+        });
+        let small = |id: usize| {
+            let mut o = outcome(id, Vec::new());
+            o.selected = Some(crate::SelectedUpdate {
+                indices: vec![0, 1, 2],
+                values: vec![1.0, 1.0, 1.0],
+                channels: 1,
+                channel_ids: vec![0],
+            });
+            o
+        };
+        let kept = screen_updates(&policy, vec![small(0), small(1), big], &mut rec);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(rec.quarantined, 1);
+        assert_eq!(rec.events[0].client_id, 2);
+    }
+
+    #[test]
+    fn zero_plan_zero_effect() {
+        let policy = ScreenPolicy::default();
+        let mut rec = FaultRecord::for_sample(3);
+        let cohort = vec![
+            outcome(0, vec![1.0, 2.0]),
+            outcome(1, vec![2.0, 1.0]),
+            outcome(2, vec![1.5, 1.5]),
+        ];
+        let kept = screen_updates(&policy, cohort, &mut rec);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(rec.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "norm_tolerance must be a finite value > 1")]
+    fn validate_rejects_unit_tolerance() {
+        ScreenPolicy {
+            norm_tolerance: 1.0,
+            min_cohort: 3,
+        }
+        .validate();
+    }
+}

@@ -1,6 +1,16 @@
 //! Server-side global state and aggregation rules.
+//!
+//! Every algorithm's published rule lives behind
+//! [`AggregatorKind::WeightedMean`] (the default — bit-identical to the
+//! pre-defense code path). The robust variants
+//! ([`AggregatorKind::NormClippedMean`],
+//! [`AggregatorKind::CoordinateMedian`],
+//! [`AggregatorKind::CoordinateTrimmedMean`]) re-express each rule around
+//! a per-coordinate robust statistic so a Byzantine minority cannot
+//! control the aggregate; DESIGN.md §9 discusses the trade-offs.
 
-use crate::{Algorithm, FlConfig, LocalOutcome};
+use crate::screen::{median_in_place, update_rms};
+use crate::{AggregatorKind, Algorithm, FlConfig, LocalOutcome};
 use serde::{Deserialize, Serialize};
 use spatl_models::SplitModel;
 
@@ -70,6 +80,37 @@ impl GlobalState {
         if valid.is_empty() {
             return false;
         }
+        match cfg.aggregator {
+            AggregatorKind::WeightedMean => {
+                self.aggregate_weighted_mean(cfg, &valid, n_clients_total)
+            }
+            AggregatorKind::NormClippedMean => {
+                let clipped = clip_to_median_rms(&valid);
+                let refs: Vec<&LocalOutcome> = clipped.iter().collect();
+                self.aggregate_weighted_mean(cfg, &refs, n_clients_total)
+            }
+            AggregatorKind::CoordinateMedian => {
+                self.aggregate_coordinatewise(cfg, &valid, n_clients_total, RobustStat::Median)
+            }
+            AggregatorKind::CoordinateTrimmedMean { trim_ratio } => self.aggregate_coordinatewise(
+                cfg,
+                &valid,
+                n_clients_total,
+                RobustStat::TrimmedMean(trim_ratio),
+            ),
+        }
+    }
+
+    /// The published sample-weighted rule of each algorithm — the
+    /// [`AggregatorKind::WeightedMean`] path, byte-identical to the
+    /// pre-defense aggregation (regression-tested against a naive
+    /// reference in `tests/adversary.rs`).
+    fn aggregate_weighted_mean(
+        &mut self,
+        cfg: &FlConfig,
+        valid: &[&LocalOutcome],
+        n_clients_total: usize,
+    ) -> bool {
         let p = self.shared.len();
 
         match cfg.algorithm {
@@ -81,7 +122,7 @@ impl GlobalState {
                     // total would poison the model with NaN — skip instead.
                     return false;
                 }
-                for o in &valid {
+                for o in valid {
                     let w = cfg.server_lr * o.n_samples as f32 / total;
                     for j in 0..p {
                         self.shared[j] += w * o.delta[j];
@@ -99,7 +140,7 @@ impl GlobalState {
                     .iter()
                     .map(|o| (o.n_samples as f32 / total) * o.tau as f32)
                     .sum();
-                for o in &valid {
+                for o in valid {
                     let w = cfg.server_lr * tau_eff * (o.n_samples as f32 / total)
                         / (o.tau.max(1) as f32);
                     for j in 0..p {
@@ -110,7 +151,7 @@ impl GlobalState {
                 // local buffers (data-weighted mean over senders).
                 if valid.iter().any(|o| o.velocity.is_some()) {
                     self.momentum = vec![0.0; p];
-                    for o in &valid {
+                    for o in valid {
                         if let Some(v) = &o.velocity {
                             let w = o.n_samples as f32 / total;
                             for (m, &vj) in self.momentum.iter_mut().zip(v) {
@@ -127,7 +168,7 @@ impl GlobalState {
                 let inv_n = 1.0 / n_clients_total as f32;
                 let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
                 let mut c_delta = vec![0.0f32; p];
-                for o in &valid {
+                for o in valid {
                     let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
                     #[allow(clippy::needless_range_loop)] // j co-indexes three vectors
                     for j in 0..p {
@@ -153,7 +194,7 @@ impl GlobalState {
                 let mut c_delta = vec![0.0f32; p];
                 let inv_n = 1.0 / n_clients_total as f32;
                 let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
-                for o in &valid {
+                for o in valid {
                     let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
                     match &o.selected {
                         Some(sel) => {
@@ -195,7 +236,7 @@ impl GlobalState {
         if !self.buffers.is_empty() {
             let inv = 1.0 / valid.len() as f32;
             let mut acc = vec![0.0f32; self.buffers.len()];
-            for o in &valid {
+            for o in valid {
                 for (a, b) in acc.iter_mut().zip(&o.buffers) {
                     *a += b * inv;
                 }
@@ -203,6 +244,254 @@ impl GlobalState {
             self.buffers = acc;
         }
         true
+    }
+
+    /// Robust per-coordinate aggregation
+    /// ([`AggregatorKind::CoordinateMedian`] /
+    /// [`AggregatorKind::CoordinateTrimmedMean`]): each algorithm's rule is
+    /// re-expressed around `stat` applied coordinate-wise over the cohort.
+    /// Sample weights are deliberately ignored — a Byzantine client could
+    /// lie about its shard size to buy weight — so the honest-round result
+    /// differs (slightly) from the published weighted rules:
+    ///
+    /// * FedAvg/FedProx: `x ← x + η_g · stat({δᵢ})`.
+    /// * FedNova: the per-client *normalised* directions `τ_eff·δᵢ/τᵢ` are
+    ///   combined by `stat` (τ_eff keeps its data-weighted definition over
+    ///   the survivors); the momentum broadcast is `stat` over the uploaded
+    ///   buffers.
+    /// * SCAFFOLD: `x ← x + η_g · stat({δᵢ})`;
+    ///   `c ← c + (|S|/N) · stat({Δcᵢ})` — the published `(1/N)·Σ` equals
+    ///   `(|S|/N)·mean`, with the mean swapped for the robust statistic.
+    /// * SPATL (Eq. 12): per index, `stat` runs over the subset of clients
+    ///   whose salient selection uploaded that index — the channel-granular
+    ///   equivalent of the dense rules; gradient control mirrors SCAFFOLD
+    ///   with the per-index participation count in place of `|S|`.
+    /// * Batch-norm buffers are combined per coordinate by `stat`.
+    fn aggregate_coordinatewise(
+        &mut self,
+        cfg: &FlConfig,
+        valid: &[&LocalOutcome],
+        n_clients_total: usize,
+        stat: RobustStat,
+    ) -> bool {
+        let p = self.shared.len();
+        let inv_n = 1.0 / n_clients_total as f32;
+        let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
+        let mut sample: Vec<f32> = Vec::with_capacity(valid.len());
+
+        match cfg.algorithm {
+            Algorithm::FedAvg | Algorithm::FedProx { .. } => {
+                for j in 0..p {
+                    sample.clear();
+                    sample.extend(valid.iter().map(|o| o.delta[j]));
+                    self.shared[j] += cfg.server_lr * stat.apply(&mut sample);
+                }
+            }
+            Algorithm::FedNova => {
+                let total: f32 = valid.iter().map(|o| o.n_samples as f32).sum();
+                if total <= 0.0 {
+                    return false;
+                }
+                let tau_eff: f32 = valid
+                    .iter()
+                    .map(|o| (o.n_samples as f32 / total) * o.tau as f32)
+                    .sum();
+                for j in 0..p {
+                    sample.clear();
+                    sample.extend(
+                        valid
+                            .iter()
+                            .map(|o| tau_eff * o.delta[j] / o.tau.max(1) as f32),
+                    );
+                    self.shared[j] += cfg.server_lr * stat.apply(&mut sample);
+                }
+                if valid.iter().any(|o| o.velocity.is_some()) {
+                    let mut momentum = vec![0.0f32; p];
+                    #[allow(clippy::needless_range_loop)] // j indexes every upload
+                    for j in 0..p {
+                        sample.clear();
+                        sample.extend(
+                            valid.iter().filter_map(|o| {
+                                o.velocity.as_ref().and_then(|v| v.get(j)).copied()
+                            }),
+                        );
+                        if !sample.is_empty() {
+                            momentum[j] = stat.apply(&mut sample);
+                        }
+                    }
+                    self.momentum = momentum;
+                }
+            }
+            Algorithm::Scaffold => {
+                let s_over_n = valid.len() as f32 * inv_n;
+                let mut cd_sample: Vec<f32> = Vec::with_capacity(valid.len());
+                for j in 0..p {
+                    sample.clear();
+                    cd_sample.clear();
+                    for o in valid {
+                        sample.push(o.delta[j]);
+                        let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
+                        cd_sample.push(match &o.control_delta {
+                            Some(cd) => cd[j],
+                            None => -self.control[j] - o.delta[j] * scale,
+                        });
+                    }
+                    self.shared[j] += cfg.server_lr * stat.apply(&mut sample);
+                    self.control[j] += s_over_n * stat.apply(&mut cd_sample);
+                }
+            }
+            Algorithm::Spatl(opts) => {
+                // Gather per index the (value, control scale) contributions
+                // of the clients whose selection uploaded that index; the
+                // robust statistic then runs over exactly that subset.
+                let mut votes: Vec<Vec<(f32, f32)>> = vec![Vec::new(); p];
+                for o in valid {
+                    let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
+                    match &o.selected {
+                        Some(sel) => {
+                            for (k, &i) in sel.indices.iter().enumerate() {
+                                votes[i as usize].push((sel.values[k], scale));
+                            }
+                        }
+                        None => {
+                            for (j, v) in votes.iter_mut().enumerate() {
+                                v.push((o.delta[j], scale));
+                            }
+                        }
+                    }
+                }
+                let mut cd_sample: Vec<f32> = Vec::with_capacity(valid.len());
+                for (j, v) in votes.iter().enumerate() {
+                    if v.is_empty() {
+                        continue;
+                    }
+                    sample.clear();
+                    sample.extend(v.iter().map(|&(val, _)| val));
+                    self.shared[j] += cfg.server_lr * stat.apply(&mut sample);
+                    if opts.gradient_control {
+                        cd_sample.clear();
+                        cd_sample.extend(v.iter().map(|&(val, sc)| -self.control[j] - val * sc));
+                        self.control[j] += v.len() as f32 * inv_n * stat.apply(&mut cd_sample);
+                    }
+                }
+            }
+        }
+
+        // Batch-norm buffers: the robust statistic per coordinate, over the
+        // uploads whose buffer vector matches the session shape.
+        if !self.buffers.is_empty() {
+            let senders: Vec<&&LocalOutcome> = valid
+                .iter()
+                .filter(|o| o.buffers.len() == self.buffers.len())
+                .collect();
+            if !senders.is_empty() {
+                let mut acc = vec![0.0f32; self.buffers.len()];
+                #[allow(clippy::needless_range_loop)] // j indexes every upload
+                for j in 0..self.buffers.len() {
+                    sample.clear();
+                    sample.extend(senders.iter().map(|o| o.buffers[j]));
+                    acc[j] = stat.apply(&mut sample);
+                }
+                self.buffers = acc;
+            }
+        }
+        true
+    }
+}
+
+/// Which robust location statistic [`GlobalState::aggregate`] applies per
+/// coordinate.
+#[derive(Debug, Clone, Copy)]
+enum RobustStat {
+    /// The coordinate-wise median.
+    Median,
+    /// The coordinate-wise trimmed mean (fraction trimmed from each tail);
+    /// falls back to the median when trimming would consume the sample.
+    TrimmedMean(f32),
+}
+
+impl RobustStat {
+    /// Apply the statistic to a scratch sample (sorted in place).
+    fn apply(&self, xs: &mut [f32]) -> f32 {
+        match *self {
+            RobustStat::Median => median_in_place(xs),
+            RobustStat::TrimmedMean(ratio) => {
+                let n = xs.len();
+                let k = (ratio * n as f32).floor() as usize;
+                if n <= 2 * k {
+                    return median_in_place(xs);
+                }
+                xs.sort_unstable_by(f32::total_cmp);
+                let kept = &xs[k..n - k];
+                kept.iter().sum::<f32>() / kept.len() as f32
+            }
+        }
+    }
+}
+
+/// Clip every update to the cohort's median RMS
+/// ([`AggregatorKind::NormClippedMean`]): each outcome's aggregated
+/// vectors (delta, salient values, control step, momentum) are scaled by
+/// `min(1, median_rms / rms)` so no single upload can out-magnitude the
+/// cohort, then fed through the ordinary weighted-mean rule. Non-finite
+/// updates are zeroed outright (their RMS is unusable, and any scaling of
+/// `NaN` stays `NaN`).
+fn clip_to_median_rms(valid: &[&LocalOutcome]) -> Vec<LocalOutcome> {
+    let norms: Vec<f32> = valid.iter().map(|o| update_rms(o)).collect();
+    let mut finite: Vec<f32> = norms.iter().copied().filter(|n| n.is_finite()).collect();
+    if finite.is_empty() {
+        // Every upload is non-finite: zero them all; aggregation degrades
+        // to a no-op-shaped round (zero deltas), never NaN.
+        return valid
+            .iter()
+            .map(|o| {
+                let mut c = (*o).clone();
+                scale_update(&mut c, 0.0);
+                c
+            })
+            .collect();
+    }
+    let median = median_in_place(&mut finite);
+    valid
+        .iter()
+        .zip(&norms)
+        .map(|(o, &rms)| {
+            let mut c = (*o).clone();
+            let factor = if !rms.is_finite() {
+                0.0
+            } else if rms > median && rms > 0.0 {
+                median / rms
+            } else {
+                1.0
+            };
+            if factor != 1.0 {
+                scale_update(&mut c, factor);
+            }
+            c
+        })
+        .collect()
+}
+
+/// Scale every aggregated vector of an outcome (batch-norm statistics are
+/// running means, not updates — they are left untouched).
+fn scale_update(o: &mut LocalOutcome, factor: f32) {
+    for x in &mut o.delta {
+        *x *= factor;
+    }
+    if let Some(sel) = &mut o.selected {
+        for x in &mut sel.values {
+            *x *= factor;
+        }
+    }
+    if let Some(cd) = &mut o.control_delta {
+        for x in cd {
+            *x *= factor;
+        }
+    }
+    if let Some(v) = &mut o.velocity {
+        for x in v {
+            *x *= factor;
+        }
     }
 }
 

@@ -1,8 +1,8 @@
 //! The federated-learning driver: rounds, sampling, evaluation, history.
 
 use crate::{
-    client::write_shared, wire, Algorithm, ClientState, FaultInjector, FaultKind, FaultRecord,
-    FlConfig, GlobalState, RoundBytes, WireBytes,
+    client::write_shared, screen_updates, wire, Adversary, Algorithm, ClientState, FaultInjector,
+    FaultKind, FaultRecord, FlConfig, GlobalState, RoundBytes, WireBytes,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -137,6 +137,13 @@ impl Simulation {
         if let Some(plan) = &cfg.faults {
             plan.validate();
         }
+        if let Some(plan) = &cfg.adversary {
+            plan.validate();
+        }
+        if let Some(policy) = &cfg.screen {
+            policy.validate();
+        }
+        cfg.aggregator.validate();
         let model = model_cfg.with_seed(cfg.seed).build();
         let global = GlobalState::from_model(&model, &cfg.algorithm);
 
@@ -284,6 +291,36 @@ impl Simulation {
             .map(|(_, c)| c.local_update(&cfg, global_ref, round))
             .collect();
 
+        // A client whose local training diverged (non-finite delta)
+        // self-reports; its upload is excluded from aggregation and the
+        // ledger records why. Distinct from `Quarantined`: this is the
+        // client's own verdict, not the server's.
+        for o in &outcomes {
+            if o.diverged {
+                faults.push(o.client_id, FaultKind::LocalDivergence);
+            }
+        }
+
+        // Byzantine stage: the plan's static malicious cohort rewrites its
+        // outcomes and re-seals the frames *before* transmission, so the
+        // wire layer (and its CRC) sees perfectly well-formed uploads. The
+        // ledger records ground truth; whether the server *catches* the
+        // poison is the screen's and the aggregator's business.
+        if let Some(adv) = self.cfg.adversary.map(Adversary::new) {
+            let mask = adv.byzantine_mask(self.cfg.n_clients);
+            for o in &mut outcomes {
+                if mask[o.client_id] {
+                    adv.tamper(&self.cfg, o, round);
+                    faults.push(
+                        o.client_id,
+                        FaultKind::ByzantineUpload {
+                            attack: adv.plan().attack,
+                        },
+                    );
+                }
+            }
+        }
+
         // Uplink: the server aggregates what it decodes from each client's
         // frames, never the in-memory tensors. Fault stage 2 corrupts
         // transmission attempts (caught by the envelope CRC and rejected
@@ -386,6 +423,15 @@ impl Simulation {
                 }
             }
         }
+
+        // Screening stage (DESIGN.md §9): the decoded cohort passes the
+        // configured update screen before aggregation — non-finite
+        // rejection plus median-based norm screening, every quarantine on
+        // the ledger. `survivors` below is the post-screen cohort.
+        let survivors = match &self.cfg.screen {
+            Some(policy) => screen_updates(policy, survivors, &mut faults),
+            None => survivors,
+        };
 
         // Partial-participation aggregation over whatever survived; a
         // survivor-less round leaves the global state untouched.

@@ -2,7 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 use spatl_data::{dirichlet_partition, synth_cifar10, synth_femnist, Dataset, SynthConfig};
-use spatl_fl::{Algorithm, FaultPlan, FlConfig, RunResult, Simulation};
+use spatl_fl::{
+    AdversaryPlan, AggregatorKind, Algorithm, FaultPlan, FlConfig, RunResult, ScreenPolicy,
+    Simulation,
+};
 use spatl_models::{ModelConfig, ModelKind};
 use spatl_tensor::TensorRng;
 
@@ -36,6 +39,9 @@ pub struct ExperimentBuilder {
     width_mult: f32,
     seed: u64,
     faults: Option<FaultPlan>,
+    adversary: Option<AdversaryPlan>,
+    screen: Option<ScreenPolicy>,
+    aggregator: AggregatorKind,
 }
 
 impl ExperimentBuilder {
@@ -57,6 +63,9 @@ impl ExperimentBuilder {
             width_mult: 0.25,
             seed: 0,
             faults: None,
+            adversary: None,
+            screen: None,
+            aggregator: AggregatorKind::WeightedMean,
         }
     }
 
@@ -149,6 +158,27 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Make a fraction of the clients Byzantine (default: all honest). See
+    /// [`AdversaryPlan`] and DESIGN.md §9 for the threat model.
+    pub fn adversary(mut self, plan: AdversaryPlan) -> Self {
+        self.adversary = Some(plan);
+        self
+    }
+
+    /// Screen decoded uploads server-side before aggregation (default:
+    /// trust every decoded upload). See [`ScreenPolicy`].
+    pub fn screen(mut self, policy: ScreenPolicy) -> Self {
+        self.screen = Some(policy);
+        self
+    }
+
+    /// Aggregation rule the server applies (default
+    /// [`AggregatorKind::WeightedMean`], each algorithm's published rule).
+    pub fn aggregator(mut self, kind: AggregatorKind) -> Self {
+        self.aggregator = kind;
+        self
+    }
+
     /// Materialise the simulation without running it.
     pub fn build(self) -> Simulation {
         let mut fl = FlConfig::new(self.algorithm);
@@ -160,6 +190,9 @@ impl ExperimentBuilder {
         fl.lr = self.lr;
         fl.seed = self.seed;
         fl.faults = self.faults;
+        fl.adversary = self.adversary;
+        fl.screen = self.screen;
+        fl.aggregator = self.aggregator;
 
         let (model_cfg, shards) = match self.dataset {
             DatasetKind::CifarLike => {
@@ -236,6 +269,24 @@ mod tests {
             .faults(FaultPlan::dropout_only(0.5))
             .build();
         assert_eq!(sim.cfg.faults, Some(FaultPlan::dropout_only(0.5)));
+    }
+
+    #[test]
+    fn builder_wires_defense_knobs() {
+        use spatl_fl::AttackKind;
+        let sim = ExperimentBuilder::new(Algorithm::FedAvg)
+            .clients(2)
+            .samples_per_client(10)
+            .adversary(AdversaryPlan::with_attack(0.5, AttackKind::SignFlip))
+            .screen(ScreenPolicy::default())
+            .aggregator(AggregatorKind::CoordinateMedian)
+            .build();
+        assert_eq!(
+            sim.cfg.adversary,
+            Some(AdversaryPlan::with_attack(0.5, AttackKind::SignFlip))
+        );
+        assert_eq!(sim.cfg.screen, Some(ScreenPolicy::default()));
+        assert_eq!(sim.cfg.aggregator, AggregatorKind::CoordinateMedian);
     }
 
     #[test]

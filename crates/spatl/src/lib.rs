@@ -38,7 +38,8 @@ mod checkpoint;
 mod experiment;
 
 pub use checkpoint::{
-    load_agent, load_model, load_result, save_agent, save_model, save_result, CheckpointError,
+    load_agent, load_global, load_model, load_result, save_agent, save_global, save_model,
+    save_result, CheckpointError,
 };
 pub use experiment::{DatasetKind, ExperimentBuilder};
 
@@ -51,8 +52,9 @@ pub mod prelude {
         SynthConfig,
     };
     pub use spatl_fl::{
-        adapt_predictor, transfer_evaluate, Algorithm, FaultKind, FaultPlan, FaultRecord, FlConfig,
-        RunResult, Simulation, SpatlOptions,
+        adapt_predictor, transfer_evaluate, AdversaryPlan, AggregatorKind, Algorithm, AttackKind,
+        FaultKind, FaultPlan, FaultRecord, FlConfig, RunResult, ScreenPolicy, Simulation,
+        SpatlOptions,
     };
     pub use spatl_graph::extract;
     pub use spatl_models::{profile, ModelConfig, ModelKind, SplitModel};
