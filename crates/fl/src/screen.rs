@@ -11,12 +11,16 @@
 //!    values, control step, momentum or batch-norm statistics quarantines
 //!    the upload outright. One poisoned coordinate reaching a mean
 //!    destroys that coordinate globally, so this check is absolute.
-//! 2. **Median-based norm screening** — the RMS of each update is compared
-//!    against the cohort median; anything above
-//!    `norm_tolerance × median` is quarantined as an outlier. RMS (not
-//!    L2) so SPATL's variable-length salient uploads are comparable with
-//!    dense ones. The median is the reference because it is itself robust:
-//!    a minority of attackers cannot drag it towards their own scale.
+//! 2. **Median-based norm screening** — every vector family the server
+//!    aggregates (the main update, the SCAFFOLD control step, the FedNova
+//!    momentum, the batch-norm statistics) has its RMS compared against
+//!    that family's cohort median; anything above
+//!    `norm_tolerance × median` in *any* family is quarantined as an
+//!    outlier, so an attacker cannot hide magnitude in auxiliary state
+//!    while keeping its delta inside the band. RMS (not L2) so SPATL's
+//!    variable-length salient uploads are comparable with dense ones. The
+//!    median is the reference because it is itself robust: a minority of
+//!    attackers cannot drag it towards their own scale.
 //!
 //! Quarantined clients are recorded on the round's
 //! [`FaultRecord`](crate::FaultRecord) with a typed
@@ -74,11 +78,14 @@ impl ScreenPolicy {
 pub enum ScreenReason {
     /// The update contained `NaN` or `±∞`.
     NonFinite,
-    /// The update's RMS exceeded the cohort's tolerance band.
+    /// One of the upload's aggregated vectors had an RMS outside the
+    /// cohort's tolerance band for that vector family.
     NormOutlier {
-        /// RMS of the rejected update.
+        /// RMS of the most out-of-band vector (main update, control step,
+        /// momentum, or batch-norm statistics).
         rms: f32,
-        /// Median RMS of the round's decoded cohort.
+        /// Median RMS of that vector family over the round's decoded
+        /// cohort.
         median_rms: f32,
     },
 }
@@ -105,19 +112,37 @@ pub(crate) fn median_in_place(xs: &mut [f32]) -> f32 {
     }
 }
 
-/// The vectors the server aggregates from this upload, in screening order.
-fn aggregated_vectors(o: &LocalOutcome) -> impl Iterator<Item = &[f32]> {
+/// How many vector families [`norm_families`] distinguishes.
+const N_FAMILIES: usize = 4;
+
+/// The vector families the server aggregates from this upload, in
+/// screening order: the main update (salient values for a SPATL
+/// selection, the dense delta otherwise), the SCAFFOLD control step, the
+/// FedNova momentum, and the batch-norm statistics. `None` marks a family
+/// this upload does not carry — each family is screened only over the
+/// uploads that actually sent it.
+fn norm_families(o: &LocalOutcome) -> [Option<&[f32]>; N_FAMILIES] {
     let update: &[f32] = match &o.selected {
         Some(sel) => &sel.values,
         None => &o.delta,
     };
     [
-        update,
-        o.control_delta.as_deref().unwrap_or(&[]),
-        o.velocity.as_deref().unwrap_or(&[]),
-        &o.buffers,
+        Some(update),
+        o.control_delta.as_deref(),
+        o.velocity.as_deref(),
+        (!o.buffers.is_empty()).then_some(o.buffers.as_slice()),
     ]
-    .into_iter()
+}
+
+/// `true` when every vector the server would aggregate from this upload
+/// is finite. Shared by the screen's stage 1 and by
+/// [`AggregatorKind::NormClippedMean`](crate::AggregatorKind), which
+/// drops poisoned uploads because IEEE scaling cannot zero them.
+pub(crate) fn all_finite(o: &LocalOutcome) -> bool {
+    norm_families(o)
+        .into_iter()
+        .flatten()
+        .all(|xs| xs.iter().all(|v| v.is_finite()))
 }
 
 /// The screening statistic of one upload: RMS of its main update vector
@@ -137,14 +162,19 @@ pub fn screen_updates(
     cohort: Vec<LocalOutcome>,
     record: &mut FaultRecord,
 ) -> Vec<LocalOutcome> {
-    // Stage 1: non-finite rejection. Self-reported divergence
-    // (`o.diverged`) is already excluded by aggregation and separately
-    // recorded as `LocalDivergence`; this catches updates that *claim* to
-    // be healthy.
-    let mut kept: Vec<LocalOutcome> = Vec::with_capacity(cohort.len());
-    for o in cohort {
-        let finite = aggregated_vectors(&o).all(|xs| xs.iter().all(|v| v.is_finite()));
-        if finite {
+    // Self-reported divergence (`o.diverged`) bypasses both stages: the
+    // upload is already excluded by aggregation and recorded on the
+    // ledger as `LocalDivergence`, so quarantining it again would
+    // double-count the client — and its (typically non-finite) delta must
+    // not skew the stage-2 medians. The screen judges only updates that
+    // *claim* to be healthy.
+    let (diverged, healthy): (Vec<LocalOutcome>, Vec<LocalOutcome>) =
+        cohort.into_iter().partition(|o| o.diverged);
+
+    // Stage 1: non-finite rejection.
+    let mut kept: Vec<LocalOutcome> = Vec::with_capacity(healthy.len());
+    for o in healthy {
+        if all_finite(&o) {
             kept.push(o);
         } else {
             record.push(
@@ -156,33 +186,59 @@ pub fn screen_updates(
         }
     }
 
-    // Stage 2: median-based norm screening over the finite cohort.
-    if kept.len() < policy.min_cohort.max(2) {
-        return kept;
-    }
-    let norms: Vec<f32> = kept.iter().map(update_rms).collect();
-    let median = median_in_place(&mut norms.clone());
-    if median <= 0.0 {
-        // A degenerate all-zero cohort: no scale to compare against.
-        return kept;
-    }
-    let limit = policy.norm_tolerance * median;
-    let mut survivors = Vec::with_capacity(kept.len());
-    for (o, norm) in kept.into_iter().zip(norms) {
-        if norm > limit {
-            record.push(
-                o.client_id,
-                FaultKind::Quarantined {
-                    reason: ScreenReason::NormOutlier {
-                        rms: norm,
-                        median_rms: median,
-                    },
-                },
-            );
-        } else {
-            survivors.push(o);
+    // Stage 2: median-based norm screening over the finite cohort, one
+    // pass per vector family so magnitude cannot hide in auxiliary state.
+    let mut survivors = if kept.len() < policy.min_cohort.max(2) {
+        kept
+    } else {
+        // The worst offence per upload as `(rms, family median)` of the
+        // family with the largest ratio; `None` = inside every band.
+        let mut worst: Vec<Option<(f32, f32)>> = vec![None; kept.len()];
+        let mut scratch: Vec<f32> = Vec::with_capacity(kept.len());
+        for family in 0..N_FAMILIES {
+            let entries: Vec<(usize, f32)> = kept
+                .iter()
+                .enumerate()
+                .filter_map(|(i, o)| norm_families(o)[family].map(|xs| (i, rms(xs))))
+                .collect();
+            if entries.len() < policy.min_cohort.max(2) {
+                // Too few uploads carry this family for its median to be
+                // trustworthy — the same stand-down rule as the screen's.
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(entries.iter().map(|&(_, n)| n));
+            let median = median_in_place(&mut scratch);
+            if median <= 0.0 {
+                // A degenerate all-zero family: no scale to compare
+                // against.
+                continue;
+            }
+            let limit = policy.norm_tolerance * median;
+            for &(i, n) in &entries {
+                if n > limit && worst[i].is_none_or(|(wr, wm)| n / median > wr / wm) {
+                    worst[i] = Some((n, median));
+                }
+            }
         }
-    }
+        let mut survivors = Vec::with_capacity(kept.len());
+        for (o, verdict) in kept.into_iter().zip(worst) {
+            match verdict {
+                Some((rms, median_rms)) => record.push(
+                    o.client_id,
+                    FaultKind::Quarantined {
+                        reason: ScreenReason::NormOutlier { rms, median_rms },
+                    },
+                ),
+                None => survivors.push(o),
+            }
+        }
+        survivors
+    };
+
+    // Diverged uploads ride along untouched; aggregation skips them, so
+    // survivor accounting matches the unscreened path.
+    survivors.extend(diverged);
     survivors
 }
 
@@ -307,6 +363,63 @@ mod tests {
         assert_eq!(kept.len(), 2);
         assert_eq!(rec.quarantined, 1);
         assert_eq!(rec.events[0].client_id, 2);
+    }
+
+    #[test]
+    fn diverged_uploads_bypass_the_screen() {
+        // A self-reporting diverged client is already excluded by
+        // aggregation and recorded as `LocalDivergence`; the screen must
+        // neither quarantine it a second time nor let its non-finite
+        // delta skew the norm medians.
+        let policy = ScreenPolicy::default();
+        let mut rec = FaultRecord::for_sample(4);
+        let mut div = outcome(3, vec![f32::NAN, f32::NAN]);
+        div.diverged = true;
+        let cohort = vec![
+            outcome(0, vec![1.0, 1.0]),
+            outcome(1, vec![1.1, 0.9]),
+            outcome(2, vec![0.9, 1.1]),
+            div,
+        ];
+        let kept = screen_updates(&policy, cohort, &mut rec);
+        assert_eq!(kept.len(), 4, "the diverged upload rides along untouched");
+        assert_eq!(
+            rec.quarantined, 0,
+            "no double-record on top of LocalDivergence"
+        );
+        assert!(kept.iter().any(|o| o.diverged && o.client_id == 3));
+    }
+
+    #[test]
+    fn auxiliary_vectors_are_norm_screened() {
+        // An attacker that keeps its delta inside the tolerance band but
+        // scales its control step 100× must still be caught: each vector
+        // family is screened against its own cohort median.
+        let policy = ScreenPolicy::default();
+        let mut rec = FaultRecord::for_sample(3);
+        let with_control = |id: usize, scale: f32| {
+            let mut o = outcome(id, vec![1.0, 1.0]);
+            o.control_delta = Some(vec![0.5 * scale, 0.5 * scale]);
+            o
+        };
+        let cohort = vec![
+            with_control(0, 1.0),
+            with_control(1, 1.0),
+            with_control(2, 100.0),
+        ];
+        let kept = screen_updates(&policy, cohort, &mut rec);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(rec.quarantined, 1);
+        assert_eq!(rec.events[0].client_id, 2);
+        match &rec.events[0].kind {
+            FaultKind::Quarantined {
+                reason: ScreenReason::NormOutlier { rms, median_rms },
+            } => {
+                assert!((*rms - 50.0).abs() < 1e-3, "control RMS, got {rms}");
+                assert!((*median_rms - 0.5).abs() < 1e-6);
+            }
+            other => panic!("expected a norm-outlier quarantine, got {other:?}"),
+        }
     }
 
     #[test]

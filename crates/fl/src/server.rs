@@ -9,7 +9,7 @@
 //! a per-coordinate robust statistic so a Byzantine minority cannot
 //! control the aggregate; DESIGN.md §9 discusses the trade-offs.
 
-use crate::screen::{median_in_place, update_rms};
+use crate::screen::{all_finite, median_in_place, update_rms};
 use crate::{AggregatorKind, Algorithm, FlConfig, LocalOutcome};
 use serde::{Deserialize, Serialize};
 use spatl_models::SplitModel;
@@ -86,6 +86,11 @@ impl GlobalState {
             }
             AggregatorKind::NormClippedMean => {
                 let clipped = clip_to_median_rms(&valid);
+                if clipped.is_empty() {
+                    // Every upload carried non-finite values: nothing
+                    // aggregatable survived the clip — a no-op round.
+                    return false;
+                }
                 let refs: Vec<&LocalOutcome> = clipped.iter().collect();
                 self.aggregate_weighted_mean(cfg, &refs, n_clients_total)
             }
@@ -433,16 +438,24 @@ impl RobustStat {
 /// ([`AggregatorKind::NormClippedMean`]): each outcome's aggregated
 /// vectors (delta, salient values, control step, momentum) are scaled by
 /// `min(1, median_rms / rms)` so no single upload can out-magnitude the
-/// cohort, then fed through the ordinary weighted-mean rule. Non-finite
-/// updates are zeroed outright (their RMS is unusable, and any scaling of
-/// `NaN` stays `NaN`).
+/// cohort, then fed through the ordinary weighted-mean rule.
+///
+/// Uploads carrying any non-finite value are **dropped** from the clipped
+/// cohort — IEEE arithmetic cannot scale a poison away (`NaN × 0 = NaN`,
+/// `∞ × 0 = NaN`), so exclusion is the only zeroing that holds. The
+/// weighted-mean rule then renormalises over the survivors exactly as it
+/// does for dropouts; a cohort with no finite upload comes back empty and
+/// the caller turns the round into a no-op — the global state is never
+/// touched by a non-finite value.
 fn clip_to_median_rms(valid: &[&LocalOutcome]) -> Vec<LocalOutcome> {
-    let norms: Vec<f32> = valid.iter().map(|o| update_rms(o)).collect();
-    let mut finite: Vec<f32> = norms.iter().copied().filter(|n| n.is_finite()).collect();
-    if finite.is_empty() {
-        // Every upload is non-finite: zero them all; aggregation degrades
-        // to a no-op-shaped round (zero deltas), never NaN.
-        return valid
+    let finite: Vec<&LocalOutcome> = valid.iter().copied().filter(|o| all_finite(o)).collect();
+    let norms: Vec<f32> = finite.iter().map(|o| update_rms(o)).collect();
+    // An RMS can still overflow to ∞ on finite-but-huge values; such
+    // uploads are unboundedly out of scale and get clipped to zero (safe:
+    // their entries are finite), and they never vote on the median.
+    let mut usable: Vec<f32> = norms.iter().copied().filter(|n| n.is_finite()).collect();
+    if usable.is_empty() {
+        return finite
             .iter()
             .map(|o| {
                 let mut c = (*o).clone();
@@ -451,8 +464,8 @@ fn clip_to_median_rms(valid: &[&LocalOutcome]) -> Vec<LocalOutcome> {
             })
             .collect();
     }
-    let median = median_in_place(&mut finite);
-    valid
+    let median = median_in_place(&mut usable);
+    finite
         .iter()
         .zip(&norms)
         .map(|(o, &rms)| {
@@ -635,6 +648,78 @@ mod tests {
         let cfg = base_cfg(Algorithm::FedAvg);
         assert!(!g.aggregate(&cfg, &[], 5));
         assert_eq!(g.shared, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn norm_clipped_mean_drops_non_finite_uploads() {
+        // Regression (REVIEW): multiplying NaN/∞ by zero keeps the poison
+        // (IEEE: NaN×0 = NaN), so "zeroing" a non-finite upload must be
+        // an outright drop. Without any ScreenPolicy, NormClippedMean
+        // alone has to keep the global model finite.
+        let mut g = GlobalState {
+            shared: vec![0.0; 2],
+            control: Vec::new(),
+            momentum: Vec::new(),
+            buffers: Vec::new(),
+        };
+        let mut cfg = base_cfg(Algorithm::FedAvg);
+        cfg.aggregator = AggregatorKind::NormClippedMean;
+        let cohort = [
+            outcome(0, vec![1.0, 1.0], 10, 1),
+            outcome(1, vec![1.0, -1.0], 10, 1),
+            outcome(2, vec![f32::NAN, f32::INFINITY], 10, 1),
+        ];
+        assert!(g.aggregate(&cfg, &cohort, 3));
+        assert!(
+            g.shared.iter().all(|v| v.is_finite()),
+            "a NaN upload must never poison the clipped mean, got {:?}",
+            g.shared
+        );
+        // The poisoned upload is excluded outright: the result is the
+        // weighted mean of the two honest uploads alone.
+        assert!((g.shared[0] - cfg.server_lr).abs() < 1e-6);
+        assert!(g.shared[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn norm_clipped_mean_drops_uploads_with_non_finite_auxiliaries() {
+        // The finiteness verdict covers every aggregated vector, not just
+        // the delta: a poisoned SCAFFOLD control step must not reach the
+        // control-variate update.
+        let mut g = GlobalState {
+            shared: vec![0.0; 1],
+            control: vec![0.0; 1],
+            momentum: Vec::new(),
+            buffers: Vec::new(),
+        };
+        let mut cfg = base_cfg(Algorithm::Scaffold);
+        cfg.aggregator = AggregatorKind::NormClippedMean;
+        let mut bad = outcome(0, vec![1.0], 10, 1);
+        bad.control_delta = Some(vec![f32::NAN]);
+        let mut good = outcome(1, vec![1.0], 10, 1);
+        good.control_delta = Some(vec![0.5]);
+        assert!(g.aggregate(&cfg, &[bad, good], 2));
+        assert!(g.shared[0].is_finite());
+        assert!(g.control[0].is_finite());
+    }
+
+    #[test]
+    fn norm_clipped_mean_all_non_finite_round_is_a_no_op() {
+        let mut g = GlobalState {
+            shared: vec![0.5, 0.25],
+            control: Vec::new(),
+            momentum: Vec::new(),
+            buffers: vec![1.0, 2.0],
+        };
+        let mut cfg = base_cfg(Algorithm::FedAvg);
+        cfg.aggregator = AggregatorKind::NormClippedMean;
+        let mut bad0 = outcome(0, vec![f32::NAN, 1.0], 10, 1);
+        bad0.buffers = vec![1.0, 2.0];
+        let mut bad1 = outcome(1, vec![1.0, f32::INFINITY], 10, 1);
+        bad1.buffers = vec![1.0, 2.0];
+        assert!(!g.aggregate(&cfg, &[bad0, bad1], 2), "no-op round expected");
+        assert_eq!(g.shared, vec![0.5, 0.25], "global state untouched");
+        assert_eq!(g.buffers, vec![1.0, 2.0], "buffers untouched");
     }
 
     #[test]

@@ -334,6 +334,31 @@ fn nan_injection_is_quarantined_and_the_model_stays_finite() {
 }
 
 #[test]
+fn norm_clipping_alone_survives_nan_injection_without_a_screen() {
+    // Regression (REVIEW): NormClippedMean used to "zero" non-finite
+    // uploads by multiplying with 0.0, which IEEE arithmetic turns into
+    // NaN — with no ScreenPolicy configured, one poisoned upload reached
+    // the weighted mean and destroyed the global model. Dropping the
+    // upload must keep the run finite with the clip as the only defense.
+    let seed = 43;
+    let mut cfg = mini_cfg(Algorithm::FedAvg, 4, 2, seed);
+    cfg.adversary = Some(AdversaryPlan::with_attack(0.25, AttackKind::NanInjection));
+    cfg.aggregator = AggregatorKind::NormClippedMean;
+    assert!(cfg.screen.is_none(), "the clip must stand on its own");
+    let model_cfg = ModelConfig::cifar(ModelKind::ResNet20);
+    let mut sim = Simulation::new(cfg, model_cfg, shards(cfg.n_clients, 60, seed));
+    let result = sim.run();
+    for r in &result.history {
+        assert_eq!(r.faults.byzantine, 1, "round {}", r.round);
+    }
+    assert!(
+        sim.global.shared.iter().all(|v| v.is_finite()),
+        "an unscreened NaN upload must never poison the clipped mean"
+    );
+    assert!(sim.global.buffers.iter().all(|v| v.is_finite()));
+}
+
+#[test]
 fn spatl_robust_aggregation_survives_sign_flip() {
     // SPATL's sparse channel-indexed uploads go through the per-index
     // robust path; with a Byzantine minority sign-flipping, the defended
