@@ -7,20 +7,14 @@
 //! reproduces the setting at harness scale.
 
 use spatl::prelude::*;
-use spatl_bench::{pct, write_json, Scale, Table};
+use spatl_bench::{cli, pct, write_json, Scale, Table};
 
 fn main() {
     let scale = Scale::from_env();
     let rounds = scale.pick(6, 10);
     let clients = scale.pick(5, 10);
 
-    let algs: Vec<(Algorithm, &'static str)> = vec![
-        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
-        (Algorithm::FedAvg, "FedAvg"),
-        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
-        (Algorithm::Scaffold, "SCAFFOLD"),
-        (Algorithm::FedNova, "FedNova"),
-    ];
+    let algs = cli::algorithms();
 
     println!("2-layer CNN on FEMNIST-like (62 classes), {clients} writers, {rounds} rounds\n");
     let mut table = Table::new(&["algorithm", "best acc", "final acc"]);

@@ -8,17 +8,7 @@
 //! Scale with `SPATL_EXP_SCALE=quick|full`.
 
 use spatl::prelude::*;
-use spatl_bench::{pct, write_json, Scale, Table};
-
-fn algorithms() -> Vec<(Algorithm, &'static str)> {
-    vec![
-        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
-        (Algorithm::FedAvg, "FedAvg"),
-        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
-        (Algorithm::Scaffold, "SCAFFOLD"),
-        (Algorithm::FedNova, "FedNova"),
-    ]
-}
+use spatl_bench::{cli, pct, write_json, Scale, Table};
 
 fn main() {
     let scale = Scale::from_env();
@@ -44,7 +34,7 @@ fn main() {
             dataset
         );
         let mut summary = Table::new(&["algorithm", "best acc", "final acc", "rounds"]);
-        for (alg, name) in algorithms() {
+        for (alg, name) in cli::algorithms() {
             let result = ExperimentBuilder::new(alg)
                 .model(model)
                 .dataset(dataset)

@@ -2,7 +2,7 @@
 //! Fig. "train_rounds").
 
 use spatl::prelude::*;
-use spatl_bench::{write_json, Scale, Table};
+use spatl_bench::{cli, write_json, Scale, Table};
 
 fn main() {
     let scale = Scale::from_env();
@@ -13,13 +13,7 @@ fn main() {
         Scale::Quick => vec![(4, 1.0), (8, 0.5)],
         Scale::Full => vec![(10, 1.0), (20, 0.5)],
     };
-    let algs: Vec<(Algorithm, &'static str)> = vec![
-        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
-        (Algorithm::FedAvg, "FedAvg"),
-        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
-        (Algorithm::Scaffold, "SCAFFOLD"),
-        (Algorithm::FedNova, "FedNova"),
-    ];
+    let algs = cli::algorithms();
 
     let mut table = Table::new(&[
         "setting", "SPATL", "FedAvg", "FedProx", "SCAFFOLD", "FedNova",

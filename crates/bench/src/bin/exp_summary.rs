@@ -279,6 +279,41 @@ fn main() {
         println!("agent bytes: {}\n", v["agent_bytes"]);
     }
 
+    if let Some(v) = load("net_loopback") {
+        println!("## Networked runtime (loopback) — measured vs Eq. 13 prediction");
+        let mut t = Table::new(&[
+            "algorithm",
+            "clients",
+            "rounds",
+            "framed bytes",
+            "predicted s",
+            "measured s",
+            "meas/pred",
+        ]);
+        let predicted = f(&v["predicted_wall_s"]);
+        let measured = f(&v["measured_wall_s"]);
+        let ratio = if predicted > 0.0 {
+            format!("{:.3}", measured / predicted)
+        } else {
+            "-".to_string()
+        };
+        t.row(vec![
+            v["algorithm"].as_str().unwrap_or("?").to_string(),
+            v["clients"].to_string(),
+            v["rounds"].to_string(),
+            v["framed_bytes"].to_string(),
+            format!("{predicted:.4}"),
+            format!("{measured:.4}"),
+            ratio,
+        ]);
+        t.print();
+        println!(
+            "(prediction: SimNet Eq. 13 over the configured link profile; \
+             measurement: monotonic clock around the coordinator's \
+             broadcast + collection phase on 127.0.0.1)\n"
+        );
+    }
+
     if let Some(v) = load("fig_ablations") {
         println!("## Ablations (best accuracy, variant vs variant)");
         let mut t = Table::new(&["ablation", "variant", "best acc"]);

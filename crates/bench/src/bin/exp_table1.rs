@@ -6,7 +6,7 @@
 //! FedAvg — the paper's exact columns.
 
 use spatl::prelude::*;
-use spatl_bench::{mb, write_json, Scale, Table};
+use spatl_bench::{cli, mb, write_json, Scale, Table};
 
 struct Row {
     algorithm: &'static str,
@@ -27,13 +27,7 @@ fn main() {
         Scale::Quick => vec![ModelKind::ResNet20],
         Scale::Full => vec![ModelKind::ResNet20, ModelKind::ResNet32, ModelKind::Vgg11],
     };
-    let algs: Vec<(Algorithm, &'static str)> = vec![
-        (Algorithm::FedAvg, "FedAvg"),
-        (Algorithm::FedNova, "FedNova"),
-        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
-        (Algorithm::Scaffold, "SCAFFOLD"),
-        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
-    ];
+    let algs = cli::algorithms_baseline_first();
 
     println!(
         "communication cost to {:.0}% mean accuracy, {clients} clients, ≤{max_rounds} rounds\n",

@@ -5,7 +5,7 @@
 //! speed-up and average converge accuracy with Δ vs FedAvg.
 
 use spatl::prelude::*;
-use spatl_bench::{mb, pct, write_json, Scale, Table};
+use spatl_bench::{cli, mb, pct, write_json, Scale, Table};
 
 fn main() {
     let scale = Scale::from_env();
@@ -21,13 +21,7 @@ fn main() {
             (ModelKind::Vgg11, 10, 0.4),
         ],
     };
-    let algs: Vec<(Algorithm, &'static str)> = vec![
-        (Algorithm::FedAvg, "FedAvg"),
-        (Algorithm::FedNova, "FedNova"),
-        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
-        (Algorithm::Scaffold, "SCAFFOLD"),
-        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
-    ];
+    let algs = cli::algorithms_baseline_first();
 
     let mut table = Table::new(&[
         "Method",

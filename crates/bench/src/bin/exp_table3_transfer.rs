@@ -5,7 +5,7 @@
 //! predictor head, and compare transfer accuracy.
 
 use spatl::prelude::*;
-use spatl_bench::{pct, write_json, Scale, Table};
+use spatl_bench::{cli, pct, write_json, Scale, Table};
 
 fn main() {
     let scale = Scale::from_env();
@@ -25,13 +25,7 @@ fn main() {
     let transfer_train = synth_cifar10(&synth, scale.pick(160, 400), 900_001);
     let transfer_val = synth_cifar10(&synth, scale.pick(80, 200), 900_002);
 
-    let algs: Vec<(Algorithm, &'static str)> = vec![
-        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
-        (Algorithm::FedAvg, "FedAvg"),
-        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
-        (Algorithm::Scaffold, "SCAFFOLD"),
-        (Algorithm::FedNova, "FedNova"),
-    ];
+    let algs = cli::algorithms();
 
     let mut table = Table::new(&["method", "FL mean acc", "transfer acc"]);
     let mut artefact = Vec::new();

@@ -1,0 +1,268 @@
+//! Shared command-line handling for the experiment (`exp_*`) and
+//! networked-runtime (`spatl-server`/`spatl-client`) binaries.
+//!
+//! Two things live here: a tiny `--flag value` parser (no external
+//! dependency, long flags only, `--flag=value` accepted), and the
+//! canonical algorithm roster the binaries used to re-declare ad hoc —
+//! one list per ordering convention, plus a name parser for selecting a
+//! single algorithm from the command line.
+
+use spatl::prelude::{Algorithm, ExperimentBuilder, Simulation, SpatlOptions};
+
+/// The paper's five algorithms, SPATL first (the ordering the
+/// figure-style experiments print).
+pub fn algorithms() -> Vec<(Algorithm, &'static str)> {
+    vec![
+        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
+        (Algorithm::FedAvg, "FedAvg"),
+        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
+        (Algorithm::Scaffold, "SCAFFOLD"),
+        (Algorithm::FedNova, "FedNova"),
+    ]
+}
+
+/// The same five algorithms, baselines first (the ordering the
+/// table-style experiments print, SPATL as the closing row).
+pub fn algorithms_baseline_first() -> Vec<(Algorithm, &'static str)> {
+    vec![
+        (Algorithm::FedAvg, "FedAvg"),
+        (Algorithm::FedNova, "FedNova"),
+        (Algorithm::FedProx { mu: 0.01 }, "FedProx"),
+        (Algorithm::Scaffold, "SCAFFOLD"),
+        (Algorithm::Spatl(SpatlOptions::default()), "SPATL"),
+    ]
+}
+
+/// Parse an algorithm name as given on a command line (case-insensitive:
+/// `fedavg`, `fedprox`, `scaffold`, `fednova`, `spatl`), with each
+/// algorithm's canonical reproduction parameters.
+pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "fedavg" => Ok(Algorithm::FedAvg),
+        "fedprox" => Ok(Algorithm::FedProx { mu: 0.01 }),
+        "scaffold" => Ok(Algorithm::Scaffold),
+        "fednova" => Ok(Algorithm::FedNova),
+        "spatl" => Ok(Algorithm::Spatl(SpatlOptions::default())),
+        other => Err(format!(
+            "unknown algorithm '{other}' (expected fedavg|fedprox|scaffold|fednova|spatl)"
+        )),
+    }
+}
+
+/// Parsed command line: a sequence of `--flag value` (or `--flag=value`)
+/// pairs. Unknown flags are rejected up front so a typo cannot silently
+/// fall back to a default.
+#[derive(Debug, Clone)]
+pub struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse the process's arguments, allowing only `accepted` flag names
+    /// (without the `--` prefix). Exits with a usage message listing the
+    /// accepted flags on any malformed or unknown argument.
+    pub fn parse(accepted: &[&str]) -> Args {
+        match Self::from_iter(std::env::args().skip(1), accepted) {
+            Ok(args) => args,
+            Err(msg) => {
+                let mut usage = String::new();
+                for f in accepted {
+                    usage.push_str(&format!(" [--{f} <value>]"));
+                }
+                eprintln!("error: {msg}\nusage: {}{usage}", bin_name());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse an explicit argument list (testable core of [`Args::parse`]).
+    pub fn from_iter<I, S>(args: I, accepted: &[&str]) -> Result<Args, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().map(Into::into);
+        while let Some(arg) = iter.next() {
+            let name = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got '{arg}'"))?;
+            let (name, value) = match name.split_once('=') {
+                Some((n, v)) => (n.to_string(), v.to_string()),
+                None => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} is missing its value"))?;
+                    (name.to_string(), v)
+                }
+            };
+            if !accepted.contains(&name.as_str()) {
+                return Err(format!("unknown flag --{name}"));
+            }
+            flags.push((name, value));
+        }
+        Ok(Args { flags })
+    }
+
+    /// The raw value of a flag, if given (last occurrence wins).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse a flag's value, falling back to `default` when absent. Exits
+    /// with an error message when the value is present but malformed.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: flag --{name} has malformed value '{v}'");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// A flag that must be present.
+    pub fn require(&self, name: &str) -> &str {
+        self.get(name).unwrap_or_else(|| {
+            eprintln!("error: flag --{name} is required");
+            std::process::exit(2);
+        })
+    }
+}
+
+fn bin_name() -> String {
+    std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "binary".to_string())
+}
+
+/// The flag set shared by `spatl-server` and `spatl-client`:
+/// `--addr`, `--clients`, `--rounds`, `--seed`, `--algorithm`, plus the
+/// session-shape flags both ends must agree on for the fingerprint to
+/// match (`--samples`, `--local-epochs`, `--batch`).
+#[derive(Debug, Clone)]
+pub struct NetOpts {
+    /// Coordinator address (listen address server-side, target
+    /// client-side).
+    pub addr: String,
+    /// Number of federated clients in the session.
+    pub clients: usize,
+    /// Communication rounds to run.
+    pub rounds: usize,
+    /// Session seed (model init, sampling, shards).
+    pub seed: u64,
+    /// The federated algorithm.
+    pub algorithm: Algorithm,
+    /// Synthetic samples per client shard.
+    pub samples: usize,
+    /// Local epochs per round.
+    pub local_epochs: usize,
+    /// Local batch size.
+    pub batch: usize,
+}
+
+impl NetOpts {
+    /// Flags [`NetOpts::from_args`] consumes; binaries append their own
+    /// extras before calling [`Args::parse`].
+    pub const FLAGS: [&'static str; 8] = [
+        "addr",
+        "clients",
+        "rounds",
+        "seed",
+        "algorithm",
+        "samples",
+        "local-epochs",
+        "batch",
+    ];
+
+    /// Read the shared runtime flags out of parsed [`Args`], defaulting
+    /// to a 4-client × 3-round FedAvg loopback session.
+    pub fn from_args(args: &Args) -> NetOpts {
+        let algorithm = match parse_algorithm(args.get("algorithm").unwrap_or("fedavg")) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        };
+        NetOpts {
+            addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+            clients: args.get_or("clients", 4),
+            rounds: args.get_or("rounds", 3),
+            seed: args.get_or("seed", 7),
+            algorithm,
+            samples: args.get_or("samples", 24),
+            local_epochs: args.get_or("local-epochs", 1),
+            batch: args.get_or("batch", 8),
+        }
+    }
+
+    /// Deterministic session factory both networked endpoints share: the
+    /// same flags produce the same model initialisation, the same data
+    /// shards and the same control-plane fingerprint, on the server and
+    /// on every client process.
+    pub fn build_session(&self) -> Simulation {
+        ExperimentBuilder::new(self.algorithm)
+            .clients(self.clients)
+            .rounds(self.rounds)
+            .samples_per_client(self.samples)
+            .local_epochs(self.local_epochs)
+            .batch_size(self.batch)
+            .seed(self.seed)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flag_pairs_and_equals_form() {
+        let args =
+            Args::from_iter(["--addr", "0.0.0.0:9", "--rounds=5"], &["addr", "rounds"]).unwrap();
+        assert_eq!(args.get("addr"), Some("0.0.0.0:9"));
+        assert_eq!(args.get_or("rounds", 0usize), 5);
+        assert_eq!(args.get_or("missing", 7usize), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(Args::from_iter(["--bogus", "1"], &["addr"]).is_err());
+        assert!(Args::from_iter(["--addr"], &["addr"]).is_err());
+        assert!(Args::from_iter(["addr", "1"], &["addr"]).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_parse() {
+        for (_, name) in algorithms() {
+            assert!(
+                parse_algorithm(&name.to_ascii_lowercase()).is_ok(),
+                "{name}"
+            );
+        }
+        assert!(parse_algorithm("blockchain").is_err());
+    }
+
+    #[test]
+    fn rosters_cover_the_same_five() {
+        let mut a: Vec<&str> = algorithms().iter().map(|(_, n)| *n).collect();
+        let mut b: Vec<&str> = algorithms_baseline_first()
+            .iter()
+            .map(|(_, n)| *n)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+}

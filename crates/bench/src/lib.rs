@@ -8,6 +8,8 @@
 use std::fs;
 use std::path::PathBuf;
 
+pub mod cli;
+
 /// Experiment scale selected via the `SPATL_EXP_SCALE` environment
 /// variable: `quick` (CI-sized), `full` (default; minutes per experiment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

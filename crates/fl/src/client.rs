@@ -418,6 +418,22 @@ impl ClientState {
         apply_sparsities(&mut self.model, &applied, Criterion::L2);
     }
 
+    /// Sync the shared portion of this client's model (and BN buffers)
+    /// from a server broadcast, then report validation accuracy — the
+    /// per-round evaluation a networked client node performs on request.
+    /// Identical to the simulator's post-aggregation evaluation pass.
+    pub fn sync_and_evaluate(&mut self, cfg: &FlConfig, global: &GlobalState) -> f32 {
+        write_shared(
+            &mut self.model,
+            &global.shared,
+            !cfg.algorithm.uses_transfer(),
+        );
+        if !global.buffers.is_empty() {
+            self.model.encoder.set_buffers_flat(&global.buffers);
+        }
+        self.evaluate()
+    }
+
     /// Mean validation accuracy of the *dense* model — what the paper's
     /// learning curves report (selection masks serve the upload; pruned
     /// inference is measured separately at deployment).

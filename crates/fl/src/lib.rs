@@ -37,6 +37,7 @@ mod client;
 mod comm;
 mod config;
 mod faults;
+mod round;
 mod screen;
 mod server;
 mod simulation;
@@ -48,9 +49,10 @@ pub use client::{ClientState, LocalOutcome, SelectedUpdate};
 pub use comm::{CommModel, RoundBytes};
 pub use config::{AggregatorKind, Algorithm, FlConfig, NetProfile, SpatlOptions};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
+pub use round::{RoundDriver, RoundRecord, TransportStats};
 pub use screen::{screen_updates, ScreenPolicy, ScreenReason};
 pub use server::GlobalState;
-pub use simulation::{RoundRecord, RunResult, Simulation};
+pub use simulation::{RunResult, Simulation};
 pub use transfer::{adapt_predictor, transfer_evaluate};
 pub use wire::{
     build_selection_layout, decode_download, decode_upload, encode_download, encode_upload,

@@ -1,0 +1,283 @@
+//! The round-orchestration core shared by the in-process simulator and
+//! the networked coordinator.
+//!
+//! Both runtimes drive the same round skeleton: draw the round's cohort
+//! from the seeded sampling stream, broadcast the sealed global state,
+//! decode whatever uploads come back, screen and aggregate the surviving
+//! cohort, then record the round. What differs is *transport* — the
+//! simulator moves frames between structs (with injected faults), the
+//! coordinator moves them over TCP (with real ones). [`RoundDriver`] owns
+//! everything transport-independent so the two cannot drift apart: a
+//! networked round that feeds the driver the same uploads in the same
+//! order produces a bit-identical global model.
+//!
+//! Determinism contract: one [`RoundDriver::sample_round`] draw per round
+//! (no-op rounds included), and uploads handed to
+//! [`RoundDriver::screen_and_aggregate`] in ascending client-id order —
+//! the order the simulator's parallel collection preserves and the f32
+//! aggregation folds depend on.
+
+use serde::{Deserialize, Serialize};
+use spatl_tensor::TensorRng;
+use spatl_wire::{SelectionLayout, SimNet, WireError};
+
+use crate::{
+    screen_updates, wire, Encoded, FaultRecord, FlConfig, GlobalState, LocalOutcome, RoundBytes,
+    WireBytes,
+};
+
+/// Metrics recorded after each communication round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Mean top-1 validation accuracy across all clients.
+    pub mean_acc: f32,
+    /// Per-client accuracy.
+    pub per_client_acc: Vec<f32>,
+    /// Analytic bytes moved this round, Eq. 13 (sum over participants).
+    pub bytes: RoundBytes,
+    /// Measured wire traffic this round (sum over participants); the
+    /// payload components cross-check `bytes` exactly.
+    pub wire: WireBytes,
+    /// Simulated transfer wall-clock of the round (slowest participant's
+    /// download + upload over the configured [`NetProfile`]).
+    ///
+    /// [`NetProfile`]: crate::NetProfile
+    pub transfer_wall_s: f64,
+    /// Sum of every participant's transfer seconds (device-time cost).
+    pub transfer_device_s: f64,
+    /// *Measured* wall-clock of the round's transfer + collection phase,
+    /// in seconds. Zero for simulated rounds (nothing real was timed);
+    /// the networked coordinator fills it from a monotonic clock, making
+    /// it directly comparable to the Eq. 13-driven `transfer_wall_s`
+    /// prediction.
+    pub measured_wall_s: f64,
+    /// Running total of bytes since round 0.
+    pub cumulative_bytes: u64,
+    /// Clients whose updates were rejected as non-finite.
+    pub diverged_clients: usize,
+    /// Mean fraction of the shared vector uploaded (1.0 for dense
+    /// algorithms).
+    pub mean_keep_ratio: f32,
+    /// Mean FLOPs ratio of participants' (masked) models.
+    pub mean_flops_ratio: f32,
+    /// What the configured [`FaultPlan`] did to this round (all-zero when
+    /// no faults are configured).
+    ///
+    /// [`FaultPlan`]: crate::FaultPlan
+    pub faults: FaultRecord,
+}
+
+/// What the transport layer measured while moving one round's frames —
+/// the inputs [`RoundDriver::finish_round`] cannot compute itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportStats {
+    /// Measured wire traffic, summed over participants.
+    pub wire: WireBytes,
+    /// Modelled round wall-clock (slowest participant) in seconds.
+    pub transfer_wall_s: f64,
+    /// Modelled per-participant transfer seconds, summed.
+    pub transfer_device_s: f64,
+    /// Real measured wall-clock of the transfer + collection phase, in
+    /// seconds; zero when nothing real was timed (simulated rounds).
+    pub measured_wall_s: f64,
+}
+
+/// Transport-independent round engine: configuration, server state,
+/// sampling stream, aggregation pipeline and history.
+///
+/// The simulator ([`Simulation`](crate::Simulation)) embeds one and adds
+/// in-process clients; the networked coordinator (`spatl-net`) embeds one
+/// and adds sockets. Neither reimplements sampling, screening,
+/// aggregation or round accounting.
+pub struct RoundDriver {
+    /// Run configuration.
+    pub cfg: FlConfig,
+    /// Server state.
+    pub global: GlobalState,
+    /// Per-round records so far (this process; resumed rounds excluded).
+    pub history: Vec<RoundRecord>,
+    /// Channel-id ↔ flat-index map of the session (SPATL with selection
+    /// only); the server expands uploaded channel ids through this.
+    pub layout: Option<SelectionLayout>,
+    /// Transport model frames travel over (predicts Eq. 13 times; the
+    /// networked runtime records measured times next to the prediction).
+    pub net: SimNet,
+    rng: TensorRng,
+    cumulative_bytes: u64,
+    round_offset: usize,
+}
+
+impl RoundDriver {
+    /// Build a driver around an initial server state. Validates every
+    /// configured plan/policy up front so misconfiguration fails at
+    /// construction, not mid-round.
+    pub fn new(cfg: FlConfig, global: GlobalState, layout: Option<SelectionLayout>) -> Self {
+        if let Some(plan) = &cfg.faults {
+            plan.validate();
+        }
+        if let Some(plan) = &cfg.adversary {
+            plan.validate();
+        }
+        if let Some(policy) = &cfg.screen {
+            policy.validate();
+        }
+        cfg.aggregator.validate();
+        RoundDriver {
+            rng: TensorRng::seed_from(cfg.seed ^ 0x51A1),
+            net: cfg.net.simnet(),
+            cfg,
+            global,
+            history: Vec::new(),
+            layout,
+            cumulative_bytes: 0,
+            round_offset: 0,
+        }
+    }
+
+    /// Index of the round currently being (or about to be) run:
+    /// rounds completed before a resume plus rounds recorded here.
+    pub fn round_index(&self) -> usize {
+        self.round_offset + self.history.len()
+    }
+
+    /// Total bytes moved since round 0 of this process.
+    pub fn cumulative_bytes(&self) -> u64 {
+        self.cumulative_bytes
+    }
+
+    /// Draw this round's cohort from the seeded sampling stream — exactly
+    /// one draw per round, no-op rounds included, so simulator and
+    /// coordinator stay on the same stream position round for round.
+    pub fn sample_round(&mut self) -> Vec<usize> {
+        self.rng
+            .choose_k(self.cfg.n_clients, self.cfg.clients_per_round())
+    }
+
+    /// Resume support: burn the sampling draws of `rounds` already-
+    /// completed rounds (restored from a checkpoint) and offset the round
+    /// index accordingly, so round `rounds` here samples the same cohort
+    /// it would have in the original run.
+    pub fn advance_sampling(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.sample_round();
+        }
+        self.round_offset += rounds;
+        self.history.clear();
+    }
+
+    /// Seal the current global state into broadcast frames.
+    pub fn broadcast(&self) -> Encoded {
+        wire::encode_download(&self.cfg, &self.global)
+    }
+
+    /// Decode one client's upload frames against this session's layout
+    /// and parameter count. `meta` carries the client's self-reported
+    /// bookkeeping (id, sample count, τ, ratios); every tensor in the
+    /// result comes from `frames`.
+    pub fn decode_client_upload(
+        &self,
+        meta: &LocalOutcome,
+        frames: &[Vec<u8>],
+    ) -> Result<LocalOutcome, WireError> {
+        wire::decode_upload(
+            &self.cfg,
+            meta,
+            frames,
+            self.layout.as_ref(),
+            self.global.shared.len(),
+        )
+    }
+
+    /// Screening + aggregation stage (DESIGN.md §8/§9): pass the decoded
+    /// cohort through the configured update screen, renormalise over the
+    /// survivors and fold them into the global state. `survivors` must be
+    /// in ascending client-id order (the f32 fold order both runtimes
+    /// share). Returns whether anything was applied; the ledger's
+    /// `survivors`/`no_op` fields are filled either way.
+    pub fn screen_and_aggregate(
+        &mut self,
+        survivors: Vec<LocalOutcome>,
+        faults: &mut FaultRecord,
+    ) -> bool {
+        let survivors = match &self.cfg.screen {
+            Some(policy) => screen_updates(policy, survivors, faults),
+            None => survivors,
+        };
+        faults.survivors = survivors.len();
+        let applied = self
+            .global
+            .aggregate(&self.cfg, &survivors, self.cfg.n_clients);
+        faults.no_op = !applied;
+        applied
+    }
+
+    /// Close the round: fold the participants' byte accounting, attach
+    /// the transport measurements and the post-aggregation evaluation,
+    /// push the record onto the history and return it.
+    pub fn finish_round(
+        &mut self,
+        outcomes: &[LocalOutcome],
+        stats: TransportStats,
+        per_client_acc: Vec<f32>,
+        faults: FaultRecord,
+    ) -> RoundRecord {
+        let round = self.round_index();
+        let bytes = outcomes
+            .iter()
+            .fold(RoundBytes::default(), |acc, o| RoundBytes {
+                download: acc.download + o.bytes.download,
+                upload: acc.upload + o.bytes.upload,
+            });
+        self.cumulative_bytes += bytes.total();
+        let diverged = outcomes.iter().filter(|o| o.diverged).count();
+        let mean_keep =
+            outcomes.iter().map(|o| o.keep_ratio).sum::<f32>() / outcomes.len().max(1) as f32;
+        let mean_flops =
+            outcomes.iter().map(|o| o.flops_ratio).sum::<f32>() / outcomes.len().max(1) as f32;
+        let mean_acc = per_client_acc.iter().sum::<f32>() / per_client_acc.len().max(1) as f32;
+        let record = RoundRecord {
+            round,
+            mean_acc,
+            per_client_acc,
+            bytes,
+            wire: stats.wire,
+            transfer_wall_s: stats.transfer_wall_s,
+            transfer_device_s: stats.transfer_device_s,
+            measured_wall_s: stats.measured_wall_s,
+            cumulative_bytes: self.cumulative_bytes,
+            diverged_clients: diverged,
+            mean_keep_ratio: mean_keep,
+            mean_flops_ratio: mean_flops,
+            faults,
+        };
+        self.history.push(record.clone());
+        record
+    }
+
+    /// Record a round in which no client participated (every sampled
+    /// client dropped out): nothing moved on the wire, the global model
+    /// is untouched, and the fault ledger says why the round was empty.
+    pub fn noop_round(&mut self, per_client_acc: Vec<f32>, faults: FaultRecord) -> RoundRecord {
+        let round = self.round_index();
+        let mean_acc = per_client_acc.iter().sum::<f32>() / per_client_acc.len().max(1) as f32;
+        let record = RoundRecord {
+            round,
+            mean_acc,
+            per_client_acc,
+            bytes: RoundBytes::default(),
+            wire: WireBytes::default(),
+            transfer_wall_s: 0.0,
+            transfer_device_s: 0.0,
+            measured_wall_s: 0.0,
+            cumulative_bytes: self.cumulative_bytes,
+            diverged_clients: 0,
+            mean_keep_ratio: 0.0,
+            mean_flops_ratio: 0.0,
+            faults,
+        };
+        self.history.push(record.clone());
+        record
+    }
+}

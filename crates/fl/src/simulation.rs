@@ -1,8 +1,9 @@
-//! The federated-learning driver: rounds, sampling, evaluation, history.
+//! The federated-learning simulator: in-process clients around the shared
+//! [`RoundDriver`] orchestration core.
 
 use crate::{
-    client::write_shared, screen_updates, wire, Adversary, Algorithm, ClientState, FaultInjector,
-    FaultKind, FaultRecord, FlConfig, GlobalState, RoundBytes, WireBytes,
+    client::write_shared, wire, Adversary, Algorithm, ClientState, FaultInjector, FaultKind,
+    FaultRecord, FlConfig, GlobalState, RoundDriver, RoundRecord, TransportStats, WireBytes,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -10,44 +11,6 @@ use spatl_agent::{pretrain_agent, ActorCritic, AgentConfig, PruningEnv};
 use spatl_data::Dataset;
 use spatl_models::{ModelConfig, SplitModel};
 use spatl_tensor::TensorRng;
-use spatl_wire::{SelectionLayout, SimNet};
-
-/// Metrics recorded after each communication round.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RoundRecord {
-    /// Round index (0-based).
-    pub round: usize,
-    /// Mean top-1 validation accuracy across all clients.
-    pub mean_acc: f32,
-    /// Per-client accuracy.
-    pub per_client_acc: Vec<f32>,
-    /// Analytic bytes moved this round, Eq. 13 (sum over participants).
-    pub bytes: RoundBytes,
-    /// Measured wire traffic this round (sum over participants); the
-    /// payload components cross-check `bytes` exactly.
-    pub wire: WireBytes,
-    /// Simulated transfer wall-clock of the round (slowest participant's
-    /// download + upload over the configured [`NetProfile`]).
-    ///
-    /// [`NetProfile`]: crate::NetProfile
-    pub transfer_wall_s: f64,
-    /// Sum of every participant's transfer seconds (device-time cost).
-    pub transfer_device_s: f64,
-    /// Running total of bytes since round 0.
-    pub cumulative_bytes: u64,
-    /// Clients whose updates were rejected as non-finite.
-    pub diverged_clients: usize,
-    /// Mean fraction of the shared vector uploaded (1.0 for dense
-    /// algorithms).
-    pub mean_keep_ratio: f32,
-    /// Mean FLOPs ratio of participants' (masked) models.
-    pub mean_flops_ratio: f32,
-    /// What the configured [`FaultPlan`] did to this round (all-zero when
-    /// no faults are configured).
-    ///
-    /// [`FaultPlan`]: crate::FaultPlan
-    pub faults: FaultRecord,
-}
 
 /// Result of a full run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -103,29 +66,42 @@ impl RunResult {
         self.history.iter().map(|r| r.transfer_wall_s).sum()
     }
 
+    /// Total *measured* transfer wall-clock over the run, in seconds
+    /// (zero unless the run crossed real sockets).
+    pub fn total_measured_s(&self) -> f64 {
+        self.history.iter().map(|r| r.measured_wall_s).sum()
+    }
+
     /// Total measured bytes on the wire over the run, framing included.
     pub fn total_framed_bytes(&self) -> u64 {
         self.history.iter().map(|r| r.wire.total_framed()).sum()
     }
 }
 
-/// A complete federated simulation.
+/// A complete federated simulation: the shared [`RoundDriver`] engine plus
+/// every client's in-process state. Derefs to the driver, so `sim.cfg`,
+/// `sim.global`, `sim.history`, `sim.layout` and `sim.net` read as before
+/// the engine was factored out.
 pub struct Simulation {
-    /// Run configuration.
-    pub cfg: FlConfig,
-    /// Server state.
-    pub global: GlobalState,
+    /// The transport-independent orchestration core (configuration, server
+    /// state, sampling stream, aggregation pipeline, history).
+    pub driver: RoundDriver,
     /// All clients.
     pub clients: Vec<ClientState>,
-    /// Per-round records so far.
-    pub history: Vec<RoundRecord>,
-    /// Channel-id ↔ flat-index map of the session (SPATL with selection
-    /// only); the server expands uploaded channel ids through this.
-    pub layout: Option<SelectionLayout>,
-    /// Transport model frames travel over.
-    pub net: SimNet,
-    rng: TensorRng,
-    cumulative_bytes: u64,
+}
+
+impl std::ops::Deref for Simulation {
+    type Target = RoundDriver;
+
+    fn deref(&self) -> &RoundDriver {
+        &self.driver
+    }
+}
+
+impl std::ops::DerefMut for Simulation {
+    fn deref_mut(&mut self) -> &mut RoundDriver {
+        &mut self.driver
+    }
 }
 
 impl Simulation {
@@ -134,16 +110,6 @@ impl Simulation {
     /// `model_cfg`.
     pub fn new(cfg: FlConfig, model_cfg: ModelConfig, shards: Vec<(Dataset, Dataset)>) -> Self {
         assert_eq!(shards.len(), cfg.n_clients, "one shard per client required");
-        if let Some(plan) = &cfg.faults {
-            plan.validate();
-        }
-        if let Some(plan) = &cfg.adversary {
-            plan.validate();
-        }
-        if let Some(policy) = &cfg.screen {
-            policy.validate();
-        }
-        cfg.aggregator.validate();
         let model = model_cfg.with_seed(cfg.seed).build();
         let global = GlobalState::from_model(&model, &cfg.algorithm);
 
@@ -176,14 +142,8 @@ impl Simulation {
         };
 
         Simulation {
-            rng: TensorRng::seed_from(cfg.seed ^ 0x51A1),
-            net: cfg.net.simnet(),
-            cfg,
-            global,
+            driver: RoundDriver::new(cfg, global, layout),
             clients,
-            history: Vec::new(),
-            layout,
-            cumulative_bytes: 0,
         }
     }
 
@@ -236,10 +196,9 @@ impl Simulation {
     /// survivors; a round that loses everyone is a recorded no-op, never a
     /// panic or a NaN.
     pub fn run_round(&mut self) -> RoundRecord {
-        let round = self.history.len();
-        let k = self.cfg.clients_per_round();
-        let sampled = self.rng.choose_k(self.cfg.n_clients, k);
-        let injector = self.cfg.faults.map(FaultInjector::new);
+        let round = self.driver.round_index();
+        let sampled = self.driver.sample_round();
+        let injector = self.driver.cfg.faults.map(FaultInjector::new);
         let mut faults = FaultRecord::for_sample(sampled.len());
 
         // Fault stage 1: dropout. A dropped client never trains, never
@@ -261,11 +220,12 @@ impl Simulation {
             // sample-weighted aggregation rules would otherwise divide by
             // an empty cohort).
             faults.no_op = true;
-            return self.push_noop_round(round, faults);
+            let per_client_acc = self.evaluate_all();
+            return self.driver.noop_round(per_client_acc, faults);
         }
 
         let in_round: Vec<bool> = {
-            let mut v = vec![false; self.cfg.n_clients];
+            let mut v = vec![false; self.driver.cfg.n_clients];
             for &i in &selected {
                 v[i] = true;
             }
@@ -275,13 +235,13 @@ impl Simulation {
         // Broadcast: seal the server state once; every participant trains
         // against the *decoded* copy, so the round's tensors really crossed
         // the wire in both directions.
-        let p = self.global.shared.len();
-        let down = wire::encode_download(&self.cfg, &self.global);
-        let wire_global = wire::decode_download(&self.cfg, &down.frames, p)
+        let p = self.driver.global.shared.len();
+        let down = self.driver.broadcast();
+        let wire_global = wire::decode_download(&self.driver.cfg, &down.frames, p)
             .expect("server broadcast must decode");
 
         // Parallel local updates on the sampled clients.
-        let cfg = self.cfg;
+        let cfg = self.driver.cfg;
         let global_ref = &wire_global;
         let mut outcomes: Vec<crate::LocalOutcome> = self
             .clients
@@ -306,11 +266,11 @@ impl Simulation {
         // wire layer (and its CRC) sees perfectly well-formed uploads. The
         // ledger records ground truth; whether the server *catches* the
         // poison is the screen's and the aggregator's business.
-        if let Some(adv) = self.cfg.adversary.map(Adversary::new) {
-            let mask = adv.byzantine_mask(self.cfg.n_clients);
+        if let Some(adv) = cfg.adversary.map(Adversary::new) {
+            let mask = adv.byzantine_mask(cfg.n_clients);
             for o in &mut outcomes {
                 if mask[o.client_id] {
-                    adv.tamper(&self.cfg, o, round);
+                    adv.tamper(&cfg, o, round);
                     faults.push(
                         o.client_id,
                         FaultKind::ByzantineUpload {
@@ -359,16 +319,16 @@ impl Simulation {
                     Some(inj) => {
                         let mut damaged = o.frames.clone();
                         inj.corrupt_frames(&mut damaged, round, o.client_id, transmissions);
-                        wire::decode_upload(&self.cfg, o, &damaged, self.layout.as_ref(), p)
+                        self.driver.decode_client_upload(o, &damaged)
                     }
-                    None => wire::decode_upload(&self.cfg, o, &o.frames, self.layout.as_ref(), p),
+                    None => self.driver.decode_client_upload(o, &o.frames),
                 };
                 match result {
                     Ok(d) => break Some(d),
                     Err(e) => {
                         // Without injected faults a decode failure is a
                         // protocol bug, not a simulated condition.
-                        assert!(self.cfg.faults.is_some(), "client upload must decode: {e}");
+                        assert!(cfg.faults.is_some(), "client upload must decode: {e}");
                         let retryable = e.is_transport_corruption();
                         faults.push(
                             o.client_id,
@@ -405,7 +365,7 @@ impl Simulation {
                 .as_ref()
                 .map(|inj| inj.backoff_s(transmissions - 1))
                 .unwrap_or(0.0);
-            let t = self.net.client_time(
+            let t = self.driver.net.client_time(
                 o.wire.download_framed as usize,
                 o.wire.upload_framed as usize,
             ) * factor
@@ -424,89 +384,31 @@ impl Simulation {
             }
         }
 
-        // Screening stage (DESIGN.md §9): the decoded cohort passes the
-        // configured update screen before aggregation — non-finite
-        // rejection plus median-based norm screening, every quarantine on
-        // the ledger. `survivors` below is the post-screen cohort.
-        let survivors = match &self.cfg.screen {
-            Some(policy) => screen_updates(policy, survivors, &mut faults),
-            None => survivors,
-        };
-
-        // Partial-participation aggregation over whatever survived; a
+        // Screening + partial-participation aggregation over whatever
+        // survived (shared with the networked coordinator); a
         // survivor-less round leaves the global state untouched.
-        faults.survivors = survivors.len();
-        let applied = self
-            .global
-            .aggregate(&self.cfg, &survivors, self.cfg.n_clients);
-        faults.no_op = !applied;
-
-        // Account communication.
-        let bytes = outcomes
-            .iter()
-            .fold(RoundBytes::default(), |acc, o| RoundBytes {
-                download: acc.download + o.bytes.download,
-                upload: acc.upload + o.bytes.upload,
-            });
-        self.cumulative_bytes += bytes.total();
-        let diverged = outcomes.iter().filter(|o| o.diverged).count();
-        let mean_keep =
-            outcomes.iter().map(|o| o.keep_ratio).sum::<f32>() / outcomes.len().max(1) as f32;
-        let mean_flops =
-            outcomes.iter().map(|o| o.flops_ratio).sum::<f32>() / outcomes.len().max(1) as f32;
+        self.driver.screen_and_aggregate(survivors, &mut faults);
 
         // Evaluate all clients against the *new* global model.
         let per_client_acc = self.evaluate_all();
-        let mean_acc = per_client_acc.iter().sum::<f32>() / per_client_acc.len() as f32;
-
-        let record = RoundRecord {
-            round,
-            mean_acc,
+        self.driver.finish_round(
+            &outcomes,
+            TransportStats {
+                wire: wire_total,
+                transfer_wall_s: wall_clock_s,
+                transfer_device_s: device_seconds,
+                measured_wall_s: 0.0,
+            },
             per_client_acc,
-            bytes,
-            wire: wire_total,
-            transfer_wall_s: wall_clock_s,
-            transfer_device_s: device_seconds,
-            cumulative_bytes: self.cumulative_bytes,
-            diverged_clients: diverged,
-            mean_keep_ratio: mean_keep,
-            mean_flops_ratio: mean_flops,
             faults,
-        };
-        self.history.push(record.clone());
-        record
-    }
-
-    /// Record a round in which no client participated (every sampled
-    /// client dropped out): accuracy is re-evaluated against the unchanged
-    /// global model, nothing moves on the wire, and the fault ledger says
-    /// why the round was empty.
-    fn push_noop_round(&mut self, round: usize, faults: FaultRecord) -> RoundRecord {
-        let per_client_acc = self.evaluate_all();
-        let mean_acc = per_client_acc.iter().sum::<f32>() / per_client_acc.len().max(1) as f32;
-        let record = RoundRecord {
-            round,
-            mean_acc,
-            per_client_acc,
-            bytes: RoundBytes::default(),
-            wire: WireBytes::default(),
-            transfer_wall_s: 0.0,
-            transfer_device_s: 0.0,
-            cumulative_bytes: self.cumulative_bytes,
-            diverged_clients: 0,
-            mean_keep_ratio: 0.0,
-            mean_flops_ratio: 0.0,
-            faults,
-        };
-        self.history.push(record.clone());
-        record
+        )
     }
 
     /// Sync every client with the current global weights and compute its
     /// validation accuracy (private predictors and local masks retained).
     pub fn evaluate_all(&mut self) -> Vec<f32> {
-        let include_pred = !self.cfg.algorithm.uses_transfer();
-        let global = &self.global;
+        let include_pred = !self.driver.cfg.algorithm.uses_transfer();
+        let global = &self.driver.global;
         self.clients
             .par_iter_mut()
             .map(|c| {
@@ -526,10 +428,10 @@ impl Simulation {
     /// transfer-mode SPATL; a no-op otherwise. Returns post-adaptation
     /// per-client accuracy.
     pub fn finalize(&mut self, adapt_epochs: usize) -> Vec<f32> {
-        if self.cfg.algorithm.uses_transfer() {
-            let global = &self.global;
-            let lr = self.cfg.lr;
-            let seed = self.cfg.seed;
+        if self.driver.cfg.algorithm.uses_transfer() {
+            let global = &self.driver.global;
+            let lr = self.driver.cfg.lr;
+            let seed = self.driver.cfg.seed;
             self.clients.par_iter_mut().for_each(|c| {
                 if c.participations == 0 {
                     write_shared(&mut c.model, &global.shared, false);
@@ -551,7 +453,7 @@ impl Simulation {
 
     /// Run all configured rounds and summarise.
     pub fn run(&mut self) -> RunResult {
-        for _ in 0..self.cfg.rounds {
+        for _ in 0..self.driver.cfg.rounds {
             self.run_round();
         }
         self.result()
@@ -559,19 +461,20 @@ impl Simulation {
 
     /// Summarise the rounds run so far.
     pub fn result(&self) -> RunResult {
-        let participants_per_round = self.cfg.clients_per_round() as u64;
-        let rounds = self.history.len().max(1) as u64;
+        let participants_per_round = self.driver.cfg.clients_per_round() as u64;
+        let rounds = self.driver.history.len().max(1) as u64;
         RunResult {
-            algorithm: self.cfg.algorithm.name().to_string(),
+            algorithm: self.driver.cfg.algorithm.name().to_string(),
             model: self
                 .clients
                 .first()
                 .map(|c| c.model.config.kind.name().to_string())
                 .unwrap_or_default(),
-            n_clients: self.cfg.n_clients,
-            sample_ratio: self.cfg.sample_ratio,
-            history: self.history.clone(),
-            bytes_per_round_per_client: self.cumulative_bytes / (rounds * participants_per_round),
+            n_clients: self.driver.cfg.n_clients,
+            sample_ratio: self.driver.cfg.sample_ratio,
+            history: self.driver.history.clone(),
+            bytes_per_round_per_client: self.driver.cumulative_bytes()
+                / (rounds * participants_per_round),
         }
     }
 }

@@ -1,0 +1,45 @@
+//! `spatl-client` — one networked federated client node.
+//!
+//! Rebuilds the session deterministically from the same flags the server
+//! was started with, takes the shard selected by `--id`, connects to the
+//! coordinator (retrying with capped exponential backoff), and serves
+//! training/evaluation assignments until the coordinator shuts the
+//! session down.
+//!
+//! ```text
+//! spatl-client --addr 127.0.0.1:7878 --id 0 --clients 4 --rounds 3 \
+//!              --seed 7 --algorithm spatl
+//! ```
+
+use spatl_bench::cli::{Args, NetOpts};
+use spatl_net::{ClientNode, NetError, NodeConfig};
+
+fn main() -> Result<(), NetError> {
+    let mut flags: Vec<&str> = NetOpts::FLAGS.to_vec();
+    flags.push("id");
+    let args = Args::parse(&flags);
+    let opts = NetOpts::from_args(&args);
+    let id: usize = args.get_or("id", 0);
+
+    let session = opts.build_session();
+    assert!(
+        id < session.clients.len(),
+        "--id {id} out of range for --clients {}",
+        session.clients.len()
+    );
+    let state = session.clients.into_iter().nth(id).expect("shard exists");
+    let cfg = session.driver.cfg;
+
+    eprintln!(
+        "[client {id}] connecting to {} ({})",
+        opts.addr,
+        cfg.algorithm.name()
+    );
+    let node = ClientNode::new(cfg, state, NodeConfig::new(opts.addr.clone()));
+    let (_, report) = node.run()?;
+    eprintln!(
+        "[client {id}] done: trained {} rounds, evaluated {}, reconnected {} times",
+        report.rounds_trained, report.rounds_evaluated, report.reconnects
+    );
+    Ok(())
+}

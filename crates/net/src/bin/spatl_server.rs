@@ -1,0 +1,113 @@
+//! `spatl-server` — the networked federated coordinator.
+//!
+//! Binds a TCP listener, waits for the configured cohort of
+//! `spatl-client` processes to register, runs the federated rounds over
+//! the wire, then checkpoints (when `--checkpoint` is given) and shuts
+//! the cohort down. Per-round records are printed as they complete and
+//! written as a JSON artefact under `results/`.
+//!
+//! ```text
+//! spatl-server --addr 127.0.0.1:7878 --clients 4 --rounds 3 \
+//!              --seed 7 --algorithm spatl
+//! ```
+//!
+//! Both endpoints must be started with the same session flags
+//! (`--clients`, `--rounds`, `--seed`, `--algorithm`, `--samples`,
+//! `--local-epochs`, `--batch`): the control-plane fingerprint rejects a
+//! client whose configuration differs.
+
+use std::time::Duration;
+
+use spatl::load_global;
+use spatl_bench::cli::{Args, NetOpts};
+use spatl_net::{Coordinator, CoordinatorConfig, NetError};
+
+fn main() -> Result<(), NetError> {
+    let mut flags: Vec<&str> = NetOpts::FLAGS.to_vec();
+    flags.extend([
+        "join-timeout",
+        "round-timeout",
+        "checkpoint",
+        "resume-rounds",
+        "out",
+    ]);
+    let args = Args::parse(&flags);
+    let opts = NetOpts::from_args(&args);
+
+    let session = opts.build_session();
+    let mut driver = session.driver;
+
+    // Resume: restore the checkpointed global state and burn the sampling
+    // draws of the rounds already completed, so round k here samples the
+    // cohort round k of the original run would have.
+    let resume_rounds: usize = args.get_or("resume-rounds", 0);
+    let checkpoint = args.get("checkpoint").map(std::path::PathBuf::from);
+    if resume_rounds > 0 {
+        let path = checkpoint
+            .as_deref()
+            .expect("--resume-rounds requires --checkpoint");
+        driver.global = load_global(path)?;
+        driver.advance_sampling(resume_rounds);
+        eprintln!(
+            "[server] resumed from {} at round {resume_rounds}",
+            path.display()
+        );
+    }
+
+    let coordinator_opts = CoordinatorConfig {
+        addr: opts.addr.clone(),
+        join_timeout: Duration::from_secs(args.get_or("join-timeout", 30)),
+        round_timeout: Duration::from_secs(args.get_or("round-timeout", 300)),
+        checkpoint,
+        ..CoordinatorConfig::default()
+    };
+    let mut coordinator = Coordinator::bind(driver, coordinator_opts)?;
+    eprintln!(
+        "[server] listening on {} for {} clients ({} rounds, {})",
+        coordinator.local_addr()?,
+        opts.clients,
+        opts.rounds,
+        opts.algorithm.name(),
+    );
+
+    let joined = coordinator.wait_for_clients();
+    eprintln!("[server] {joined}/{} clients registered", opts.clients);
+    while coordinator.driver.round_index() < coordinator.driver.cfg.rounds
+        && !coordinator.shutdown_requested()
+    {
+        let r = coordinator.run_round();
+        eprintln!(
+            "[server] round {:>3}  acc {:.3}  wire {:>10} B  predicted {:.3}s  measured {:.3}s  \
+             survivors {}/{}",
+            r.round,
+            r.mean_acc,
+            r.wire.total_framed(),
+            r.transfer_wall_s,
+            r.measured_wall_s,
+            r.faults.survivors,
+            r.faults.sampled,
+        );
+    }
+    let completed = !coordinator.shutdown_requested();
+    coordinator.finish()?;
+
+    let history = &coordinator.driver.history;
+    let artefact = serde_json::json!({
+        "algorithm": coordinator.driver.cfg.algorithm.name(),
+        "clients": coordinator.driver.cfg.n_clients,
+        "seed": coordinator.driver.cfg.seed,
+        "completed": completed,
+        "rounds": history.len(),
+        "final_acc": history.last().map(|r| f64::from(r.mean_acc)).unwrap_or(0.0),
+        "measured_wall_s": history.iter().map(|r| r.measured_wall_s).sum::<f64>(),
+        "predicted_wall_s": history.iter().map(|r| r.transfer_wall_s).sum::<f64>(),
+        "framed_bytes": history.iter().map(|r| r.wire.total_framed()).sum::<u64>(),
+    });
+    spatl_bench::write_json(args.get("out").unwrap_or("net_loopback"), &artefact);
+    eprintln!(
+        "[server] {} after {} rounds",
+        if completed { "completed" } else { "shut down" },
+        history.len()
+    );
+    Ok(())
+}

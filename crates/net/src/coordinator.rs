@@ -1,0 +1,540 @@
+//! The server side of the networked runtime: a TCP listener around the
+//! shared [`RoundDriver`] round engine.
+//!
+//! Thread model: the coordinator is single-threaded and blocking. The
+//! listener itself is non-blocking (so mid-run rejoins are picked up
+//! between rounds), but every registered connection is a blocking socket
+//! with explicit read/write deadlines — a round can therefore never hang
+//! on one client, only time it out and ledger it. Clients supply the
+//! concurrency: each node trains in its own process (or thread), and the
+//! round barrier here simply collects whatever arrives before each
+//! connection's deadline, in ascending client-id order — the same
+//! collection order the simulator's parallel loop preserves, which the
+//! f32 aggregation folds depend on for bit-identical results.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use spatl::save_global;
+use spatl_fl::{
+    FaultKind, FaultRecord, LocalOutcome, RoundBytes, RoundDriver, RoundRecord, TransportStats,
+    WireBytes,
+};
+use spatl_wire::{open, read_frame, seal, write_frame, MsgType, StreamError, MAX_FRAME_PAYLOAD};
+
+use crate::proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
+use crate::NetError;
+
+/// Tunables of a [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Address to listen on; port 0 picks a free port (see
+    /// [`Coordinator::local_addr`]).
+    pub addr: String,
+    /// How long [`Coordinator::wait_for_clients`] waits for the full
+    /// cohort to register before starting with whoever showed up.
+    pub join_timeout: Duration,
+    /// Per-connection read deadline while collecting a round's upload (or
+    /// an evaluation report). Covers the client's local training, so it is
+    /// the networked analogue of the fault model's collection deadline: a
+    /// client that exceeds it is ledgered as
+    /// [`FaultKind::DeadlineMissed`] and excluded from the round.
+    pub round_timeout: Duration,
+    /// Per-connection write deadline (broadcasts) and handshake read
+    /// deadline.
+    pub io_timeout: Duration,
+    /// Upper bound on a single frame's payload accepted from a client.
+    pub max_frame: usize,
+    /// Where to persist the global state when the run ends or a client
+    /// requests shutdown; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_string(),
+            join_timeout: Duration::from_secs(30),
+            round_timeout: Duration::from_secs(300),
+            io_timeout: Duration::from_secs(30),
+            max_frame: MAX_FRAME_PAYLOAD,
+            checkpoint: None,
+        }
+    }
+}
+
+/// Why collecting one client's upload failed.
+enum CollectFailure {
+    /// The connection produced no complete reply before the round
+    /// deadline; the client may still be training.
+    Timeout,
+    /// The connection is gone (EOF, reset, write failure, or a stream
+    /// that stopped making protocol sense).
+    Disconnect,
+    /// The client sent a `Shutdown` frame instead of an upload.
+    Shutdown,
+    /// The reply arrived intact at the framing layer but its payload was
+    /// rejected by the decode path (CRC or codec failure).
+    Corrupt(String),
+}
+
+/// One successfully collected upload, before decoding.
+struct Collected {
+    meta: LocalOutcome,
+    frames: Vec<Vec<u8>>,
+    /// Seconds spent reading the upload frames *after* the header
+    /// arrived — transfer time, not training time.
+    read_s: f64,
+}
+
+/// The networked federated server: the shared [`RoundDriver`] engine plus
+/// one registered TCP connection per client node.
+pub struct Coordinator {
+    /// The transport-independent round engine (identical to the one the
+    /// simulator embeds). Public so callers can inspect the global state
+    /// and history, and so resume flows can restore a checkpoint into it.
+    pub driver: RoundDriver,
+    opts: CoordinatorConfig,
+    listener: TcpListener,
+    conns: Vec<Option<TcpStream>>,
+    fingerprint: u64,
+    shutdown_requested: bool,
+}
+
+impl Coordinator {
+    /// Bind the listener and wrap the driver. No clients are accepted
+    /// until [`Coordinator::wait_for_clients`] (or a round) runs.
+    pub fn bind(driver: RoundDriver, opts: CoordinatorConfig) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let n = driver.cfg.n_clients;
+        let fingerprint = session_fingerprint(&driver.cfg);
+        Ok(Coordinator {
+            driver,
+            opts,
+            listener,
+            conns: (0..n).map(|_| None).collect(),
+            fingerprint,
+            shutdown_requested: false,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Number of currently registered client connections.
+    pub fn connected(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether a client asked the session to stop ([`MsgType::Shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested
+    }
+
+    /// Accept and register every connection currently pending on the
+    /// listener. Handshake failures (bad `Hello`, fingerprint mismatch)
+    /// reject that socket and keep listening.
+    pub fn accept_pending(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = self.handshake(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Block until every client id has a registered connection or
+    /// `join_timeout` elapses; returns how many are registered. Missing
+    /// clients are not fatal — when sampled they are ledgered as dropouts.
+    pub fn wait_for_clients(&mut self) -> usize {
+        let deadline = Instant::now() + self.opts.join_timeout;
+        loop {
+            self.accept_pending();
+            let connected = self.connected();
+            if connected == self.conns.len() || Instant::now() >= deadline {
+                return connected;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Register one incoming socket: expect a sealed [`Hello`], verify the
+    /// client id and session fingerprint, reply with a [`Join`] verdict.
+    fn handshake(&mut self, mut stream: TcpStream) -> Result<(), NetError> {
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.opts.io_timeout))?;
+        stream.set_write_timeout(Some(self.opts.io_timeout))?;
+        let frame = read_frame(&mut stream, self.opts.max_frame)?
+            .ok_or_else(|| NetError::Protocol("connection closed before Hello".into()))?;
+        let (msg, payload) = open(&frame)?;
+        if msg != MsgType::Hello {
+            return Err(NetError::Protocol(format!("expected Hello, got {msg:?}")));
+        }
+        let hello = Hello::decode(payload)?;
+        let id = hello.client_id as usize;
+        let accepted = id < self.conns.len() && hello.fingerprint == self.fingerprint;
+        let verdict = Join {
+            accepted,
+            round: self.driver.round_index() as u32,
+        };
+        write_frame(&mut stream, &seal(MsgType::Join, &verdict.encode()))?;
+        if accepted {
+            // Latest registration wins: a reconnecting node replaces its
+            // dead predecessor.
+            self.conns[id] = Some(stream);
+            Ok(())
+        } else {
+            Err(NetError::Rejected)
+        }
+    }
+
+    /// Send one round assignment plus the broadcast frames to one client.
+    fn send_assignment(
+        &mut self,
+        id: usize,
+        round: u32,
+        mode: RoundMode,
+        frames: &[Vec<u8>],
+    ) -> Result<(), NetError> {
+        let stream = self.conns[id].as_mut().ok_or(NetError::Disconnected)?;
+        let assign = RoundAssign {
+            round,
+            mode,
+            n_frames: frames.len() as u32,
+        };
+        write_frame(stream, &seal(MsgType::RoundAssign, &assign.encode()))?;
+        for f in frames {
+            write_frame(stream, f)?;
+        }
+        Ok(())
+    }
+
+    fn classify(e: &StreamError) -> CollectFailure {
+        match e {
+            StreamError::Io(io)
+                if matches!(
+                    io.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                CollectFailure::Timeout
+            }
+            _ => CollectFailure::Disconnect,
+        }
+    }
+
+    /// Round barrier, one connection's worth: block (up to the round
+    /// deadline) for the client's [`RoundDone`] header, then read its
+    /// upload frames. The deadline covers local training; the measured
+    /// `read_s` starts after the header arrives so it reflects transfer
+    /// only.
+    fn collect_upload(&mut self, id: usize, round: u32) -> Result<Collected, CollectFailure> {
+        let max_frame = self.opts.max_frame;
+        let round_timeout = self.opts.round_timeout;
+        let stream = match self.conns[id].as_mut() {
+            Some(s) => s,
+            None => return Err(CollectFailure::Disconnect),
+        };
+        if stream.set_read_timeout(Some(round_timeout)).is_err() {
+            return Err(CollectFailure::Disconnect);
+        }
+        let header = match read_frame(stream, max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Err(CollectFailure::Disconnect),
+            Err(e) => return Err(Self::classify(&e)),
+        };
+        let (msg, payload) = match open(&header) {
+            Ok(x) => x,
+            Err(_) => return Err(CollectFailure::Disconnect),
+        };
+        match msg {
+            MsgType::Shutdown => return Err(CollectFailure::Shutdown),
+            MsgType::RoundDone => {}
+            _ => return Err(CollectFailure::Disconnect),
+        }
+        let done = match RoundDone::decode(payload) {
+            Ok(d) => d,
+            Err(e) => return Err(CollectFailure::Corrupt(e.to_string())),
+        };
+        if done.round != round || done.client_id as usize != id || done.mode != RoundMode::Train {
+            return Err(CollectFailure::Disconnect);
+        }
+        let started = Instant::now();
+        let mut frames = Vec::with_capacity(done.n_frames as usize);
+        for _ in 0..done.n_frames {
+            match read_frame(stream, max_frame) {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => return Err(CollectFailure::Disconnect),
+                Err(e) => return Err(Self::classify(&e)),
+            }
+        }
+        Ok(Collected {
+            meta: Self::meta_outcome(&done),
+            frames,
+            read_s: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Rebuild the bookkeeping half of a [`LocalOutcome`] from the
+    /// client's [`RoundDone`] header; every tensor field stays empty until
+    /// [`RoundDriver::decode_client_upload`] fills it from the frames.
+    fn meta_outcome(done: &RoundDone) -> LocalOutcome {
+        LocalOutcome {
+            client_id: done.client_id as usize,
+            n_samples: done.n_samples as usize,
+            tau: done.tau as usize,
+            delta: Vec::new(),
+            selected: None,
+            control_delta: None,
+            velocity: None,
+            buffers: Vec::new(),
+            diverged: done.diverged,
+            bytes: RoundBytes {
+                download: done.bytes_download,
+                upload: done.bytes_upload,
+            },
+            wire: WireBytes {
+                download_payload: 0,
+                download_framed: 0,
+                upload_payload: done.upload_payload,
+                upload_framed: done.upload_framed,
+            },
+            frames: Vec::new(),
+            keep_ratio: done.keep_ratio,
+            flops_ratio: done.flops_ratio,
+        }
+    }
+
+    /// Run one communication round over the network; returns its record.
+    ///
+    /// Mirrors the simulator's round skeleton exactly — one sampling draw,
+    /// broadcast, collect, screen + aggregate, evaluate, record — with
+    /// real transport faults taking the place of injected ones: a
+    /// connection that dies mid-round is a ledgered
+    /// [`FaultKind::Dropout`], one that misses the deadline a
+    /// [`FaultKind::DeadlineMissed`], and a reply that fails the decode
+    /// path a [`FaultKind::CorruptUpload`]. The round always completes.
+    pub fn run_round(&mut self) -> RoundRecord {
+        self.accept_pending();
+        let round = self.driver.round_index();
+        let sampled = self.driver.sample_round();
+        let mut faults = FaultRecord::for_sample(sampled.len());
+
+        // Broadcast to the sampled cohort, ascending client-id order.
+        let down = self.driver.broadcast();
+        let broadcast_started = Instant::now();
+        let mut participants: Vec<usize> = Vec::new();
+        for &id in &sampled {
+            if self.conns[id].is_some()
+                && self
+                    .send_assignment(id, round as u32, RoundMode::Train, &down.frames)
+                    .is_ok()
+            {
+                participants.push(id);
+            } else {
+                self.conns[id] = None;
+                faults.push(id, FaultKind::Dropout);
+            }
+        }
+        let mut measured_s = broadcast_started.elapsed().as_secs_f64();
+
+        if participants.is_empty() {
+            faults.no_op = true;
+            let per_client_acc = self.evaluate_round(round as u32);
+            return self.driver.noop_round(per_client_acc, faults);
+        }
+
+        // Round barrier: collect uploads in ascending client-id order (the
+        // aggregation fold order both runtimes share).
+        let mut outcomes: Vec<LocalOutcome> = Vec::new();
+        let mut survivors: Vec<LocalOutcome> = Vec::new();
+        let mut wire_total = WireBytes::default();
+        let mut wall_clock_s = 0f64;
+        let mut device_seconds = 0f64;
+        for &id in &participants {
+            match self.collect_upload(id, round as u32) {
+                Ok(collected) => {
+                    let mut o = collected.meta;
+                    o.wire.download_payload = down.payload;
+                    o.wire.download_framed = down.framed();
+                    measured_s += collected.read_s;
+                    if o.diverged {
+                        faults.push(id, FaultKind::LocalDivergence);
+                    }
+                    match self.driver.decode_client_upload(&o, &collected.frames) {
+                        Ok(d) => survivors.push(d),
+                        Err(e) => {
+                            // The framing layer delivered the reply but the
+                            // payload failed the CRC/codec checks. TCP already
+                            // retransmits damaged segments, so there is no
+                            // retry protocol here — the upload is excluded.
+                            faults.push(
+                                id,
+                                FaultKind::CorruptUpload {
+                                    error: e.to_string(),
+                                },
+                            );
+                            faults.push(id, FaultKind::RetriesExhausted);
+                        }
+                    }
+                    wire_total.accumulate(&o.wire);
+                    let t = self.driver.net.client_time(
+                        o.wire.download_framed as usize,
+                        o.wire.upload_framed as usize,
+                    );
+                    device_seconds += t;
+                    wall_clock_s = wall_clock_s.max(t);
+                    outcomes.push(o);
+                }
+                Err(CollectFailure::Timeout) => {
+                    faults.push(id, FaultKind::DeadlineMissed);
+                    self.conns[id] = None;
+                }
+                Err(CollectFailure::Disconnect) => {
+                    faults.push(id, FaultKind::Dropout);
+                    self.conns[id] = None;
+                }
+                Err(CollectFailure::Shutdown) => {
+                    self.shutdown_requested = true;
+                    faults.push(id, FaultKind::Dropout);
+                    self.conns[id] = None;
+                }
+                Err(CollectFailure::Corrupt(error)) => {
+                    faults.push(id, FaultKind::CorruptUpload { error });
+                    faults.push(id, FaultKind::RetriesExhausted);
+                    self.conns[id] = None;
+                }
+            }
+        }
+
+        // Screening + aggregation through the shared driver — identical to
+        // the simulator from here on.
+        self.driver.screen_and_aggregate(survivors, &mut faults);
+        let per_client_acc = self.evaluate_round(round as u32);
+        self.driver.finish_round(
+            &outcomes,
+            TransportStats {
+                wire: wire_total,
+                transfer_wall_s: wall_clock_s,
+                transfer_device_s: device_seconds,
+                measured_wall_s: measured_s,
+            },
+            per_client_acc,
+            faults,
+        )
+    }
+
+    /// Evaluation pass: every live client syncs the (post-aggregation)
+    /// global state and reports validation accuracy. The networked
+    /// analogue of the simulator's in-process `evaluate_all`; clients
+    /// without a live connection contribute 0.0. Excluded from wire
+    /// accounting, like the simulator's evaluation.
+    fn evaluate_round(&mut self, round: u32) -> Vec<f32> {
+        let down = self.driver.broadcast();
+        let n = self.conns.len();
+        let mut pending: Vec<usize> = Vec::new();
+        for id in 0..n {
+            if self.conns[id].is_none() {
+                continue;
+            }
+            if self
+                .send_assignment(id, round, RoundMode::Eval, &down.frames)
+                .is_ok()
+            {
+                pending.push(id);
+            } else {
+                self.conns[id] = None;
+            }
+        }
+        let mut acc = vec![0.0f32; n];
+        for id in pending {
+            match self.collect_eval(id, round) {
+                Ok(a) => acc[id] = a,
+                Err(CollectFailure::Shutdown) => {
+                    self.shutdown_requested = true;
+                    self.conns[id] = None;
+                }
+                Err(_) => {
+                    self.conns[id] = None;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Read one client's evaluation report.
+    fn collect_eval(&mut self, id: usize, round: u32) -> Result<f32, CollectFailure> {
+        let max_frame = self.opts.max_frame;
+        let round_timeout = self.opts.round_timeout;
+        let stream = match self.conns[id].as_mut() {
+            Some(s) => s,
+            None => return Err(CollectFailure::Disconnect),
+        };
+        if stream.set_read_timeout(Some(round_timeout)).is_err() {
+            return Err(CollectFailure::Disconnect);
+        }
+        let frame = match read_frame(stream, max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Err(CollectFailure::Disconnect),
+            Err(e) => return Err(Self::classify(&e)),
+        };
+        let (msg, payload) = match open(&frame) {
+            Ok(x) => x,
+            Err(_) => return Err(CollectFailure::Disconnect),
+        };
+        match msg {
+            MsgType::Shutdown => return Err(CollectFailure::Shutdown),
+            MsgType::RoundDone => {}
+            _ => return Err(CollectFailure::Disconnect),
+        }
+        let done = match RoundDone::decode(payload) {
+            Ok(d) => d,
+            Err(_) => return Err(CollectFailure::Disconnect),
+        };
+        if done.round != round || done.client_id as usize != id || done.mode != RoundMode::Eval {
+            return Err(CollectFailure::Disconnect);
+        }
+        Ok(done.accuracy)
+    }
+
+    /// End the session: checkpoint the global state (when configured) and
+    /// broadcast [`MsgType::Shutdown`] so every node exits cleanly.
+    pub fn finish(&mut self) -> Result<(), NetError> {
+        if let Some(path) = self.opts.checkpoint.clone() {
+            save_global(&self.driver.global, &path)?;
+        }
+        let bye = seal(MsgType::Shutdown, &[]);
+        for conn in self.conns.iter_mut() {
+            if let Some(stream) = conn.as_mut() {
+                let _ = write_frame(stream, &bye);
+            }
+            *conn = None;
+        }
+        Ok(())
+    }
+
+    /// Run the full session: wait for the cohort, drive every configured
+    /// round (stopping early if a client requests shutdown), then
+    /// checkpoint and broadcast [`MsgType::Shutdown`]. Returns `true` when
+    /// all rounds ran, `false` on an early client-requested shutdown — the
+    /// checkpoint then holds the state to resume from (see
+    /// [`RoundDriver::advance_sampling`]).
+    pub fn run(&mut self) -> Result<bool, NetError> {
+        self.wait_for_clients();
+        while self.driver.round_index() < self.driver.cfg.rounds && !self.shutdown_requested {
+            self.run_round();
+        }
+        let completed = !self.shutdown_requested;
+        self.finish()?;
+        Ok(completed)
+    }
+}

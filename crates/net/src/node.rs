@@ -1,0 +1,251 @@
+//! The client side of the networked runtime: one federated client behind
+//! a TCP connection, with reconnect-and-resume behaviour.
+//!
+//! A node owns its [`ClientState`] across connections: control variates,
+//! participation counts and the fine-tuned selection agent all live here,
+//! so a coordinator restart (or a transient network failure) costs the
+//! session nothing client-side — the node reconnects with capped
+//! exponential backoff, re-registers with the same id and fingerprint,
+//! and carries on from whatever round the coordinator assigns next.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use spatl_fl::{decode_download, ClientState, FlConfig};
+use spatl_wire::{open, read_frame, seal, write_frame, MsgType, MAX_FRAME_PAYLOAD};
+
+use crate::proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
+use crate::NetError;
+
+/// Tunables of a [`ClientNode`].
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Coordinator address to connect to.
+    pub addr: String,
+    /// First reconnect delay; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Upper bound on the reconnect delay.
+    pub backoff_cap: Duration,
+    /// Consecutive connection failures tolerated before giving up. Resets
+    /// whenever a session is established.
+    pub max_reconnects: u32,
+    /// Upper bound on a single frame's payload accepted from the server.
+    pub max_frame: usize,
+    /// Write deadline towards the coordinator. Reads block indefinitely —
+    /// the gap until the next assignment is bounded by the slowest peer's
+    /// training, and a dead coordinator surfaces as EOF, not a hang.
+    pub write_timeout: Duration,
+}
+
+impl NodeConfig {
+    /// Defaults for a coordinator at `addr`: 50 ms base backoff capped at
+    /// 2 s, 40 reconnect attempts, 30 s write deadline.
+    pub fn new(addr: impl Into<String>) -> Self {
+        NodeConfig {
+            addr: addr.into(),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            max_reconnects: 40,
+            max_frame: MAX_FRAME_PAYLOAD,
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a node did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeReport {
+    /// Rounds in which this node trained and uploaded an update.
+    pub rounds_trained: usize,
+    /// Evaluation passes answered.
+    pub rounds_evaluated: usize,
+    /// Sessions re-established after a lost connection.
+    pub reconnects: usize,
+}
+
+/// How a served session ended.
+enum SessionEnd {
+    /// The coordinator broadcast [`MsgType::Shutdown`]: clean exit.
+    Shutdown,
+    /// The connection broke; the node should reconnect.
+    Lost,
+}
+
+/// One federated client node: a [`ClientState`] plus the connect/serve
+/// loop that keeps it registered with the coordinator.
+pub struct ClientNode {
+    cfg: FlConfig,
+    state: ClientState,
+    opts: NodeConfig,
+    report: NodeReport,
+}
+
+impl ClientNode {
+    /// Wrap one client (its shard index is the wire client id). `cfg`
+    /// must equal the coordinator's configuration — the handshake
+    /// fingerprint enforces this.
+    pub fn new(cfg: FlConfig, state: ClientState, opts: NodeConfig) -> Self {
+        ClientNode {
+            cfg,
+            state,
+            opts,
+            report: NodeReport::default(),
+        }
+    }
+
+    /// Parameter count the broadcast global vector must carry for this
+    /// session (encoder only under transfer-mode SPATL, encoder plus
+    /// predictor otherwise).
+    fn expected_params(&self) -> usize {
+        let mut p = self.state.model.encoder.num_params();
+        if !self.cfg.algorithm.uses_transfer() {
+            p += self.state.model.predictor.num_params();
+        }
+        p
+    }
+
+    fn backoff(&self, consecutive_failures: u32) -> Duration {
+        let exp = consecutive_failures.saturating_sub(1).min(16);
+        self.opts
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.opts.backoff_cap)
+    }
+
+    /// Serve until the coordinator shuts the session down. Reconnects
+    /// with capped exponential backoff on connection loss; gives up after
+    /// `max_reconnects` consecutive failures. Returns the final client
+    /// state (for inspection) and the lifetime report.
+    pub fn run(mut self) -> Result<(ClientState, NodeReport), NetError> {
+        let fingerprint = session_fingerprint(&self.cfg);
+        let mut failures = 0u32;
+        let mut sessions = 0usize;
+        loop {
+            match TcpStream::connect(&self.opts.addr) {
+                Ok(stream) => match self.session(stream, fingerprint) {
+                    Ok(SessionEnd::Shutdown) => return Ok((self.state, self.report)),
+                    Ok(SessionEnd::Lost) => {
+                        // A session was established, so the budget resets;
+                        // the *next* session (if any) is a reconnect.
+                        failures = 0;
+                        sessions += 1;
+                        if sessions > 1 {
+                            self.report.reconnects += 1;
+                        }
+                    }
+                    Err(NetError::Rejected) => return Err(NetError::Rejected),
+                    Err(_) => failures += 1,
+                },
+                Err(_) => failures += 1,
+            }
+            if failures > self.opts.max_reconnects {
+                return Err(NetError::Disconnected);
+            }
+            std::thread::sleep(self.backoff(failures.max(1)));
+        }
+    }
+
+    /// One connection's lifetime: handshake, then serve assignments until
+    /// shutdown or disconnect.
+    fn session(&mut self, mut stream: TcpStream, fingerprint: u64) -> Result<SessionEnd, NetError> {
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(self.opts.write_timeout))?;
+        let hello = Hello {
+            client_id: self.state.id as u32,
+            fingerprint,
+        };
+        write_frame(&mut stream, &seal(MsgType::Hello, &hello.encode()))?;
+        let frame = read_frame(&mut stream, self.opts.max_frame)?
+            .ok_or_else(|| NetError::Protocol("connection closed before Join".into()))?;
+        let (msg, payload) = open(&frame)?;
+        if msg != MsgType::Join {
+            return Err(NetError::Protocol(format!("expected Join, got {msg:?}")));
+        }
+        if !Join::decode(payload)?.accepted {
+            return Err(NetError::Rejected);
+        }
+
+        loop {
+            let frame = match read_frame(&mut stream, self.opts.max_frame) {
+                Ok(Some(f)) => f,
+                Ok(None) => return Ok(SessionEnd::Lost),
+                Err(e) => {
+                    if e.is_transport_corruption() {
+                        return Ok(SessionEnd::Lost);
+                    }
+                    return Err(e.into());
+                }
+            };
+            let (msg, payload) = open(&frame)?;
+            match msg {
+                MsgType::Shutdown => return Ok(SessionEnd::Shutdown),
+                MsgType::RoundAssign => {
+                    let assign = RoundAssign::decode(payload)?;
+                    let mut frames = Vec::with_capacity(assign.n_frames as usize);
+                    for _ in 0..assign.n_frames {
+                        match read_frame(&mut stream, self.opts.max_frame) {
+                            Ok(Some(f)) => frames.push(f),
+                            Ok(None) => return Ok(SessionEnd::Lost),
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    let global = decode_download(&self.cfg, &frames, self.expected_params())?;
+                    match assign.mode {
+                        RoundMode::Train => {
+                            let outcome =
+                                self.state
+                                    .local_update(&self.cfg, &global, assign.round as usize);
+                            let done = RoundDone {
+                                round: assign.round,
+                                mode: RoundMode::Train,
+                                client_id: self.state.id as u32,
+                                n_samples: outcome.n_samples as u64,
+                                tau: outcome.tau as u64,
+                                diverged: outcome.diverged,
+                                keep_ratio: outcome.keep_ratio,
+                                flops_ratio: outcome.flops_ratio,
+                                accuracy: 0.0,
+                                bytes_download: outcome.bytes.download,
+                                bytes_upload: outcome.bytes.upload,
+                                upload_payload: outcome.wire.upload_payload,
+                                upload_framed: outcome.wire.upload_framed,
+                                n_frames: outcome.frames.len() as u32,
+                            };
+                            write_frame(&mut stream, &seal(MsgType::RoundDone, &done.encode()))?;
+                            for f in &outcome.frames {
+                                write_frame(&mut stream, f)?;
+                            }
+                            self.report.rounds_trained += 1;
+                        }
+                        RoundMode::Eval => {
+                            let acc = self.state.sync_and_evaluate(&self.cfg, &global);
+                            let done = RoundDone {
+                                round: assign.round,
+                                mode: RoundMode::Eval,
+                                client_id: self.state.id as u32,
+                                n_samples: 0,
+                                tau: 0,
+                                diverged: false,
+                                keep_ratio: 0.0,
+                                flops_ratio: 0.0,
+                                accuracy: acc,
+                                bytes_download: 0,
+                                bytes_upload: 0,
+                                upload_payload: 0,
+                                upload_framed: 0,
+                                n_frames: 0,
+                            };
+                            write_frame(&mut stream, &seal(MsgType::RoundDone, &done.encode()))?;
+                            self.report.rounds_evaluated += 1;
+                        }
+                    }
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected control message {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Control-plane payload codecs: the session-management messages that
+//! surround the data-plane model/update frames.
+//!
+//! Layouts follow the `spatl-wire` house style — explicit little-endian
+//! fields, no self-describing serialisation, decoders that return
+//! [`WireError`] instead of panicking. Each payload rides inside a sealed
+//! envelope with the matching control-plane [`spatl_wire::MsgType`]
+//! (`Hello`/`Join`/`RoundAssign`/`RoundDone`/`Shutdown`); `Shutdown`
+//! carries an empty payload and has no codec here.
+
+use spatl_fl::FlConfig;
+use spatl_wire::WireError;
+
+/// Client→server: a node introduces itself when (re)connecting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The node's stable client id (shard index).
+    pub client_id: u32,
+    /// Fingerprint of the node's run configuration; the coordinator
+    /// rejects a `Hello` whose fingerprint differs from its own, so two
+    /// processes started with different seeds or algorithms fail fast
+    /// instead of silently diverging.
+    pub fingerprint: u64,
+}
+
+/// Server→client: verdict on a [`Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Join {
+    /// Whether the coordinator accepted the registration.
+    pub accepted: bool,
+    /// The next round index the coordinator will run — after a
+    /// mid-session reconnect this tells the node where the run stands.
+    pub round: u32,
+}
+
+/// What a [`RoundAssign`] asks the client to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundMode {
+    /// Train locally and upload the update.
+    Train,
+    /// Sync the broadcast weights and report validation accuracy only
+    /// (no upload frames; excluded from wire accounting like the
+    /// simulator's in-process evaluation pass).
+    Eval,
+}
+
+impl RoundMode {
+    fn tag(self) -> u8 {
+        match self {
+            RoundMode::Train => 0,
+            RoundMode::Eval => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(RoundMode::Train),
+            1 => Ok(RoundMode::Eval),
+            other => Err(WireError::Malformed(format!("unknown round mode {other}"))),
+        }
+    }
+}
+
+/// Server→client: round kickoff. `n_frames` model frames follow
+/// back-to-back on the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundAssign {
+    /// Round index.
+    pub round: u32,
+    /// Train or evaluate.
+    pub mode: RoundMode,
+    /// Number of broadcast frames that follow.
+    pub n_frames: u32,
+}
+
+/// Client→server: round completion — the upload's bookkeeping metadata.
+/// In [`RoundMode::Train`], `n_frames` upload frames follow on the
+/// stream; in [`RoundMode::Eval`] only `accuracy` is meaningful and
+/// `n_frames` is zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundDone {
+    /// Round index being answered.
+    pub round: u32,
+    /// Mode being answered.
+    pub mode: RoundMode,
+    /// The node's client id.
+    pub client_id: u32,
+    /// Local training-set size (aggregation weight).
+    pub n_samples: u64,
+    /// Local optimisation steps taken.
+    pub tau: u64,
+    /// Whether local training produced a non-finite delta.
+    pub diverged: bool,
+    /// Fraction of shared parameters uploaded.
+    pub keep_ratio: f32,
+    /// FLOPs ratio of the (masked) local model.
+    pub flops_ratio: f32,
+    /// Validation accuracy (eval mode; zero in train mode).
+    pub accuracy: f32,
+    /// Analytic Eq. 13 download bytes this round cost the client.
+    pub bytes_download: u64,
+    /// Analytic Eq. 13 upload bytes.
+    pub bytes_upload: u64,
+    /// Measured upload tensor-payload bytes.
+    pub upload_payload: u64,
+    /// Measured upload bytes on the wire, framing included.
+    pub upload_framed: u64,
+    /// Number of upload frames that follow.
+    pub n_frames: u32,
+}
+
+/// Little-endian field reader shared by the decoders.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated {
+                needed: self.pos + n,
+                available: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::LengthMismatch {
+                advertised: self.pos,
+                actual: self.buf.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Hello {
+    /// Serialize into a payload body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(12);
+        b.extend_from_slice(&self.client_id.to_le_bytes());
+        b.extend_from_slice(&self.fingerprint.to_le_bytes());
+        b
+    }
+
+    /// Parse a payload body.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(body);
+        let out = Hello {
+            client_id: r.u32()?,
+            fingerprint: r.u64()?,
+        };
+        r.done()?;
+        Ok(out)
+    }
+}
+
+impl Join {
+    /// Serialize into a payload body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(5);
+        b.push(u8::from(self.accepted));
+        b.extend_from_slice(&self.round.to_le_bytes());
+        b
+    }
+
+    /// Parse a payload body.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(body);
+        let accepted = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "join verdict must be 0 or 1, got {other}"
+                )))
+            }
+        };
+        let out = Join {
+            accepted,
+            round: r.u32()?,
+        };
+        r.done()?;
+        Ok(out)
+    }
+}
+
+impl RoundAssign {
+    /// Serialize into a payload body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(9);
+        b.extend_from_slice(&self.round.to_le_bytes());
+        b.push(self.mode.tag());
+        b.extend_from_slice(&self.n_frames.to_le_bytes());
+        b
+    }
+
+    /// Parse a payload body.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(body);
+        let out = RoundAssign {
+            round: r.u32()?,
+            mode: RoundMode::from_tag(r.u8()?)?,
+            n_frames: r.u32()?,
+        };
+        r.done()?;
+        Ok(out)
+    }
+}
+
+impl RoundDone {
+    /// Serialize into a payload body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(66);
+        b.extend_from_slice(&self.round.to_le_bytes());
+        b.push(self.mode.tag());
+        b.extend_from_slice(&self.client_id.to_le_bytes());
+        b.extend_from_slice(&self.n_samples.to_le_bytes());
+        b.extend_from_slice(&self.tau.to_le_bytes());
+        b.push(u8::from(self.diverged));
+        b.extend_from_slice(&self.keep_ratio.to_le_bytes());
+        b.extend_from_slice(&self.flops_ratio.to_le_bytes());
+        b.extend_from_slice(&self.accuracy.to_le_bytes());
+        b.extend_from_slice(&self.bytes_download.to_le_bytes());
+        b.extend_from_slice(&self.bytes_upload.to_le_bytes());
+        b.extend_from_slice(&self.upload_payload.to_le_bytes());
+        b.extend_from_slice(&self.upload_framed.to_le_bytes());
+        b.extend_from_slice(&self.n_frames.to_le_bytes());
+        b
+    }
+
+    /// Parse a payload body.
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(body);
+        let out = RoundDone {
+            round: r.u32()?,
+            mode: RoundMode::from_tag(r.u8()?)?,
+            client_id: r.u32()?,
+            n_samples: r.u64()?,
+            tau: r.u64()?,
+            diverged: r.u8()? != 0,
+            keep_ratio: r.f32()?,
+            flops_ratio: r.f32()?,
+            accuracy: r.f32()?,
+            bytes_download: r.u64()?,
+            bytes_upload: r.u64()?,
+            upload_payload: r.u64()?,
+            upload_framed: r.u64()?,
+            n_frames: r.u32()?,
+        };
+        r.done()?;
+        Ok(out)
+    }
+}
+
+/// Fingerprint of the run configuration both ends must share: seed,
+/// cohort geometry, training hyper-parameters and the algorithm (with its
+/// parameters). Two processes with the same fingerprint build identical
+/// sessions from [`spatl::ExperimentBuilder`]-style factories; differing
+/// fingerprints mean the runs would silently diverge, so the coordinator
+/// rejects the `Hello`.
+pub fn session_fingerprint(cfg: &FlConfig) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        // SplitMix64 finalizer over a running combination.
+        let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = 0x5350_4154_4C4E_4554u64; // "SPATLNET"
+    h = mix(h, cfg.seed);
+    h = mix(h, cfg.n_clients as u64);
+    h = mix(h, cfg.rounds as u64);
+    h = mix(h, cfg.local_epochs as u64);
+    h = mix(h, cfg.batch_size as u64);
+    h = mix(h, u64::from(cfg.sample_ratio.to_bits()));
+    h = mix(h, u64::from(cfg.lr.to_bits()));
+    h = mix(h, u64::from(cfg.momentum.to_bits()));
+    h = mix(h, u64::from(cfg.server_lr.to_bits()));
+    use spatl_fl::Algorithm;
+    h = match cfg.algorithm {
+        Algorithm::FedAvg => mix(h, 1),
+        Algorithm::FedProx { mu } => mix(mix(h, 2), u64::from(mu.to_bits())),
+        Algorithm::Scaffold => mix(h, 3),
+        Algorithm::FedNova => mix(h, 4),
+        Algorithm::Spatl(o) => {
+            let mut v = mix(h, 5);
+            v = mix(v, u64::from(o.selection) | u64::from(o.transfer) << 1);
+            v = mix(v, u64::from(o.gradient_control));
+            v = mix(v, u64::from(o.target_flops_ratio.to_bits()));
+            mix(v, o.finetune_rounds as u64)
+        }
+    };
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatl_fl::{Algorithm, SpatlOptions};
+
+    #[test]
+    fn hello_round_trips() {
+        let msg = Hello {
+            client_id: 7,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        assert_eq!(Hello::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn join_round_trips_and_rejects_bad_verdict() {
+        for accepted in [false, true] {
+            let msg = Join { accepted, round: 3 };
+            assert_eq!(Join::decode(&msg.encode()).unwrap(), msg);
+        }
+        let mut bad = Join {
+            accepted: true,
+            round: 0,
+        }
+        .encode();
+        bad[0] = 2;
+        assert!(matches!(Join::decode(&bad), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn round_assign_round_trips() {
+        for mode in [RoundMode::Train, RoundMode::Eval] {
+            let msg = RoundAssign {
+                round: 12,
+                mode,
+                n_frames: 2,
+            };
+            assert_eq!(RoundAssign::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn round_done_round_trips() {
+        let msg = RoundDone {
+            round: 4,
+            mode: RoundMode::Train,
+            client_id: 3,
+            n_samples: 60,
+            tau: 8,
+            diverged: false,
+            keep_ratio: 0.42,
+            flops_ratio: 0.7,
+            accuracy: 0.31,
+            bytes_download: 123_456,
+            bytes_upload: 65_432,
+            upload_payload: 65_432,
+            upload_framed: 65_480,
+            n_frames: 2,
+        };
+        assert_eq!(RoundDone::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_and_oversized_bodies_rejected() {
+        let body = RoundDone {
+            round: 0,
+            mode: RoundMode::Eval,
+            client_id: 0,
+            n_samples: 0,
+            tau: 0,
+            diverged: false,
+            keep_ratio: 0.0,
+            flops_ratio: 0.0,
+            accuracy: 0.0,
+            bytes_download: 0,
+            bytes_upload: 0,
+            upload_payload: 0,
+            upload_framed: 0,
+            n_frames: 0,
+        }
+        .encode();
+        assert!(matches!(
+            RoundDone::decode(&body[..body.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut long = body.clone();
+        long.push(0);
+        assert!(matches!(
+            RoundDone::decode(&long),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let a = FlConfig::new(Algorithm::FedAvg);
+        let mut b = a;
+        b.seed = 1;
+        let mut c = a;
+        c.algorithm = Algorithm::FedProx { mu: 0.1 };
+        let d = FlConfig::new(Algorithm::Spatl(SpatlOptions::default()));
+        let fps = [
+            session_fingerprint(&a),
+            session_fingerprint(&b),
+            session_fingerprint(&c),
+            session_fingerprint(&d),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "{i} vs {j}");
+            }
+        }
+        assert_eq!(session_fingerprint(&a), session_fingerprint(&a));
+    }
+}

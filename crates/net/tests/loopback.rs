@@ -1,0 +1,406 @@
+//! Loopback integration tests: the networked runtime against the
+//! in-process simulator, on 127.0.0.1.
+//!
+//! The headline assertion is *bit identity*: a coordinator plus N client
+//! node threads, exchanging sealed frames over real TCP, must finish
+//! with exactly the global state the simulator produces from the same
+//! seeds — for all five algorithms. The fault tests then kill and
+//! restart parts of the session and check the ledger and the checkpoint
+//! path keep their promises.
+
+use std::net::TcpStream;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use spatl::prelude::*;
+use spatl::{load_global, ExperimentBuilder};
+use spatl_fl::{ClientState, GlobalState};
+use spatl_net::{
+    ClientNode, Coordinator, CoordinatorConfig, Hello, Join, NetError, NodeConfig, NodeReport,
+    RoundAssign, RoundDone, RoundMode,
+};
+use spatl_wire::{open, read_frame, seal, write_frame, MsgType, MAX_FRAME_PAYLOAD};
+
+fn builder(algorithm: Algorithm, rounds: usize) -> ExperimentBuilder {
+    ExperimentBuilder::new(algorithm)
+        .model(ModelKind::Cnn2)
+        .clients(3)
+        .samples_per_client(18)
+        .rounds(rounds)
+        .local_epochs(1)
+        .batch_size(8)
+        .seed(7)
+}
+
+fn coordinator_config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        addr: "127.0.0.1:0".to_string(),
+        join_timeout: Duration::from_secs(20),
+        round_timeout: Duration::from_secs(120),
+        io_timeout: Duration::from_secs(20),
+        ..CoordinatorConfig::default()
+    }
+}
+
+type NodeHandle = JoinHandle<Result<(ClientState, NodeReport), NetError>>;
+
+fn spawn_nodes(cfg: FlConfig, clients: Vec<ClientState>, addr: &str) -> Vec<NodeHandle> {
+    clients
+        .into_iter()
+        .map(|c| {
+            let opts = NodeConfig::new(addr);
+            thread::spawn(move || ClientNode::new(cfg, c, opts).run())
+        })
+        .collect()
+}
+
+fn join_nodes(handles: Vec<NodeHandle>) -> Vec<(ClientState, NodeReport)> {
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread").expect("node exits cleanly"))
+        .collect()
+}
+
+#[track_caller]
+fn assert_bits_equal(label: &str, a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}[{i}]: {x} != {y} (bitwise)"
+        );
+    }
+}
+
+#[track_caller]
+fn assert_global_bit_identical(a: &GlobalState, b: &GlobalState) {
+    assert_bits_equal("shared", &a.shared, &b.shared);
+    assert_bits_equal("control", &a.control, &b.control);
+    assert_bits_equal("momentum", &a.momentum, &b.momentum);
+    assert_bits_equal("buffers", &a.buffers, &b.buffers);
+}
+
+/// Run the same session twice — in-process and over loopback TCP — and
+/// assert the resulting global models (and per-round records) are bit
+/// identical.
+fn assert_networked_matches_simulator(algorithm: Algorithm) {
+    let rounds = 2;
+
+    let mut sim = builder(algorithm, rounds).build();
+    sim.run();
+
+    let session = builder(algorithm, rounds).build();
+    let cfg = session.driver.cfg;
+    let mut coordinator =
+        Coordinator::bind(session.driver, coordinator_config()).expect("bind loopback");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let handles = spawn_nodes(cfg, session.clients, &addr);
+    let completed = coordinator.run().expect("networked run");
+    assert!(completed, "no shutdown was requested");
+    let reports = join_nodes(handles);
+
+    assert_global_bit_identical(&sim.driver.global, &coordinator.driver.global);
+    assert_eq!(sim.driver.history.len(), coordinator.driver.history.len());
+    for (s, n) in sim.driver.history.iter().zip(&coordinator.driver.history) {
+        assert_eq!(s.round, n.round);
+        assert_eq!(
+            s.mean_acc.to_bits(),
+            n.mean_acc.to_bits(),
+            "round {}",
+            s.round
+        );
+        assert_bits_equal("per_client_acc", &s.per_client_acc, &n.per_client_acc);
+        assert_eq!(s.bytes, n.bytes, "Eq. 13 accounting, round {}", s.round);
+        assert_eq!(s.wire, n.wire, "measured wire bytes, round {}", s.round);
+        assert_eq!(s.faults.survivors, n.faults.survivors);
+        assert_eq!(n.faults.total(), 0, "clean run must ledger nothing");
+        // The networked round really was timed; the simulator's never is.
+        assert!(n.measured_wall_s > 0.0);
+        assert_eq!(s.measured_wall_s, 0.0);
+    }
+    for (_, report) in &reports {
+        assert_eq!(report.rounds_trained, rounds);
+        assert_eq!(report.rounds_evaluated, rounds);
+        assert_eq!(report.reconnects, 0);
+    }
+}
+
+#[test]
+fn networked_matches_simulator_fedavg() {
+    assert_networked_matches_simulator(Algorithm::FedAvg);
+}
+
+#[test]
+fn networked_matches_simulator_fedprox() {
+    assert_networked_matches_simulator(Algorithm::FedProx { mu: 0.01 });
+}
+
+#[test]
+fn networked_matches_simulator_scaffold() {
+    assert_networked_matches_simulator(Algorithm::Scaffold);
+}
+
+#[test]
+fn networked_matches_simulator_fednova() {
+    assert_networked_matches_simulator(Algorithm::FedNova);
+}
+
+#[test]
+fn networked_matches_simulator_spatl() {
+    assert_networked_matches_simulator(Algorithm::Spatl(SpatlOptions::default()));
+}
+
+/// Raw control-plane handshake for the hand-rolled misbehaving clients.
+fn raw_handshake(addr: &str, cfg: &FlConfig, client_id: u32) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let hello = Hello {
+        client_id,
+        fingerprint: spatl_net::session_fingerprint(cfg),
+    };
+    write_frame(&mut stream, &seal(MsgType::Hello, &hello.encode())).expect("send hello");
+    let frame = read_frame(&mut stream, MAX_FRAME_PAYLOAD)
+        .expect("read join")
+        .expect("join frame");
+    let (msg, payload) = open(&frame).expect("open join");
+    assert_eq!(msg, MsgType::Join);
+    assert!(Join::decode(payload).expect("decode join").accepted);
+    stream
+}
+
+/// Read one round assignment (and its broadcast frames) off a raw stream.
+fn raw_read_assignment(stream: &mut TcpStream) -> RoundAssign {
+    let frame = read_frame(stream, MAX_FRAME_PAYLOAD)
+        .expect("read assign")
+        .expect("assign frame");
+    let (msg, payload) = open(&frame).expect("open assign");
+    assert_eq!(msg, MsgType::RoundAssign);
+    let assign = RoundAssign::decode(payload).expect("decode assign");
+    for _ in 0..assign.n_frames {
+        read_frame(stream, MAX_FRAME_PAYLOAD)
+            .expect("read broadcast frame")
+            .expect("broadcast frame");
+    }
+    assign
+}
+
+/// A client that dies in the middle of its upload must surface as a
+/// ledgered dropout while the round still completes over the survivors.
+#[test]
+fn client_killed_mid_upload_is_a_ledgered_dropout() {
+    let algorithm = Algorithm::FedAvg;
+    let session = builder(algorithm, 1).build();
+    let cfg = session.driver.cfg;
+    let mut clients = session.clients;
+    // Honest nodes for clients 1 and 2; client 0 is the victim, collected
+    // first so the failure is observed before the survivors.
+    let victim = clients.remove(0);
+    assert_eq!(victim.id, 0);
+
+    let before = session.driver.global.shared.clone();
+    let mut coordinator =
+        Coordinator::bind(session.driver, coordinator_config()).expect("bind loopback");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let handles = spawn_nodes(cfg, clients, &addr);
+
+    let killer_addr = addr.clone();
+    let killer = thread::spawn(move || {
+        let mut stream = raw_handshake(&killer_addr, &cfg, 0);
+        let assign = raw_read_assignment(&mut stream);
+        assert_eq!(assign.mode, RoundMode::Train);
+        // Claim a two-frame upload, deliver one frame, die.
+        let done = RoundDone {
+            round: assign.round,
+            mode: RoundMode::Train,
+            client_id: 0,
+            n_samples: 12,
+            tau: 2,
+            diverged: false,
+            keep_ratio: 1.0,
+            flops_ratio: 1.0,
+            accuracy: 0.0,
+            bytes_download: 0,
+            bytes_upload: 0,
+            upload_payload: 0,
+            upload_framed: 0,
+            n_frames: 2,
+        };
+        write_frame(&mut stream, &seal(MsgType::RoundDone, &done.encode())).expect("send done");
+        write_frame(&mut stream, &seal(MsgType::BnStats, &[])).expect("send partial upload");
+        drop(stream); // killed mid-upload
+    });
+
+    coordinator.wait_for_clients();
+    let record = coordinator.run_round();
+    coordinator.finish().expect("finish");
+    killer.join().expect("killer thread");
+    join_nodes(handles);
+
+    assert_eq!(record.faults.sampled, 3);
+    assert_eq!(record.faults.dropouts, 1, "the kill is a ledgered dropout");
+    assert!(record
+        .faults
+        .events
+        .iter()
+        .any(|e| e.client_id == 0 && matches!(e.kind, FaultKind::Dropout)));
+    assert_eq!(record.faults.survivors, 2, "the round completes without it");
+    assert!(!record.faults.no_op, "the survivors' updates were applied");
+    assert!(
+        coordinator
+            .driver
+            .global
+            .shared
+            .iter()
+            .zip(&before)
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "aggregation over the survivors moved the global model"
+    );
+}
+
+/// A `Shutdown` frame from a client ends the session early: the round it
+/// interrupted still completes, the global state is checkpointed via the
+/// existing save/load path, and the saved state round-trips bit
+/// identically.
+#[test]
+fn shutdown_frame_checkpoints_global_state() {
+    let algorithm = Algorithm::FedAvg;
+    let checkpoint = std::env::temp_dir().join(format!(
+        "spatl_net_shutdown_ckpt_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&checkpoint);
+
+    let session = builder(algorithm, 4).build();
+    let cfg = session.driver.cfg;
+    let mut clients = session.clients;
+    let controller = clients.remove(2);
+    assert_eq!(controller.id, 2);
+
+    let mut opts = coordinator_config();
+    opts.checkpoint = Some(checkpoint.clone());
+    let mut coordinator = Coordinator::bind(session.driver, opts).expect("bind loopback");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let handles = spawn_nodes(cfg, clients, &addr);
+
+    let controller_addr = addr.clone();
+    let controller = thread::spawn(move || {
+        let mut stream = raw_handshake(&controller_addr, &cfg, 2);
+        let assign = raw_read_assignment(&mut stream);
+        assert_eq!(assign.round, 0);
+        // Ask the session to stop instead of uploading.
+        write_frame(&mut stream, &seal(MsgType::Shutdown, &[])).expect("send shutdown");
+        stream
+    });
+
+    let completed = coordinator.run().expect("networked run");
+    assert!(!completed, "the session was shut down early");
+    drop(controller.join().expect("controller thread"));
+    join_nodes(handles);
+
+    assert_eq!(
+        coordinator.driver.history.len(),
+        1,
+        "the interrupted round still completed"
+    );
+    let record = &coordinator.driver.history[0];
+    assert!(record.faults.dropouts >= 1, "the requester left the round");
+    assert_eq!(record.faults.survivors, 2);
+
+    let restored = load_global(&checkpoint).expect("checkpoint loads");
+    assert_global_bit_identical(&coordinator.driver.global, &restored);
+    let _ = std::fs::remove_file(&checkpoint);
+}
+
+/// Kill the coordinator after two rounds, checkpoint, bring up a new one
+/// and let the *same* client nodes reconnect: the resumed session must
+/// finish bit-identical to an uninterrupted simulator run. SCAFFOLD makes
+/// this the strictest variant — client-side control variates survive only
+/// because the nodes outlive the coordinator.
+#[test]
+fn coordinator_restart_resumes_bit_identically() {
+    let algorithm = Algorithm::Scaffold;
+    let rounds = 4;
+    let checkpoint =
+        std::env::temp_dir().join(format!("spatl_net_resume_ckpt_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&checkpoint);
+
+    let mut sim = builder(algorithm, rounds).build();
+    sim.run();
+
+    // Phase A: run the first two rounds, then shut down (checkpointing).
+    let session = builder(algorithm, rounds).build();
+    let cfg = session.driver.cfg;
+    let mut opts = coordinator_config();
+    opts.checkpoint = Some(checkpoint.clone());
+    let mut coordinator = Coordinator::bind(session.driver, opts).expect("bind A");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let handles = spawn_nodes(cfg, session.clients, &addr);
+    coordinator.wait_for_clients();
+    coordinator.run_round();
+    coordinator.run_round();
+    coordinator.finish().expect("finish A");
+    let survivors: Vec<ClientState> = join_nodes(handles).into_iter().map(|(c, _)| c).collect();
+    drop(coordinator);
+
+    // Phase B: a fresh coordinator restores the checkpoint, fast-forwards
+    // the sampling stream past the completed rounds, and the surviving
+    // nodes reconnect with their state intact.
+    let session_b = builder(algorithm, rounds).build();
+    let mut driver = session_b.driver;
+    driver.global = load_global(&checkpoint).expect("checkpoint loads");
+    driver.advance_sampling(2);
+    assert_eq!(driver.round_index(), 2);
+    let mut coordinator = Coordinator::bind(driver, coordinator_config()).expect("bind B");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let handles = spawn_nodes(cfg, survivors, &addr);
+    let completed = coordinator.run().expect("networked resume");
+    assert!(completed);
+    let reports = join_nodes(handles);
+
+    assert_global_bit_identical(&sim.driver.global, &coordinator.driver.global);
+    assert_eq!(
+        coordinator.driver.history.len(),
+        2,
+        "rounds 2 and 3 ran here"
+    );
+    for ((s, n), round) in sim.driver.history[2..]
+        .iter()
+        .zip(&coordinator.driver.history)
+        .zip(2..)
+    {
+        assert_eq!(n.round, round);
+        assert_eq!(s.mean_acc.to_bits(), n.mean_acc.to_bits(), "round {round}");
+    }
+    for (_, report) in &reports {
+        assert_eq!(report.rounds_trained, 2);
+    }
+    let _ = std::fs::remove_file(&checkpoint);
+}
+
+/// Two processes started with different configurations must fail fast at
+/// the handshake, not silently diverge.
+#[test]
+fn mismatched_configuration_is_rejected() {
+    let session = builder(Algorithm::FedAvg, 1).build();
+    let mut coordinator =
+        Coordinator::bind(session.driver, coordinator_config()).expect("bind loopback");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+
+    // Same shard, different seed: the fingerprints differ.
+    let foreign = builder(Algorithm::FedAvg, 1).seed(8).build();
+    let foreign_cfg = foreign.driver.cfg;
+    let state = foreign.clients.into_iter().next().expect("shard");
+    let handle =
+        thread::spawn(move || ClientNode::new(foreign_cfg, state, NodeConfig::new(addr)).run());
+    // Accept (and reject) the hello while the node waits for its verdict.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !handle.is_finished() && std::time::Instant::now() < deadline {
+        coordinator.accept_pending();
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(coordinator.connected(), 0, "the registration was rejected");
+    match handle.join().expect("node thread") {
+        Err(NetError::Rejected) => {}
+        other => panic!("expected a rejection, got {other:?}"),
+    }
+}

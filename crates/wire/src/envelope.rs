@@ -64,6 +64,23 @@ pub enum MsgType {
     /// Either direction: batch-norm running statistics, sent as a dense f32
     /// auxiliary frame next to the main model/update frame.
     BnStats = 0x0B,
+    /// Client→server control plane: a node introduces itself (client id +
+    /// session fingerprint) when (re)connecting to a coordinator.
+    Hello = 0x0C,
+    /// Server→client control plane: the coordinator accepts (or rejects) a
+    /// [`MsgType::Hello`] and reports the next round index.
+    Join = 0x0D,
+    /// Server→client control plane: round kickoff — round index, mode
+    /// (train or evaluate) and the number of model frames that follow on
+    /// the stream.
+    RoundAssign = 0x0E,
+    /// Client→server control plane: round completion — upload metadata
+    /// (sample count, τ, ratios, accuracy) and the number of upload frames
+    /// that follow on the stream.
+    RoundDone = 0x0F,
+    /// Either direction control plane: orderly session termination; the
+    /// coordinator checkpoints its state before propagating it.
+    Shutdown = 0x10,
 }
 
 impl MsgType {
@@ -81,6 +98,11 @@ impl MsgType {
             0x09 => MsgType::SparseTopK,
             0x0A => MsgType::QuantizedF16,
             0x0B => MsgType::BnStats,
+            0x0C => MsgType::Hello,
+            0x0D => MsgType::Join,
+            0x0E => MsgType::RoundAssign,
+            0x0F => MsgType::RoundDone,
+            0x10 => MsgType::Shutdown,
             other => return Err(WireError::BadTag(other)),
         })
     }
@@ -285,11 +307,11 @@ mod tests {
 
     #[test]
     fn all_tags_round_trip() {
-        for tag in 0x01..=0x0B {
+        for tag in 0x01..=0x10 {
             let msg = MsgType::from_tag(tag).unwrap();
             assert_eq!(msg.tag(), tag);
         }
         assert!(MsgType::from_tag(0x00).is_err());
-        assert!(MsgType::from_tag(0x0C).is_err());
+        assert!(MsgType::from_tag(0x11).is_err());
     }
 }

@@ -14,6 +14,8 @@
 //!   sparse, f16 quantized.
 //! * [`layout`] — [`SelectionLayout`], the channel-id ↔ flat-index map
 //!   shared by both ends of a SPATL session.
+//! * [`stream`] — [`read_frame`]/[`write_frame`] over byte streams, with
+//!   a bounded maximum frame size.
 //! * [`sim`] — [`SimNet`] analytic transport model.
 //! * [`crc32`] / [`f16`](mod@f16) — checksum and half-precision
 //!   primitives.
@@ -31,6 +33,7 @@ pub mod error;
 pub mod f16;
 pub mod layout;
 pub mod sim;
+pub mod stream;
 
 pub use codec::{
     decode_dense, decode_f16_dense, decode_pair, decode_spatl_encoder, decode_spatl_update,
@@ -42,3 +45,4 @@ pub use envelope::{flip_bit, open, seal, MsgType, HEADER_LEN, MAGIC, WIRE_VERSIO
 pub use error::WireError;
 pub use layout::{IndexRange, SelectionLayout};
 pub use sim::{LinkSpec, RoundTransfer, SimNet};
+pub use stream::{read_frame, write_frame, StreamError, MAX_FRAME_PAYLOAD};

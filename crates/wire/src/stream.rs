@@ -1,0 +1,311 @@
+//! Streaming frame I/O over `io::Read` / `io::Write`.
+//!
+//! [`seal`](crate::envelope::seal) and [`open`](crate::envelope::open)
+//! operate on complete in-memory frames; a TCP stream delivers bytes in
+//! arbitrary fragments with no record boundaries. This module bridges the
+//! two: [`write_frame`] pushes a sealed frame onto any [`Write`] sink, and
+//! [`read_frame`] reassembles exactly one frame from any [`Read`] source —
+//! tolerating short reads, split delivery, and back-to-back frames on the
+//! same stream.
+//!
+//! Safety property: the advertised payload length is validated against a
+//! caller-supplied cap *before* any allocation, so a corrupt (or hostile)
+//! length header cannot trigger an unbounded allocation. The header's
+//! magic, version and tag are also checked before the payload is read,
+//! failing fast on garbage streams. The CRC is *not* checked here — the
+//! returned buffer is a complete frame meant to be handed to
+//! [`open`](crate::envelope::open), which performs the full validation
+//! exactly once.
+
+use std::io::{self, Read, Write};
+
+use crate::envelope::{MsgType, HEADER_LEN, MAGIC, WIRE_VERSION};
+use crate::error::WireError;
+
+/// Default cap on a single frame's payload, in bytes.
+///
+/// Generous for this workload: the largest legitimate frame is a dense
+/// f32 model broadcast (a few MB for the synthetic VGG-ish models), so
+/// 64 MiB leaves two orders of magnitude of headroom while still bounding
+/// what a flipped length bit can make a receiver allocate.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// Failure while reading or writing a frame on a byte stream.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying transport failed (connection reset, timeout, …).
+    Io(io::Error),
+    /// The stream ended or delivered bytes that violate the envelope
+    /// (bad magic/version/tag, or EOF in the middle of a frame).
+    Wire(WireError),
+    /// The header advertised a payload larger than the caller's cap.
+    /// Nothing was allocated; the stream is left mid-frame and should be
+    /// closed.
+    Oversized {
+        /// Payload length the header advertised.
+        advertised: usize,
+        /// Cap the caller imposed.
+        max: usize,
+    },
+}
+
+impl StreamError {
+    /// Whether this failure is consistent with transport damage or loss
+    /// (as opposed to a peer speaking invalid structure on a healthy
+    /// connection). Mirrors [`WireError::is_transport_corruption`].
+    pub fn is_transport_corruption(&self) -> bool {
+        match self {
+            StreamError::Io(_) => true,
+            StreamError::Wire(w) => w.is_transport_corruption(),
+            StreamError::Oversized { .. } => true,
+        }
+    }
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "stream I/O error: {e}"),
+            StreamError::Wire(e) => write!(f, "stream frame error: {e}"),
+            StreamError::Oversized { advertised, max } => {
+                write!(
+                    f,
+                    "frame payload of {advertised} bytes exceeds the {max}-byte cap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Wire(e) => Some(e),
+            StreamError::Oversized { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<WireError> for StreamError {
+    fn from(e: WireError) -> Self {
+        StreamError::Wire(e)
+    }
+}
+
+/// Write one sealed frame to `w`.
+///
+/// Frames are self-delimiting (the header carries the payload length), so
+/// no extra length prefix is added. The sink is flushed so a frame handed
+/// to a buffered writer is actually on the wire when this returns — round
+/// barriers depend on that.
+pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Fill `buf` from `r`, retrying on interrupts and short reads.
+///
+/// Returns the number of bytes read: `buf.len()` on success, less if the
+/// stream hit EOF first (notably `0` when EOF landed exactly on the
+/// frame boundary).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Read exactly one complete frame from `r`, or `None` on a clean EOF at
+/// a frame boundary.
+///
+/// The returned buffer is the *entire* frame (header + payload), ready
+/// for [`open`](crate::envelope::open). Validation performed here, in
+/// order, before the payload is allocated or read:
+///
+/// 1. magic — fail fast on a stream that is not speaking this protocol;
+/// 2. version;
+/// 3. message-type tag;
+/// 4. advertised payload length against `max_payload` — the bounded-
+///    allocation guarantee.
+///
+/// EOF in the middle of a frame maps to [`WireError::Truncated`]; a read
+/// timeout or reset surfaces as [`StreamError::Io`] with the underlying
+/// [`io::ErrorKind`] (`WouldBlock`/`TimedOut` for socket deadlines).
+pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> Result<Option<Vec<u8>>, StreamError> {
+    let mut header = [0u8; HEADER_LEN];
+    let got = read_full(r, &mut header)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            available: got,
+        }
+        .into());
+    }
+    if header[0..4] != MAGIC {
+        let magic: [u8; 4] = header[0..4].try_into().expect("sliced 4 bytes");
+        return Err(WireError::BadMagic(magic).into());
+    }
+    if header[4] != WIRE_VERSION {
+        return Err(WireError::Version {
+            found: header[4],
+            supported: WIRE_VERSION,
+        }
+        .into());
+    }
+    MsgType::from_tag(header[5])?;
+    let advertised = u32::from_le_bytes(header[8..12].try_into().expect("sliced 4 bytes")) as usize;
+    if advertised > max_payload {
+        return Err(StreamError::Oversized {
+            advertised,
+            max: max_payload,
+        });
+    }
+    let mut frame = vec![0u8; HEADER_LEN + advertised];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    let got = read_full(r, &mut frame[HEADER_LEN..])?;
+    if got < advertised {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN + advertised,
+            available: HEADER_LEN + got,
+        }
+        .into());
+    }
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{open, seal};
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let frame = seal(MsgType::DenseUpdate, b"payload bytes");
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let got = read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        assert_eq!(got, frame);
+        let (msg, payload) = open(&got).unwrap();
+        assert_eq!(msg, MsgType::DenseUpdate);
+        assert_eq!(payload, b"payload bytes");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut cursor = io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut cursor, MAX_FRAME_PAYLOAD)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn eof_mid_header_is_truncated() {
+        let frame = seal(MsgType::Hello, b"hi");
+        for cut in 1..HEADER_LEN {
+            let mut cursor = io::Cursor::new(frame[..cut].to_vec());
+            let err = read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap_err();
+            assert!(
+                matches!(err, StreamError::Wire(WireError::Truncated { .. })),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_mid_payload_is_truncated() {
+        let frame = seal(MsgType::Hello, b"hello world");
+        for cut in HEADER_LEN..frame.len() {
+            let mut cursor = io::Cursor::new(frame[..cut].to_vec());
+            let err = read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap_err();
+            assert!(
+                matches!(err, StreamError::Wire(WireError::Truncated { .. })),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_allocation() {
+        // A frame whose length field claims just over the cap: read_frame
+        // must refuse without attempting the allocation.
+        let mut frame = seal(MsgType::DenseModel, &[0u8; 8]);
+        let cap = 4;
+        frame[8..12].copy_from_slice(&(cap as u32 + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(frame);
+        match read_frame(&mut cursor, cap) {
+            Err(StreamError::Oversized { advertised, max }) => {
+                assert_eq!(advertised, cap + 1);
+                assert_eq!(max, cap);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_length_header_cannot_trigger_unbounded_allocation() {
+        // u32::MAX advertised payload against the default cap: must fail
+        // fast instead of allocating 4 GiB.
+        let mut frame = seal(MsgType::DenseModel, b"x");
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_FRAME_PAYLOAD),
+            Err(StreamError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_fails_before_payload_read() {
+        let mut frame = seal(MsgType::DenseModel, b"abc");
+        frame[0] = b'X';
+        let mut cursor = io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_FRAME_PAYLOAD),
+            Err(StreamError::Wire(WireError::BadMagic(_)))
+        ));
+    }
+
+    #[test]
+    fn back_to_back_frames_on_one_stream() {
+        let a = seal(MsgType::RoundAssign, b"round 0");
+        let b = seal(MsgType::DenseModel, b"weights");
+        let c = seal(MsgType::Shutdown, b"");
+        let mut buf = Vec::new();
+        for f in [&a, &b, &c] {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().unwrap(),
+            a
+        );
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().unwrap(),
+            b
+        );
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().unwrap(),
+            c
+        );
+        assert!(read_frame(&mut cursor, MAX_FRAME_PAYLOAD)
+            .unwrap()
+            .is_none());
+    }
+}

@@ -121,6 +121,24 @@ macro_rules! float_range_strategy {
 
 float_range_strategy!(f32, f64);
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample_with(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_with(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+}
+
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
 
