@@ -1,0 +1,238 @@
+//! EXP-TOPOLOGY — flat star vs 2-tier hierarchical aggregation
+//! (DESIGN.md §11).
+//!
+//! Three claims are exercised in process (the networked analogue lives in
+//! `crates/net/tests/tier.rs`):
+//!
+//! 1. **Exact composition** — under the default weighted mean, folding
+//!    each edge's slice and merging at the root is *bit-identical* to the
+//!    flat fold, for all five algorithms, dropouts included (survivor
+//!    renormalisation composes). Rounds-to-target is therefore identical
+//!    by construction, and the table shows it.
+//! 2. **Bounded-ε composition** — the robust aggregators pre-reduce at
+//!    the edges and compose stat-of-stats at the root. Each composed
+//!    round stays within the `server_lr · (max − min)` per-coordinate
+//!    envelope (asserted round-by-round in `crates/net/tests/tier.rs`);
+//!    here the end-of-run divergence from the flat robust fold is
+//!    measured and reported — trajectories legitimately drift apart
+//!    over rounds, so only finiteness is asserted.
+//! 3. **Fault-ledger composition** — per-edge fault counters folded at
+//!    the root equal the flat round's ledger, counter for counter.
+
+use spatl::fl::{
+    aggregate_reduced, edge_partition, exact_composition, fault_counters, fold_fault_counters,
+    reduce_cohort, GlobalState, LocalOutcome,
+};
+use spatl::prelude::*;
+use spatl_bench::{cli, write_json, Scale, Table};
+
+const EDGES: usize = 2;
+
+fn builder(algorithm: Algorithm, clients: usize, rounds: usize, samples: usize) -> Simulation {
+    ExperimentBuilder::new(algorithm)
+        .model(ModelKind::Cnn2)
+        .clients(clients)
+        .samples_per_client(samples)
+        .rounds(rounds)
+        .local_epochs(1)
+        .batch_size(8)
+        .seed(11)
+        .build()
+}
+
+/// One in-process federated run where aggregation is composed over
+/// `n_edges` contiguous slices, exactly the way the tiered runtime does:
+/// per-edge fold (exact forwarding for the weighted mean, pre-reduction
+/// for robust kinds), root merge, evaluate-all. `drop_client` removes one
+/// client's upload in round 0 — the edge-side dropout whose survivor
+/// renormalisation must compose. Returns the final global, the per-round
+/// mean accuracies and the total dropout count the composed ledger saw.
+fn run_composed(
+    mut session: Simulation,
+    rounds: usize,
+    n_edges: usize,
+    drop_client: Option<usize>,
+) -> (GlobalState, Vec<f32>, usize) {
+    let cfg = session.driver.cfg;
+    let ranges = edge_partition(cfg.n_clients, n_edges);
+    let exact = exact_composition(&cfg.aggregator);
+    let mut accs = Vec::new();
+    let mut dropouts_total = 0usize;
+    for round in 0..rounds {
+        let sampled = session.driver.sample_round();
+        let broadcast = session.driver.global.clone();
+        let mut outcomes: Vec<LocalOutcome> = Vec::new();
+        let mut root_ledger = FaultRecord::default();
+        let mut edge_ledgers = Vec::new();
+        for range in &ranges {
+            let slice: Vec<usize> = sampled
+                .iter()
+                .copied()
+                .filter(|c| range.contains(c))
+                .collect();
+            let mut ledger = FaultRecord::for_sample(slice.len());
+            for &id in &slice {
+                if round == 0 && drop_client == Some(id) {
+                    ledger.push(id, FaultKind::Dropout);
+                    continue;
+                }
+                outcomes.push(session.clients[id].local_update(&cfg, &broadcast, round));
+            }
+            edge_ledgers.push(ledger);
+        }
+        // The root folds each edge's counters into the round's ledger —
+        // claim 3: events stay local, counters compose additively.
+        for ledger in &edge_ledgers {
+            fold_fault_counters(&mut root_ledger, &fault_counters(ledger));
+        }
+        dropouts_total += root_ledger.dropouts;
+
+        if exact {
+            // Claim 1: the weighted-mean fold over the merged survivors
+            // (ascending client id, like fold_exact) is the flat fold.
+            outcomes.sort_by_key(|o| o.client_id);
+            session
+                .driver
+                .global
+                .aggregate(&cfg, &outcomes, cfg.n_clients);
+        } else {
+            // Claim 2: robust kinds pre-reduce per edge and compose.
+            let reduced: Vec<_> = ranges
+                .iter()
+                .filter_map(|range| {
+                    let slice: Vec<LocalOutcome> = outcomes
+                        .iter()
+                        .filter(|o| range.contains(&o.client_id))
+                        .cloned()
+                        .collect();
+                    if slice.is_empty() {
+                        None
+                    } else {
+                        reduce_cohort(&cfg, &slice, &broadcast)
+                    }
+                })
+                .collect();
+            aggregate_reduced(&mut session.driver.global, &cfg, &reduced, cfg.n_clients);
+        }
+        let global = session.driver.global.clone();
+        let mean = session
+            .clients
+            .iter_mut()
+            .map(|c| c.sync_and_evaluate(&cfg, &global))
+            .sum::<f32>()
+            / cfg.n_clients as f32;
+        accs.push(mean);
+    }
+    (session.driver.global, accs, dropouts_total)
+}
+
+fn max_gap(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+fn rounds_to(accs: &[f32], target: f32) -> Option<usize> {
+    accs.iter().position(|a| *a >= target).map(|i| i + 1)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let clients = scale.pick(4, 8);
+    let rounds = scale.pick(3, 6);
+    let samples = scale.pick(18, 48);
+    let target = scale.pick(0.25, 0.40);
+
+    let mut artefact = Vec::new();
+    let mut table = Table::new(&["algorithm", "flat r→tgt", "2-tier r→tgt", "composition"]);
+    println!(
+        "flat vs 2-tier aggregation ({clients} clients, {EDGES} edges, {rounds} rounds, \
+         target {:.0}%)\n",
+        target * 100.0
+    );
+
+    // Claims 1 + 3 for every algorithm under the default weighted mean,
+    // with a round-0 dropout on edge 0 so the survivor renormalisation
+    // has to compose too.
+    let dropped = 1usize;
+    for (alg, name) in cli::algorithms() {
+        let (flat_global, flat_accs, flat_drops) = run_composed(
+            builder(alg, clients, rounds, samples),
+            rounds,
+            1,
+            Some(dropped),
+        );
+        let (tier_global, tier_accs, tier_drops) = run_composed(
+            builder(alg, clients, rounds, samples),
+            rounds,
+            EDGES,
+            Some(dropped),
+        );
+        let identical = flat_global
+            .shared
+            .iter()
+            .zip(&tier_global.shared)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+            && flat_accs
+                .iter()
+                .zip(&tier_accs)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "{name}: weighted-mean composition must be exact");
+        assert_eq!(flat_drops, tier_drops, "{name}: ledgers must compose");
+        let flat_r = rounds_to(&flat_accs, target);
+        let tier_r = rounds_to(&tier_accs, target);
+        table.row(vec![
+            name.to_string(),
+            flat_r
+                .map(|r| r.to_string())
+                .unwrap_or(format!(">{rounds}")),
+            tier_r
+                .map(|r| r.to_string())
+                .unwrap_or(format!(">{rounds}")),
+            "exact (bit-identical)".to_string(),
+        ]);
+        artefact.push(serde_json::json!({
+            "algorithm": name,
+            "aggregator": "weighted-mean",
+            "rounds_to_target_flat": flat_r,
+            "rounds_to_target_tiered": tier_r,
+            "bit_identical": identical,
+            "dropouts_composed": tier_drops,
+        }));
+        eprintln!("  {name}: flat {flat_r:?} vs 2-tier {tier_r:?}, bit-identical");
+    }
+
+    // Claim 2: robust aggregators compose within the documented envelope.
+    for (agg, agg_name) in [
+        (AggregatorKind::CoordinateMedian, "coordinate-median"),
+        (
+            AggregatorKind::CoordinateTrimmedMean { trim_ratio: 0.25 },
+            "trimmed-mean(0.25)",
+        ),
+    ] {
+        let mut flat = builder(Algorithm::FedAvg, clients, rounds, samples);
+        flat.driver.cfg.aggregator = agg;
+        let mut tier = builder(Algorithm::FedAvg, clients, rounds, samples);
+        tier.driver.cfg.aggregator = agg;
+        let (flat_global, _, _) = run_composed(flat, rounds, 1, None);
+        let (tier_global, _, _) = run_composed(tier, rounds, EDGES, None);
+        let eps = max_gap(&flat_global.shared, &tier_global.shared);
+        assert!(eps.is_finite(), "{agg_name}: composed state must be finite");
+        table.row(vec![
+            format!("FedAvg + {agg_name}"),
+            "-".to_string(),
+            "-".to_string(),
+            format!("bounded-ε (max |Δ| = {eps:.2e})"),
+        ]);
+        artefact.push(serde_json::json!({
+            "algorithm": "FedAvg",
+            "aggregator": agg_name,
+            "epsilon_max": eps,
+        }));
+        eprintln!("  FedAvg + {agg_name}: max |composed - flat| = {eps:.3e}");
+    }
+
+    table.print();
+    write_json("topology", &serde_json::json!(artefact));
+}

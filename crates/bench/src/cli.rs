@@ -222,6 +222,46 @@ impl NetOpts {
     }
 }
 
+/// The topology flag set shared by `spatl-server`, `spatl-edge` and
+/// `exp_topology`: how many edge aggregators the session runs (`--edges`,
+/// 0 = flat), which edge a `spatl-edge` process is (`--edge-id`), where
+/// the root listens (`--root-addr`) and where the durable round log lives
+/// (`--wal`). Plain data — the binaries translate it into their runtime's
+/// own configuration types.
+#[derive(Debug, Clone)]
+pub struct TierOpts {
+    /// Number of edge aggregators between clients and root; 0 keeps the
+    /// flat star topology.
+    pub edges: usize,
+    /// Which edge this process is (`spatl-edge` only; 0-based).
+    pub edge_id: usize,
+    /// Root coordinator address an edge connects upstream to.
+    pub root_addr: String,
+    /// Durable write-ahead round log path (root only); `None` disables
+    /// mid-round crash recovery.
+    pub wal: Option<String>,
+}
+
+impl TierOpts {
+    /// Flags [`TierOpts::from_args`] consumes; binaries append them to
+    /// [`NetOpts::FLAGS`] before calling [`Args::parse`].
+    pub const FLAGS: [&'static str; 4] = ["edges", "edge-id", "root-addr", "wal"];
+
+    /// Read the topology flags out of parsed [`Args`], defaulting to the
+    /// flat topology with no round log.
+    pub fn from_args(args: &Args) -> TierOpts {
+        TierOpts {
+            edges: args.get_or("edges", 0),
+            edge_id: args.get_or("edge-id", 0),
+            root_addr: args
+                .get("root-addr")
+                .unwrap_or("127.0.0.1:7878")
+                .to_string(),
+            wal: args.get("wal").map(str::to_string),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +291,23 @@ mod tests {
             );
         }
         assert!(parse_algorithm("blockchain").is_err());
+    }
+
+    #[test]
+    fn tier_flags_parse_and_default_to_flat() {
+        let flat = TierOpts::from_args(&Args::from_iter::<[&str; 0], &str>([], &[]).unwrap());
+        assert_eq!(flat.edges, 0);
+        assert!(flat.wal.is_none());
+
+        let accepted: Vec<&str> = TierOpts::FLAGS.to_vec();
+        let args = Args::from_iter(
+            ["--edges", "2", "--edge-id=1", "--wal", "log.jsonl"],
+            &accepted,
+        )
+        .unwrap();
+        let tiered = TierOpts::from_args(&args);
+        assert_eq!((tiered.edges, tiered.edge_id), (2, 1));
+        assert_eq!(tiered.wal.as_deref(), Some("log.jsonl"));
     }
 
     #[test]

@@ -1,0 +1,601 @@
+//! Hierarchical composition: how a 2-tier (edge → root) topology
+//! reproduces — or provably approximates — flat aggregation.
+//!
+//! The tree topology splits the client population into contiguous edge
+//! slices ([`edge_partition`]). Each edge collects its slice of the
+//! round's cohort, screens locally, and forwards one combined upload
+//! upstream (`spatl_wire::tier::EdgeCombined`). The root then composes
+//! the edges' contributions under one of two regimes, chosen per
+//! aggregator by [`exact_composition`]:
+//!
+//! * **Exact** ([`AggregatorKind::WeightedMean`],
+//!   [`AggregatorKind::NormClippedMean`]): edges forward the survivors'
+//!   original sealed upload frames verbatim; the root decodes them,
+//!   merges all edges' survivors in ascending client-id order and runs
+//!   the ordinary flat fold ([`fold_exact`]). Because f32 addition is
+//!   non-associative, *replaying the flat fold over the original
+//!   uploads* is the only composition that is bit-identical to the flat
+//!   coordinator — and it is, for every algorithm, dropouts included
+//!   (survivor renormalisation happens once, at the root, over exactly
+//!   the survivor set a flat coordinator would have seen). The
+//!   median-RMS clip of `NormClippedMean` needs the *global* cohort's
+//!   median, which is a second reason these aggregators cannot be
+//!   pre-reduced at the edge.
+//!
+//! * **Reduced** ([`AggregatorKind::CoordinateMedian`],
+//!   [`AggregatorKind::CoordinateTrimmedMean`]): each edge pre-reduces
+//!   its cohort per coordinate ([`reduce_cohort`]) and the root applies
+//!   the same statistic across the edge summaries
+//!   ([`aggregate_reduced`]) — a median-of-medians / trimmed-mean-of-
+//!   trimmed-means. This is *not* bit-identical to flat, but it is
+//!   bounded: both statistics satisfy `stat(S) ∈ [min S, max S]`, so
+//!   the composed statistic and the flat statistic both lie inside the
+//!   per-coordinate envelope of the clients' contributions, giving
+//!   `|composed_j − flat_j| ≤ server_lr · (max_j − min_j)` per round and
+//!   coordinate (for FedNova the envelope is widened by evaluating each
+//!   client's normalised direction under both the global τ_eff and its
+//!   edge's local τ_eff_e). The property tests in `tests/compose.rs`
+//!   assert exactly this bound.
+//!
+//! Screening is delegated to the tier closest to the clients: edges run
+//! the configured [`ScreenPolicy`](crate::ScreenPolicy) over their local
+//! cohort and the root does not re-screen. With no policy configured
+//! (the default) this is vacuously identical to flat; with an active
+//! policy the stage-2 median-RMS reference is each edge's local cohort
+//! rather than the global one — a documented semantic difference of the
+//! tree topology (DESIGN.md §11).
+
+use std::ops::Range;
+
+use spatl_wire::{EdgeEntry, EdgeReduced, EdgeSelection, TierFaultCounters};
+
+use crate::screen::median_in_place;
+use crate::{
+    AggregatorKind, Algorithm, FaultRecord, FlConfig, GlobalState, LocalOutcome, RoundBytes,
+    RoundDriver, WireBytes,
+};
+
+/// Split `n_clients` into `n_edges` contiguous, near-equal slices — the
+/// canonical client→edge assignment every tier participant (root, edge
+/// binaries, experiment roster) derives independently from the shared
+/// session flags. The first `n_clients % n_edges` slices are one client
+/// larger.
+pub fn edge_partition(n_clients: usize, n_edges: usize) -> Vec<Range<usize>> {
+    assert!(n_edges > 0, "a tiered topology needs at least one edge");
+    assert!(
+        n_edges <= n_clients,
+        "cannot spread {n_clients} clients over {n_edges} edges"
+    );
+    let base = n_clients / n_edges;
+    let extra = n_clients % n_edges;
+    let mut ranges = Vec::with_capacity(n_edges);
+    let mut start = 0;
+    for e in 0..n_edges {
+        let len = base + usize::from(e < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Whether `aggregator` composes exactly across tiers (edges forward the
+/// survivors' original frames and the root replays the flat fold) or via
+/// a pre-reduced, bounded-ε summary.
+pub fn exact_composition(aggregator: &AggregatorKind) -> bool {
+    matches!(
+        aggregator,
+        AggregatorKind::WeightedMean | AggregatorKind::NormClippedMean
+    )
+}
+
+/// Root-side exact composition: merge the edges' already-screened
+/// survivors in ascending client-id order and run the ordinary flat
+/// aggregation fold. The counterpart of
+/// [`RoundDriver::screen_and_aggregate`] for cohorts the edges screened
+/// — the root must *not* re-screen, so the policy runs exactly once per
+/// upload. Fills the ledger's `survivors`/`no_op` fields like the
+/// screening path does.
+pub fn fold_exact(
+    driver: &mut RoundDriver,
+    mut survivors: Vec<LocalOutcome>,
+    faults: &mut FaultRecord,
+) -> bool {
+    survivors.sort_by_key(|o| o.client_id);
+    faults.survivors = survivors.len();
+    let applied = driver
+        .global
+        .aggregate(&driver.cfg, &survivors, driver.cfg.n_clients);
+    faults.no_op = !applied;
+    applied
+}
+
+/// The robust per-coordinate statistic of `cfg.aggregator`, applied to a
+/// scratch sample (sorted in place). Mirrors the private statistic the
+/// server's robust aggregation uses; `tests/compose.rs` pins the two
+/// together by asserting single-edge reduction reproduces flat robust
+/// aggregation bit-for-bit.
+fn robust_stat(aggregator: &AggregatorKind, xs: &mut [f32]) -> f32 {
+    match aggregator {
+        AggregatorKind::CoordinateMedian => median_in_place(xs),
+        AggregatorKind::CoordinateTrimmedMean { trim_ratio } => {
+            let n = xs.len();
+            let k = (trim_ratio * n as f32).floor() as usize;
+            if n <= 2 * k {
+                return median_in_place(xs);
+            }
+            xs.sort_unstable_by(f32::total_cmp);
+            let kept = &xs[k..n - k];
+            kept.iter().sum::<f32>() / kept.len() as f32
+        }
+        other => unreachable!(
+            "reduced composition is only defined for robust aggregators, not {}",
+            other.name()
+        ),
+    }
+}
+
+/// Edge-side pre-reduction for the robust aggregators: collapse the
+/// edge's surviving cohort into the per-coordinate robust statistic the
+/// root composes across edges. `broadcast` is the global state the
+/// clients trained against this round (the edge's decode of the round's
+/// download frames) — it supplies the control variate for the SCAFFOLD /
+/// SPATL server-side control-step derivation and the buffer shape.
+///
+/// Returns `None` when no survivor is aggregatable (everyone diverged,
+/// or zero total sample weight under FedNova) — the edge then reports
+/// `survivors = 0` and contributes nothing to the round.
+///
+/// Panics if `cfg.aggregator` composes exactly ([`exact_composition`]);
+/// exact aggregators forward frames instead of reducing.
+pub fn reduce_cohort(
+    cfg: &FlConfig,
+    cohort: &[LocalOutcome],
+    broadcast: &GlobalState,
+) -> Option<EdgeReduced> {
+    assert!(
+        !exact_composition(&cfg.aggregator),
+        "reduce_cohort called for exactly-composable aggregator {}",
+        cfg.aggregator.name()
+    );
+    let valid: Vec<&LocalOutcome> = cohort.iter().filter(|o| !o.diverged).collect();
+    if valid.is_empty() {
+        return None;
+    }
+    let p = broadcast.shared.len();
+    let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
+    let mut red = EdgeReduced {
+        survivors: valid.len() as u32,
+        n_samples: valid.iter().map(|o| o.n_samples as u64).sum(),
+        ..Default::default()
+    };
+    let mut sample: Vec<f32> = Vec::with_capacity(valid.len());
+
+    match cfg.algorithm {
+        Algorithm::FedAvg | Algorithm::FedProx { .. } => {
+            red.delta = (0..p)
+                .map(|j| {
+                    sample.clear();
+                    sample.extend(valid.iter().map(|o| o.delta[j]));
+                    robust_stat(&cfg.aggregator, &mut sample)
+                })
+                .collect();
+        }
+        Algorithm::FedNova => {
+            let total: f32 = valid.iter().map(|o| o.n_samples as f32).sum();
+            if total <= 0.0 {
+                return None;
+            }
+            let tau_eff: f32 = valid
+                .iter()
+                .map(|o| (o.n_samples as f32 / total) * o.tau as f32)
+                .sum();
+            red.tau_eff = tau_eff;
+            red.delta = (0..p)
+                .map(|j| {
+                    sample.clear();
+                    sample.extend(
+                        valid
+                            .iter()
+                            .map(|o| tau_eff * o.delta[j] / o.tau.max(1) as f32),
+                    );
+                    robust_stat(&cfg.aggregator, &mut sample)
+                })
+                .collect();
+            if valid.iter().any(|o| o.velocity.is_some()) {
+                red.velocity = (0..p)
+                    .map(|j| {
+                        sample.clear();
+                        sample.extend(
+                            valid
+                                .iter()
+                                .filter_map(|o| o.velocity.as_ref().and_then(|v| v.get(j)))
+                                .copied(),
+                        );
+                        if sample.is_empty() {
+                            0.0
+                        } else {
+                            robust_stat(&cfg.aggregator, &mut sample)
+                        }
+                    })
+                    .collect();
+            }
+        }
+        Algorithm::Scaffold => {
+            let mut delta = Vec::with_capacity(p);
+            let mut control_delta = Vec::with_capacity(p);
+            let mut cd_sample: Vec<f32> = Vec::with_capacity(valid.len());
+            for j in 0..p {
+                sample.clear();
+                cd_sample.clear();
+                for o in &valid {
+                    sample.push(o.delta[j]);
+                    let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
+                    cd_sample.push(match &o.control_delta {
+                        Some(cd) => cd[j],
+                        None => -broadcast.control[j] - o.delta[j] * scale,
+                    });
+                }
+                delta.push(robust_stat(&cfg.aggregator, &mut sample));
+                control_delta.push(robust_stat(&cfg.aggregator, &mut cd_sample));
+            }
+            red.delta = delta;
+            red.control_delta = control_delta;
+        }
+        Algorithm::Spatl(opts) => {
+            let mut votes: Vec<Vec<(f32, f32)>> = vec![Vec::new(); p];
+            for o in &valid {
+                let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
+                match &o.selected {
+                    Some(sel) => {
+                        for (k, &i) in sel.indices.iter().enumerate() {
+                            votes[i as usize].push((sel.values[k], scale));
+                        }
+                    }
+                    None => {
+                        for (j, v) in votes.iter_mut().enumerate() {
+                            v.push((o.delta[j], scale));
+                        }
+                    }
+                }
+            }
+            let mut sel = EdgeSelection::default();
+            let mut cd_sample: Vec<f32> = Vec::with_capacity(valid.len());
+            for (j, v) in votes.iter().enumerate() {
+                if v.is_empty() {
+                    continue;
+                }
+                sample.clear();
+                sample.extend(v.iter().map(|&(val, _)| val));
+                sel.indices.push(j as u32);
+                sel.values.push(robust_stat(&cfg.aggregator, &mut sample));
+                sel.counts.push(v.len() as u32);
+                if opts.gradient_control {
+                    cd_sample.clear();
+                    cd_sample.extend(v.iter().map(|&(val, sc)| -broadcast.control[j] - val * sc));
+                    sel.control_values
+                        .push(robust_stat(&cfg.aggregator, &mut cd_sample));
+                }
+            }
+            red.selection = Some(sel);
+        }
+    }
+
+    if !broadcast.buffers.is_empty() {
+        let senders: Vec<&&LocalOutcome> = valid
+            .iter()
+            .filter(|o| o.buffers.len() == broadcast.buffers.len())
+            .collect();
+        if !senders.is_empty() {
+            red.buffers = (0..broadcast.buffers.len())
+                .map(|j| {
+                    sample.clear();
+                    sample.extend(senders.iter().map(|o| o.buffers[j]));
+                    robust_stat(&cfg.aggregator, &mut sample)
+                })
+                .collect();
+        }
+    }
+    Some(red)
+}
+
+/// Root-side reduced composition: apply the robust statistic *across*
+/// the edges' [`EdgeReduced`] summaries — median-of-medians /
+/// trimmed-mean-of-trimmed-means — and fold the result into the global
+/// state under each algorithm's rule. Edges reporting zero survivors
+/// (or a shape that does not match the session) contribute nothing.
+///
+/// Returns `true` when an update was applied; `false` means a no-op
+/// round (no edge carried an aggregatable summary) and the global state
+/// is untouched.
+pub fn aggregate_reduced(
+    global: &mut GlobalState,
+    cfg: &FlConfig,
+    edges: &[EdgeReduced],
+    n_clients_total: usize,
+) -> bool {
+    let p = global.shared.len();
+    let inv_n = 1.0 / n_clients_total as f32;
+    let mut sample: Vec<f32> = Vec::with_capacity(edges.len());
+
+    match cfg.algorithm {
+        Algorithm::FedAvg
+        | Algorithm::FedProx { .. }
+        | Algorithm::FedNova
+        | Algorithm::Scaffold => {
+            let active: Vec<&EdgeReduced> = edges
+                .iter()
+                .filter(|e| e.survivors > 0 && e.delta.len() == p)
+                .collect();
+            if active.is_empty() {
+                return false;
+            }
+            for j in 0..p {
+                sample.clear();
+                sample.extend(active.iter().map(|e| e.delta[j]));
+                global.shared[j] += cfg.server_lr * robust_stat(&cfg.aggregator, &mut sample);
+            }
+            if matches!(cfg.algorithm, Algorithm::Scaffold) {
+                let total_survivors: u32 = active.iter().map(|e| e.survivors).sum();
+                let s_over_n = total_survivors as f32 * inv_n;
+                let carriers: Vec<&&EdgeReduced> = active
+                    .iter()
+                    .filter(|e| e.control_delta.len() == p)
+                    .collect();
+                if !carriers.is_empty() {
+                    for j in 0..p {
+                        sample.clear();
+                        sample.extend(carriers.iter().map(|e| e.control_delta[j]));
+                        global.control[j] += s_over_n * robust_stat(&cfg.aggregator, &mut sample);
+                    }
+                }
+            }
+            if matches!(cfg.algorithm, Algorithm::FedNova) {
+                let carriers: Vec<&&EdgeReduced> =
+                    active.iter().filter(|e| e.velocity.len() == p).collect();
+                if !carriers.is_empty() {
+                    let mut momentum = vec![0.0f32; p];
+                    #[allow(clippy::needless_range_loop)] // j indexes every summary
+                    for j in 0..p {
+                        sample.clear();
+                        sample.extend(carriers.iter().map(|e| e.velocity[j]));
+                        momentum[j] = robust_stat(&cfg.aggregator, &mut sample);
+                    }
+                    global.momentum = momentum;
+                }
+            }
+        }
+        Algorithm::Spatl(opts) => {
+            // Merge the edges' per-index summaries: for each index any
+            // edge selected, the statistic runs over the edge values and
+            // the participation count is the sum of the edge counts.
+            let mut votes: Vec<Vec<f32>> = vec![Vec::new(); p];
+            let mut cd_votes: Vec<Vec<f32>> = vec![Vec::new(); p];
+            let mut counts = vec![0u64; p];
+            let mut any = false;
+            for e in edges.iter().filter(|e| e.survivors > 0) {
+                let Some(sel) = &e.selection else { continue };
+                for (k, &i) in sel.indices.iter().enumerate() {
+                    let j = i as usize;
+                    if j >= p {
+                        continue;
+                    }
+                    any = true;
+                    votes[j].push(sel.values[k]);
+                    counts[j] += sel.counts[k] as u64;
+                    if let Some(&cv) = sel.control_values.get(k) {
+                        cd_votes[j].push(cv);
+                    }
+                }
+            }
+            if !any {
+                return false;
+            }
+            for j in 0..p {
+                if votes[j].is_empty() {
+                    continue;
+                }
+                global.shared[j] += cfg.server_lr * robust_stat(&cfg.aggregator, &mut votes[j]);
+                if opts.gradient_control && !cd_votes[j].is_empty() {
+                    global.control[j] +=
+                        counts[j] as f32 * inv_n * robust_stat(&cfg.aggregator, &mut cd_votes[j]);
+                }
+            }
+        }
+    }
+
+    if !global.buffers.is_empty() {
+        let senders: Vec<&EdgeReduced> = edges
+            .iter()
+            .filter(|e| e.survivors > 0 && e.buffers.len() == global.buffers.len())
+            .collect();
+        if !senders.is_empty() {
+            let mut acc = vec![0.0f32; global.buffers.len()];
+            #[allow(clippy::needless_range_loop)] // j indexes every summary
+            for j in 0..global.buffers.len() {
+                sample.clear();
+                sample.extend(senders.iter().map(|e| e.buffers[j]));
+                acc[j] = robust_stat(&cfg.aggregator, &mut sample);
+            }
+            global.buffers = acc;
+        }
+    }
+    true
+}
+
+/// Snapshot the numeric counters of a fault ledger for the wire — the
+/// edge→root half of tree-wide ledger composition. Events stay local.
+pub fn fault_counters(record: &FaultRecord) -> TierFaultCounters {
+    TierFaultCounters {
+        sampled: record.sampled as u32,
+        dropouts: record.dropouts as u32,
+        stragglers: record.stragglers as u32,
+        deadline_dropped: record.deadline_dropped as u32,
+        corrupted_uploads: record.corrupted_uploads as u32,
+        retries: record.retries as u32,
+        retry_exhausted: record.retry_exhausted as u32,
+        local_divergence: record.local_divergence as u32,
+        byzantine: record.byzantine as u32,
+        quarantined: record.quarantined as u32,
+    }
+}
+
+/// Fold one edge's counters into the root's round ledger (the root→tree
+/// half of ledger composition): with every edge live, the root's
+/// counters equal what a flat coordinator would have recorded.
+pub fn fold_fault_counters(into: &mut FaultRecord, counters: &TierFaultCounters) {
+    into.sampled += counters.sampled as usize;
+    into.dropouts += counters.dropouts as usize;
+    into.stragglers += counters.stragglers as usize;
+    into.deadline_dropped += counters.deadline_dropped as usize;
+    into.corrupted_uploads += counters.corrupted_uploads as usize;
+    into.retries += counters.retries as usize;
+    into.retry_exhausted += counters.retry_exhausted as usize;
+    into.local_divergence += counters.local_divergence as usize;
+    into.byzantine += counters.byzantine as usize;
+    into.quarantined += counters.quarantined as usize;
+}
+
+/// Build the wire bookkeeping entry for one collected client, from the
+/// metadata half of its outcome. `frames` carries the client's sealed
+/// upload frames under exact composition, and is empty otherwise.
+pub fn outcome_entry(meta: &LocalOutcome, accuracy: f32, frames: Vec<Vec<u8>>) -> EdgeEntry {
+    EdgeEntry {
+        client_id: meta.client_id as u32,
+        n_samples: meta.n_samples as u64,
+        tau: meta.tau as u64,
+        diverged: meta.diverged,
+        keep_ratio: meta.keep_ratio,
+        flops_ratio: meta.flops_ratio,
+        accuracy,
+        bytes_download: meta.bytes.download,
+        bytes_upload: meta.bytes.upload,
+        upload_payload: meta.wire.upload_payload,
+        upload_framed: meta.wire.upload_framed,
+        frames,
+    }
+}
+
+/// Rebuild the bookkeeping half of a [`LocalOutcome`] from a forwarded
+/// entry — the tier analogue of reading a client's `RoundDone` header;
+/// tensor fields stay empty until the entry's frames are decoded.
+pub fn entry_outcome(entry: &EdgeEntry) -> LocalOutcome {
+    LocalOutcome {
+        client_id: entry.client_id as usize,
+        n_samples: entry.n_samples as usize,
+        tau: entry.tau as usize,
+        delta: Vec::new(),
+        selected: None,
+        control_delta: None,
+        velocity: None,
+        buffers: Vec::new(),
+        diverged: entry.diverged,
+        bytes: RoundBytes {
+            download: entry.bytes_download,
+            upload: entry.bytes_upload,
+        },
+        wire: WireBytes {
+            download_payload: 0,
+            download_framed: 0,
+            upload_payload: entry.upload_payload,
+            upload_framed: entry.upload_framed,
+        },
+        frames: Vec::new(),
+        keep_ratio: entry.keep_ratio,
+        flops_ratio: entry.flops_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_contiguously_and_near_equally() {
+        for (n, k) in [(4, 2), (5, 2), (7, 3), (3, 3), (10, 4)] {
+            let ranges = edge_partition(n, k);
+            assert_eq!(ranges.len(), k);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[k - 1].end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                assert!(w[0].len() >= w[1].len(), "larger slices first");
+            }
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "near-equal: {sizes:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot spread")]
+    fn partition_rejects_more_edges_than_clients() {
+        edge_partition(2, 3);
+    }
+
+    #[test]
+    fn exactness_follows_the_aggregator() {
+        assert!(exact_composition(&AggregatorKind::WeightedMean));
+        assert!(exact_composition(&AggregatorKind::NormClippedMean));
+        assert!(!exact_composition(&AggregatorKind::CoordinateMedian));
+        assert!(!exact_composition(&AggregatorKind::CoordinateTrimmedMean {
+            trim_ratio: 0.25
+        }));
+    }
+
+    #[test]
+    fn entry_round_trips_outcome_bookkeeping() {
+        let mut o = LocalOutcome {
+            client_id: 3,
+            n_samples: 18,
+            tau: 4,
+            delta: vec![1.0],
+            selected: None,
+            control_delta: None,
+            velocity: None,
+            buffers: Vec::new(),
+            diverged: true,
+            bytes: RoundBytes {
+                download: 11,
+                upload: 7,
+            },
+            wire: WireBytes {
+                download_payload: 0,
+                download_framed: 0,
+                upload_payload: 5,
+                upload_framed: 9,
+            },
+            frames: Vec::new(),
+            keep_ratio: 0.5,
+            flops_ratio: 0.25,
+        };
+        let entry = outcome_entry(&o, 0.0, Vec::new());
+        let back = entry_outcome(&entry);
+        o.delta.clear(); // tensors do not travel in the entry
+        assert_eq!(back.client_id, o.client_id);
+        assert_eq!(back.n_samples, o.n_samples);
+        assert_eq!(back.tau, o.tau);
+        assert_eq!(back.diverged, o.diverged);
+        assert_eq!(back.bytes, o.bytes);
+        assert_eq!(back.wire, o.wire);
+        assert_eq!(back.keep_ratio, o.keep_ratio);
+        assert_eq!(back.flops_ratio, o.flops_ratio);
+    }
+
+    #[test]
+    fn ledger_counters_compose_additively() {
+        let mut a = FaultRecord::for_sample(3);
+        a.dropouts = 1;
+        a.quarantined = 2;
+        let mut b = FaultRecord::for_sample(2);
+        b.corrupted_uploads = 1;
+        b.retry_exhausted = 1;
+        let mut root = FaultRecord::default();
+        fold_fault_counters(&mut root, &fault_counters(&a));
+        fold_fault_counters(&mut root, &fault_counters(&b));
+        assert_eq!(root.sampled, 5);
+        assert_eq!(root.dropouts, 1);
+        assert_eq!(root.quarantined, 2);
+        assert_eq!(root.corrupted_uploads, 1);
+        assert_eq!(root.retry_exhausted, 1);
+    }
+}

@@ -35,6 +35,7 @@
 mod adversary;
 mod client;
 mod comm;
+pub mod compose;
 mod config;
 mod faults;
 mod round;
@@ -47,6 +48,10 @@ pub mod wire;
 pub use adversary::{Adversary, AdversaryPlan, AttackKind};
 pub use client::{ClientState, LocalOutcome, SelectedUpdate};
 pub use comm::{CommModel, RoundBytes};
+pub use compose::{
+    aggregate_reduced, edge_partition, entry_outcome, exact_composition, fault_counters,
+    fold_exact, fold_fault_counters, outcome_entry, reduce_cohort,
+};
 pub use config::{AggregatorKind, Algorithm, FlConfig, NetProfile, SpatlOptions};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use round::{RoundDriver, RoundRecord, TransportStats};

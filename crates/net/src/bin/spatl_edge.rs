@@ -1,0 +1,54 @@
+//! `spatl-edge` — one edge aggregator of a 2-tier federated session.
+//!
+//! Rebuilds the session deterministically from the same flags the root
+//! server and the clients were started with, binds a client-facing
+//! listener on `--addr`, connects upstream to the root at `--root-addr`,
+//! and forwards combined uploads for its [`edge_partition`] slice until
+//! the root shuts the session down (DESIGN.md §11).
+//!
+//! ```text
+//! spatl-edge --root-addr 127.0.0.1:7878 --addr 127.0.0.1:7900 \
+//!            --edges 2 --edge-id 0 --clients 4 --rounds 3 \
+//!            --seed 7 --algorithm spatl
+//! ```
+//!
+//! Clients whose ids fall in this edge's slice are started with
+//! `spatl-client --addr 127.0.0.1:7900 ...` — they cannot tell an edge
+//! from a root coordinator.
+//!
+//! [`edge_partition`]: spatl_fl::edge_partition
+
+use spatl_bench::cli::{Args, NetOpts, TierOpts};
+use spatl_net::{EdgeAggregator, EdgeConfig, NetError};
+
+fn main() -> Result<(), NetError> {
+    let mut flags: Vec<&str> = NetOpts::FLAGS.to_vec();
+    flags.extend(TierOpts::FLAGS);
+    let args = Args::parse(&flags);
+    let opts = NetOpts::from_args(&args);
+    let tier = TierOpts::from_args(&args);
+    assert!(
+        tier.edges > 0,
+        "--edges must be at least 1 for an edge aggregator"
+    );
+
+    let session = opts.build_session();
+    let edge_opts = EdgeConfig::new(tier.edge_id, tier.edges, tier.root_addr, opts.addr);
+    let edge = EdgeAggregator::bind(session.driver, edge_opts)?;
+    let range = edge.client_range();
+    eprintln!(
+        "[edge {}] listening on {} for clients {}..{}, root at {} ({})",
+        tier.edge_id,
+        edge.local_addr()?,
+        range.start,
+        range.end,
+        args.get("root-addr").unwrap_or("127.0.0.1:7878"),
+        opts.algorithm.name(),
+    );
+    let report = edge.run()?;
+    eprintln!(
+        "[edge {}] done: forwarded {} rounds, evaluated {}, reconnected {} times",
+        tier.edge_id, report.rounds_forwarded, report.rounds_evaluated, report.reconnects
+    );
+    Ok(())
+}

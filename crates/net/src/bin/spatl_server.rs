@@ -19,8 +19,8 @@
 use std::time::Duration;
 
 use spatl::load_global;
-use spatl_bench::cli::{Args, NetOpts};
-use spatl_net::{Coordinator, CoordinatorConfig, NetError};
+use spatl_bench::cli::{Args, NetOpts, TierOpts};
+use spatl_net::{Coordinator, CoordinatorConfig, NetError, Topology};
 
 fn main() -> Result<(), NetError> {
     let mut flags: Vec<&str> = NetOpts::FLAGS.to_vec();
@@ -31,8 +31,10 @@ fn main() -> Result<(), NetError> {
         "resume-rounds",
         "out",
     ]);
+    flags.extend(TierOpts::FLAGS);
     let args = Args::parse(&flags);
     let opts = NetOpts::from_args(&args);
+    let tier = TierOpts::from_args(&args);
 
     let session = opts.build_session();
     let mut driver = session.driver;
@@ -54,24 +56,43 @@ fn main() -> Result<(), NetError> {
         );
     }
 
+    let topology = if tier.edges > 0 {
+        Topology::Tiered { edges: tier.edges }
+    } else {
+        Topology::Flat
+    };
     let coordinator_opts = CoordinatorConfig {
         addr: opts.addr.clone(),
         join_timeout: Duration::from_secs(args.get_or("join-timeout", 30)),
         round_timeout: Duration::from_secs(args.get_or("round-timeout", 300)),
         checkpoint,
+        topology,
+        wal: tier.wal.as_ref().map(std::path::PathBuf::from),
         ..CoordinatorConfig::default()
     };
     let mut coordinator = Coordinator::bind(driver, coordinator_opts)?;
     eprintln!(
-        "[server] listening on {} for {} clients ({} rounds, {})",
+        "[server] listening on {} for {} clients ({} rounds, {}{})",
         coordinator.local_addr()?,
         opts.clients,
         opts.rounds,
         opts.algorithm.name(),
+        if tier.edges > 0 {
+            format!(", {} edges", tier.edges)
+        } else {
+            String::new()
+        },
     );
+    if let Some(round) = coordinator.resumed_mid_round() {
+        eprintln!("[server] round log recovery: replaying interrupted round {round}");
+    }
 
     let joined = coordinator.wait_for_clients();
-    eprintln!("[server] {joined}/{} clients registered", opts.clients);
+    if tier.edges > 0 {
+        eprintln!("[server] {joined}/{} edges registered", tier.edges);
+    } else {
+        eprintln!("[server] {joined}/{} clients registered", opts.clients);
+    }
     while coordinator.driver.round_index() < coordinator.driver.cfg.rounds
         && !coordinator.shutdown_requested()
     {

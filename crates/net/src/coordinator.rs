@@ -14,18 +14,41 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use spatl::save_global;
+use spatl::{save_global, RoundLog};
 use spatl_fl::{
-    FaultKind, FaultRecord, LocalOutcome, RoundBytes, RoundDriver, RoundRecord, TransportStats,
-    WireBytes,
+    aggregate_reduced, edge_partition, entry_outcome, exact_composition, fold_exact,
+    fold_fault_counters, FaultKind, FaultRecord, LocalOutcome, RoundBytes, RoundDriver,
+    RoundRecord, TransportStats, WireBytes,
 };
-use spatl_wire::{open, read_frame, seal, write_frame, MsgType, StreamError, MAX_FRAME_PAYLOAD};
+use spatl_wire::{
+    decode_edge_combined, open, read_frame, seal, write_frame, EdgeCombined, EdgeReduced, MsgType,
+    StreamError, HEADER_LEN, MAX_FRAME_PAYLOAD,
+};
 
 use crate::proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
 use crate::NetError;
+
+/// Who the coordinator's listener terminates: clients directly (the flat
+/// star of PR 5) or edge aggregators speaking the combined-upload frame
+/// (DESIGN.md §11).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Topology {
+    /// Every connection is one client node.
+    #[default]
+    Flat,
+    /// Every connection is one `spatl-edge` aggregator; clients connect
+    /// to the edges. Client ids are split over the edges in contiguous
+    /// near-equal slices ([`edge_partition`]), and each connection's
+    /// `Hello.client_id` is its *edge* id.
+    Tiered {
+        /// Number of edge aggregators.
+        edges: usize,
+    },
+}
 
 /// Tunables of a [`Coordinator`].
 #[derive(Debug, Clone)]
@@ -50,6 +73,14 @@ pub struct CoordinatorConfig {
     /// Where to persist the global state when the run ends or a client
     /// requests shutdown; `None` disables checkpointing.
     pub checkpoint: Option<PathBuf>,
+    /// What the listener terminates: client nodes or edge aggregators.
+    pub topology: Topology,
+    /// Durable write-ahead round log ([`RoundLog`]). When the file
+    /// already exists [`Coordinator::bind`] recovers it — restoring the
+    /// last durable global state and resuming *mid-round* if a `begin`
+    /// was never committed; otherwise a fresh log is created. `None`
+    /// disables mid-round durability.
+    pub wal: Option<PathBuf>,
 }
 
 impl Default for CoordinatorConfig {
@@ -61,6 +92,8 @@ impl Default for CoordinatorConfig {
             io_timeout: Duration::from_secs(30),
             max_frame: MAX_FRAME_PAYLOAD,
             checkpoint: None,
+            topology: Topology::Flat,
+            wal: None,
         }
     }
 }
@@ -99,26 +132,89 @@ pub struct Coordinator {
     opts: CoordinatorConfig,
     listener: TcpListener,
     conns: Vec<Option<TcpStream>>,
+    /// Client-id slice served by each connection: one singleton range per
+    /// client when flat, one [`edge_partition`] slice per edge when
+    /// tiered.
+    ranges: Vec<Range<usize>>,
     fingerprint: u64,
     shutdown_requested: bool,
+    wal: Option<RoundLog>,
+    resumed_mid_round: Option<usize>,
 }
 
 impl Coordinator {
     /// Bind the listener and wrap the driver. No clients are accepted
     /// until [`Coordinator::wait_for_clients`] (or a round) runs.
-    pub fn bind(driver: RoundDriver, opts: CoordinatorConfig) -> Result<Self, NetError> {
+    ///
+    /// When `opts.wal` names an existing file, the round log is recovered
+    /// first: the driver's global state and sampling stream are advanced
+    /// to the last durable round boundary, and an uncommitted `begin`
+    /// makes the next [`Coordinator::run_round`] replay exactly the
+    /// interrupted round (see [`Coordinator::resumed_mid_round`]).
+    pub fn bind(mut driver: RoundDriver, opts: CoordinatorConfig) -> Result<Self, NetError> {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
         let n = driver.cfg.n_clients;
         let fingerprint = session_fingerprint(&driver.cfg);
+        let ranges = match opts.topology {
+            Topology::Flat => (0..n).map(|c| c..c + 1).collect(),
+            Topology::Tiered { edges } => edge_partition(n, edges),
+        };
+
+        let mut wal = None;
+        let mut resumed_mid_round = None;
+        if let Some(path) = &opts.wal {
+            if path.exists() {
+                let (recovery, log) = RoundLog::recover(path)?;
+                if recovery.fingerprint != fingerprint {
+                    return Err(NetError::Protocol(format!(
+                        "round log {} belongs to another session \
+                         (fingerprint {:#x}, ours {:#x})",
+                        path.display(),
+                        recovery.fingerprint,
+                        fingerprint
+                    )));
+                }
+                match recovery.pending {
+                    Some(pending) => {
+                        // Killed mid-round: restore the state the cohort
+                        // trained against and burn the sampling draws of
+                        // the completed rounds — the next sample_round()
+                        // redraws the interrupted round's cohort.
+                        driver.global = pending.global;
+                        driver.advance_sampling(pending.round as usize);
+                        resumed_mid_round = Some(pending.round as usize);
+                    }
+                    None => {
+                        if let Some(global) = recovery.global {
+                            driver.global = global;
+                        }
+                        driver.advance_sampling(recovery.completed as usize);
+                    }
+                }
+                wal = Some(log);
+            } else {
+                wal = Some(RoundLog::create(path, fingerprint)?);
+            }
+        }
+
         Ok(Coordinator {
             driver,
-            opts,
             listener,
-            conns: (0..n).map(|_| None).collect(),
+            conns: (0..ranges.len()).map(|_| None).collect(),
+            ranges,
             fingerprint,
             shutdown_requested: false,
+            wal,
+            resumed_mid_round,
+            opts,
         })
+    }
+
+    /// The round a write-ahead-log recovery is replaying, if this
+    /// coordinator resumed from an uncommitted `begin`.
+    pub fn resumed_mid_round(&self) -> Option<usize> {
+        self.resumed_mid_round
     }
 
     /// The address the listener actually bound (resolves port 0).
@@ -314,6 +410,32 @@ impl Coordinator {
         }
     }
 
+    /// Durably record a round boundary; a failing log disables itself
+    /// (loudly) rather than taking the session down.
+    fn wal_begin(&mut self, round: usize, sampled: &[usize]) {
+        let result = match self.wal.as_mut() {
+            Some(log) => log.begin(round, sampled, &self.driver.global),
+            None => return,
+        };
+        if let Err(e) = result {
+            eprintln!("round log append failed ({e}); durable resume disabled");
+            self.wal = None;
+        }
+    }
+
+    /// Durably record a round's post-aggregation state (see
+    /// [`Coordinator::wal_begin`] for the failure policy).
+    fn wal_commit(&mut self, round: usize) {
+        let result = match self.wal.as_mut() {
+            Some(log) => log.commit(round, &self.driver.global),
+            None => return,
+        };
+        if let Err(e) = result {
+            eprintln!("round log append failed ({e}); durable resume disabled");
+            self.wal = None;
+        }
+    }
+
     /// Run one communication round over the network; returns its record.
     ///
     /// Mirrors the simulator's round skeleton exactly — one sampling draw,
@@ -323,10 +445,27 @@ impl Coordinator {
     /// [`FaultKind::Dropout`], one that misses the deadline a
     /// [`FaultKind::DeadlineMissed`], and a reply that fails the decode
     /// path a [`FaultKind::CorruptUpload`]. The round always completes.
+    ///
+    /// With a round log configured, the round is bracketed by a durable
+    /// `begin` (before any assignment leaves) and `commit` (after the
+    /// record is final) — the crash window in between is exactly what
+    /// [`Coordinator::bind`] replays.
     pub fn run_round(&mut self) -> RoundRecord {
         self.accept_pending();
         let round = self.driver.round_index();
         let sampled = self.driver.sample_round();
+        self.wal_begin(round, &sampled);
+        self.resumed_mid_round = None;
+        let record = match self.opts.topology {
+            Topology::Flat => self.flat_round(round, sampled),
+            Topology::Tiered { .. } => self.tiered_round(round, sampled),
+        };
+        self.wal_commit(round);
+        record
+    }
+
+    /// The flat round body: every connection is one client.
+    fn flat_round(&mut self, round: usize, sampled: Vec<usize>) -> RoundRecord {
         let mut faults = FaultRecord::for_sample(sampled.len());
 
         // Broadcast to the sampled cohort, ascending client-id order.
@@ -433,16 +572,242 @@ impl Coordinator {
         )
     }
 
+    /// The tiered round body: every connection is one edge aggregator
+    /// which screens its slice of the cohort locally and forwards one
+    /// combined upload (DESIGN.md §11). Composition at the root follows
+    /// the aggregator: exactly-composable kinds replay the flat fold over
+    /// the survivors' forwarded frames ([`fold_exact`]); robust kinds
+    /// compose the edges' pre-reduced summaries ([`aggregate_reduced`]).
+    /// The record's `wire` figures measure the *root link* only — the
+    /// client↔edge traffic is accounted on the edges (the per-client
+    /// analytic bytes still travel in the combined upload's entries, so
+    /// Eq. 13 totals stay client-based).
+    fn tiered_round(&mut self, round: usize, sampled: Vec<usize>) -> RoundRecord {
+        // Root ledger counters start empty: each live edge reports its
+        // slice's counters (sampled included) in the combined upload and
+        // they are folded in below; dead edges are accounted here.
+        let mut faults = FaultRecord::default();
+
+        let down = self.driver.broadcast();
+        let broadcast_started = Instant::now();
+        let mut participants: Vec<usize> = Vec::new();
+        for e in 0..self.conns.len() {
+            let slice: Vec<usize> = sampled
+                .iter()
+                .copied()
+                .filter(|c| self.ranges[e].contains(c))
+                .collect();
+            // Every live edge gets the assignment even when its slice is
+            // empty — it derives the cohort itself from the shared
+            // sampling stream and replies with an empty combined upload,
+            // keeping the round barrier uniform.
+            if self.conns[e].is_some()
+                && self
+                    .send_assignment(e, round as u32, RoundMode::Train, &down.frames)
+                    .is_ok()
+            {
+                participants.push(e);
+            } else {
+                self.conns[e] = None;
+                faults.sampled += slice.len();
+                for &c in &slice {
+                    faults.push(c, FaultKind::Dropout);
+                }
+            }
+        }
+        let mut measured_s = broadcast_started.elapsed().as_secs_f64();
+
+        if participants.is_empty() {
+            faults.no_op = true;
+            let per_client_acc = self.evaluate_round(round as u32);
+            return self.driver.noop_round(per_client_acc, faults);
+        }
+
+        let mut outcomes: Vec<LocalOutcome> = Vec::new();
+        let mut survivors: Vec<LocalOutcome> = Vec::new();
+        let mut reduced: Vec<EdgeReduced> = Vec::new();
+        let mut wire_total = WireBytes::default();
+        let mut wall_clock_s = 0f64;
+        let mut device_seconds = 0f64;
+        for &e in &participants {
+            match self.collect_combined(e, round as u32, RoundMode::Train) {
+                Ok((combined, upload_framed, read_s)) => {
+                    measured_s += read_s;
+                    fold_fault_counters(&mut faults, &combined.faults);
+                    // Root-link wire accounting: one broadcast down, one
+                    // combined frame up, per edge.
+                    let link = WireBytes {
+                        download_payload: down.payload,
+                        download_framed: down.framed(),
+                        upload_payload: upload_framed.saturating_sub(HEADER_LEN as u64),
+                        upload_framed,
+                    };
+                    wire_total.accumulate(&link);
+                    let t = self
+                        .driver
+                        .net
+                        .client_time(link.download_framed as usize, link.upload_framed as usize);
+                    device_seconds += t;
+                    wall_clock_s = wall_clock_s.max(t);
+                    for entry in &combined.entries {
+                        let meta = entry_outcome(entry);
+                        if !entry.frames.is_empty() {
+                            // Exact composition: the survivor's original
+                            // sealed frames, replayed through the same
+                            // decode path a flat coordinator uses.
+                            match self.driver.decode_client_upload(&meta, &entry.frames) {
+                                Ok(d) => survivors.push(d),
+                                Err(err) => {
+                                    faults.push(
+                                        meta.client_id,
+                                        FaultKind::CorruptUpload {
+                                            error: err.to_string(),
+                                        },
+                                    );
+                                    faults.push(meta.client_id, FaultKind::RetriesExhausted);
+                                }
+                            }
+                        }
+                        outcomes.push(meta);
+                    }
+                    if let Some(r) = combined.reduced {
+                        reduced.push(r);
+                    }
+                }
+                Err(failure) => {
+                    // The whole edge is gone: every sampled client behind
+                    // it misses the round.
+                    let kind = match failure {
+                        CollectFailure::Timeout => FaultKind::DeadlineMissed,
+                        CollectFailure::Shutdown => {
+                            self.shutdown_requested = true;
+                            FaultKind::Dropout
+                        }
+                        _ => FaultKind::Dropout,
+                    };
+                    let slice: Vec<usize> = sampled
+                        .iter()
+                        .copied()
+                        .filter(|c| self.ranges[e].contains(c))
+                        .collect();
+                    faults.sampled += slice.len();
+                    for &c in &slice {
+                        faults.push(c, kind.clone());
+                    }
+                    self.conns[e] = None;
+                }
+            }
+        }
+
+        // Compose: the edges already screened their cohorts, so the
+        // policy must not run again at the root.
+        if exact_composition(&self.driver.cfg.aggregator) {
+            fold_exact(&mut self.driver, survivors, &mut faults);
+        } else {
+            let driver = &mut self.driver;
+            faults.survivors = reduced.iter().map(|r| r.survivors as usize).sum();
+            let applied = aggregate_reduced(
+                &mut driver.global,
+                &driver.cfg,
+                &reduced,
+                driver.cfg.n_clients,
+            );
+            faults.no_op = !applied;
+        }
+        let per_client_acc = self.evaluate_round(round as u32);
+        self.driver.finish_round(
+            &outcomes,
+            TransportStats {
+                wire: wire_total,
+                transfer_wall_s: wall_clock_s,
+                transfer_device_s: device_seconds,
+                measured_wall_s: measured_s,
+            },
+            per_client_acc,
+            faults,
+        )
+    }
+
+    /// Read one edge's [`RoundDone`] header plus its single
+    /// [`EdgeCombined`] frame; returns the decoded combined upload, the
+    /// framed size of the upload (root-link accounting) and the transfer
+    /// seconds after the header arrived.
+    fn collect_combined(
+        &mut self,
+        e: usize,
+        round: u32,
+        mode: RoundMode,
+    ) -> Result<(EdgeCombined, u64, f64), CollectFailure> {
+        let max_frame = self.opts.max_frame;
+        let round_timeout = self.opts.round_timeout;
+        let stream = match self.conns[e].as_mut() {
+            Some(s) => s,
+            None => return Err(CollectFailure::Disconnect),
+        };
+        if stream.set_read_timeout(Some(round_timeout)).is_err() {
+            return Err(CollectFailure::Disconnect);
+        }
+        let header = match read_frame(stream, max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Err(CollectFailure::Disconnect),
+            Err(e) => return Err(Self::classify(&e)),
+        };
+        let (msg, payload) = match open(&header) {
+            Ok(x) => x,
+            Err(_) => return Err(CollectFailure::Disconnect),
+        };
+        match msg {
+            MsgType::Shutdown => return Err(CollectFailure::Shutdown),
+            MsgType::RoundDone => {}
+            _ => return Err(CollectFailure::Disconnect),
+        }
+        let done = match RoundDone::decode(payload) {
+            Ok(d) => d,
+            Err(e) => return Err(CollectFailure::Corrupt(e.to_string())),
+        };
+        if done.round != round || done.client_id as usize != e || done.mode != mode {
+            return Err(CollectFailure::Disconnect);
+        }
+        let started = Instant::now();
+        let frame = match read_frame(stream, max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Err(CollectFailure::Disconnect),
+            Err(e) => return Err(Self::classify(&e)),
+        };
+        let read_s = started.elapsed().as_secs_f64();
+        let combined = match open(&frame) {
+            Ok((MsgType::EdgeCombined, payload)) => match decode_edge_combined(payload) {
+                Ok(c) => c,
+                Err(e) => return Err(CollectFailure::Corrupt(e.to_string())),
+            },
+            Ok((other, _)) => {
+                return Err(CollectFailure::Corrupt(format!(
+                    "expected EdgeCombined, got {other:?}"
+                )))
+            }
+            Err(e) => return Err(CollectFailure::Corrupt(e.to_string())),
+        };
+        if combined.edge_id as usize != e || combined.round != round {
+            return Err(CollectFailure::Corrupt(format!(
+                "combined upload labelled edge {} round {}, expected edge {e} round {round}",
+                combined.edge_id, combined.round
+            )));
+        }
+        Ok((combined, frame.len() as u64, read_s))
+    }
+
     /// Evaluation pass: every live client syncs the (post-aggregation)
     /// global state and reports validation accuracy. The networked
     /// analogue of the simulator's in-process `evaluate_all`; clients
     /// without a live connection contribute 0.0. Excluded from wire
-    /// accounting, like the simulator's evaluation.
+    /// accounting, like the simulator's evaluation. When tiered, each
+    /// edge fans the pass out to its clients and the combined reply's
+    /// entries carry one accuracy per client.
     fn evaluate_round(&mut self, round: u32) -> Vec<f32> {
         let down = self.driver.broadcast();
-        let n = self.conns.len();
+        let n_conns = self.conns.len();
         let mut pending: Vec<usize> = Vec::new();
-        for id in 0..n {
+        for id in 0..n_conns {
             if self.conns[id].is_none() {
                 continue;
             }
@@ -455,16 +820,36 @@ impl Coordinator {
                 self.conns[id] = None;
             }
         }
-        let mut acc = vec![0.0f32; n];
+        let mut acc = vec![0.0f32; self.driver.cfg.n_clients];
+        let tiered = matches!(self.opts.topology, Topology::Tiered { .. });
         for id in pending {
-            match self.collect_eval(id, round) {
-                Ok(a) => acc[id] = a,
-                Err(CollectFailure::Shutdown) => {
-                    self.shutdown_requested = true;
-                    self.conns[id] = None;
+            if tiered {
+                match self.collect_combined(id, round, RoundMode::Eval) {
+                    Ok((combined, _, _)) => {
+                        for entry in &combined.entries {
+                            if let Some(slot) = acc.get_mut(entry.client_id as usize) {
+                                *slot = entry.accuracy;
+                            }
+                        }
+                    }
+                    Err(CollectFailure::Shutdown) => {
+                        self.shutdown_requested = true;
+                        self.conns[id] = None;
+                    }
+                    Err(_) => {
+                        self.conns[id] = None;
+                    }
                 }
-                Err(_) => {
-                    self.conns[id] = None;
+            } else {
+                match self.collect_eval(id, round) {
+                    Ok(a) => acc[id] = a,
+                    Err(CollectFailure::Shutdown) => {
+                        self.shutdown_requested = true;
+                        self.conns[id] = None;
+                    }
+                    Err(_) => {
+                        self.conns[id] = None;
+                    }
                 }
             }
         }

@@ -1,0 +1,734 @@
+//! The middle tier of the hierarchical runtime: an edge aggregator that
+//! terminates one slice of the client population and forwards a single
+//! combined upload to the root coordinator (DESIGN.md §11).
+//!
+//! An edge speaks the wire protocol both ways. **Downstream** it is a
+//! coordinator: it binds a listener, registers the clients whose ids fall
+//! in its [`edge_partition`] slice, broadcasts the root's download frames
+//! verbatim and collects uploads behind the usual per-connection
+//! deadlines. **Upstream** it is a node: it connects to the root with
+//! capped exponential backoff, registers with its *edge id* as the wire
+//! client id, and answers round assignments — not with its own training,
+//! but with the [`EdgeCombined`] frame that carries its cohort's round.
+//!
+//! The edge runs the session's [`ScreenPolicy`](spatl_fl::ScreenPolicy)
+//! locally over its decoded slice, so screening happens exactly once per
+//! upload (the root never re-screens a tiered round). How the surviving
+//! updates travel upstream depends on the aggregator
+//! ([`exact_composition`]): exactly-composable kinds forward the
+//! survivors' original sealed frames verbatim, robust kinds pre-reduce
+//! the slice with [`reduce_cohort`] and ship one summary vector.
+//!
+//! Determinism: the edge replays the session's seeded sampling stream
+//! (same seed, same `choose_k` draws) to derive each round's cohort
+//! itself, so the root never has to serialise cohort membership — and a
+//! root that replays a round after a write-ahead-log recovery gets the
+//! same cohort again from the edge's cache.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::time::Duration;
+
+use spatl_fl::{
+    decode_download, edge_partition, exact_composition, fault_counters, outcome_entry,
+    reduce_cohort, screen_updates, FaultKind, FaultRecord, LocalOutcome, RoundBytes, RoundDriver,
+    WireBytes,
+};
+use spatl_wire::{
+    open, read_frame, seal, seal_edge_combined, write_frame, EdgeCombined, EdgeEntry, MsgType,
+    StreamError, TierFaultCounters, MAX_FRAME_PAYLOAD,
+};
+
+use crate::proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
+use crate::NetError;
+
+/// Tunables of an [`EdgeAggregator`].
+#[derive(Debug, Clone)]
+pub struct EdgeConfig {
+    /// This edge's id (0-based, `< n_edges`); also its wire client id on
+    /// the root link.
+    pub edge_id: usize,
+    /// Total number of edges the root was started with — both ends must
+    /// agree for the [`edge_partition`] slices to line up.
+    pub n_edges: usize,
+    /// Root coordinator address to connect upstream to.
+    pub root_addr: String,
+    /// Address to listen on for this edge's clients; port 0 picks a free
+    /// port (see [`EdgeAggregator::local_addr`]).
+    pub listen_addr: String,
+    /// How long the edge waits for its full client slice to register
+    /// before its first train round starts with whoever showed up. The
+    /// edge registers upstream immediately at startup, so this is what
+    /// keeps a root's first assignment from racing the clients' joins.
+    pub join_timeout: Duration,
+    /// Per-client read deadline while collecting an upload (covers the
+    /// client's local training).
+    pub round_timeout: Duration,
+    /// Per-client write deadline and handshake read deadline.
+    pub io_timeout: Duration,
+    /// Upper bound on a single frame's payload, both directions.
+    pub max_frame: usize,
+    /// First upstream reconnect delay; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Upper bound on the upstream reconnect delay.
+    pub backoff_cap: Duration,
+    /// Consecutive upstream connection failures tolerated before giving
+    /// up; resets whenever a session is established.
+    pub max_reconnects: u32,
+}
+
+impl EdgeConfig {
+    /// Defaults for edge `edge_id` of `n_edges`, rooted at `root_addr`,
+    /// listening on `listen_addr`: 300 s round deadline, 30 s io
+    /// deadline, 50 ms base backoff capped at 2 s, 40 reconnects.
+    pub fn new(
+        edge_id: usize,
+        n_edges: usize,
+        root_addr: impl Into<String>,
+        listen_addr: impl Into<String>,
+    ) -> Self {
+        EdgeConfig {
+            edge_id,
+            n_edges,
+            root_addr: root_addr.into(),
+            listen_addr: listen_addr.into(),
+            join_timeout: Duration::from_secs(20),
+            round_timeout: Duration::from_secs(300),
+            io_timeout: Duration::from_secs(30),
+            max_frame: MAX_FRAME_PAYLOAD,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            max_reconnects: 40,
+        }
+    }
+}
+
+/// What an edge did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeReport {
+    /// Train rounds forwarded upstream (replayed rounds included).
+    pub rounds_forwarded: usize,
+    /// Evaluation passes forwarded upstream.
+    pub rounds_evaluated: usize,
+    /// Upstream sessions re-established after a lost connection.
+    pub reconnects: usize,
+}
+
+/// How an upstream session ended.
+enum SessionEnd {
+    /// The root broadcast [`MsgType::Shutdown`]: clean exit.
+    Shutdown,
+    /// The root link broke; the edge should reconnect.
+    Lost,
+}
+
+/// Why collecting one client's reply failed (edge-side mirror of the
+/// coordinator's classification).
+enum CollectFailure {
+    /// No complete reply before the round deadline.
+    Timeout,
+    /// The connection is gone or stopped making protocol sense.
+    Disconnect,
+    /// The client sent a `Shutdown` frame instead of a reply.
+    Shutdown,
+    /// The reply arrived but its payload failed the decode path.
+    Corrupt(String),
+}
+
+/// One client upload the edge collected, before decoding.
+struct Collected {
+    meta: LocalOutcome,
+    frames: Vec<Vec<u8>>,
+}
+
+/// One edge aggregator: a client-facing listener plus the upstream
+/// connect/serve loop, around the shared [`RoundDriver`] (used here for
+/// its configuration, selection layout, parameter count and sampling
+/// stream — the edge holds no model of its own).
+pub struct EdgeAggregator {
+    driver: RoundDriver,
+    opts: EdgeConfig,
+    /// Global client ids this edge serves.
+    range: Range<usize>,
+    listener: TcpListener,
+    /// Client connections, indexed by `global_id - range.start`.
+    conns: Vec<Option<TcpStream>>,
+    fingerprint: u64,
+    /// Cohort cache, indexed by absolute round: derived lazily from the
+    /// sampling stream, so a replayed round reuses its original draw.
+    cohorts: Vec<Vec<usize>>,
+    /// Whether the one-time client join wait already ran (first train
+    /// round of the process).
+    waited: bool,
+    /// Whether an upstream session was ever established (so the next
+    /// successful registration counts as a reconnect).
+    registered: bool,
+    report: EdgeReport,
+}
+
+impl EdgeAggregator {
+    /// Bind the client-facing listener and wrap the driver. The driver
+    /// must come from the same session factory (same flags/seed) as the
+    /// root's — the upstream handshake fingerprint enforces this.
+    pub fn bind(driver: RoundDriver, opts: EdgeConfig) -> Result<Self, NetError> {
+        assert!(
+            opts.edge_id < opts.n_edges,
+            "edge id {} out of range for {} edges",
+            opts.edge_id,
+            opts.n_edges
+        );
+        let listener = TcpListener::bind(&opts.listen_addr)?;
+        listener.set_nonblocking(true)?;
+        let fingerprint = session_fingerprint(&driver.cfg);
+        let range = edge_partition(driver.cfg.n_clients, opts.n_edges)
+            .into_iter()
+            .nth(opts.edge_id)
+            .expect("edge id checked against n_edges");
+        Ok(EdgeAggregator {
+            conns: (0..range.len()).map(|_| None).collect(),
+            driver,
+            range,
+            listener,
+            fingerprint,
+            cohorts: Vec::new(),
+            waited: false,
+            registered: false,
+            report: EdgeReport::default(),
+            opts,
+        })
+    }
+
+    /// The address the client-facing listener actually bound (resolves
+    /// port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Global client ids this edge serves.
+    pub fn client_range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// Number of currently registered client connections.
+    pub fn connected(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Serve until the root shuts the session down: connect upstream
+    /// (with capped exponential backoff), answer assignments, reconnect
+    /// on loss. Returns the lifetime report.
+    pub fn run(mut self) -> Result<EdgeReport, NetError> {
+        let mut failures = 0u32;
+        loop {
+            match TcpStream::connect(&self.opts.root_addr) {
+                Ok(stream) => match self.session(stream) {
+                    Ok(SessionEnd::Shutdown) => {
+                        self.shutdown_clients();
+                        return Ok(self.report);
+                    }
+                    Ok(SessionEnd::Lost) => {
+                        failures = 0;
+                    }
+                    Err(NetError::Rejected) => return Err(NetError::Rejected),
+                    Err(_) => failures += 1,
+                },
+                Err(_) => failures += 1,
+            }
+            if failures > self.opts.max_reconnects {
+                return Err(NetError::Disconnected);
+            }
+            let exp = failures.max(1).saturating_sub(1).min(16);
+            std::thread::sleep(
+                self.opts
+                    .backoff_base
+                    .saturating_mul(1u32 << exp)
+                    .min(self.opts.backoff_cap),
+            );
+        }
+    }
+
+    /// One upstream connection's lifetime: handshake as edge
+    /// `opts.edge_id`, then serve assignments until shutdown or
+    /// disconnect.
+    fn session(&mut self, mut stream: TcpStream) -> Result<SessionEnd, NetError> {
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(self.opts.io_timeout))?;
+        let hello = Hello {
+            client_id: self.opts.edge_id as u32,
+            fingerprint: self.fingerprint,
+        };
+        write_frame(&mut stream, &seal(MsgType::Hello, &hello.encode()))?;
+        let frame = read_frame(&mut stream, self.opts.max_frame)?
+            .ok_or_else(|| NetError::Protocol("root closed before Join".into()))?;
+        let (msg, payload) = open(&frame)?;
+        if msg != MsgType::Join {
+            return Err(NetError::Protocol(format!("expected Join, got {msg:?}")));
+        }
+        if !Join::decode(payload)?.accepted {
+            return Err(NetError::Rejected);
+        }
+        if self.registered {
+            self.report.reconnects += 1;
+        }
+        self.registered = true;
+
+        loop {
+            let frame = match read_frame(&mut stream, self.opts.max_frame) {
+                Ok(Some(f)) => f,
+                Ok(None) => return Ok(SessionEnd::Lost),
+                Err(e) => {
+                    if e.is_transport_corruption() {
+                        return Ok(SessionEnd::Lost);
+                    }
+                    return Err(e.into());
+                }
+            };
+            let (msg, payload) = open(&frame)?;
+            match msg {
+                MsgType::Shutdown => return Ok(SessionEnd::Shutdown),
+                MsgType::RoundAssign => {
+                    let assign = RoundAssign::decode(payload)?;
+                    let mut down = Vec::with_capacity(assign.n_frames as usize);
+                    for _ in 0..assign.n_frames {
+                        match read_frame(&mut stream, self.opts.max_frame) {
+                            Ok(Some(f)) => down.push(f),
+                            Ok(None) => return Ok(SessionEnd::Lost),
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    let combined = match assign.mode {
+                        RoundMode::Train => {
+                            self.report.rounds_forwarded += 1;
+                            self.train_round(assign.round, &down)
+                        }
+                        RoundMode::Eval => {
+                            self.report.rounds_evaluated += 1;
+                            self.eval_round(assign.round, &down)
+                        }
+                    };
+                    let frame = seal_edge_combined(&combined);
+                    let done = RoundDone {
+                        round: assign.round,
+                        mode: assign.mode,
+                        client_id: self.opts.edge_id as u32,
+                        n_samples: 0,
+                        tau: 0,
+                        diverged: false,
+                        keep_ratio: 0.0,
+                        flops_ratio: 0.0,
+                        accuracy: 0.0,
+                        bytes_download: 0,
+                        bytes_upload: 0,
+                        upload_payload: (frame.len() - spatl_wire::HEADER_LEN) as u64,
+                        upload_framed: frame.len() as u64,
+                        n_frames: 1,
+                    };
+                    write_frame(&mut stream, &seal(MsgType::RoundDone, &done.encode()))?;
+                    write_frame(&mut stream, &frame)?;
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected control message {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// This edge's slice of round `round`'s cohort, replaying the
+    /// session's seeded sampling stream (cached per absolute round so a
+    /// replayed assignment reuses the original draw).
+    fn cohort_slice(&mut self, round: u32) -> Vec<usize> {
+        let round = round as usize;
+        while self.cohorts.len() <= round {
+            let drawn = self.driver.sample_round();
+            self.cohorts.push(drawn);
+        }
+        self.cohorts[round]
+            .iter()
+            .copied()
+            .filter(|c| self.range.contains(c))
+            .collect()
+    }
+
+    /// One train round over this edge's slice: broadcast the root's
+    /// frames verbatim, collect and decode the slice's uploads, screen
+    /// locally, and build the combined upload for the root.
+    fn train_round(&mut self, round: u32, down: &[Vec<u8>]) -> EdgeCombined {
+        // The edge registered upstream before its clients registered
+        // here; block once, like the root's `wait_for_clients`, so the
+        // session's first round does not race the clients' joins.
+        if !self.waited {
+            let deadline = std::time::Instant::now() + self.opts.join_timeout;
+            loop {
+                self.accept_pending();
+                if self.connected() == self.conns.len() || std::time::Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            self.waited = true;
+        }
+        self.accept_pending();
+        let slice = self.cohort_slice(round);
+        let mut faults = FaultRecord::for_sample(slice.len());
+
+        let mut participants: Vec<usize> = Vec::new();
+        for &id in &slice {
+            if self.conn(id).is_some() && self.send_assignment(id, round, RoundMode::Train, down) {
+                participants.push(id);
+            } else {
+                *self.conn_mut(id) = None;
+                faults.push(id, FaultKind::Dropout);
+            }
+        }
+
+        let mut entries: Vec<EdgeEntry> = Vec::new();
+        let mut decoded: Vec<LocalOutcome> = Vec::new();
+        let mut collected: Vec<Collected> = Vec::new();
+        for &id in &participants {
+            match self.collect_upload(id, round) {
+                Ok(c) => {
+                    if c.meta.diverged {
+                        faults.push(id, FaultKind::LocalDivergence);
+                    }
+                    match self.driver.decode_client_upload(&c.meta, &c.frames) {
+                        Ok(d) => decoded.push(d),
+                        Err(e) => {
+                            faults.push(
+                                id,
+                                FaultKind::CorruptUpload {
+                                    error: e.to_string(),
+                                },
+                            );
+                            faults.push(id, FaultKind::RetriesExhausted);
+                        }
+                    }
+                    collected.push(c);
+                }
+                Err(CollectFailure::Timeout) => {
+                    faults.push(id, FaultKind::DeadlineMissed);
+                    *self.conn_mut(id) = None;
+                }
+                Err(CollectFailure::Shutdown) | Err(CollectFailure::Disconnect) => {
+                    faults.push(id, FaultKind::Dropout);
+                    *self.conn_mut(id) = None;
+                }
+                Err(CollectFailure::Corrupt(error)) => {
+                    faults.push(id, FaultKind::CorruptUpload { error });
+                    faults.push(id, FaultKind::RetriesExhausted);
+                    *self.conn_mut(id) = None;
+                }
+            }
+        }
+
+        // The session's screen policy runs here, over this edge's slice —
+        // the root never re-screens, so each upload is judged exactly
+        // once. With a policy active the stage-2 medians are slice-local
+        // rather than cohort-global (documented in DESIGN.md §11).
+        let survivors = match &self.driver.cfg.screen {
+            Some(policy) => screen_updates(policy, decoded, &mut faults),
+            None => decoded,
+        };
+        faults.survivors = survivors.len();
+
+        // Exact composition forwards the survivors' original frames
+        // verbatim; reduced composition collapses them into one summary.
+        let exact = exact_composition(&self.driver.cfg.aggregator);
+        let survivor_ids: Vec<usize> = survivors.iter().map(|o| o.client_id).collect();
+        for c in &mut collected {
+            let frames = if exact && survivor_ids.contains(&c.meta.client_id) {
+                std::mem::take(&mut c.frames)
+            } else {
+                Vec::new()
+            };
+            entries.push(outcome_entry(&c.meta, 0.0, frames));
+        }
+        let reduced = if exact || survivors.is_empty() {
+            None
+        } else {
+            // The broadcast global the cohort trained against supplies
+            // the control variate and buffer shape for the reduction.
+            match decode_download(&self.driver.cfg, down, self.driver.global.shared.len()) {
+                Ok(broadcast) => reduce_cohort(&self.driver.cfg, &survivors, &broadcast),
+                Err(_) => None,
+            }
+        };
+        if !exact && reduced.is_none() {
+            faults.survivors = 0;
+        }
+
+        EdgeCombined {
+            edge_id: self.opts.edge_id as u32,
+            round,
+            faults: fault_counters(&faults),
+            entries,
+            reduced,
+        }
+    }
+
+    /// One evaluation pass: forward the post-aggregation global to every
+    /// connected client in the slice and collect their accuracies into
+    /// bookkeeping-only entries.
+    fn eval_round(&mut self, round: u32, down: &[Vec<u8>]) -> EdgeCombined {
+        self.accept_pending();
+        let ids: Vec<usize> = self.range.clone().collect();
+        let mut pending: Vec<usize> = Vec::new();
+        for &id in &ids {
+            if self.conn(id).is_none() {
+                continue;
+            }
+            if self.send_assignment(id, round, RoundMode::Eval, down) {
+                pending.push(id);
+            } else {
+                *self.conn_mut(id) = None;
+            }
+        }
+        let mut entries: Vec<EdgeEntry> = Vec::new();
+        for id in pending {
+            match self.collect_eval(id, round) {
+                Ok(accuracy) => entries.push(EdgeEntry {
+                    client_id: id as u32,
+                    n_samples: 0,
+                    tau: 0,
+                    diverged: false,
+                    keep_ratio: 0.0,
+                    flops_ratio: 0.0,
+                    accuracy,
+                    bytes_download: 0,
+                    bytes_upload: 0,
+                    upload_payload: 0,
+                    upload_framed: 0,
+                    frames: Vec::new(),
+                }),
+                Err(_) => {
+                    *self.conn_mut(id) = None;
+                }
+            }
+        }
+        EdgeCombined {
+            edge_id: self.opts.edge_id as u32,
+            round,
+            faults: TierFaultCounters::default(),
+            entries,
+            reduced: None,
+        }
+    }
+
+    fn conn(&self, global_id: usize) -> &Option<TcpStream> {
+        &self.conns[global_id - self.range.start]
+    }
+
+    fn conn_mut(&mut self, global_id: usize) -> &mut Option<TcpStream> {
+        &mut self.conns[global_id - self.range.start]
+    }
+
+    /// Accept and register every client connection currently pending on
+    /// the listener (same handshake the root runs, restricted to this
+    /// edge's id slice).
+    fn accept_pending(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = self.handshake(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn handshake(&mut self, mut stream: TcpStream) -> Result<(), NetError> {
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.opts.io_timeout))?;
+        stream.set_write_timeout(Some(self.opts.io_timeout))?;
+        let frame = read_frame(&mut stream, self.opts.max_frame)?
+            .ok_or_else(|| NetError::Protocol("connection closed before Hello".into()))?;
+        let (msg, payload) = open(&frame)?;
+        if msg != MsgType::Hello {
+            return Err(NetError::Protocol(format!("expected Hello, got {msg:?}")));
+        }
+        let hello = Hello::decode(payload)?;
+        let id = hello.client_id as usize;
+        let accepted = self.range.contains(&id) && hello.fingerprint == self.fingerprint;
+        let verdict = Join {
+            accepted,
+            round: self.cohorts.len() as u32,
+        };
+        write_frame(&mut stream, &seal(MsgType::Join, &verdict.encode()))?;
+        if accepted {
+            *self.conn_mut(id) = Some(stream);
+            Ok(())
+        } else {
+            Err(NetError::Rejected)
+        }
+    }
+
+    /// Forward one assignment plus the download frames to one client;
+    /// returns whether every write succeeded.
+    fn send_assignment(
+        &mut self,
+        id: usize,
+        round: u32,
+        mode: RoundMode,
+        frames: &[Vec<u8>],
+    ) -> bool {
+        let assign = RoundAssign {
+            round,
+            mode,
+            n_frames: frames.len() as u32,
+        };
+        let stream = match self.conn_mut(id).as_mut() {
+            Some(s) => s,
+            None => return false,
+        };
+        if write_frame(stream, &seal(MsgType::RoundAssign, &assign.encode())).is_err() {
+            return false;
+        }
+        for f in frames {
+            if write_frame(stream, f).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn classify(e: &StreamError) -> CollectFailure {
+        match e {
+            StreamError::Io(io)
+                if matches!(
+                    io.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                CollectFailure::Timeout
+            }
+            _ => CollectFailure::Disconnect,
+        }
+    }
+
+    /// Block (up to the round deadline) for one client's [`RoundDone`]
+    /// header, then read its upload frames.
+    fn collect_upload(&mut self, id: usize, round: u32) -> Result<Collected, CollectFailure> {
+        let max_frame = self.opts.max_frame;
+        let round_timeout = self.opts.round_timeout;
+        let stream = match self.conn_mut(id).as_mut() {
+            Some(s) => s,
+            None => return Err(CollectFailure::Disconnect),
+        };
+        if stream.set_read_timeout(Some(round_timeout)).is_err() {
+            return Err(CollectFailure::Disconnect);
+        }
+        let header = match read_frame(stream, max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Err(CollectFailure::Disconnect),
+            Err(e) => return Err(Self::classify(&e)),
+        };
+        let (msg, payload) = match open(&header) {
+            Ok(x) => x,
+            Err(_) => return Err(CollectFailure::Disconnect),
+        };
+        match msg {
+            MsgType::Shutdown => return Err(CollectFailure::Shutdown),
+            MsgType::RoundDone => {}
+            _ => return Err(CollectFailure::Disconnect),
+        }
+        let done = match RoundDone::decode(payload) {
+            Ok(d) => d,
+            Err(e) => return Err(CollectFailure::Corrupt(e.to_string())),
+        };
+        if done.round != round || done.client_id as usize != id || done.mode != RoundMode::Train {
+            return Err(CollectFailure::Disconnect);
+        }
+        let mut frames = Vec::with_capacity(done.n_frames as usize);
+        for _ in 0..done.n_frames {
+            match read_frame(stream, max_frame) {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => return Err(CollectFailure::Disconnect),
+                Err(e) => return Err(Self::classify(&e)),
+            }
+        }
+        Ok(Collected {
+            meta: meta_outcome(&done),
+            frames,
+        })
+    }
+
+    /// Read one client's evaluation report.
+    fn collect_eval(&mut self, id: usize, round: u32) -> Result<f32, CollectFailure> {
+        let max_frame = self.opts.max_frame;
+        let round_timeout = self.opts.round_timeout;
+        let stream = match self.conn_mut(id).as_mut() {
+            Some(s) => s,
+            None => return Err(CollectFailure::Disconnect),
+        };
+        if stream.set_read_timeout(Some(round_timeout)).is_err() {
+            return Err(CollectFailure::Disconnect);
+        }
+        let frame = match read_frame(stream, max_frame) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Err(CollectFailure::Disconnect),
+            Err(e) => return Err(Self::classify(&e)),
+        };
+        let (msg, payload) = match open(&frame) {
+            Ok(x) => x,
+            Err(_) => return Err(CollectFailure::Disconnect),
+        };
+        match msg {
+            MsgType::Shutdown => return Err(CollectFailure::Shutdown),
+            MsgType::RoundDone => {}
+            _ => return Err(CollectFailure::Disconnect),
+        }
+        let done = match RoundDone::decode(payload) {
+            Ok(d) => d,
+            Err(_) => return Err(CollectFailure::Disconnect),
+        };
+        if done.round != round || done.client_id as usize != id || done.mode != RoundMode::Eval {
+            return Err(CollectFailure::Disconnect);
+        }
+        Ok(done.accuracy)
+    }
+
+    /// Forward [`MsgType::Shutdown`] to every connected client so the
+    /// subtree exits cleanly.
+    fn shutdown_clients(&mut self) {
+        let bye = seal(MsgType::Shutdown, &[]);
+        for conn in self.conns.iter_mut() {
+            if let Some(stream) = conn.as_mut() {
+                let _ = write_frame(stream, &bye);
+            }
+            *conn = None;
+        }
+    }
+}
+
+/// Rebuild the bookkeeping half of a [`LocalOutcome`] from a client's
+/// [`RoundDone`] header (tensor fields stay empty until decode).
+fn meta_outcome(done: &RoundDone) -> LocalOutcome {
+    LocalOutcome {
+        client_id: done.client_id as usize,
+        n_samples: done.n_samples as usize,
+        tau: done.tau as usize,
+        delta: Vec::new(),
+        selected: None,
+        control_delta: None,
+        velocity: None,
+        buffers: Vec::new(),
+        diverged: done.diverged,
+        bytes: RoundBytes {
+            download: done.bytes_download,
+            upload: done.bytes_upload,
+        },
+        wire: WireBytes {
+            download_payload: 0,
+            download_framed: 0,
+            upload_payload: done.upload_payload,
+            upload_framed: done.upload_framed,
+        },
+        frames: Vec::new(),
+        keep_ratio: done.keep_ratio,
+        flops_ratio: done.flops_ratio,
+    }
+}

@@ -25,8 +25,15 @@
 //!   (`Hello`/`Join`/`RoundAssign`/`RoundDone`; `Shutdown` is an empty
 //!   payload).
 //!
-//! The binaries `spatl-server` and `spatl-client` wrap the two endpoints
-//! for multi-process runs; see the README quickstart.
+//! * [`EdgeAggregator`] — the middle tier of a 2-level tree (DESIGN.md
+//!   §11): terminates one [`edge_partition`](spatl_fl::edge_partition)
+//!   slice of the clients, screens and combines their uploads locally,
+//!   and forwards one weight-carrying
+//!   [`EdgeCombined`](spatl_wire::EdgeCombined) frame to the root per
+//!   round.
+//!
+//! The binaries `spatl-server`, `spatl-client` and `spatl-edge` wrap the
+//! endpoints for multi-process runs; see the README quickstart.
 
 #![deny(missing_docs)]
 
@@ -37,10 +44,12 @@ use spatl::CheckpointError;
 use spatl_wire::{StreamError, WireError};
 
 pub mod coordinator;
+pub mod edge;
 pub mod node;
 pub mod proto;
 
-pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use coordinator::{Coordinator, CoordinatorConfig, Topology};
+pub use edge::{EdgeAggregator, EdgeConfig, EdgeReport};
 pub use node::{ClientNode, NodeConfig, NodeReport};
 pub use proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
 

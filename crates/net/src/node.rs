@@ -61,6 +61,22 @@ pub struct NodeReport {
     pub rounds_evaluated: usize,
     /// Sessions re-established after a lost connection.
     pub reconnects: usize,
+    /// Train assignments answered from the reply cache instead of
+    /// retraining (a coordinator replayed a round after a crash).
+    pub replays: usize,
+}
+
+/// The node's reply to its last Train assignment, kept so a replayed
+/// assignment of the same round (a coordinator recovering from its
+/// write-ahead log) is answered from cache. `local_update` is not
+/// idempotent — it advances control variates, participation counts and
+/// the selection agent — so training the same round twice would fork the
+/// client's state from what the simulator (and the pre-crash run) would
+/// hold.
+struct TrainReply {
+    round: u32,
+    done: RoundDone,
+    frames: Vec<Vec<u8>>,
 }
 
 /// How a served session ended.
@@ -78,6 +94,10 @@ pub struct ClientNode {
     state: ClientState,
     opts: NodeConfig,
     report: NodeReport,
+    cache: Option<TrainReply>,
+    /// Whether a session was ever established (so the next successful
+    /// registration counts as a reconnect).
+    registered: bool,
 }
 
 impl ClientNode {
@@ -90,6 +110,8 @@ impl ClientNode {
             state,
             opts,
             report: NodeReport::default(),
+            cache: None,
+            registered: false,
         }
     }
 
@@ -119,19 +141,13 @@ impl ClientNode {
     pub fn run(mut self) -> Result<(ClientState, NodeReport), NetError> {
         let fingerprint = session_fingerprint(&self.cfg);
         let mut failures = 0u32;
-        let mut sessions = 0usize;
         loop {
             match TcpStream::connect(&self.opts.addr) {
                 Ok(stream) => match self.session(stream, fingerprint) {
                     Ok(SessionEnd::Shutdown) => return Ok((self.state, self.report)),
                     Ok(SessionEnd::Lost) => {
-                        // A session was established, so the budget resets;
-                        // the *next* session (if any) is a reconnect.
+                        // A session was established, so the budget resets.
                         failures = 0;
-                        sessions += 1;
-                        if sessions > 1 {
-                            self.report.reconnects += 1;
-                        }
                     }
                     Err(NetError::Rejected) => return Err(NetError::Rejected),
                     Err(_) => failures += 1,
@@ -164,6 +180,10 @@ impl ClientNode {
         if !Join::decode(payload)?.accepted {
             return Err(NetError::Rejected);
         }
+        if self.registered {
+            self.report.reconnects += 1;
+        }
+        self.registered = true;
 
         loop {
             let frame = match read_frame(&mut stream, self.opts.max_frame) {
@@ -192,30 +212,57 @@ impl ClientNode {
                     let global = decode_download(&self.cfg, &frames, self.expected_params())?;
                     match assign.mode {
                         RoundMode::Train => {
-                            let outcome =
-                                self.state
-                                    .local_update(&self.cfg, &global, assign.round as usize);
-                            let done = RoundDone {
-                                round: assign.round,
-                                mode: RoundMode::Train,
-                                client_id: self.state.id as u32,
-                                n_samples: outcome.n_samples as u64,
-                                tau: outcome.tau as u64,
-                                diverged: outcome.diverged,
-                                keep_ratio: outcome.keep_ratio,
-                                flops_ratio: outcome.flops_ratio,
-                                accuracy: 0.0,
-                                bytes_download: outcome.bytes.download,
-                                bytes_upload: outcome.bytes.upload,
-                                upload_payload: outcome.wire.upload_payload,
-                                upload_framed: outcome.wire.upload_framed,
-                                n_frames: outcome.frames.len() as u32,
-                            };
-                            write_frame(&mut stream, &seal(MsgType::RoundDone, &done.encode()))?;
-                            for f in &outcome.frames {
+                            // A round this node already trained (a
+                            // coordinator replaying from its write-ahead
+                            // log) is answered from the cached reply —
+                            // retraining would fork the client state.
+                            let replayed = matches!(
+                                &self.cache, Some(c) if c.round == assign.round
+                            );
+                            if !replayed {
+                                let outcome = self.state.local_update(
+                                    &self.cfg,
+                                    &global,
+                                    assign.round as usize,
+                                );
+                                let done = RoundDone {
+                                    round: assign.round,
+                                    mode: RoundMode::Train,
+                                    client_id: self.state.id as u32,
+                                    n_samples: outcome.n_samples as u64,
+                                    tau: outcome.tau as u64,
+                                    diverged: outcome.diverged,
+                                    keep_ratio: outcome.keep_ratio,
+                                    flops_ratio: outcome.flops_ratio,
+                                    accuracy: 0.0,
+                                    bytes_download: outcome.bytes.download,
+                                    bytes_upload: outcome.bytes.upload,
+                                    upload_payload: outcome.wire.upload_payload,
+                                    upload_framed: outcome.wire.upload_framed,
+                                    n_frames: outcome.frames.len() as u32,
+                                };
+                                // Cache before the first send attempt: if
+                                // the send itself dies mid-way, the
+                                // reconnected session replays the reply.
+                                self.cache = Some(TrainReply {
+                                    round: assign.round,
+                                    done,
+                                    frames: outcome.frames,
+                                });
+                            }
+                            let reply = self.cache.as_ref().expect("reply cached above");
+                            write_frame(
+                                &mut stream,
+                                &seal(MsgType::RoundDone, &reply.done.encode()),
+                            )?;
+                            for f in &reply.frames {
                                 write_frame(&mut stream, f)?;
                             }
-                            self.report.rounds_trained += 1;
+                            if replayed {
+                                self.report.replays += 1;
+                            } else {
+                                self.report.rounds_trained += 1;
+                            }
                         }
                         RoundMode::Eval => {
                             let acc = self.state.sync_and_evaluate(&self.cfg, &global);

@@ -1,0 +1,395 @@
+//! 2-tier loopback integration tests: root coordinator + edge
+//! aggregators + client nodes, all over 127.0.0.1, against the
+//! in-process simulator (DESIGN.md §11).
+//!
+//! The headline assertions: a 2-edge tree composing with the default
+//! weighted mean finishes **bit-identical** to the flat simulator for all
+//! five algorithms; robust aggregators compose bit-identically to the
+//! in-process reduction twin and land within the documented per-round ε
+//! envelope of the flat fold; and a root killed mid-round resumes from
+//! its write-ahead log — clients replaying their cached uploads — to a
+//! final global bit-identical to an uninterrupted run.
+
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use spatl::prelude::*;
+use spatl::ExperimentBuilder;
+use spatl_fl::{
+    aggregate_reduced, edge_partition, reduce_cohort, ClientState, GlobalState, LocalOutcome,
+    Simulation,
+};
+use spatl_net::{
+    ClientNode, Coordinator, CoordinatorConfig, EdgeAggregator, EdgeConfig, EdgeReport, NetError,
+    NodeConfig, NodeReport, Topology,
+};
+
+const EDGES: usize = 2;
+
+fn builder(algorithm: Algorithm, rounds: usize) -> ExperimentBuilder {
+    ExperimentBuilder::new(algorithm)
+        .model(ModelKind::Cnn2)
+        .clients(4)
+        .samples_per_client(18)
+        .rounds(rounds)
+        .local_epochs(1)
+        .batch_size(8)
+        .seed(7)
+}
+
+fn root_config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        addr: "127.0.0.1:0".to_string(),
+        join_timeout: Duration::from_secs(20),
+        round_timeout: Duration::from_secs(120),
+        io_timeout: Duration::from_secs(20),
+        topology: Topology::Tiered { edges: EDGES },
+        ..CoordinatorConfig::default()
+    }
+}
+
+#[track_caller]
+fn assert_bits_equal(label: &str, a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}[{i}]: {x} != {y} (bitwise)"
+        );
+    }
+}
+
+#[track_caller]
+fn assert_global_bit_identical(a: &GlobalState, b: &GlobalState) {
+    assert_bits_equal("shared", &a.shared, &b.shared);
+    assert_bits_equal("control", &a.control, &b.control);
+    assert_bits_equal("momentum", &a.momentum, &b.momentum);
+    assert_bits_equal("buffers", &a.buffers, &b.buffers);
+}
+
+struct TieredRun {
+    coordinator: Coordinator,
+    edge_reports: Vec<EdgeReport>,
+    node_reports: Vec<(ClientState, NodeReport)>,
+}
+
+/// Stand up a full 2-tier tree on loopback — root, `EDGES` edge
+/// aggregator threads, one node thread per client shard — run the whole
+/// session, and tear it down.
+fn run_tiered(build: impl Fn() -> Simulation) -> TieredRun {
+    let session = build();
+    let cfg = session.driver.cfg;
+    let mut coordinator = Coordinator::bind(session.driver, root_config()).expect("bind root");
+    let root_addr = coordinator.local_addr().expect("root addr").to_string();
+
+    let mut edge_handles: Vec<JoinHandle<Result<EdgeReport, NetError>>> = Vec::new();
+    let mut edge_addrs: Vec<String> = Vec::new();
+    for e in 0..EDGES {
+        let driver = build().driver;
+        let edge = EdgeAggregator::bind(
+            driver,
+            EdgeConfig::new(e, EDGES, root_addr.clone(), "127.0.0.1:0"),
+        )
+        .expect("bind edge");
+        edge_addrs.push(edge.local_addr().expect("edge addr").to_string());
+        edge_handles.push(thread::spawn(move || edge.run()));
+    }
+
+    let ranges = edge_partition(cfg.n_clients, EDGES);
+    let node_handles: Vec<JoinHandle<Result<(ClientState, NodeReport), NetError>>> = session
+        .clients
+        .into_iter()
+        .map(|c| {
+            let e = ranges
+                .iter()
+                .position(|r| r.contains(&c.id))
+                .expect("slice");
+            let opts = NodeConfig::new(edge_addrs[e].clone());
+            thread::spawn(move || ClientNode::new(cfg, c, opts).run())
+        })
+        .collect();
+
+    let completed = coordinator.run().expect("tiered run");
+    assert!(completed, "no shutdown was requested");
+    let edge_reports = edge_handles
+        .into_iter()
+        .map(|h| h.join().expect("edge thread").expect("edge exits cleanly"))
+        .collect();
+    let node_reports = node_handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread").expect("node exits cleanly"))
+        .collect();
+    TieredRun {
+        coordinator,
+        edge_reports,
+        node_reports,
+    }
+}
+
+/// Weighted-mean composition is exact: the 2-tier tree must finish bit
+/// identical to the flat in-process simulator, round for round.
+fn assert_tiered_matches_simulator(algorithm: Algorithm) {
+    let rounds = 2;
+    let mut sim = builder(algorithm, rounds).build();
+    sim.run();
+
+    let run = run_tiered(|| builder(algorithm, rounds).build());
+
+    assert_global_bit_identical(&sim.driver.global, &run.coordinator.driver.global);
+    assert_eq!(
+        sim.driver.history.len(),
+        run.coordinator.driver.history.len()
+    );
+    for (s, t) in sim
+        .driver
+        .history
+        .iter()
+        .zip(&run.coordinator.driver.history)
+    {
+        assert_eq!(s.round, t.round);
+        assert_eq!(
+            s.mean_acc.to_bits(),
+            t.mean_acc.to_bits(),
+            "round {}",
+            s.round
+        );
+        assert_bits_equal("per_client_acc", &s.per_client_acc, &t.per_client_acc);
+        // Analytic Eq. 13 accounting is per *client* and travels in the
+        // combined upload's entries — identical to the flat run. The
+        // measured wire figures are not compared: tiered rounds measure
+        // the root link (2 combined frames), flat rounds the client star.
+        assert_eq!(s.bytes, t.bytes, "Eq. 13 accounting, round {}", s.round);
+        assert_eq!(s.faults.sampled, t.faults.sampled, "round {}", s.round);
+        assert_eq!(s.faults.survivors, t.faults.survivors, "round {}", s.round);
+        assert_eq!(t.faults.total(), 0, "clean run must ledger nothing");
+        assert!(t.wire.upload_framed > 0, "the root link was measured");
+    }
+    for report in &run.edge_reports {
+        assert_eq!(report.rounds_forwarded, rounds);
+        assert_eq!(report.rounds_evaluated, rounds);
+        assert_eq!(report.reconnects, 0);
+    }
+    for (_, report) in &run.node_reports {
+        assert_eq!(report.rounds_trained, rounds);
+        assert_eq!(report.replays, 0);
+    }
+}
+
+#[test]
+fn tiered_matches_simulator_fedavg() {
+    assert_tiered_matches_simulator(Algorithm::FedAvg);
+}
+
+#[test]
+fn tiered_matches_simulator_fedprox() {
+    assert_tiered_matches_simulator(Algorithm::FedProx { mu: 0.01 });
+}
+
+#[test]
+fn tiered_matches_simulator_scaffold() {
+    assert_tiered_matches_simulator(Algorithm::Scaffold);
+}
+
+#[test]
+fn tiered_matches_simulator_fednova() {
+    assert_tiered_matches_simulator(Algorithm::FedNova);
+}
+
+#[test]
+fn tiered_matches_simulator_spatl() {
+    assert_tiered_matches_simulator(Algorithm::Spatl(SpatlOptions::default()));
+}
+
+/// Drive one session in process, composing per-edge reductions exactly
+/// the way the tiered runtime does (sample → local updates → per-edge
+/// [`reduce_cohort`] → [`aggregate_reduced`] → evaluate-all), and return
+/// the final global plus every surviving delta of the *first* round (the
+/// ε-envelope inputs).
+fn compose_twin(mut session: Simulation, rounds: usize) -> (GlobalState, Vec<Vec<f32>>) {
+    let cfg = session.driver.cfg;
+    let ranges = edge_partition(cfg.n_clients, EDGES);
+    let mut first_round_deltas: Vec<Vec<f32>> = Vec::new();
+    for round in 0..rounds {
+        let sampled = session.driver.sample_round();
+        let broadcast = session.driver.global.clone();
+        let mut outcomes: Vec<LocalOutcome> = Vec::new();
+        for &id in &sampled {
+            let o = session.clients[id].local_update(&cfg, &broadcast, round);
+            if round == 0 && !o.diverged {
+                first_round_deltas.push(o.delta.clone());
+            }
+            outcomes.push(o);
+        }
+        let reduced: Vec<_> = ranges
+            .iter()
+            .filter_map(|r| {
+                let slice: Vec<LocalOutcome> = outcomes
+                    .iter()
+                    .filter(|o| r.contains(&o.client_id))
+                    .cloned()
+                    .collect();
+                if slice.is_empty() {
+                    None
+                } else {
+                    reduce_cohort(&cfg, &slice, &broadcast)
+                }
+            })
+            .collect();
+        aggregate_reduced(&mut session.driver.global, &cfg, &reduced, cfg.n_clients);
+        for c in session.clients.iter_mut() {
+            c.sync_and_evaluate(&cfg, &session.driver.global);
+        }
+    }
+    (session.driver.global, first_round_deltas)
+}
+
+/// Robust aggregators compose with bounded ε, not exactly. Two promises
+/// are checked here: the networked 2-tier run is **bit-identical** to the
+/// in-process composition twin (the network adds no drift), and one
+/// composed round lands within the documented envelope of the flat fold —
+/// both statistics live in `server_lr · [min_i δ_i[j], max_i δ_i[j]]`, so
+/// their gap is at most `server_lr · (max − min)` per coordinate.
+#[test]
+fn tiered_robust_composition_is_bounded() {
+    let agg = AggregatorKind::CoordinateTrimmedMean { trim_ratio: 0.25 };
+
+    // Bit-identity to the in-process twin over two full rounds.
+    let rounds = 2;
+    let make = || builder(Algorithm::FedAvg, rounds).aggregator(agg).build();
+    let (twin_global, _) = compose_twin(make(), rounds);
+    let run = run_tiered(make);
+    assert_global_bit_identical(&twin_global, &run.coordinator.driver.global);
+
+    // ε envelope against the flat robust fold, single composed round.
+    let make_one = || builder(Algorithm::FedAvg, 1).aggregator(agg).build();
+    let mut flat = make_one();
+    let before = flat.driver.global.shared.clone();
+    flat.run();
+    let (tiered_global, deltas) = compose_twin(make_one(), 1);
+    assert!(!deltas.is_empty(), "round 0 must have survivors");
+    let server_lr = flat.driver.cfg.server_lr;
+    for j in 0..before.len() {
+        let contributions: Vec<f32> = deltas.iter().map(|d| d[j]).collect();
+        let lo = contributions.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = contributions
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+        let gap = (tiered_global.shared[j] - flat.driver.global.shared[j]).abs();
+        let envelope = server_lr * (hi - lo) + 1e-5 * (1.0 + (hi - lo).abs());
+        assert!(
+            gap <= envelope,
+            "coordinate {j}: |composed - flat| = {gap} exceeds envelope {envelope}"
+        );
+        assert!(tiered_global.shared[j].is_finite());
+    }
+}
+
+/// Kill the root mid-round — after the write-ahead `begin`, before the
+/// `commit` — and restart it on the same address from the same log. The
+/// recovered root replays the interrupted round (same cohort, from the
+/// same sampling stream position), the surviving client nodes answer from
+/// their reply caches instead of retraining, and the session finishes bit
+/// identical to an uninterrupted simulator run. SCAFFOLD makes this the
+/// strictest variant: retraining a replayed round would fork the
+/// client-side control variates.
+#[test]
+fn root_killed_mid_round_resumes_from_wal_bit_identically() {
+    let algorithm = Algorithm::Scaffold;
+    let rounds = 4;
+    let wal = std::env::temp_dir().join(format!("spatl_net_wal_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+
+    let mut sim = builder(algorithm, rounds).build();
+    sim.run();
+
+    // Phase A: flat coordinator with a round log; run two rounds, then
+    // "crash" — drop without finish(), so no Shutdown reaches the nodes
+    // and they enter their reconnect loop with caches intact.
+    let session = builder(algorithm, rounds).build();
+    let cfg = session.driver.cfg;
+    let mut opts = CoordinatorConfig {
+        wal: Some(wal.clone()),
+        topology: Topology::Flat,
+        ..root_config()
+    };
+    let mut coordinator = Coordinator::bind(session.driver, opts.clone()).expect("bind A");
+    let addr = coordinator.local_addr().expect("root addr").to_string();
+    let node_handles: Vec<JoinHandle<Result<(ClientState, NodeReport), NetError>>> = session
+        .clients
+        .into_iter()
+        .map(|c| {
+            let node_opts = NodeConfig::new(addr.clone());
+            thread::spawn(move || ClientNode::new(cfg, c, node_opts).run())
+        })
+        .collect();
+    coordinator.wait_for_clients();
+    coordinator.run_round();
+    coordinator.run_round();
+    assert_eq!(coordinator.driver.round_index(), 2);
+    drop(coordinator); // crash: no Shutdown, no checkpoint
+
+    // Simulate dying between round 1's begin and its commit: truncate the
+    // trailing commit record, leaving round 1 pending in the log.
+    let text = std::fs::read_to_string(&wal).expect("read wal");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.last().expect("wal has records").contains("Commit"),
+        "last durable record is round 1's commit"
+    );
+    let truncated: String = lines[..lines.len() - 1]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&wal, truncated).expect("truncate wal");
+
+    // Phase B: restart on the same address from the truncated log. The
+    // recovery restores round 1's pre-round global and replays it.
+    opts.addr = addr.clone();
+    let session_b = builder(algorithm, rounds).build();
+    let mut coordinator = Coordinator::bind(session_b.driver, opts).expect("bind B");
+    assert_eq!(
+        coordinator.resumed_mid_round(),
+        Some(1),
+        "round 1's begin was never committed"
+    );
+    assert_eq!(coordinator.driver.round_index(), 1);
+    let completed = coordinator.run().expect("resume run");
+    assert!(completed);
+    let reports: Vec<(ClientState, NodeReport)> = node_handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread").expect("node exits cleanly"))
+        .collect();
+
+    assert_global_bit_identical(&sim.driver.global, &coordinator.driver.global);
+    assert_eq!(
+        coordinator.driver.history.len(),
+        3,
+        "rounds 1 (replayed), 2 and 3 ran after recovery"
+    );
+    for (s, n) in sim.driver.history[1..]
+        .iter()
+        .zip(&coordinator.driver.history)
+    {
+        assert_eq!(s.round, n.round);
+        assert_eq!(
+            s.mean_acc.to_bits(),
+            n.mean_acc.to_bits(),
+            "round {}",
+            s.round
+        );
+    }
+    for (_, report) in &reports {
+        assert_eq!(
+            report.replays, 1,
+            "round 1 was answered from the reply cache, not retrained"
+        );
+        assert_eq!(
+            report.rounds_trained, rounds,
+            "every round trained exactly once"
+        );
+        assert_eq!(report.reconnects, 1, "one reconnect after the crash");
+    }
+    let _ = std::fs::remove_file(&wal);
+}

@@ -36,12 +36,14 @@
 
 mod checkpoint;
 mod experiment;
+mod roundlog;
 
 pub use checkpoint::{
     load_agent, load_global, load_model, load_result, save_agent, save_global, save_model,
     save_result, CheckpointError,
 };
 pub use experiment::{DatasetKind, ExperimentBuilder};
+pub use roundlog::{PendingRound, RoundLog, WalRecovery};
 
 /// Convenient glob import for examples and downstream users.
 pub mod prelude {

@@ -81,6 +81,12 @@ pub enum MsgType {
     /// Either direction control plane: orderly session termination; the
     /// coordinator checkpoints its state before propagating it.
     Shutdown = 0x10,
+    /// Edge→root: one edge aggregator's combined, weight-carrying upload
+    /// for a round — per-client bookkeeping (and, for exactly-composable
+    /// aggregators, the clients' original sealed upload frames verbatim),
+    /// the edge's fault-ledger counters, and an optional pre-reduced
+    /// summary for the robust aggregators. See `spatl_wire::tier`.
+    EdgeCombined = 0x11,
 }
 
 impl MsgType {
@@ -103,6 +109,7 @@ impl MsgType {
             0x0E => MsgType::RoundAssign,
             0x0F => MsgType::RoundDone,
             0x10 => MsgType::Shutdown,
+            0x11 => MsgType::EdgeCombined,
             other => return Err(WireError::BadTag(other)),
         })
     }
@@ -307,11 +314,11 @@ mod tests {
 
     #[test]
     fn all_tags_round_trip() {
-        for tag in 0x01..=0x10 {
+        for tag in 0x01..=0x11 {
             let msg = MsgType::from_tag(tag).unwrap();
             assert_eq!(msg.tag(), tag);
         }
         assert!(MsgType::from_tag(0x00).is_err());
-        assert!(MsgType::from_tag(0x11).is_err());
+        assert!(MsgType::from_tag(0x12).is_err());
     }
 }

@@ -16,6 +16,8 @@
 //!   shared by both ends of a SPATL session.
 //! * [`stream`] — [`read_frame`]/[`write_frame`] over byte streams, with
 //!   a bounded maximum frame size.
+//! * [`tier`] — hierarchical-tier composition: the [`EdgeCombined`]
+//!   weight-carrying upload an edge aggregator forwards to its root.
 //! * [`sim`] — [`SimNet`] analytic transport model.
 //! * [`crc32`] / [`f16`](mod@f16) — checksum and half-precision
 //!   primitives.
@@ -34,6 +36,7 @@ pub mod f16;
 pub mod layout;
 pub mod sim;
 pub mod stream;
+pub mod tier;
 
 pub use codec::{
     decode_dense, decode_f16_dense, decode_pair, decode_spatl_encoder, decode_spatl_update,
@@ -46,3 +49,7 @@ pub use error::WireError;
 pub use layout::{IndexRange, SelectionLayout};
 pub use sim::{LinkSpec, RoundTransfer, SimNet};
 pub use stream::{read_frame, write_frame, StreamError, MAX_FRAME_PAYLOAD};
+pub use tier::{
+    decode_edge_combined, encode_edge_combined, seal_edge_combined, EdgeCombined, EdgeEntry,
+    EdgeReduced, EdgeSelection, TierFaultCounters,
+};

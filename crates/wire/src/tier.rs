@@ -1,0 +1,599 @@
+//! Hierarchical-tier payload codec: the [`EdgeCombined`] frame an edge
+//! aggregator sends its root coordinator once per round.
+//!
+//! A 2-tier topology puts an edge aggregator between the clients and the
+//! root: the edge collects its slice of the cohort over the ordinary
+//! client protocol, screens locally, and forwards **one** combined upload
+//! upstream. That upload must carry enough weight information for the
+//! root to renormalise across edges, so the payload has three parts:
+//!
+//! 1. **Entries** — one [`EdgeEntry`] per collected client with the full
+//!    bookkeeping a flat coordinator would have read from the client's
+//!    `RoundDone` header (sample weight, τ, byte accounting, divergence
+//!    flag, accuracy in eval rounds). For exactly-composable aggregators
+//!    the entry also carries the client's original sealed upload frames
+//!    *verbatim*, so the root can replay the flat aggregation fold
+//!    bit-for-bit.
+//! 2. **Fault counters** — the numeric half of the edge's per-round fault
+//!    ledger ([`TierFaultCounters`]), added into the root's ledger so the
+//!    tree-wide record composes. Individual fault *events* stay
+//!    edge-local (they can be unbounded; the counters are what the
+//!    experiment roster consumes).
+//! 3. **Reduced summary** — for the robust aggregators (coordinate
+//!    median / trimmed mean) the edge pre-reduces its cohort into an
+//!    [`EdgeReduced`] statistic vector and ships that instead of frames;
+//!    the root then applies the statistic *across edges*
+//!    (stat-of-stats), which is bounded-ε close to the flat result but
+//!    not bit-identical — see `spatl_fl::compose` for the guarantee.
+//!
+//! Layout (all little-endian) — the [`MsgType::EdgeCombined`] payload:
+//!
+//! ```text
+//! edge_id u32 · round u32 · fault counters 10×u32
+//! n_entries u32 · entries…
+//!   entry: client_id u32 · n_samples u64 · tau u64 · diverged u8
+//!          keep_ratio f32 · flops_ratio f32 · accuracy f32
+//!          bytes_download u64 · bytes_upload u64
+//!          upload_payload u64 · upload_framed u64
+//!          n_frames u32 · frames… (each: len u32 · bytes)
+//! has_reduced u8 · reduced? (see EdgeReduced)
+//! ```
+
+use crate::envelope::MsgType;
+use crate::error::WireError;
+
+/// The numeric half of one edge's per-round fault ledger — every counter
+/// of `spatl_fl::FaultRecord` except the unbounded event list, which
+/// stays on the edge. The root adds these into its own round ledger so
+/// the tree-wide counters equal what a flat coordinator would have
+/// recorded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierFaultCounters {
+    /// Clients of this edge's slice the round sampled.
+    pub sampled: u32,
+    /// Sampled clients that dropped out before training.
+    pub dropouts: u32,
+    /// Participants slowed by the straggler factor.
+    pub stragglers: u32,
+    /// Participants excluded for finishing after the deadline.
+    pub deadline_dropped: u32,
+    /// Transmission attempts that arrived corrupted.
+    pub corrupted_uploads: u32,
+    /// Retransmissions the edge requested.
+    pub retries: u32,
+    /// Participants dropped after exhausting the retry budget.
+    pub retry_exhausted: u32,
+    /// Clients that self-reported a non-finite local delta.
+    pub local_divergence: u32,
+    /// Uploads a configured adversary plan tampered with.
+    pub byzantine: u32,
+    /// Uploads the edge's screen policy quarantined.
+    pub quarantined: u32,
+}
+
+/// One collected client's contribution inside an [`EdgeCombined`]: the
+/// bookkeeping a flat coordinator reads from the client's `RoundDone`
+/// header, plus (exact composition only) the client's sealed upload
+/// frames, byte-for-byte as the client produced them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeEntry {
+    /// Global client id (ascending within the frame).
+    pub client_id: u32,
+    /// Local training-set size (aggregation weight).
+    pub n_samples: u64,
+    /// Local optimisation steps taken.
+    pub tau: u64,
+    /// Whether local training produced a non-finite delta.
+    pub diverged: bool,
+    /// Fraction of shared parameters uploaded.
+    pub keep_ratio: f32,
+    /// FLOPs ratio of the (masked) local model.
+    pub flops_ratio: f32,
+    /// Validation accuracy (eval rounds; zero in train rounds).
+    pub accuracy: f32,
+    /// Analytic Eq. 13 download bytes this round cost the client.
+    pub bytes_download: u64,
+    /// Analytic Eq. 13 upload bytes.
+    pub bytes_upload: u64,
+    /// Measured upload tensor-payload bytes (client→edge link).
+    pub upload_payload: u64,
+    /// Measured upload bytes on the wire, framing included.
+    pub upload_framed: u64,
+    /// The client's sealed upload frames, verbatim. Empty for
+    /// bookkeeping-only entries (reduced composition, eval rounds, and
+    /// uploads that failed the edge's decode or screen).
+    pub frames: Vec<Vec<u8>>,
+}
+
+/// The per-index salient part of an [`EdgeReduced`] summary (SPATL): for
+/// every shared-vector index at least one surviving client selected, the
+/// robust statistic of the uploaded values, the number of clients that
+/// voted, and (under gradient control) the statistic of the per-client
+/// control steps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeSelection {
+    /// Flat shared-vector indices, strictly ascending.
+    pub indices: Vec<u32>,
+    /// Robust statistic of the selecting clients' values, per index.
+    pub values: Vec<f32>,
+    /// How many clients voted on each index.
+    pub counts: Vec<u32>,
+    /// Robust statistic of the per-client control steps, per index;
+    /// empty when gradient control is off.
+    pub control_values: Vec<f32>,
+}
+
+/// An edge's pre-reduced cohort summary for the robust aggregators: the
+/// per-coordinate statistic over the edge's surviving clients, plus the
+/// weights the root needs to renormalise across edges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeReduced {
+    /// Surviving clients behind this summary (`|S_e|` in the SCAFFOLD
+    /// control scaling).
+    pub survivors: u32,
+    /// Total sample count over the survivors.
+    pub n_samples: u64,
+    /// Edge-local τ_eff over the survivors (FedNova; zero otherwise).
+    pub tau_eff: f32,
+    /// Per-coordinate statistic of the survivors' (τ-normalised, for
+    /// FedNova) deltas. Empty when the summary is selection-only (SPATL).
+    pub delta: Vec<f32>,
+    /// Per-coordinate statistic of the survivors' control steps
+    /// (SCAFFOLD); empty otherwise.
+    pub control_delta: Vec<f32>,
+    /// Per-coordinate statistic of the survivors' momentum buffers
+    /// (FedNova); empty otherwise.
+    pub velocity: Vec<f32>,
+    /// Per-coordinate statistic of the survivors' batch-norm buffers;
+    /// empty when the session has none.
+    pub buffers: Vec<f32>,
+    /// Per-index salient summary (SPATL); `None` for dense algorithms.
+    pub selection: Option<EdgeSelection>,
+}
+
+/// One edge aggregator's combined upload for one round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeCombined {
+    /// The edge's id (its `Hello.client_id` on the root link).
+    pub edge_id: u32,
+    /// Round this upload answers.
+    pub round: u32,
+    /// The edge's fault-ledger counters for the round.
+    pub faults: TierFaultCounters,
+    /// Per-client bookkeeping (and frames, under exact composition),
+    /// ascending client id.
+    pub entries: Vec<EdgeEntry>,
+    /// Pre-reduced summary (robust aggregators); `None` under exact
+    /// composition and in eval rounds.
+    pub reduced: Option<EdgeReduced>,
+}
+
+fn put_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for &x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_u32s(out: &mut Vec<u8>, xs: &[u32]) {
+    out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+    for &x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Little-endian cursor shared by the tier decoders.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated {
+                needed: self.pos + n,
+                available: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// A length-prefixed count, sanity-bounded by what the remaining
+    /// buffer could possibly hold (`stride` bytes per element) so a
+    /// corrupt length cannot trigger a huge allocation.
+    fn count(&mut self, stride: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let room = self.buf.len() - self.pos;
+        if n.saturating_mul(stride.max(1)) > room {
+            return Err(WireError::Truncated {
+                needed: self.pos + n * stride.max(1),
+                available: self.buf.len(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.count(4)?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    fn u32s(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.count(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::LengthMismatch {
+                advertised: self.pos,
+                actual: self.buf.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+const FAULT_FIELDS: usize = 10;
+
+/// Serialize an [`EdgeCombined`] into [`MsgType::EdgeCombined`] payload
+/// bytes (the caller seals it).
+pub fn encode_edge_combined(msg: &EdgeCombined) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&msg.edge_id.to_le_bytes());
+    out.extend_from_slice(&msg.round.to_le_bytes());
+    let f = &msg.faults;
+    for c in [
+        f.sampled,
+        f.dropouts,
+        f.stragglers,
+        f.deadline_dropped,
+        f.corrupted_uploads,
+        f.retries,
+        f.retry_exhausted,
+        f.local_divergence,
+        f.byzantine,
+        f.quarantined,
+    ] {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out.extend_from_slice(&(msg.entries.len() as u32).to_le_bytes());
+    for e in &msg.entries {
+        out.extend_from_slice(&e.client_id.to_le_bytes());
+        out.extend_from_slice(&e.n_samples.to_le_bytes());
+        out.extend_from_slice(&e.tau.to_le_bytes());
+        out.push(e.diverged as u8);
+        out.extend_from_slice(&e.keep_ratio.to_le_bytes());
+        out.extend_from_slice(&e.flops_ratio.to_le_bytes());
+        out.extend_from_slice(&e.accuracy.to_le_bytes());
+        out.extend_from_slice(&e.bytes_download.to_le_bytes());
+        out.extend_from_slice(&e.bytes_upload.to_le_bytes());
+        out.extend_from_slice(&e.upload_payload.to_le_bytes());
+        out.extend_from_slice(&e.upload_framed.to_le_bytes());
+        out.extend_from_slice(&(e.frames.len() as u32).to_le_bytes());
+        for frame in &e.frames {
+            out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+            out.extend_from_slice(frame);
+        }
+    }
+    match &msg.reduced {
+        None => out.push(0),
+        Some(r) => {
+            out.push(1);
+            out.extend_from_slice(&r.survivors.to_le_bytes());
+            out.extend_from_slice(&r.n_samples.to_le_bytes());
+            out.extend_from_slice(&r.tau_eff.to_le_bytes());
+            put_f32s(&mut out, &r.delta);
+            put_f32s(&mut out, &r.control_delta);
+            put_f32s(&mut out, &r.velocity);
+            put_f32s(&mut out, &r.buffers);
+            match &r.selection {
+                None => out.push(0),
+                Some(sel) => {
+                    out.push(1);
+                    put_u32s(&mut out, &sel.indices);
+                    put_f32s(&mut out, &sel.values);
+                    put_u32s(&mut out, &sel.counts);
+                    put_f32s(&mut out, &sel.control_values);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decode a [`MsgType::EdgeCombined`] payload.
+pub fn decode_edge_combined(payload: &[u8]) -> Result<EdgeCombined, WireError> {
+    let mut c = Cur::new(payload);
+    let edge_id = c.u32()?;
+    let round = c.u32()?;
+    let mut counters = [0u32; FAULT_FIELDS];
+    for x in counters.iter_mut() {
+        *x = c.u32()?;
+    }
+    let faults = TierFaultCounters {
+        sampled: counters[0],
+        dropouts: counters[1],
+        stragglers: counters[2],
+        deadline_dropped: counters[3],
+        corrupted_uploads: counters[4],
+        retries: counters[5],
+        retry_exhausted: counters[6],
+        local_divergence: counters[7],
+        byzantine: counters[8],
+        quarantined: counters[9],
+    };
+    let n_entries = c.count(1)?;
+    let mut entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let client_id = c.u32()?;
+        let n_samples = c.u64()?;
+        let tau = c.u64()?;
+        let diverged = match c.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "diverged flag must be 0/1, got {other}"
+                )))
+            }
+        };
+        let keep_ratio = c.f32()?;
+        let flops_ratio = c.f32()?;
+        let accuracy = c.f32()?;
+        let bytes_download = c.u64()?;
+        let bytes_upload = c.u64()?;
+        let upload_payload = c.u64()?;
+        let upload_framed = c.u64()?;
+        let n_frames = c.count(1)?;
+        let mut frames = Vec::with_capacity(n_frames);
+        for _ in 0..n_frames {
+            let len = c.count(1)?;
+            frames.push(c.take(len)?.to_vec());
+        }
+        entries.push(EdgeEntry {
+            client_id,
+            n_samples,
+            tau,
+            diverged,
+            keep_ratio,
+            flops_ratio,
+            accuracy,
+            bytes_download,
+            bytes_upload,
+            upload_payload,
+            upload_framed,
+            frames,
+        });
+    }
+    let reduced = match c.u8()? {
+        0 => None,
+        1 => {
+            let survivors = c.u32()?;
+            let n_samples = c.u64()?;
+            let tau_eff = c.f32()?;
+            let delta = c.f32s()?;
+            let control_delta = c.f32s()?;
+            let velocity = c.f32s()?;
+            let buffers = c.f32s()?;
+            let selection = match c.u8()? {
+                0 => None,
+                1 => {
+                    let indices = c.u32s()?;
+                    let values = c.f32s()?;
+                    let counts = c.u32s()?;
+                    let control_values = c.f32s()?;
+                    if values.len() != indices.len() || counts.len() != indices.len() {
+                        return Err(WireError::Malformed(format!(
+                            "selection arrays disagree: {} indices, {} values, {} counts",
+                            indices.len(),
+                            values.len(),
+                            counts.len()
+                        )));
+                    }
+                    if !control_values.is_empty() && control_values.len() != indices.len() {
+                        return Err(WireError::Malformed(format!(
+                            "selection carries {} control values for {} indices",
+                            control_values.len(),
+                            indices.len()
+                        )));
+                    }
+                    Some(EdgeSelection {
+                        indices,
+                        values,
+                        counts,
+                        control_values,
+                    })
+                }
+                other => {
+                    return Err(WireError::Malformed(format!(
+                        "selection flag must be 0/1, got {other}"
+                    )))
+                }
+            };
+            Some(EdgeReduced {
+                survivors,
+                n_samples,
+                tau_eff,
+                delta,
+                control_delta,
+                velocity,
+                buffers,
+                selection,
+            })
+        }
+        other => {
+            return Err(WireError::Malformed(format!(
+                "reduced flag must be 0/1, got {other}"
+            )))
+        }
+    };
+    c.done()?;
+    Ok(EdgeCombined {
+        edge_id,
+        round,
+        faults,
+        entries,
+        reduced,
+    })
+}
+
+/// Seal an [`EdgeCombined`] into a framed [`MsgType::EdgeCombined`]
+/// envelope (convenience over [`encode_edge_combined`] + `seal`).
+pub fn seal_edge_combined(msg: &EdgeCombined) -> Vec<u8> {
+    crate::envelope::seal(MsgType::EdgeCombined, &encode_edge_combined(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{open, seal};
+
+    fn sample() -> EdgeCombined {
+        EdgeCombined {
+            edge_id: 1,
+            round: 7,
+            faults: TierFaultCounters {
+                sampled: 3,
+                dropouts: 1,
+                corrupted_uploads: 2,
+                retries: 1,
+                quarantined: 1,
+                ..Default::default()
+            },
+            entries: vec![
+                EdgeEntry {
+                    client_id: 2,
+                    n_samples: 18,
+                    tau: 3,
+                    diverged: false,
+                    keep_ratio: 0.5,
+                    flops_ratio: 0.75,
+                    accuracy: 0.0,
+                    bytes_download: 100,
+                    bytes_upload: 50,
+                    upload_payload: 48,
+                    upload_framed: 64,
+                    frames: vec![seal(MsgType::DenseUpdate, &[1, 2, 3]), Vec::new()],
+                },
+                EdgeEntry {
+                    client_id: 3,
+                    diverged: true,
+                    ..Default::default()
+                },
+            ],
+            reduced: Some(EdgeReduced {
+                survivors: 2,
+                n_samples: 36,
+                tau_eff: 3.5,
+                delta: vec![0.25, -1.0],
+                control_delta: vec![0.125],
+                velocity: Vec::new(),
+                buffers: vec![1.0],
+                selection: Some(EdgeSelection {
+                    indices: vec![0, 5],
+                    values: vec![0.5, -0.5],
+                    counts: vec![2, 1],
+                    control_values: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let msg = sample();
+        let decoded = decode_edge_combined(&encode_edge_combined(&msg)).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn minimal_round_trips() {
+        let msg = EdgeCombined {
+            edge_id: 0,
+            round: 0,
+            ..Default::default()
+        };
+        let decoded = decode_edge_combined(&encode_edge_combined(&msg)).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn sealed_frame_round_trips() {
+        let msg = sample();
+        let frame = seal_edge_combined(&msg);
+        let (tag, payload) = open(&frame).unwrap();
+        assert_eq!(tag, MsgType::EdgeCombined);
+        assert_eq!(decode_edge_combined(payload).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_truncation_is_an_error() {
+        let bytes = encode_edge_combined(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_edge_combined(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_edge_combined(&sample());
+        bytes.push(0);
+        assert!(matches!(
+            decode_edge_combined(&bytes),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_cannot_over_allocate() {
+        // A u32::MAX entry count must fail fast as truncation, not OOM.
+        let mut bytes = encode_edge_combined(&EdgeCombined::default());
+        // n_entries sits after edge_id + round + 10 counters = 48 bytes.
+        bytes[48..52].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_edge_combined(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_selection_arrays_rejected() {
+        let mut msg = sample();
+        if let Some(r) = &mut msg.reduced {
+            if let Some(sel) = &mut r.selection {
+                sel.counts.pop();
+            }
+        }
+        assert!(matches!(
+            decode_edge_combined(&encode_edge_combined(&msg)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}
