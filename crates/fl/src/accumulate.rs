@@ -1,0 +1,610 @@
+//! Streaming, order-independent round aggregation.
+//!
+//! The batch rules in [`GlobalState::aggregate`] used to fold a fully
+//! collected `Vec<LocalOutcome>` — O(cohort · model) server memory. This
+//! module re-expresses every [`AggregatorKind::WeightedMean`] rule as a
+//! **streaming accumulator**: [`StreamState::fold`] absorbs one upload at
+//! a time into fixed-size state and [`StreamState::finalize`] applies the
+//! round in one pass, so a 10 000-client round needs O(model) memory on
+//! the server (DESIGN.md §12).
+//!
+//! # Order independence
+//!
+//! A concurrent coordinator cannot promise arrival order, and f32
+//! addition is not associative — a naive running f32 (or f64) sum would
+//! make the global model depend on which socket drained first. The fold
+//! is therefore built on [`ExactSums`]: a per-coordinate *integer*
+//! carry-save accumulator over the fixed-point grid `2^-149` (the f32
+//! subnormal LSB). Each weighted term `±m·2^e · w` (mantissa `m < 2^24`,
+//! integer weight `w < 2^64`) is decomposed exactly into 32-bit chunks
+//! added into `i64` limbs; integer addition **is** associative and
+//! commutative, so any permutation or interleaving of `fold` calls
+//! yields bit-identical limbs, and the deterministic `finalize` ladder
+//! yields a bit-identical model. Per-upload f32 pre-terms (FedNova's
+//! `δ/τ`, SCAFFOLD's control fallback) depend only on that upload plus
+//! the round's broadcast snapshot, never on fold order.
+//!
+//! Cohort-level scalars (total samples, `τ_eff`, survivor counts) are
+//! accumulated as exact `u128` side-sums and applied once at finalize.
+//! Non-finite uploads cannot be represented on the grid; they are
+//! tracked in commutative per-coordinate bitsets and reproduce the IEEE
+//! verdict (`NaN` dominates, opposing infinities collide to `NaN`) at
+//! finalize.
+//!
+//! # The one fold
+//!
+//! [`GlobalState::aggregate`] routes its `WeightedMean` and (post-clip)
+//! `NormClippedMean` paths through [`StreamState`], so the simulator,
+//! the flat coordinator, and the tiered composition layer all share this
+//! fold — it is *the* fold, not a parallel second implementation. Rules
+//! that inherently need the whole cohort (`CoordinateMedian`,
+//! `CoordinateTrimmedMean`, median-RMS screening, NormClippedMean's
+//! median clip factor) spill: [`RoundAccumulator`] buffers those uploads
+//! and deterministically slots them by client id before the batch pass,
+//! trading the O(cohort · model) ceiling back in — explicitly, and only
+//! where the statistic demands it.
+//!
+//! [`GlobalState::aggregate`]: crate::GlobalState::aggregate
+//! [`AggregatorKind::WeightedMean`]: crate::AggregatorKind::WeightedMean
+
+use crate::{AggregatorKind, Algorithm, FaultRecord, FlConfig, GlobalState, LocalOutcome};
+
+/// Limbs per coordinate: bit positions `0..352` on the `2^-149` grid
+/// cover every product `m·2^e · w` (top bit ≤ `7·32 + 119 = 343`) with
+/// carry headroom for `2^31` additions per limb.
+const NLIMBS: usize = 11;
+
+/// `2^-149` — the grid LSB — as an exactly-represented f64.
+const GRID: f64 = f64::from_bits(874u64 << 52);
+
+/// `2^32` as f64, the finalize ladder's radix.
+const RADIX: f64 = 4294967296.0;
+
+/// Per-coordinate non-finite markers, allocated only when a poisoned
+/// upload actually arrives (the honest-path fold never pays for them).
+struct NonFinite {
+    nan: Vec<u64>,
+    pos: Vec<u64>,
+    neg: Vec<u64>,
+}
+
+/// Exact weighted f32 sums over `p` coordinates in O(p) memory.
+///
+/// `add(j, v, w)` accumulates `v·w` into coordinate `j` exactly (no
+/// rounding, any order); `value(j)` converts the exact integer sum to
+/// the nearest-enough f64 deterministically. See the module docs for the
+/// representation and the commutativity argument.
+pub(crate) struct ExactSums {
+    limbs: Vec<i64>,
+    nonfinite: Option<Box<NonFinite>>,
+    p: usize,
+}
+
+impl ExactSums {
+    /// Zeroed sums for `p` coordinates.
+    pub(crate) fn new(p: usize) -> Self {
+        ExactSums {
+            limbs: vec![0; p * NLIMBS],
+            nonfinite: None,
+            p,
+        }
+    }
+
+    /// Accumulate `v · w` into coordinate `j`, exactly.
+    pub(crate) fn add(&mut self, j: usize, v: f32, w: u64) {
+        debug_assert!(j < self.p);
+        if w == 0 || v == 0.0 {
+            return;
+        }
+        if !v.is_finite() {
+            let words = self.p.div_ceil(64);
+            let nf = self.nonfinite.get_or_insert_with(|| {
+                Box::new(NonFinite {
+                    nan: vec![0; words],
+                    pos: vec![0; words],
+                    neg: vec![0; words],
+                })
+            });
+            let bit = 1u64 << (j % 64);
+            if v.is_nan() {
+                nf.nan[j / 64] |= bit;
+            } else if v > 0.0 {
+                nf.pos[j / 64] |= bit;
+            } else {
+                nf.neg[j / 64] |= bit;
+            }
+            return;
+        }
+        let bits = v.to_bits();
+        let negative = bits >> 31 == 1;
+        let e = ((bits >> 23) & 0xff) as i32;
+        let m = (bits & 0x7f_ffff) as u64;
+        // v = ±m′·2^e′ with m′ < 2^24 and e′ ∈ [-149, 104].
+        let (mant, exp) = if e == 0 {
+            (m, -149)
+        } else {
+            (m | 0x80_0000, e - 150)
+        };
+        let prod = (mant as u128) * (w as u128); // < 2^88
+        let bitpos = (exp + 149) as usize; // 0..=253 on the grid
+        let base = j * NLIMBS + bitpos / 32;
+        let mut rest = prod << (bitpos % 32); // < 2^119: ≤ 4 chunks
+        let mut k = 0;
+        while rest != 0 {
+            let chunk = (rest & 0xffff_ffff) as i64;
+            self.limbs[base + k] += if negative { -chunk } else { chunk };
+            rest >>= 32;
+            k += 1;
+        }
+    }
+
+    /// The accumulated sum of coordinate `j` as f64 (relative error
+    /// ≤ 2^-52 from the exact integer value; deterministic). Non-finite
+    /// terms override: `NaN` if any NaN (or both infinities) was added,
+    /// else the signed infinity.
+    pub(crate) fn value(&self, j: usize) -> f64 {
+        if let Some(nf) = &self.nonfinite {
+            let (word, bit) = (j / 64, j % 64);
+            let nan = nf.nan[word] >> bit & 1 == 1;
+            let pos = nf.pos[word] >> bit & 1 == 1;
+            let neg = nf.neg[word] >> bit & 1 == 1;
+            if nan || (pos && neg) {
+                return f64::NAN;
+            }
+            if pos {
+                return f64::INFINITY;
+            }
+            if neg {
+                return f64::NEG_INFINITY;
+            }
+        }
+        let limbs = &self.limbs[j * NLIMBS..(j + 1) * NLIMBS];
+        let mut digits = [0u32; NLIMBS];
+        let mut carry: i128 = 0;
+        for (k, &limb) in limbs.iter().enumerate() {
+            let t = limb as i128 + carry;
+            digits[k] = t as u32;
+            carry = t >> 32;
+        }
+        let mut val = carry as f64;
+        for &d in digits.iter().rev() {
+            val = val * RADIX + d as f64;
+        }
+        val * GRID
+    }
+}
+
+/// Streaming state of one round's `WeightedMean` aggregation: every
+/// algorithm's published rule, folded one upload at a time.
+///
+/// Construct from the pre-round global state (the broadcast snapshot),
+/// [`fold`](StreamState::fold) each surviving upload in **any order**,
+/// then [`finalize`](StreamState::finalize) once. Memory is O(model),
+/// independent of how many uploads are folded.
+pub struct StreamState {
+    cfg: FlConfig,
+    n_clients_total: usize,
+    p: usize,
+    /// Broadcast control variate — the fallback `Δcᵢ = −c − δᵢ/(τᵢ·η)`
+    /// must read the control the *clients trained against*, which a
+    /// streaming server must snapshot before the first fold.
+    control_bcast: Vec<f32>,
+    buf_len: usize,
+    valid: usize,
+    total_samples: u128,
+    tau_weighted: u128,
+    delta: ExactSums,
+    /// SPATL per-index vote counts (empty for dense algorithms).
+    count: Vec<u32>,
+    c_delta: Option<ExactSums>,
+    velocity: Option<ExactSums>,
+    any_velocity: bool,
+    buffers: Option<ExactSums>,
+}
+
+impl StreamState {
+    /// Fixed-size accumulator for one round, snapshotting what the fold
+    /// needs from the broadcast `global`.
+    pub fn new(cfg: &FlConfig, global: &GlobalState, n_clients_total: usize) -> Self {
+        let p = global.shared.len();
+        let uses_control = cfg.algorithm.uses_control();
+        let buf_len = global.buffers.len();
+        StreamState {
+            cfg: *cfg,
+            n_clients_total,
+            p,
+            control_bcast: if uses_control {
+                global.control.clone()
+            } else {
+                Vec::new()
+            },
+            buf_len,
+            valid: 0,
+            total_samples: 0,
+            tau_weighted: 0,
+            delta: ExactSums::new(p),
+            count: if matches!(cfg.algorithm, Algorithm::Spatl(_)) {
+                vec![0; p]
+            } else {
+                Vec::new()
+            },
+            c_delta: uses_control.then(|| ExactSums::new(p)),
+            velocity: matches!(cfg.algorithm, Algorithm::FedNova).then(|| ExactSums::new(p)),
+            any_velocity: false,
+            buffers: (buf_len > 0).then(|| ExactSums::new(buf_len)),
+        }
+    }
+
+    /// How many non-diverged uploads have been folded.
+    pub fn folded(&self) -> usize {
+        self.valid
+    }
+
+    /// Absorb one upload. Diverged uploads are skipped (the batch rule
+    /// rejects them); everything else updates only commutative state, so
+    /// fold order never changes the finalized model.
+    pub fn fold(&mut self, o: &LocalOutcome) {
+        if o.diverged {
+            return;
+        }
+        self.valid += 1;
+        let p = self.p;
+        let eta_eff = self.cfg.lr / (1.0 - self.cfg.momentum).max(1e-3);
+        match self.cfg.algorithm {
+            Algorithm::FedAvg | Algorithm::FedProx { .. } => {
+                let w = o.n_samples as u64;
+                self.total_samples += w as u128;
+                for j in 0..p {
+                    self.delta.add(j, o.delta[j], w);
+                }
+            }
+            Algorithm::FedNova => {
+                let w = o.n_samples as u64;
+                self.total_samples += w as u128;
+                self.tau_weighted += o.n_samples as u128 * o.tau as u128;
+                let tau = o.tau.max(1) as f32;
+                for j in 0..p {
+                    self.delta.add(j, o.delta[j] / tau, w);
+                }
+                if let Some(v) = &o.velocity {
+                    self.any_velocity = true;
+                    let vel = self.velocity.as_mut().expect("FedNova allocates velocity");
+                    for (j, &vj) in v.iter().enumerate().take(p) {
+                        vel.add(j, vj, w);
+                    }
+                }
+            }
+            Algorithm::Scaffold => {
+                let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
+                let cd = self.c_delta.as_mut().expect("SCAFFOLD allocates control");
+                for j in 0..p {
+                    self.delta.add(j, o.delta[j], 1);
+                    // Prefer the client's explicit Δcᵢ (what the wire
+                    // carries); fall back to the server-side derivation
+                    // for synthetic outcomes that skip the upload path.
+                    let term = match &o.control_delta {
+                        Some(cdv) => cdv[j],
+                        None => -self.control_bcast[j] - o.delta[j] * scale,
+                    };
+                    cd.add(j, term, 1);
+                }
+            }
+            Algorithm::Spatl(opts) => {
+                let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
+                match &o.selected {
+                    Some(sel) => {
+                        for (k, &i) in sel.indices.iter().enumerate() {
+                            let j = i as usize;
+                            self.delta.add(j, sel.values[k], 1);
+                            self.count[j] += 1;
+                            if opts.gradient_control {
+                                let term = -self.control_bcast[j] - sel.values[k] * scale;
+                                self.c_delta
+                                    .as_mut()
+                                    .expect("gradient control allocates")
+                                    .add(j, term, 1);
+                            }
+                        }
+                    }
+                    None => {
+                        // Selection disabled: dense upload votes everywhere.
+                        for j in 0..p {
+                            self.delta.add(j, o.delta[j], 1);
+                            self.count[j] += 1;
+                            if opts.gradient_control {
+                                let term = -self.control_bcast[j] - o.delta[j] * scale;
+                                self.c_delta
+                                    .as_mut()
+                                    .expect("gradient control allocates")
+                                    .add(j, term, 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.buf_len > 0 {
+            let buf = self.buffers.as_mut().expect("buffers allocated");
+            for (j, &b) in o.buffers.iter().enumerate().take(self.buf_len) {
+                buf.add(j, b, 1);
+            }
+        }
+    }
+
+    /// Apply the accumulated round to `global`. Returns `true` if an
+    /// update was applied; `false` is a no-op round (nothing folded, all
+    /// folds diverged, or zero total sample weight) with `global`
+    /// untouched — never NaN from an empty cohort.
+    pub fn finalize(self, global: &mut GlobalState) -> bool {
+        if self.valid == 0 {
+            return false;
+        }
+        let p = self.p;
+        let slr = self.cfg.server_lr as f64;
+        match self.cfg.algorithm {
+            Algorithm::FedAvg | Algorithm::FedProx { .. } => {
+                if self.total_samples == 0 {
+                    // Every survivor has an empty shard: dividing by the
+                    // total would poison the model with NaN — skip.
+                    return false;
+                }
+                let inv_total = 1.0 / self.total_samples as f64;
+                for j in 0..p {
+                    global.shared[j] += (slr * self.delta.value(j) * inv_total) as f32;
+                }
+            }
+            Algorithm::FedNova => {
+                if self.total_samples == 0 {
+                    return false;
+                }
+                let total = self.total_samples as f64;
+                let tau_eff = self.tau_weighted as f64 / total;
+                for j in 0..p {
+                    global.shared[j] += (slr * tau_eff * self.delta.value(j) / total) as f32;
+                }
+                if self.any_velocity {
+                    let vel = self.velocity.as_ref().expect("FedNova allocates velocity");
+                    global.momentum = (0..p).map(|j| (vel.value(j) / total) as f32).collect();
+                }
+            }
+            Algorithm::Scaffold => {
+                let inv_s = 1.0 / self.valid as f64;
+                let inv_n = 1.0 / self.n_clients_total as f64;
+                let cd = self.c_delta.as_ref().expect("SCAFFOLD allocates control");
+                for j in 0..p {
+                    global.shared[j] += (slr * self.delta.value(j) * inv_s) as f32;
+                    global.control[j] += (inv_n * cd.value(j)) as f32;
+                }
+            }
+            Algorithm::Spatl(opts) => {
+                for j in 0..p {
+                    if self.count[j] > 0 {
+                        global.shared[j] +=
+                            (slr * self.delta.value(j) / self.count[j] as f64) as f32;
+                    }
+                }
+                if opts.gradient_control {
+                    let inv_n = 1.0 / self.n_clients_total as f64;
+                    let cd = self.c_delta.as_ref().expect("gradient control allocates");
+                    for j in 0..p {
+                        global.control[j] += (inv_n * cd.value(j)) as f32;
+                    }
+                }
+            }
+        }
+        // Batch-norm buffers: mean across folded uploads (zip-prefix
+        // semantics — an upload shorter than the session shape only
+        // contributes its prefix, exactly as the batch rule's zip did).
+        if self.buf_len > 0 {
+            let inv = 1.0 / self.valid as f64;
+            let buf = self.buffers.as_ref().expect("buffers allocated");
+            global.buffers = (0..self.buf_len)
+                .map(|j| (buf.value(j) * inv) as f32)
+                .collect();
+        }
+        true
+    }
+}
+
+/// Why a round's uploads had to be buffered instead of streamed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillReason {
+    /// The aggregation rule needs the whole cohort per coordinate
+    /// (median / trimmed mean) or a cohort statistic before any upload
+    /// can be weighed (NormClippedMean's median RMS).
+    RobustAggregator,
+    /// A [`ScreenPolicy`](crate::ScreenPolicy) is configured: stage-2
+    /// median-RMS screening is a cohort statistic.
+    Screening,
+}
+
+enum Mode {
+    /// O(model): uploads fold into [`StreamState`] the moment they
+    /// arrive and their tensors are dropped.
+    Stream(Box<StreamState>),
+    /// O(cohort · model) ceiling: uploads buffer until the round closes,
+    /// then are deterministically slotted by client id and batch-folded.
+    Spill {
+        reason: SpillReason,
+        outcomes: Vec<LocalOutcome>,
+    },
+}
+
+/// One round's aggregation front-end: feed uploads in **any order** as
+/// they arrive, close once.
+///
+/// Built by [`RoundDriver::begin_accumulation`] and closed by
+/// [`RoundDriver::finish_accumulation`]; both the simulator's
+/// `screen_and_aggregate` and the networked coordinator's concurrent
+/// collect loop go through it, so there is exactly one fold. The mode is
+/// decided by the run configuration:
+///
+/// * **Stream** — `WeightedMean` with no screen: O(model) memory.
+/// * **Spill** — robust aggregators or a configured screen: uploads are
+///   buffered (documented O(cohort · model) ceiling), sorted by client
+///   id at close (so arrival order still cannot change the result), and
+///   batch-folded.
+///
+/// [`RoundDriver::begin_accumulation`]: crate::RoundDriver::begin_accumulation
+/// [`RoundDriver::finish_accumulation`]: crate::RoundDriver::finish_accumulation
+pub struct RoundAccumulator {
+    mode: Mode,
+    folded: usize,
+}
+
+impl RoundAccumulator {
+    /// Decide the mode from the run configuration and snapshot what the
+    /// stream fold needs from the broadcast global state.
+    pub(crate) fn new(cfg: &FlConfig, global: &GlobalState, n_clients_total: usize) -> Self {
+        let spill = if cfg.screen.is_some() {
+            Some(SpillReason::Screening)
+        } else if !matches!(cfg.aggregator, AggregatorKind::WeightedMean) {
+            Some(SpillReason::RobustAggregator)
+        } else {
+            None
+        };
+        let mode = match spill {
+            Some(reason) => Mode::Spill {
+                reason,
+                outcomes: Vec::new(),
+            },
+            None => Mode::Stream(Box::new(StreamState::new(cfg, global, n_clients_total))),
+        };
+        RoundAccumulator { mode, folded: 0 }
+    }
+
+    /// `None` when streaming (O(model)); the spill reason otherwise.
+    pub fn spill_reason(&self) -> Option<SpillReason> {
+        match &self.mode {
+            Mode::Stream(_) => None,
+            Mode::Spill { reason, .. } => Some(*reason),
+        }
+    }
+
+    /// Uploads absorbed so far (diverged riders included — they count as
+    /// survivors exactly as they did in the batch path).
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// Absorb one decoded upload. In stream mode its tensors are
+    /// consumed immediately; in spill mode it is buffered until
+    /// [`RoundDriver::finish_accumulation`].
+    ///
+    /// [`RoundDriver::finish_accumulation`]: crate::RoundDriver::finish_accumulation
+    pub fn fold(&mut self, outcome: LocalOutcome) {
+        self.folded += 1;
+        match &mut self.mode {
+            Mode::Stream(state) => state.fold(&outcome),
+            Mode::Spill { outcomes, .. } => outcomes.push(outcome),
+        }
+    }
+
+    /// Close the round against `global`: finalize the stream, or sort
+    /// the spill by client id, screen it, and batch-fold. Returns
+    /// `(survivors, applied)` for the fault ledger.
+    pub(crate) fn finish(
+        self,
+        cfg: &FlConfig,
+        global: &mut GlobalState,
+        n_clients_total: usize,
+        faults: &mut FaultRecord,
+    ) -> (usize, bool) {
+        match self.mode {
+            Mode::Stream(state) => {
+                let survivors = self.folded;
+                let applied = state.finalize(global);
+                (survivors, applied)
+            }
+            Mode::Spill { mut outcomes, .. } => {
+                // Deterministic slotting: whatever order the transport
+                // delivered, the batch fold always sees ascending ids.
+                outcomes.sort_by_key(|o| o.client_id);
+                let outcomes = match &cfg.screen {
+                    Some(policy) => crate::screen_updates(policy, outcomes, faults),
+                    None => outcomes,
+                };
+                let survivors = outcomes.len();
+                let applied = global.aggregate(cfg, &outcomes, n_clients_total);
+                (survivors, applied)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sums_match_rational_arithmetic() {
+        let mut s = ExactSums::new(2);
+        s.add(0, 0.5, 3); // 1.5
+        s.add(0, -0.25, 2); // -0.5 → 1.0
+        s.add(1, 1.5e-45, 1); // one grid LSB ≈ 2^-149
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(1), GRID);
+    }
+
+    #[test]
+    fn exact_sums_are_permutation_invariant_where_f32_is_not() {
+        // A classic cancellation case: (big + tiny) - big loses the tiny
+        // term in f32/f64 running sums depending on order; the integer
+        // grid keeps it bit-exactly in every order.
+        let terms: [(f32, u64); 4] = [(3e7, 1), (0.125, 7), (-3e7, 1), (1e-30, 9)];
+        let mut fwd = ExactSums::new(1);
+        let mut rev = ExactSums::new(1);
+        for &(v, w) in &terms {
+            fwd.add(0, v, w);
+        }
+        for &(v, w) in terms.iter().rev() {
+            rev.add(0, v, w);
+        }
+        assert_eq!(fwd.value(0).to_bits(), rev.value(0).to_bits());
+        let expect = 0.125f64 * 7.0 + 1e-30 * 9.0;
+        assert!((fwd.value(0) - expect).abs() <= expect * 1e-15);
+    }
+
+    #[test]
+    fn exact_sums_extreme_magnitudes_coexist() {
+        let mut s = ExactSums::new(1);
+        s.add(0, f32::MAX, u64::MAX);
+        s.add(0, f32::MIN_POSITIVE * f32::EPSILON, 1); // subnormal region
+        s.add(0, -f32::MAX, u64::MAX);
+        let tiny = (f32::MIN_POSITIVE * f32::EPSILON) as f64;
+        assert_eq!(s.value(0), tiny, "the huge terms cancel exactly");
+    }
+
+    #[test]
+    fn non_finite_verdicts_are_commutative() {
+        for flip in [false, true] {
+            let mut s = ExactSums::new(3);
+            let adds: [(usize, f32); 4] = [
+                (0, f32::NAN),
+                (1, f32::INFINITY),
+                (2, f32::INFINITY),
+                (2, f32::NEG_INFINITY),
+            ];
+            let iter: Box<dyn Iterator<Item = &(usize, f32)>> = if flip {
+                Box::new(adds.iter().rev())
+            } else {
+                Box::new(adds.iter())
+            };
+            for &(j, v) in iter {
+                s.add(j, v, 1);
+            }
+            assert!(s.value(0).is_nan());
+            assert_eq!(s.value(1), f64::INFINITY);
+            assert!(s.value(2).is_nan(), "±∞ collide to NaN");
+        }
+    }
+
+    #[test]
+    fn zero_weight_and_zero_value_are_inert() {
+        let mut s = ExactSums::new(1);
+        s.add(0, 123.0, 0);
+        s.add(0, 0.0, 99);
+        s.add(0, -0.0, 99);
+        assert_eq!(s.value(0), 0.0);
+    }
+}

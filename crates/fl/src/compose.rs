@@ -12,10 +12,13 @@
 //!   [`AggregatorKind::NormClippedMean`]): edges forward the survivors'
 //!   original sealed upload frames verbatim; the root decodes them,
 //!   merges all edges' survivors in ascending client-id order and runs
-//!   the ordinary flat fold ([`fold_exact`]). Because f32 addition is
-//!   non-associative, *replaying the flat fold over the original
-//!   uploads* is the only composition that is bit-identical to the flat
-//!   coordinator — and it is, for every algorithm, dropouts included
+//!   the ordinary flat fold ([`fold_exact`]). Since PR 7 that flat fold
+//!   is the streaming accumulator (DESIGN.md §12), whose integer
+//!   carry-save sums make the fold order-independent outright —
+//!   [`fold_exact`]'s ascending-id sort is kept for the ledger and the
+//!   f32 bookkeeping, and replaying the flat fold over the original
+//!   uploads remains bit-identical to the flat coordinator for every
+//!   algorithm, dropouts included
 //!   (survivor renormalisation happens once, at the root, over exactly
 //!   the survivor set a flat coordinator would have seen). The
 //!   median-RMS clip of `NormClippedMean` needs the *global* cohort's
@@ -424,6 +427,11 @@ pub fn aggregate_reduced(
 
 /// Snapshot the numeric counters of a fault ledger for the wire — the
 /// edge→root half of tree-wide ledger composition. Events stay local.
+///
+/// The `retry_*` counters travel for completeness but only the
+/// *simulator's* retry loop ever increments them: networked paths (flat
+/// coordinator, edges) have no retry protocol and record a failed
+/// decode as `CorruptUpload` alone.
 pub fn fault_counters(record: &FaultRecord) -> TierFaultCounters {
     TierFaultCounters {
         sampled: record.sampled as u32,

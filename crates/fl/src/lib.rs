@@ -32,6 +32,7 @@
 
 #![deny(missing_docs)]
 
+mod accumulate;
 mod adversary;
 mod client;
 mod comm;
@@ -45,6 +46,7 @@ mod simulation;
 mod transfer;
 pub mod wire;
 
+pub use accumulate::{RoundAccumulator, SpillReason, StreamState};
 pub use adversary::{Adversary, AdversaryPlan, AttackKind};
 pub use client::{ClientState, LocalOutcome, SelectedUpdate};
 pub use comm::{CommModel, RoundBytes};

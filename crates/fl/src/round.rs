@@ -12,17 +12,19 @@
 //! order produces a bit-identical global model.
 //!
 //! Determinism contract: one [`RoundDriver::sample_round`] draw per round
-//! (no-op rounds included), and uploads handed to
-//! [`RoundDriver::screen_and_aggregate`] in ascending client-id order —
-//! the order the simulator's parallel collection preserves and the f32
-//! aggregation folds depend on.
+//! (no-op rounds included). Uploads may be folded into the round's
+//! [`RoundAccumulator`] in **any arrival order** — the streaming fold is
+//! order-independent by construction (exact integer accumulation) and
+//! the spill path deterministically slots by client id before the batch
+//! fold (DESIGN.md §12) — so a concurrent networked collection and the
+//! simulator's ascending-id sweep produce bit-identical global models.
 
 use serde::{Deserialize, Serialize};
 use spatl_tensor::TensorRng;
 use spatl_wire::{SelectionLayout, SimNet, WireError};
 
 use crate::{
-    screen_updates, wire, Encoded, FaultRecord, FlConfig, GlobalState, LocalOutcome, RoundBytes,
+    wire, Encoded, FaultRecord, FlConfig, GlobalState, LocalOutcome, RoundAccumulator, RoundBytes,
     WireBytes,
 };
 
@@ -190,27 +192,45 @@ impl RoundDriver {
         )
     }
 
-    /// Screening + aggregation stage (DESIGN.md §8/§9): pass the decoded
-    /// cohort through the configured update screen, renormalise over the
-    /// survivors and fold them into the global state. `survivors` must be
-    /// in ascending client-id order (the f32 fold order both runtimes
-    /// share). Returns whether anything was applied; the ledger's
-    /// `survivors`/`no_op` fields are filled either way.
+    /// Open this round's aggregation front-end (DESIGN.md §12): an
+    /// accumulator that absorbs decoded uploads in **any arrival order**
+    /// — streaming them into fixed-size exact state when the
+    /// configuration allows (`WeightedMean`, no screen), buffering and
+    /// deterministically slotting by client id otherwise. Close it with
+    /// [`RoundDriver::finish_accumulation`].
+    pub fn begin_accumulation(&self) -> RoundAccumulator {
+        RoundAccumulator::new(&self.cfg, &self.global, self.cfg.n_clients)
+    }
+
+    /// Close a round's accumulator: screen the spill (if any), fold into
+    /// the global state, and fill the ledger's `survivors`/`no_op`
+    /// fields. Returns whether anything was applied.
+    pub fn finish_accumulation(&mut self, acc: RoundAccumulator, faults: &mut FaultRecord) -> bool {
+        let (survivors, applied) =
+            acc.finish(&self.cfg, &mut self.global, self.cfg.n_clients, faults);
+        faults.survivors = survivors;
+        faults.no_op = !applied;
+        applied
+    }
+
+    /// Screening + aggregation stage (DESIGN.md §8/§9) for callers that
+    /// already hold the whole cohort (the in-process simulator, the
+    /// tiered composition layer): feeds every upload through the same
+    /// [`RoundAccumulator`] the concurrent coordinator streams into —
+    /// one fold, two transports. Arrival order no longer matters; the
+    /// accumulator is order-independent by construction. Returns whether
+    /// anything was applied; the ledger's `survivors`/`no_op` fields are
+    /// filled either way.
     pub fn screen_and_aggregate(
         &mut self,
         survivors: Vec<LocalOutcome>,
         faults: &mut FaultRecord,
     ) -> bool {
-        let survivors = match &self.cfg.screen {
-            Some(policy) => screen_updates(policy, survivors, faults),
-            None => survivors,
-        };
-        faults.survivors = survivors.len();
-        let applied = self
-            .global
-            .aggregate(&self.cfg, &survivors, self.cfg.n_clients);
-        faults.no_op = !applied;
-        applied
+        let mut acc = self.begin_accumulation();
+        for o in survivors {
+            acc.fold(o);
+        }
+        self.finish_accumulation(acc, faults)
     }
 
     /// Close the round: fold the participants' byte accounting, attach

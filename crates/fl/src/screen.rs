@@ -33,6 +33,19 @@
 //! tolerance band. Those are the robust
 //! [`AggregatorKind`](crate::AggregatorKind)s' job.
 //!
+//! **Memory model (DESIGN.md §12):** the stage-2 norm screen is a
+//! *cohort statistic* — each family's median RMS exists only once every
+//! survivor is present — so a screened round runs in the
+//! [`RoundAccumulator`](crate::RoundAccumulator)'s explicit **buffered
+//! spill mode**: uploads are buffered (O(cohort·model) ceiling,
+//! documented, opted into by configuring a policy), deterministically
+//! sorted by client id, screened here, then batch-aggregated. Unscreened
+//! `WeightedMean` rounds never buffer; they stream through the exact
+//! O(model) accumulator. The spill path sorts before screening, so
+//! quarantine decisions are independent of upload arrival order — the
+//! streaming-vs-buffered equivalence test in `tests/accumulate.rs` pins
+//! this down on adversarial cohorts.
+//!
 //! [`GlobalState::aggregate`]: crate::GlobalState::aggregate
 
 use crate::{FaultKind, FaultRecord, LocalOutcome};

@@ -1,14 +1,18 @@
 //! Server-side global state and aggregation rules.
 //!
 //! Every algorithm's published rule lives behind
-//! [`AggregatorKind::WeightedMean`] (the default — bit-identical to the
-//! pre-defense code path). The robust variants
+//! [`AggregatorKind::WeightedMean`] (the default), implemented by the
+//! streaming [`StreamState`](crate::StreamState) fold — one upload at a
+//! time over fixed-size exact accumulators, so the same code path serves
+//! the batch callers here and the concurrent networked coordinator
+//! (DESIGN.md §12). The robust variants
 //! ([`AggregatorKind::NormClippedMean`],
 //! [`AggregatorKind::CoordinateMedian`],
 //! [`AggregatorKind::CoordinateTrimmedMean`]) re-express each rule around
 //! a per-coordinate robust statistic so a Byzantine minority cannot
 //! control the aggregate; DESIGN.md §9 discusses the trade-offs.
 
+use crate::accumulate::StreamState;
 use crate::screen::{all_finite, median_in_place, update_rms};
 use crate::{AggregatorKind, Algorithm, FlConfig, LocalOutcome};
 use serde::{Deserialize, Serialize};
@@ -82,7 +86,11 @@ impl GlobalState {
         }
         match cfg.aggregator {
             AggregatorKind::WeightedMean => {
-                self.aggregate_weighted_mean(cfg, &valid, n_clients_total)
+                let mut acc = StreamState::new(cfg, self, n_clients_total);
+                for o in &valid {
+                    acc.fold(o);
+                }
+                acc.finalize(self)
             }
             AggregatorKind::NormClippedMean => {
                 let clipped = clip_to_median_rms(&valid);
@@ -91,8 +99,11 @@ impl GlobalState {
                     // aggregatable survived the clip — a no-op round.
                     return false;
                 }
-                let refs: Vec<&LocalOutcome> = clipped.iter().collect();
-                self.aggregate_weighted_mean(cfg, &refs, n_clients_total)
+                let mut acc = StreamState::new(cfg, self, n_clients_total);
+                for o in &clipped {
+                    acc.fold(o);
+                }
+                acc.finalize(self)
             }
             AggregatorKind::CoordinateMedian => {
                 self.aggregate_coordinatewise(cfg, &valid, n_clients_total, RobustStat::Median)
@@ -104,151 +115,6 @@ impl GlobalState {
                 RobustStat::TrimmedMean(trim_ratio),
             ),
         }
-    }
-
-    /// The published sample-weighted rule of each algorithm — the
-    /// [`AggregatorKind::WeightedMean`] path, byte-identical to the
-    /// pre-defense aggregation (regression-tested against a naive
-    /// reference in `tests/adversary.rs`).
-    fn aggregate_weighted_mean(
-        &mut self,
-        cfg: &FlConfig,
-        valid: &[&LocalOutcome],
-        n_clients_total: usize,
-    ) -> bool {
-        let p = self.shared.len();
-
-        match cfg.algorithm {
-            Algorithm::FedAvg | Algorithm::FedProx { .. } => {
-                // Weighted average of deltas by sample count.
-                let total: f32 = valid.iter().map(|o| o.n_samples as f32).sum();
-                if total <= 0.0 {
-                    // Every survivor has an empty shard: dividing by the
-                    // total would poison the model with NaN — skip instead.
-                    return false;
-                }
-                for o in valid {
-                    let w = cfg.server_lr * o.n_samples as f32 / total;
-                    for j in 0..p {
-                        self.shared[j] += w * o.delta[j];
-                    }
-                }
-            }
-            Algorithm::FedNova => {
-                // Normalised averaging: x ← x − τ_eff · Σ pᵢ (−δᵢ/τᵢ),
-                // with pᵢ and τ_eff over the surviving cohort.
-                let total: f32 = valid.iter().map(|o| o.n_samples as f32).sum();
-                if total <= 0.0 {
-                    return false;
-                }
-                let tau_eff: f32 = valid
-                    .iter()
-                    .map(|o| (o.n_samples as f32 / total) * o.tau as f32)
-                    .sum();
-                for o in valid {
-                    let w = cfg.server_lr * tau_eff * (o.n_samples as f32 / total)
-                        / (o.tau.max(1) as f32);
-                    for j in 0..p {
-                        self.shared[j] += w * o.delta[j];
-                    }
-                }
-                // Refresh the broadcast momentum buffer from the uploaded
-                // local buffers (data-weighted mean over senders).
-                if valid.iter().any(|o| o.velocity.is_some()) {
-                    self.momentum = vec![0.0; p];
-                    for o in valid {
-                        if let Some(v) = &o.velocity {
-                            let w = o.n_samples as f32 / total;
-                            for (m, &vj) in self.momentum.iter_mut().zip(v) {
-                                *m += w * vj;
-                            }
-                        }
-                    }
-                }
-            }
-            Algorithm::Scaffold => {
-                // x ← x + η_g · mean(δᵢ); c ← c + (1/N)·Σ Δcᵢ with
-                // Δcᵢ = −c − δᵢ/(τᵢ·η_l) (server-derivable, §IV-C).
-                let inv_s = 1.0 / valid.len() as f32;
-                let inv_n = 1.0 / n_clients_total as f32;
-                let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
-                let mut c_delta = vec![0.0f32; p];
-                for o in valid {
-                    let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
-                    #[allow(clippy::needless_range_loop)] // j co-indexes three vectors
-                    for j in 0..p {
-                        self.shared[j] += cfg.server_lr * inv_s * o.delta[j];
-                        // Prefer the client's explicit Δcᵢ (what the wire
-                        // carries); fall back to the server-side derivation
-                        // for synthetic outcomes that skip the upload path.
-                        c_delta[j] += match &o.control_delta {
-                            Some(cd) => cd[j],
-                            None => -self.control[j] - o.delta[j] * scale,
-                        };
-                    }
-                }
-                for (c, &d) in self.control.iter_mut().zip(&c_delta) {
-                    *c += inv_n * d;
-                }
-            }
-            Algorithm::Spatl(opts) => {
-                // Eq. 12: per-index partial aggregation — only indices some
-                // client selected move, averaged over the selecting clients.
-                let mut sum = vec![0.0f32; p];
-                let mut count = vec![0u32; p];
-                let mut c_delta = vec![0.0f32; p];
-                let inv_n = 1.0 / n_clients_total as f32;
-                let eta_eff = cfg.lr / (1.0 - cfg.momentum).max(1e-3);
-                for o in valid {
-                    let scale = 1.0 / (o.tau.max(1) as f32 * eta_eff);
-                    match &o.selected {
-                        Some(sel) => {
-                            for (k, &i) in sel.indices.iter().enumerate() {
-                                let j = i as usize;
-                                sum[j] += sel.values[k];
-                                count[j] += 1;
-                                if opts.gradient_control {
-                                    c_delta[j] += -self.control[j] - sel.values[k] * scale;
-                                }
-                            }
-                        }
-                        None => {
-                            // Selection disabled: dense upload.
-                            for j in 0..p {
-                                sum[j] += o.delta[j];
-                                count[j] += 1;
-                                if opts.gradient_control {
-                                    c_delta[j] += -self.control[j] - o.delta[j] * scale;
-                                }
-                            }
-                        }
-                    }
-                }
-                for j in 0..p {
-                    if count[j] > 0 {
-                        self.shared[j] += cfg.server_lr * sum[j] / count[j] as f32;
-                    }
-                }
-                if opts.gradient_control {
-                    for (c, &d) in self.control.iter_mut().zip(&c_delta) {
-                        *c += inv_n * d;
-                    }
-                }
-            }
-        }
-
-        // Average batch-norm buffers across valid uploads.
-        if !self.buffers.is_empty() {
-            let inv = 1.0 / valid.len() as f32;
-            let mut acc = vec![0.0f32; self.buffers.len()];
-            for o in valid {
-                for (a, b) in acc.iter_mut().zip(&o.buffers) {
-                    *a += b * inv;
-                }
-            }
-            self.buffers = acc;
-        }
-        true
     }
 
     /// Robust per-coordinate aggregation

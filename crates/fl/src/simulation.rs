@@ -1,5 +1,14 @@
 //! The federated-learning simulator: in-process clients around the shared
 //! [`RoundDriver`] orchestration core.
+//!
+//! Aggregation flows through [`RoundDriver::screen_and_aggregate`] — the
+//! same [`RoundAccumulator`](crate::RoundAccumulator) front-end the
+//! concurrent networked coordinator streams into (DESIGN.md §12). The
+//! simulator feeds it in ascending client-id order because that is the
+//! order its collection loop produces, but nothing depends on it: the
+//! accumulator is order-independent, which is exactly why a TCP round
+//! whose uploads complete in scrambled order stays bit-identical to the
+//! simulated one.
 
 use crate::{
     client::write_shared, wire, Adversary, Algorithm, ClientState, FaultInjector, FaultKind,

@@ -1,34 +1,47 @@
 //! The server side of the networked runtime: a TCP listener around the
 //! shared [`RoundDriver`] round engine.
 //!
-//! Thread model: the coordinator is single-threaded and blocking. The
-//! listener itself is non-blocking (so mid-run rejoins are picked up
-//! between rounds), but every registered connection is a blocking socket
-//! with explicit read/write deadlines — a round can therefore never hang
-//! on one client, only time it out and ledger it. Clients supply the
-//! concurrency: each node trains in its own process (or thread), and the
-//! round barrier here simply collects whatever arrives before each
-//! connection's deadline, in ascending client-id order — the same
-//! collection order the simulator's parallel loop preserves, which the
-//! f32 aggregation folds depend on for bit-identical results.
+//! Thread model (DESIGN.md §12): control-plane traffic — handshakes,
+//! broadcasts, evaluation passes, the tiered round's few edge links —
+//! is single-threaded and blocking with explicit deadlines, exactly as
+//! before. The flat round's *upload collection* is concurrent: after
+//! the broadcast every participant socket switches to non-blocking and
+//! one readiness sweep drives a per-connection frame-assembly state
+//! machine (`ConnGather`), handing each completed upload to a small
+//! decode worker pool the moment its last frame arrives. Decoded
+//! updates stream straight into the round's order-independent
+//! [`RoundAccumulator`](spatl_fl::RoundAccumulator), so the coordinator
+//! never holds the cohort in memory — an admission window bounds
+//! buffered uploads at O(workers), independent of cohort size, with TCP
+//! receive-window backpressure parking the rest in kernel buffers.
+//! Completion order is non-deterministic, but everything order-sensitive
+//! (fault ledger events, outcome bookkeeping, transfer-time folds) is
+//! re-sorted by client id before it is recorded, and the accumulator's
+//! fold is order-independent by construction — so records and global
+//! state stay bit-identical to the simulator's ascending-id sweep. A
+//! round still never hangs on one client: a single collection deadline
+//! (`round_timeout` from broadcast) ledgers whoever is missing.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::Range;
 use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use spatl::{save_global, RoundLog};
 use spatl_fl::{
-    aggregate_reduced, edge_partition, entry_outcome, exact_composition, fold_exact,
-    fold_fault_counters, FaultKind, FaultRecord, LocalOutcome, RoundBytes, RoundDriver,
-    RoundRecord, TransportStats, WireBytes,
+    aggregate_reduced, decode_upload, edge_partition, entry_outcome, exact_composition, fold_exact,
+    fold_fault_counters, FaultKind, FaultRecord, LocalOutcome, RoundDriver, RoundRecord,
+    TransportStats, WireBytes,
 };
 use spatl_wire::{
     decode_edge_combined, open, read_frame, seal, write_frame, EdgeCombined, EdgeReduced, MsgType,
     StreamError, HEADER_LEN, MAX_FRAME_PAYLOAD,
 };
 
+use crate::gather::{CollectFailure, ConnGather, GatherPoll};
 use crate::proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
 use crate::NetError;
 
@@ -96,30 +109,6 @@ impl Default for CoordinatorConfig {
             wal: None,
         }
     }
-}
-
-/// Why collecting one client's upload failed.
-enum CollectFailure {
-    /// The connection produced no complete reply before the round
-    /// deadline; the client may still be training.
-    Timeout,
-    /// The connection is gone (EOF, reset, write failure, or a stream
-    /// that stopped making protocol sense).
-    Disconnect,
-    /// The client sent a `Shutdown` frame instead of an upload.
-    Shutdown,
-    /// The reply arrived intact at the framing layer but its payload was
-    /// rejected by the decode path (CRC or codec failure).
-    Corrupt(String),
-}
-
-/// One successfully collected upload, before decoding.
-struct Collected {
-    meta: LocalOutcome,
-    frames: Vec<Vec<u8>>,
-    /// Seconds spent reading the upload frames *after* the header
-    /// arrived — transfer time, not training time.
-    read_s: f64,
 }
 
 /// The networked federated server: the shared [`RoundDriver`] engine plus
@@ -328,88 +317,6 @@ impl Coordinator {
         }
     }
 
-    /// Round barrier, one connection's worth: block (up to the round
-    /// deadline) for the client's [`RoundDone`] header, then read its
-    /// upload frames. The deadline covers local training; the measured
-    /// `read_s` starts after the header arrives so it reflects transfer
-    /// only.
-    fn collect_upload(&mut self, id: usize, round: u32) -> Result<Collected, CollectFailure> {
-        let max_frame = self.opts.max_frame;
-        let round_timeout = self.opts.round_timeout;
-        let stream = match self.conns[id].as_mut() {
-            Some(s) => s,
-            None => return Err(CollectFailure::Disconnect),
-        };
-        if stream.set_read_timeout(Some(round_timeout)).is_err() {
-            return Err(CollectFailure::Disconnect);
-        }
-        let header = match read_frame(stream, max_frame) {
-            Ok(Some(f)) => f,
-            Ok(None) => return Err(CollectFailure::Disconnect),
-            Err(e) => return Err(Self::classify(&e)),
-        };
-        let (msg, payload) = match open(&header) {
-            Ok(x) => x,
-            Err(_) => return Err(CollectFailure::Disconnect),
-        };
-        match msg {
-            MsgType::Shutdown => return Err(CollectFailure::Shutdown),
-            MsgType::RoundDone => {}
-            _ => return Err(CollectFailure::Disconnect),
-        }
-        let done = match RoundDone::decode(payload) {
-            Ok(d) => d,
-            Err(e) => return Err(CollectFailure::Corrupt(e.to_string())),
-        };
-        if done.round != round || done.client_id as usize != id || done.mode != RoundMode::Train {
-            return Err(CollectFailure::Disconnect);
-        }
-        let started = Instant::now();
-        let mut frames = Vec::with_capacity(done.n_frames as usize);
-        for _ in 0..done.n_frames {
-            match read_frame(stream, max_frame) {
-                Ok(Some(f)) => frames.push(f),
-                Ok(None) => return Err(CollectFailure::Disconnect),
-                Err(e) => return Err(Self::classify(&e)),
-            }
-        }
-        Ok(Collected {
-            meta: Self::meta_outcome(&done),
-            frames,
-            read_s: started.elapsed().as_secs_f64(),
-        })
-    }
-
-    /// Rebuild the bookkeeping half of a [`LocalOutcome`] from the
-    /// client's [`RoundDone`] header; every tensor field stays empty until
-    /// [`RoundDriver::decode_client_upload`] fills it from the frames.
-    fn meta_outcome(done: &RoundDone) -> LocalOutcome {
-        LocalOutcome {
-            client_id: done.client_id as usize,
-            n_samples: done.n_samples as usize,
-            tau: done.tau as usize,
-            delta: Vec::new(),
-            selected: None,
-            control_delta: None,
-            velocity: None,
-            buffers: Vec::new(),
-            diverged: done.diverged,
-            bytes: RoundBytes {
-                download: done.bytes_download,
-                upload: done.bytes_upload,
-            },
-            wire: WireBytes {
-                download_payload: 0,
-                download_framed: 0,
-                upload_payload: done.upload_payload,
-                upload_framed: done.upload_framed,
-            },
-            frames: Vec::new(),
-            keep_ratio: done.keep_ratio,
-            flops_ratio: done.flops_ratio,
-        }
-    }
-
     /// Durably record a round boundary; a failing log disables itself
     /// (loudly) rather than taking the session down.
     fn wal_begin(&mut self, round: usize, sampled: &[usize]) {
@@ -465,12 +372,23 @@ impl Coordinator {
     }
 
     /// The flat round body: every connection is one client.
+    ///
+    /// Collection is concurrent (module docs, DESIGN.md §12): the
+    /// broadcast stays blocking and ascending, then every participant
+    /// socket goes non-blocking and a readiness sweep drives one
+    /// `ConnGather` per connection, feeding a decode worker pool that
+    /// folds each upload into the round's accumulator the moment it
+    /// finishes framing. The cohort is never resident: at most
+    /// `4·workers + 16` uploads are buffered outside the kernel at once.
+    /// Fault events and outcome bookkeeping are queued in completion
+    /// order and re-sorted by client id before anything is recorded.
     fn flat_round(&mut self, round: usize, sampled: Vec<usize>) -> RoundRecord {
         let mut faults = FaultRecord::for_sample(sampled.len());
 
-        // Broadcast to the sampled cohort, ascending client-id order.
+        // Broadcast to the sampled cohort, ascending client-id order
+        // (blocking writes under the io deadline).
         let down = self.driver.broadcast();
-        let broadcast_started = Instant::now();
+        let phase_started = Instant::now();
         let mut participants: Vec<usize> = Vec::new();
         for &id in &sampled {
             if self.conns[id].is_some()
@@ -484,7 +402,6 @@ impl Coordinator {
                 faults.push(id, FaultKind::Dropout);
             }
         }
-        let mut measured_s = broadcast_started.elapsed().as_secs_f64();
 
         if participants.is_empty() {
             faults.no_op = true;
@@ -492,75 +409,232 @@ impl Coordinator {
             return self.driver.noop_round(per_client_acc, faults);
         }
 
-        // Round barrier: collect uploads in ascending client-id order (the
-        // aggregation fold order both runtimes share).
-        let mut outcomes: Vec<LocalOutcome> = Vec::new();
-        let mut survivors: Vec<LocalOutcome> = Vec::new();
-        let mut wire_total = WireBytes::default();
-        let mut wall_clock_s = 0f64;
-        let mut device_seconds = 0f64;
+        // Collection phase: flip the cohort to non-blocking reads.
+        let mut live: Vec<usize> = Vec::new();
         for &id in &participants {
-            match self.collect_upload(id, round as u32) {
-                Ok(collected) => {
-                    let mut o = collected.meta;
-                    o.wire.download_payload = down.payload;
-                    o.wire.download_framed = down.framed();
-                    measured_s += collected.read_s;
-                    if o.diverged {
-                        faults.push(id, FaultKind::LocalDivergence);
+            let ok = self.conns[id]
+                .as_ref()
+                .is_some_and(|s| s.set_nonblocking(true).is_ok());
+            if ok {
+                live.push(id);
+            } else {
+                self.conns[id] = None;
+                faults.push(id, FaultKind::Dropout);
+            }
+        }
+
+        let mut acc = self.driver.begin_accumulation();
+        // (client id, fault) pairs in completion order; stable-sorted by
+        // id below so the ledger is arrival-order-independent.
+        let mut events: Vec<(usize, FaultKind)> = Vec::new();
+        let mut metas: Vec<LocalOutcome> = Vec::new();
+        let mut shutdown = false;
+
+        {
+            // Field-level borrow split: the sweep mutates `conns` while
+            // the decode workers share the driver's read-only session
+            // data (config, layout, parameter count).
+            let driver = &self.driver;
+            let conns = &mut self.conns;
+            let cfg = driver.cfg;
+            let layout = driver.layout.as_ref();
+            let p = driver.global.shared.len();
+            let deadline = phase_started + self.opts.round_timeout;
+            let max_frame = self.opts.max_frame;
+            let workers = rayon::current_num_threads().max(1);
+            // Uploads buffered outside the kernel at once: admitted
+            // assemblies plus queued / in-flight decode jobs. This is the
+            // round's memory ceiling — O(workers), not O(cohort).
+            let window = 4 * workers + 16;
+
+            type DecodeJob = (usize, LocalOutcome, Vec<Vec<u8>>);
+            type DecodeDone = (usize, LocalOutcome, Result<LocalOutcome, String>);
+
+            std::thread::scope(|scope| {
+                // Bounded job queue: a full queue blocks the sweep, which
+                // is exactly the backpressure that keeps memory flat.
+                let (job_tx, job_rx) = mpsc::sync_channel::<DecodeJob>(workers);
+                let job_rx = Arc::new(Mutex::new(job_rx));
+                let (done_tx, done_rx) = mpsc::channel::<DecodeDone>();
+                for _ in 0..workers {
+                    let job_rx = Arc::clone(&job_rx);
+                    let done_tx = done_tx.clone();
+                    scope.spawn(move || loop {
+                        let job = job_rx.lock().expect("decode queue lock poisoned").recv();
+                        let Ok((id, meta, frames)) = job else { break };
+                        let decoded = decode_upload(&cfg, &meta, &frames, layout, p)
+                            .map_err(|e| e.to_string());
+                        if done_tx.send((id, meta, decoded)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(done_tx);
+
+                let mut gathers: Vec<ConnGather> =
+                    live.iter().map(|_| ConnGather::new(max_frame)).collect();
+                // Connections still being gathered (parallel to `live`).
+                let mut open_conns: Vec<bool> = vec![true; live.len()];
+                let mut gathering = live.len();
+                // Decode jobs whose results have not been drained yet.
+                let mut outstanding = 0usize;
+                // Admission slots held: assembling conns + outstanding.
+                let mut in_flight = 0usize;
+
+                while gathering > 0 || outstanding > 0 {
+                    let mut progressed = false;
+
+                    // Drain finished decodes first: each frees a slot and
+                    // feeds the accumulator.
+                    while let Ok((id, meta, decoded)) = done_rx.try_recv() {
+                        progressed = true;
+                        outstanding -= 1;
+                        in_flight -= 1;
+                        match decoded {
+                            Ok(d) => acc.fold(d),
+                            // TCP retransmits damaged segments itself, so
+                            // there is no retry protocol on this path: a
+                            // reply that fails the CRC/codec checks is
+                            // corrupt, full stop (`RetriesExhausted`
+                            // belongs to the simulator's retry loop).
+                            Err(error) => {
+                                events.push((id, FaultKind::CorruptUpload { error }));
+                            }
+                        }
+                        metas.push(meta);
                     }
-                    match self.driver.decode_client_upload(&o, &collected.frames) {
-                        Ok(d) => survivors.push(d),
-                        Err(e) => {
-                            // The framing layer delivered the reply but the
-                            // payload failed the CRC/codec checks. TCP already
-                            // retransmits damaged segments, so there is no
-                            // retry protocol here — the upload is excluded.
-                            faults.push(
-                                id,
-                                FaultKind::CorruptUpload {
-                                    error: e.to_string(),
-                                },
-                            );
-                            faults.push(id, FaultKind::RetriesExhausted);
+
+                    // Readiness sweep over the still-gathering cohort.
+                    for (k, &id) in live.iter().enumerate() {
+                        if !open_conns[k] {
+                            continue;
+                        }
+                        if gathers[k].parked() && in_flight < window {
+                            gathers[k].admit();
+                            in_flight += 1;
+                            progressed = true;
+                        }
+                        let Some(stream) = conns[id].as_mut() else {
+                            open_conns[k] = false;
+                            gathering -= 1;
+                            events.push((id, FaultKind::Dropout));
+                            continue;
+                        };
+                        match gathers[k].poll(stream, round as u32, id) {
+                            GatherPoll::Idle => {}
+                            GatherPoll::Progress => progressed = true,
+                            GatherPoll::Upload(mut meta, frames) => {
+                                progressed = true;
+                                open_conns[k] = false;
+                                gathering -= 1;
+                                meta.wire.download_payload = down.payload;
+                                meta.wire.download_framed = down.framed();
+                                if meta.diverged {
+                                    events.push((id, FaultKind::LocalDivergence));
+                                }
+                                // The admission slot transfers from the
+                                // assembly to the queued job; it frees
+                                // when the result drains above.
+                                outstanding += 1;
+                                job_tx
+                                    .send((id, *meta, frames))
+                                    .expect("decode workers outlive the sweep");
+                            }
+                            GatherPoll::Failed(failure) => {
+                                progressed = true;
+                                open_conns[k] = false;
+                                gathering -= 1;
+                                if gathers[k].assembling() {
+                                    in_flight -= 1;
+                                }
+                                let kind = match failure {
+                                    CollectFailure::Timeout => FaultKind::DeadlineMissed,
+                                    CollectFailure::Disconnect => FaultKind::Dropout,
+                                    CollectFailure::Shutdown => {
+                                        shutdown = true;
+                                        FaultKind::Dropout
+                                    }
+                                    CollectFailure::Corrupt(error) => {
+                                        FaultKind::CorruptUpload { error }
+                                    }
+                                };
+                                events.push((id, kind));
+                                conns[id] = None;
+                            }
                         }
                     }
-                    wire_total.accumulate(&o.wire);
-                    let t = self.driver.net.client_time(
-                        o.wire.download_framed as usize,
-                        o.wire.upload_framed as usize,
-                    );
-                    device_seconds += t;
-                    wall_clock_s = wall_clock_s.max(t);
-                    outcomes.push(o);
+
+                    // One shared deadline for the whole collection phase:
+                    // whoever has not completed framing by now missed it.
+                    if gathering > 0 && Instant::now() >= deadline {
+                        for (k, &id) in live.iter().enumerate() {
+                            if open_conns[k] {
+                                open_conns[k] = false;
+                                if gathers[k].assembling() {
+                                    in_flight -= 1;
+                                }
+                                events.push((id, FaultKind::DeadlineMissed));
+                                conns[id] = None;
+                            }
+                        }
+                        gathering = 0;
+                        progressed = true;
+                    }
+
+                    if !progressed && (gathering > 0 || outstanding > 0) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
                 }
-                Err(CollectFailure::Timeout) => {
-                    faults.push(id, FaultKind::DeadlineMissed);
-                    self.conns[id] = None;
-                }
-                Err(CollectFailure::Disconnect) => {
-                    faults.push(id, FaultKind::Dropout);
-                    self.conns[id] = None;
-                }
-                Err(CollectFailure::Shutdown) => {
-                    self.shutdown_requested = true;
-                    faults.push(id, FaultKind::Dropout);
-                    self.conns[id] = None;
-                }
-                Err(CollectFailure::Corrupt(error)) => {
-                    faults.push(id, FaultKind::CorruptUpload { error });
-                    faults.push(id, FaultKind::RetriesExhausted);
+
+                // Lets the workers' `recv` fail so the scope can join.
+                drop(job_tx);
+            });
+        }
+
+        // Collection is over: back to blocking mode for the evaluation
+        // pass and the next round's broadcast.
+        for &id in &live {
+            if let Some(s) = self.conns[id].as_ref() {
+                if s.set_nonblocking(false).is_err() {
                     self.conns[id] = None;
                 }
             }
         }
+        if shutdown {
+            self.shutdown_requested = true;
+        }
+        let measured_s = phase_started.elapsed().as_secs_f64();
 
-        // Screening + aggregation through the shared driver — identical to
-        // the simulator from here on.
-        self.driver.screen_and_aggregate(survivors, &mut faults);
+        // Re-establish the deterministic ascending-id order the ledger
+        // and the f32 bookkeeping folds rely on. The sort is stable, so
+        // a client's own events keep their causal order (divergence
+        // before corrupt-decode).
+        events.sort_by_key(|(id, _)| *id);
+        for (id, kind) in events {
+            faults.push(id, kind);
+        }
+        metas.sort_by_key(|o| o.client_id);
+
+        let mut wire_total = WireBytes::default();
+        let mut wall_clock_s = 0f64;
+        let mut device_seconds = 0f64;
+        for o in &metas {
+            wire_total.accumulate(&o.wire);
+            let t = self.driver.net.client_time(
+                o.wire.download_framed as usize,
+                o.wire.upload_framed as usize,
+            );
+            device_seconds += t;
+            wall_clock_s = wall_clock_s.max(t);
+        }
+
+        // Close the accumulator — the same screen/aggregate stage the
+        // simulator runs, minus any cohort buffering for the streaming
+        // configurations.
+        self.driver.finish_accumulation(acc, &mut faults);
         let per_client_acc = self.evaluate_round(round as u32);
         self.driver.finish_round(
-            &outcomes,
+            &metas,
             TransportStats {
                 wire: wire_total,
                 transfer_wall_s: wall_clock_s,
@@ -657,15 +731,14 @@ impl Coordinator {
                             // decode path a flat coordinator uses.
                             match self.driver.decode_client_upload(&meta, &entry.frames) {
                                 Ok(d) => survivors.push(d),
-                                Err(err) => {
-                                    faults.push(
-                                        meta.client_id,
-                                        FaultKind::CorruptUpload {
-                                            error: err.to_string(),
-                                        },
-                                    );
-                                    faults.push(meta.client_id, FaultKind::RetriesExhausted);
-                                }
+                                // No retry protocol over TCP: corrupt is
+                                // corrupt (see the flat path).
+                                Err(err) => faults.push(
+                                    meta.client_id,
+                                    FaultKind::CorruptUpload {
+                                        error: err.to_string(),
+                                    },
+                                ),
                             }
                         }
                         outcomes.push(meta);

@@ -395,15 +395,15 @@ impl EdgeAggregator {
                     }
                     match self.driver.decode_client_upload(&c.meta, &c.frames) {
                         Ok(d) => decoded.push(d),
-                        Err(e) => {
-                            faults.push(
-                                id,
-                                FaultKind::CorruptUpload {
-                                    error: e.to_string(),
-                                },
-                            );
-                            faults.push(id, FaultKind::RetriesExhausted);
-                        }
+                        // TCP has no retry protocol — a damaged upload is
+                        // simply corrupt, never "retries exhausted" (that
+                        // counter belongs to the simulator's retry loop).
+                        Err(e) => faults.push(
+                            id,
+                            FaultKind::CorruptUpload {
+                                error: e.to_string(),
+                            },
+                        ),
                     }
                     collected.push(c);
                 }
@@ -417,7 +417,6 @@ impl EdgeAggregator {
                 }
                 Err(CollectFailure::Corrupt(error)) => {
                     faults.push(id, FaultKind::CorruptUpload { error });
-                    faults.push(id, FaultKind::RetriesExhausted);
                     *self.conn_mut(id) = None;
                 }
             }

@@ -1,0 +1,232 @@
+//! Concurrent upload collection for the flat coordinator (DESIGN.md
+//! §12): one non-blocking state machine per connection, driven by the
+//! coordinator's readiness sweep.
+//!
+//! Each sampled connection advances `Header → Parked → Frames` as bytes
+//! arrive: the [`RoundDone`] header is assembled first (it carries the
+//! frame count and the client's bookkeeping), then the upload's data
+//! frames. The *admission window* sits between the two: a connection
+//! whose header arrived holds its frames in the kernel socket buffer
+//! until the sweep grants it a slot, so at most `window` uploads are
+//! ever buffered in coordinator memory at once — TCP receive-window
+//! backpressure bounds the senders, and the round's memory stays
+//! O(window · upload), independent of cohort size.
+//!
+//! Failure classification mirrors the blocking collector's exactly, so
+//! the fault ledger is transport-shape-independent: a vanished or
+//! protocol-confused stream is a `Disconnect`, a `Shutdown` frame is a
+//! shutdown request, and a header that frames correctly but fails to
+//! decode is `Corrupt`.
+
+use std::net::TcpStream;
+
+use spatl_fl::{LocalOutcome, RoundBytes, WireBytes};
+use spatl_wire::{open, FramePoll, FrameReader, MsgType};
+
+use crate::proto::{RoundDone, RoundMode};
+
+/// Why collecting one client's upload failed.
+pub(crate) enum CollectFailure {
+    /// The connection produced no complete reply before the round
+    /// deadline; the client may still be training.
+    Timeout,
+    /// The connection is gone (EOF, reset, write failure, or a stream
+    /// that stopped making protocol sense).
+    Disconnect,
+    /// The client sent a `Shutdown` frame instead of an upload.
+    Shutdown,
+    /// The reply arrived intact at the framing layer but its payload was
+    /// rejected by the decode path (CRC or codec failure).
+    Corrupt(String),
+}
+
+/// What one readiness-sweep poll of a connection produced.
+pub(crate) enum GatherPoll {
+    /// The socket would block and nothing new arrived.
+    Idle,
+    /// Bytes arrived (or the state advanced) but the reply is still
+    /// incomplete.
+    Progress,
+    /// The complete upload arrived: header bookkeeping plus every frame.
+    Upload(Box<LocalOutcome>, Vec<Vec<u8>>),
+    /// The connection failed; the sweep ledgers it and moves on.
+    Failed(CollectFailure),
+}
+
+enum GatherState {
+    /// Assembling the [`RoundDone`] header frame.
+    Header,
+    /// Header decoded, admission window full: the upload's frames wait
+    /// in the kernel socket buffer until [`ConnGather::admit`].
+    Parked {
+        meta: LocalOutcome,
+        remaining: usize,
+    },
+    /// Admitted: assembling `remaining` more upload frames.
+    Frames {
+        meta: LocalOutcome,
+        remaining: usize,
+        frames: Vec<Vec<u8>>,
+    },
+}
+
+/// One connection's upload collection state across readiness sweeps.
+pub(crate) struct ConnGather {
+    reader: FrameReader,
+    state: GatherState,
+}
+
+impl ConnGather {
+    /// A fresh collector enforcing `max_frame` on every assembled frame.
+    pub(crate) fn new(max_frame: usize) -> Self {
+        ConnGather {
+            reader: FrameReader::new(max_frame),
+            state: GatherState::Header,
+        }
+    }
+
+    /// Whether the header arrived and the connection is waiting for an
+    /// admission slot.
+    pub(crate) fn parked(&self) -> bool {
+        matches!(self.state, GatherState::Parked { .. })
+    }
+
+    /// Whether this connection holds an admission slot (it is assembling
+    /// upload frames in coordinator memory). Used by the sweep to return
+    /// the slot if the connection fails mid-assembly.
+    pub(crate) fn assembling(&self) -> bool {
+        matches!(self.state, GatherState::Frames { .. })
+    }
+
+    /// Grant a parked connection its admission slot: its upload frames
+    /// may now be read into memory.
+    pub(crate) fn admit(&mut self) {
+        if let GatherState::Parked { meta, remaining } =
+            std::mem::replace(&mut self.state, GatherState::Header)
+        {
+            self.state = GatherState::Frames {
+                meta,
+                remaining,
+                frames: Vec::with_capacity(remaining),
+            };
+        }
+    }
+
+    /// Advance this connection with whatever `stream` can deliver
+    /// without blocking. Returns at the first would-block, completed
+    /// upload, or failure; call once per sweep.
+    pub(crate) fn poll(&mut self, stream: &mut TcpStream, round: u32, id: usize) -> GatherPoll {
+        let mut progressed = false;
+        loop {
+            match &mut self.state {
+                GatherState::Parked { .. } => {
+                    return if progressed {
+                        GatherPoll::Progress
+                    } else {
+                        GatherPoll::Idle
+                    };
+                }
+                GatherState::Header => match self.reader.poll(stream) {
+                    Ok(FramePoll::Pending) => {
+                        return if progressed {
+                            GatherPoll::Progress
+                        } else {
+                            GatherPoll::Idle
+                        };
+                    }
+                    Ok(FramePoll::Eof) | Err(_) => {
+                        return GatherPoll::Failed(CollectFailure::Disconnect)
+                    }
+                    Ok(FramePoll::Frame(frame)) => {
+                        progressed = true;
+                        let (msg, payload) = match open(&frame) {
+                            Ok(x) => x,
+                            Err(_) => return GatherPoll::Failed(CollectFailure::Disconnect),
+                        };
+                        match msg {
+                            MsgType::Shutdown => {
+                                return GatherPoll::Failed(CollectFailure::Shutdown)
+                            }
+                            MsgType::RoundDone => {}
+                            _ => return GatherPoll::Failed(CollectFailure::Disconnect),
+                        }
+                        let done = match RoundDone::decode(payload) {
+                            Ok(d) => d,
+                            Err(e) => {
+                                return GatherPoll::Failed(CollectFailure::Corrupt(e.to_string()))
+                            }
+                        };
+                        if done.round != round
+                            || done.client_id as usize != id
+                            || done.mode != RoundMode::Train
+                        {
+                            return GatherPoll::Failed(CollectFailure::Disconnect);
+                        }
+                        self.state = GatherState::Parked {
+                            remaining: done.n_frames as usize,
+                            meta: meta_outcome(&done),
+                        };
+                    }
+                },
+                GatherState::Frames {
+                    remaining, frames, ..
+                } => {
+                    if *remaining == 0 {
+                        let state = std::mem::replace(&mut self.state, GatherState::Header);
+                        let GatherState::Frames { meta, frames, .. } = state else {
+                            unreachable!("state was just matched as Frames");
+                        };
+                        return GatherPoll::Upload(Box::new(meta), frames);
+                    }
+                    match self.reader.poll(stream) {
+                        Ok(FramePoll::Pending) => {
+                            return if progressed {
+                                GatherPoll::Progress
+                            } else {
+                                GatherPoll::Idle
+                            };
+                        }
+                        Ok(FramePoll::Eof) | Err(_) => {
+                            return GatherPoll::Failed(CollectFailure::Disconnect)
+                        }
+                        Ok(FramePoll::Frame(f)) => {
+                            progressed = true;
+                            frames.push(f);
+                            *remaining -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rebuild the bookkeeping half of a [`LocalOutcome`] from a client's
+/// [`RoundDone`] header; every tensor field stays empty until
+/// `RoundDriver::decode_client_upload` fills it from the frames.
+pub(crate) fn meta_outcome(done: &RoundDone) -> LocalOutcome {
+    LocalOutcome {
+        client_id: done.client_id as usize,
+        n_samples: done.n_samples as usize,
+        tau: done.tau as usize,
+        delta: Vec::new(),
+        selected: None,
+        control_delta: None,
+        velocity: None,
+        buffers: Vec::new(),
+        diverged: done.diverged,
+        bytes: RoundBytes {
+            download: done.bytes_download,
+            upload: done.bytes_upload,
+        },
+        wire: WireBytes {
+            download_payload: 0,
+            download_framed: 0,
+            upload_payload: done.upload_payload,
+            upload_framed: done.upload_framed,
+        },
+        frames: Vec::new(),
+        keep_ratio: done.keep_ratio,
+        flops_ratio: done.flops_ratio,
+    }
+}

@@ -45,6 +45,7 @@ use spatl_wire::{StreamError, WireError};
 
 pub mod coordinator;
 pub mod edge;
+mod gather;
 pub mod node;
 pub mod proto;
 

@@ -7,6 +7,14 @@
 //! session nothing client-side — the node reconnects with capped
 //! exponential backoff, re-registers with the same id and fingerprint,
 //! and carries on from whatever round the coordinator assigns next.
+//!
+//! The node needs no awareness of the server's concurrency: the
+//! coordinator collects the cohort's uploads concurrently (DESIGN.md
+//! §12), so this node's reply may start being read before slower peers
+//! have finished training — or sit in kernel buffers until the readiness
+//! sweep admits it. Either way the protocol this file speaks is
+//! unchanged, and the round outcome is arrival-order-independent by
+//! construction on the server side.
 
 use std::net::TcpStream;
 use std::time::Duration;

@@ -48,7 +48,7 @@ pub use envelope::{flip_bit, open, seal, MsgType, HEADER_LEN, MAGIC, WIRE_VERSIO
 pub use error::WireError;
 pub use layout::{IndexRange, SelectionLayout};
 pub use sim::{LinkSpec, RoundTransfer, SimNet};
-pub use stream::{read_frame, write_frame, StreamError, MAX_FRAME_PAYLOAD};
+pub use stream::{read_frame, write_frame, FramePoll, FrameReader, StreamError, MAX_FRAME_PAYLOAD};
 pub use tier::{
     decode_edge_combined, encode_edge_combined, seal_edge_combined, EdgeCombined, EdgeEntry,
     EdgeReduced, EdgeSelection, TierFaultCounters,

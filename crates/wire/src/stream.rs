@@ -189,6 +189,137 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> Result<Option<Vec<u
     Ok(Some(frame))
 }
 
+/// Outcome of one [`FrameReader::poll`] call.
+#[derive(Debug)]
+pub enum FramePoll {
+    /// One complete frame (header + payload), ready for
+    /// [`open`](crate::envelope::open). The reader is back at a frame
+    /// boundary — poll again to drain further buffered frames.
+    Frame(Vec<u8>),
+    /// The source has no bytes available right now (`WouldBlock`); the
+    /// partial frame stays buffered for the next poll.
+    Pending,
+    /// Clean EOF on a frame boundary — the peer closed between frames.
+    Eof,
+}
+
+/// Incremental, non-blocking counterpart of [`read_frame`].
+///
+/// [`read_frame`] parks the calling thread until a whole frame arrives —
+/// fine for one connection, fatal for a coordinator multiplexing
+/// thousands. A `FrameReader` instead *accumulates*: each
+/// [`poll`](FrameReader::poll) consumes whatever bytes the source has
+/// (designed for sockets in non-blocking mode), buffers a partial frame
+/// across calls, and yields [`FramePoll::Frame`] the moment one
+/// completes. One reader per connection; a readiness loop sweeps them.
+///
+/// Validation is identical to [`read_frame`] — magic, version, tag, then
+/// the advertised length against the cap, all checked the moment the
+/// header completes and *before* the payload buffer is grown, preserving
+/// the bounded-allocation guarantee. EOF mid-frame maps to
+/// [`WireError::Truncated`]; EOF on a boundary is [`FramePoll::Eof`].
+#[derive(Debug)]
+pub struct FrameReader {
+    max_payload: usize,
+    buf: Vec<u8>,
+    /// Total frame length once the header has been parsed and validated.
+    total: Option<usize>,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_payload` on every frame it assembles.
+    pub fn new(max_payload: usize) -> Self {
+        FrameReader {
+            max_payload,
+            buf: Vec::new(),
+            total: None,
+        }
+    }
+
+    /// Whether a partial frame is buffered (EOF now would be truncation).
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes buffered towards the current frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Advance frame assembly with whatever `r` can deliver.
+    ///
+    /// Call in a loop to drain back-to-back frames: each `Frame` return
+    /// resets the reader to the next boundary. `Pending` means the
+    /// source returned `WouldBlock`; errors poison the stream (the
+    /// caller should drop the connection — resynchronising inside a
+    /// byte stream is not possible).
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> Result<FramePoll, StreamError> {
+        loop {
+            let target = self.total.unwrap_or(HEADER_LEN);
+            if self.buf.len() < target {
+                let old = self.buf.len();
+                self.buf.resize(target, 0);
+                let read = r.read(&mut self.buf[old..target]);
+                match read {
+                    Ok(0) => {
+                        self.buf.truncate(old);
+                        if old == 0 && self.total.is_none() {
+                            return Ok(FramePoll::Eof);
+                        }
+                        return Err(WireError::Truncated {
+                            needed: target,
+                            available: old,
+                        }
+                        .into());
+                    }
+                    Ok(n) => {
+                        self.buf.truncate(old + n);
+                        continue;
+                    }
+                    Err(e) => {
+                        self.buf.truncate(old);
+                        match e.kind() {
+                            io::ErrorKind::Interrupted => continue,
+                            io::ErrorKind::WouldBlock => return Ok(FramePoll::Pending),
+                            _ => return Err(e.into()),
+                        }
+                    }
+                }
+            }
+            if self.total.is_none() {
+                // Header complete: validate before growing the buffer.
+                if self.buf[0..4] != MAGIC {
+                    let magic: [u8; 4] = self.buf[0..4].try_into().expect("sliced 4 bytes");
+                    return Err(WireError::BadMagic(magic).into());
+                }
+                if self.buf[4] != WIRE_VERSION {
+                    return Err(WireError::Version {
+                        found: self.buf[4],
+                        supported: WIRE_VERSION,
+                    }
+                    .into());
+                }
+                MsgType::from_tag(self.buf[5])?;
+                let advertised =
+                    u32::from_le_bytes(self.buf[8..12].try_into().expect("sliced 4 bytes"))
+                        as usize;
+                if advertised > self.max_payload {
+                    return Err(StreamError::Oversized {
+                        advertised,
+                        max: self.max_payload,
+                    });
+                }
+                self.total = Some(HEADER_LEN + advertised);
+                continue;
+            }
+            // A whole frame is buffered: hand it over and reset.
+            let frame = std::mem::take(&mut self.buf);
+            self.total = None;
+            return Ok(FramePoll::Frame(frame));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +411,138 @@ mod tests {
             read_frame(&mut cursor, MAX_FRAME_PAYLOAD),
             Err(StreamError::Wire(WireError::BadMagic(_)))
         ));
+    }
+
+    /// A source that yields its script one chunk per read, interleaving
+    /// `WouldBlock` between chunks — the shape of a non-blocking socket.
+    struct Chunked {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        blocked: bool,
+    }
+
+    impl Chunked {
+        fn new(bytes: &[u8], chunk: usize) -> Self {
+            Chunked {
+                chunks: bytes.chunks(chunk.max(1)).map(<[u8]>::to_vec).collect(),
+                next: 0,
+                blocked: false,
+            }
+        }
+    }
+
+    impl Read for Chunked {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.blocked {
+                self.blocked = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "not ready"));
+            }
+            self.blocked = false;
+            match self.chunks.get(self.next) {
+                None => Ok(0),
+                Some(c) => {
+                    let n = c.len().min(buf.len());
+                    buf[..n].copy_from_slice(&c[..n]);
+                    if n == c.len() {
+                        self.next += 1;
+                    } else {
+                        self.chunks[self.next].drain(..n);
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    /// Drive a reader over a chunked source to completion, counting the
+    /// `Pending` returns along the way.
+    fn poll_all(src: &mut Chunked, reader: &mut FrameReader) -> (Vec<Vec<u8>>, usize) {
+        let mut frames = Vec::new();
+        let mut pendings = 0;
+        loop {
+            match reader.poll(src).unwrap() {
+                FramePoll::Frame(f) => frames.push(f),
+                FramePoll::Pending => pendings += 1,
+                FramePoll::Eof => return (frames, pendings),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_delivery() {
+        let a = seal(MsgType::RoundAssign, b"round 7");
+        let b = seal(MsgType::DenseUpdate, &vec![0xAB; 301]);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&a);
+        bytes.extend_from_slice(&b);
+        for chunk in [1, 3, HEADER_LEN, 64, bytes.len()] {
+            let mut src = Chunked::new(&bytes, chunk);
+            let mut reader = FrameReader::new(MAX_FRAME_PAYLOAD);
+            let (frames, pendings) = poll_all(&mut src, &mut reader);
+            assert_eq!(frames, vec![a.clone(), b.clone()], "chunk {chunk}");
+            assert!(pendings > 0, "the source interleaves WouldBlock");
+            assert!(!reader.mid_frame(), "boundary after a clean drain");
+        }
+    }
+
+    #[test]
+    fn frame_reader_agrees_with_blocking_read_frame() {
+        let frame = seal(MsgType::ScaffoldUpdate, b"pairs");
+        let mut cursor = io::Cursor::new(frame.clone());
+        let blocking = read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        let mut src = Chunked::new(&frame, 5);
+        let mut reader = FrameReader::new(MAX_FRAME_PAYLOAD);
+        let (frames, _) = poll_all(&mut src, &mut reader);
+        assert_eq!(frames, vec![blocking]);
+    }
+
+    #[test]
+    fn frame_reader_eof_mid_frame_is_truncated() {
+        let frame = seal(MsgType::Hello, b"hello world");
+        for cut in 1..frame.len() {
+            let mut src = Chunked::new(&frame[..cut], 4);
+            let mut reader = FrameReader::new(MAX_FRAME_PAYLOAD);
+            let err = loop {
+                match reader.poll(&mut src) {
+                    Ok(FramePoll::Pending) => {}
+                    Ok(other) => panic!("cut at {cut} gave {other:?}"),
+                    Err(e) => break e,
+                }
+            };
+            assert!(
+                matches!(err, StreamError::Wire(WireError::Truncated { .. })),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_before_allocation() {
+        let mut frame = seal(MsgType::DenseModel, &[0u8; 8]);
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut src = Chunked::new(&frame, 3);
+        let mut reader = FrameReader::new(MAX_FRAME_PAYLOAD);
+        let err = loop {
+            match reader.poll(&mut src) {
+                Ok(FramePoll::Pending) => {}
+                Ok(other) => panic!("expected Oversized, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, StreamError::Oversized { .. }), "{err:?}");
+        assert!(
+            reader.buffered() <= HEADER_LEN,
+            "nothing beyond the header may be allocated"
+        );
+    }
+
+    #[test]
+    fn frame_reader_clean_eof_between_frames() {
+        let frame = seal(MsgType::Shutdown, b"");
+        let mut src = Chunked::new(&frame, frame.len());
+        let mut reader = FrameReader::new(MAX_FRAME_PAYLOAD);
+        let (frames, _) = poll_all(&mut src, &mut reader);
+        assert_eq!(frames, vec![frame]);
     }
 
     #[test]

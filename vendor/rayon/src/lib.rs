@@ -145,6 +145,17 @@ fn parse_thread_override(raw: Option<&str>, detected: usize) -> usize {
     }
 }
 
+/// Number of worker threads terminals split work across: the detected
+/// core count unless overridden by `SPATL_THREADS` (read once, at the
+/// first call). Matches real rayon's `current_num_threads` so embedders
+/// — e.g. the spatl-net decode worker pool — can size their own pools
+/// consistently with this crate's partitioning. On a single-core host
+/// without an override this returns 1 and every "parallel" call runs
+/// inline on the caller.
+pub fn current_num_threads() -> usize {
+    thread_count()
+}
+
 fn thread_count() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
