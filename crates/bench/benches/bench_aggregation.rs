@@ -24,6 +24,7 @@ fn fake_outcome(p: usize, id: usize, sparse: bool) -> LocalOutcome {
         tau: 10,
         delta,
         selected,
+        compressed: None,
         control_delta: None,
         velocity: None,
         buffers: Vec::new(),

@@ -6,12 +6,25 @@
 //! `BENCH_substrate.json` at the repo root so subsequent PRs have a
 //! comparable baseline on the same machine.
 //!
+//! Three series per matmul shape (DESIGN.md §13's ladder):
+//!
+//! * **scalar** — the portable 4×8 micro-kernel, forced via
+//!   [`force_scalar`] (what a runner without FMA executes);
+//! * **the main numbers** — the best kernel the host supports
+//!   (`"kernel"` in the JSON records which one was active);
+//! * **threads** — the `vgg11_conv` shape re-measured in child
+//!   processes running `SPATL_THREADS=1/2/4`, because the thread count
+//!   is latched once per process; `host_cpus` is recorded next to the
+//!   series so a flat curve on a single-core host reads as what it is.
+//!
 //! `SPATL_EXP_SCALE=quick` runs a fast smoke pass (CI); the default takes a
 //! few seconds. `SPATL_BENCH_OUT` overrides the output path.
 
 use serde_json::json;
 use spatl::prelude::*;
-use spatl::tensor::{im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor};
+use spatl::tensor::{
+    active_kernel, force_scalar, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor,
+};
 use std::time::Instant;
 
 /// Median seconds per call over `samples` timed samples, with enough
@@ -108,48 +121,102 @@ const MATMUL_CASES: &[MatmulCase] = &[
     },
 ];
 
+/// Time one matmul case with whatever kernel is currently selected;
+/// returns median seconds per call.
+fn time_case(case: &MatmulCase, samples: usize, rng: &mut TensorRng) -> f64 {
+    let (a, b) = match case.variant {
+        "nt" => (rand_t([case.m, case.k], rng), rand_t([case.n, case.k], rng)),
+        "tn" => (rand_t([case.k, case.m], rng), rand_t([case.k, case.n], rng)),
+        _ => (rand_t([case.m, case.k], rng), rand_t([case.k, case.n], rng)),
+    };
+    match case.variant {
+        "nt" => time_median(samples, || {
+            std::hint::black_box(matmul_nt(&a, &b));
+        }),
+        "tn" => time_median(samples, || {
+            std::hint::black_box(matmul_tn(&a, &b));
+        }),
+        _ => time_median(samples, || {
+            std::hint::black_box(matmul(&a, &b));
+        }),
+    }
+}
+
+fn gflops_of(case: &MatmulCase, secs: f64) -> f64 {
+    2.0 * (case.m * case.n * case.k) as f64 / secs / 1e9
+}
+
+/// The shape the thread-scaling series re-measures in child processes.
+const THREAD_CASE: &str = "vgg11_conv";
+
+/// Child mode for the thread-scaling series: `SPATL_THREADS` is latched
+/// once per process, so each point of the series is its own process.
+/// Prints one f64 (GFLOP/s) on stdout and exits.
+fn thread_probe(samples: usize) {
+    let case = MATMUL_CASES
+        .iter()
+        .find(|c| c.name == THREAD_CASE)
+        .expect("thread-probe case exists");
+    let mut rng = TensorRng::seed_from(42);
+    let secs = time_case(case, samples, &mut rng);
+    println!("{}", gflops_of(case, secs));
+}
+
+/// Run the thread-scaling children: this binary re-executed with
+/// `SPATL_THREADS` pinned to each point. Returns `(threads, gflops)`.
+fn thread_series(samples: usize, quick: bool) -> Vec<(usize, f64)> {
+    let exe = std::env::current_exe().expect("own path");
+    [1usize, 2, 4]
+        .iter()
+        .filter_map(|&t| {
+            let out = std::process::Command::new(&exe)
+                .env("SPATL_BENCH_THREAD_PROBE", "1")
+                .env("SPATL_THREADS", t.to_string())
+                .env("SPATL_EXP_SCALE", if quick { "quick" } else { "full" })
+                .output()
+                .ok()?;
+            let gflops: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().ok()?;
+            println!(
+                "matmul/{THREAD_CASE} threads={t}{}{:>7.2} GFLOP/s",
+                " ".repeat(21),
+                gflops
+            );
+            let _ = samples; // child reads its own sample count from the env
+            Some((t, gflops))
+        })
+        .collect()
+}
+
 fn main() {
     let quick = matches!(std::env::var("SPATL_EXP_SCALE").as_deref(), Ok("quick"));
     let samples = if quick { 1 } else { 7 };
+    if std::env::var("SPATL_BENCH_THREAD_PROBE").is_ok() {
+        thread_probe(samples);
+        return;
+    }
     let mut rng = TensorRng::seed_from(42);
 
     let mut matmul_rows: Vec<(String, serde_json::Value)> = Vec::new();
     for case in MATMUL_CASES {
-        let (a, b) = match case.variant {
-            "nt" => (
-                rand_t([case.m, case.k], &mut rng),
-                rand_t([case.n, case.k], &mut rng),
-            ),
-            "tn" => (
-                rand_t([case.k, case.m], &mut rng),
-                rand_t([case.k, case.n], &mut rng),
-            ),
-            _ => (
-                rand_t([case.m, case.k], &mut rng),
-                rand_t([case.k, case.n], &mut rng),
-            ),
-        };
-        let secs = match case.variant {
-            "nt" => time_median(samples, || {
-                std::hint::black_box(matmul_nt(&a, &b));
-            }),
-            "tn" => time_median(samples, || {
-                std::hint::black_box(matmul_tn(&a, &b));
-            }),
-            _ => time_median(samples, || {
-                std::hint::black_box(matmul(&a, &b));
-            }),
-        };
-        let gflops = 2.0 * (case.m * case.n * case.k) as f64 / secs / 1e9;
+        // Scalar rung first, then the host's best kernel for the
+        // headline numbers — same buffers and sample count, so the two
+        // rungs differ only in the micro-kernel.
+        force_scalar(true);
+        let scalar_secs = time_case(case, samples, &mut rng);
+        force_scalar(false);
+        let secs = time_case(case, samples, &mut rng);
+        let gflops = gflops_of(case, secs);
+        let scalar_gflops = gflops_of(case, scalar_secs);
         println!(
-            "matmul/{:<18} {:>4}x{:<4}x{:<4} [{}] {:>10.1} µs  {:>7.2} GFLOP/s",
+            "matmul/{:<18} {:>4}x{:<4}x{:<4} [{}] {:>10.1} µs  {:>7.2} GFLOP/s (scalar {:>6.2})",
             case.name,
             case.m,
             case.n,
             case.k,
             case.variant,
             secs * 1e6,
-            gflops
+            gflops,
+            scalar_gflops
         );
         matmul_rows.push((
             case.name.to_string(),
@@ -158,6 +225,8 @@ fn main() {
                 "m": case.m, "n": case.n, "k": case.k,
                 "seconds": secs,
                 "gflops": gflops,
+                "scalar_seconds": scalar_secs,
+                "scalar_gflops": scalar_gflops,
             }),
         ));
     }
@@ -212,10 +281,25 @@ fn main() {
         round_sec * 1e3
     );
 
+    // Thread-scaling series: one child process per SPATL_THREADS point.
+    let threads = thread_series(samples, quick);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     let out = json!({
-        "schema": 1,
+        "schema": 2,
         "mode": if quick { "quick" } else { "full" },
+        "kernel": active_kernel(),
+        "host_cpus": host_cpus,
         "matmul": serde_json::Value::Map(matmul_rows),
+        "threads": json!({
+            "case": THREAD_CASE,
+            "series": threads
+                .iter()
+                .map(|(t, g)| json!({"threads": t, "gflops": g}))
+                .collect::<Vec<_>>(),
+        }),
         "im2col": json!({
             "shape": "8x16x16x16_k3s1p1",
             "seconds": secs,

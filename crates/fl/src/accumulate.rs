@@ -254,8 +254,35 @@ impl StreamState {
             Algorithm::FedAvg | Algorithm::FedProx { .. } => {
                 let w = o.n_samples as u64;
                 self.total_samples += w as u128;
-                for j in 0..p {
-                    self.delta.add(j, o.delta[j], w);
+                match &o.compressed {
+                    // Top-k sparse upload: scatter-add the k survivors.
+                    // Bit-identical to folding the zero-filled dense
+                    // vector — `ExactSums::add` skips `v == 0.0`, so the
+                    // dropped coordinates contribute nothing either way
+                    // (asserted in tests/quantized_fold.rs).
+                    Some(crate::CompressedDelta::TopK {
+                        indices, values, ..
+                    }) => {
+                        for (&i, &v) in indices.iter().zip(values) {
+                            self.delta.add(i as usize, v, w);
+                        }
+                    }
+                    // f16 upload: decode coordinate-at-a-time straight
+                    // off the 2·p-byte wire payload — f16 → f32 is
+                    // exact, so this is bit-identical to densifying
+                    // first, without the 4·p intermediate.
+                    Some(crate::CompressedDelta::F16(bytes)) => {
+                        for (j, c) in bytes.chunks_exact(2).enumerate().take(p) {
+                            let v =
+                                spatl_wire::f16::f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]]));
+                            self.delta.add(j, v, w);
+                        }
+                    }
+                    None => {
+                        for j in 0..p {
+                            self.delta.add(j, o.delta[j], w);
+                        }
+                    }
                 }
             }
             Algorithm::FedNova => {
@@ -492,11 +519,18 @@ impl RoundAccumulator {
     /// [`RoundDriver::finish_accumulation`].
     ///
     /// [`RoundDriver::finish_accumulation`]: crate::RoundDriver::finish_accumulation
-    pub fn fold(&mut self, outcome: LocalOutcome) {
+    pub fn fold(&mut self, mut outcome: LocalOutcome) {
         self.folded += 1;
         match &mut self.mode {
             Mode::Stream(state) => state.fold(&outcome),
-            Mode::Spill { outcomes, .. } => outcomes.push(outcome),
+            Mode::Spill { outcomes, .. } => {
+                // The batch rules and the screen read dense deltas; a
+                // compressed upload is expanded here — the documented
+                // point where spilling trades the O(model) fold for
+                // cohort statistics (DESIGN.md §13).
+                outcome.densify();
+                outcomes.push(outcome)
+            }
         }
     }
 

@@ -261,6 +261,7 @@ mod tests {
             tau: 1,
             delta,
             selected: None,
+            compressed: None,
             control_delta: None,
             velocity: None,
             buffers: Vec::new(),

@@ -25,6 +25,53 @@ pub struct SelectedUpdate {
     pub channel_ids: Vec<u32>,
 }
 
+/// A FedAvg / FedProx upload that arrived compressed
+/// ([`UploadCodec`](crate::UploadCodec)) and has not been densified:
+/// the streaming fold consumes this form directly, so the server never
+/// materialises the `4·p`-byte dense delta for it (DESIGN.md §13).
+#[derive(Debug, Clone)]
+pub enum CompressedDelta {
+    /// Top-k sparse: strictly increasing flat indices and their values
+    /// over a dense vector of `dense_len` coordinates; every index not
+    /// listed aggregates as exactly zero.
+    TopK {
+        /// Length of the dense delta this sparsifies.
+        dense_len: usize,
+        /// Flat indices of the kept coordinates, strictly increasing.
+        indices: Vec<u32>,
+        /// Delta values at those indices.
+        values: Vec<f32>,
+    },
+    /// Raw little-endian IEEE half-precision payload, 2 bytes per
+    /// coordinate; decoded coordinate-at-a-time during the fold
+    /// (f16 → f32 is exact, so the fold is bit-identical to folding the
+    /// decoded dense vector).
+    F16(Vec<u8>),
+}
+
+impl CompressedDelta {
+    /// Expand to the dense f32 delta this upload represents.
+    pub fn to_dense(&self) -> Vec<f32> {
+        match self {
+            CompressedDelta::TopK {
+                dense_len,
+                indices,
+                values,
+            } => {
+                let mut out = vec![0.0f32; *dense_len];
+                for (&i, &v) in indices.iter().zip(values) {
+                    out[i as usize] = v;
+                }
+                out
+            }
+            CompressedDelta::F16(bytes) => bytes
+                .chunks_exact(2)
+                .map(|c| spatl_wire::f16::f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
+                .collect(),
+        }
+    }
+}
+
 /// Everything a client sends back (plus bookkeeping the simulator keeps).
 #[derive(Debug, Clone)]
 pub struct LocalOutcome {
@@ -40,6 +87,15 @@ pub struct LocalOutcome {
     /// SPATL-only: the sparse upload. When present the server must ignore
     /// `delta` outside `selected.indices`.
     pub selected: Option<SelectedUpdate>,
+    /// FedAvg / FedProx only: set by [`decode_upload`] when the upload
+    /// travelled under a non-dense [`UploadCodec`] — `delta` is then
+    /// empty and the fold consumes this form directly. Consumers that
+    /// need the dense vector (cohort statistics) call
+    /// [`LocalOutcome::densify`] explicitly.
+    ///
+    /// [`decode_upload`]: crate::wire::decode_upload
+    /// [`UploadCodec`]: crate::UploadCodec
+    pub compressed: Option<CompressedDelta>,
     /// SCAFFOLD: the client's control-variate step `Δcᵢ = cᵢ⁺ − cᵢ`,
     /// uploaded next to the delta.
     pub control_delta: Option<Vec<f32>>,
@@ -64,6 +120,21 @@ pub struct LocalOutcome {
     pub keep_ratio: f32,
     /// FLOPs of the client's (masked) model relative to dense.
     pub flops_ratio: f32,
+}
+
+impl LocalOutcome {
+    /// Expand a compressed upload into the dense `delta`, in place.
+    ///
+    /// The streaming fold never needs this; spill-mode aggregation,
+    /// screening and edge-side reduction do (their cohort statistics
+    /// read dense vectors), and each calls it at the point where the
+    /// O(model) densification cost is actually incurred. No-op for
+    /// dense uploads.
+    pub fn densify(&mut self) {
+        if let Some(c) = self.compressed.take() {
+            self.delta = c.to_dense();
+        }
+    }
 }
 
 /// One federated client: private data, private predictor, optional control
@@ -313,7 +384,16 @@ impl ClientState {
             Algorithm::Scaffold => bytes = CommModel::scaffold(global.shared.len()),
             Algorithm::FedNova => bytes = CommModel::fednova(global.shared.len()),
             Algorithm::FedAvg | Algorithm::FedProx { .. } => {
-                bytes = CommModel::dense(global.shared.len())
+                let p = global.shared.len();
+                bytes = match cfg.upload_codec {
+                    crate::UploadCodec::Dense => CommModel::dense(p),
+                    crate::UploadCodec::TopK { .. } => {
+                        let k = cfg.upload_codec.kept(p);
+                        keep_ratio = k as f32 / p.max(1) as f32;
+                        CommModel::dense_topk(p, k)
+                    }
+                    crate::UploadCodec::F16 => CommModel::dense_f16(p),
+                };
             }
         }
 
@@ -324,6 +404,7 @@ impl ClientState {
             tau,
             delta,
             selected,
+            compressed: None,
             control_delta,
             velocity,
             buffers: self.model.encoder.buffers_flat(),

@@ -5,7 +5,7 @@
 //!
 //! | algorithm | download | upload |
 //! |---|---|---|
-//! | FedAvg / FedProx | weights | weights |
+//! | FedAvg / FedProx | weights | weights (or top-k / f16 under an [`UploadCodec`]) |
 //! | SCAFFOLD | weights + control | weights + control |
 //! | FedNova | weights + aggregated momentum | normalised grad + momentum |
 //! | SPATL | encoder + control | selected values + channel indices |
@@ -25,6 +25,7 @@
 //!
 //! [`FaultPlan`]: crate::FaultPlan
 //! [`WireBytes::upload_framed`]: crate::WireBytes
+//! [`UploadCodec`]: crate::UploadCodec
 
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +55,30 @@ impl CommModel {
         RoundBytes {
             download: 4 * n_params as u64,
             upload: 4 * n_params as u64,
+        }
+    }
+
+    /// FedAvg / FedProx with a top-k sparse upload codec
+    /// ([`UploadCodec::TopK`]): dense download, `8k` upload (one f32
+    /// value and one u32 flat index per kept coordinate — the flat-index
+    /// analogue of SPATL's per-channel accounting).
+    ///
+    /// [`UploadCodec::TopK`]: crate::UploadCodec::TopK
+    pub fn dense_topk(n_params: usize, k: usize) -> RoundBytes {
+        RoundBytes {
+            download: 4 * n_params as u64,
+            upload: 8 * k as u64,
+        }
+    }
+
+    /// FedAvg / FedProx with an f16-quantized upload codec
+    /// ([`UploadCodec::F16`]): dense download, half-precision upload.
+    ///
+    /// [`UploadCodec::F16`]: crate::UploadCodec::F16
+    pub fn dense_f16(n_params: usize) -> RoundBytes {
+        RoundBytes {
+            download: 4 * n_params as u64,
+            upload: 2 * n_params as u64,
         }
     }
 
@@ -117,6 +142,20 @@ mod tests {
             CommModel::fednova(p).total(),
             2 * CommModel::dense(p).total()
         );
+    }
+
+    #[test]
+    fn codec_uploads_shrink_dense() {
+        let p = 1000;
+        let dense = CommModel::dense(p);
+        let f16 = CommModel::dense_f16(p);
+        let topk = CommModel::dense_topk(p, 100);
+        assert_eq!(f16.download, dense.download);
+        assert_eq!(topk.download, dense.download);
+        assert_eq!(f16.upload, dense.upload / 2);
+        assert_eq!(topk.upload, 8 * 100);
+        // Top-k stops paying below keeping half the coordinates.
+        assert!(CommModel::dense_topk(p, p / 2).upload == dense.upload);
     }
 
     #[test]

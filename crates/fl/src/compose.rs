@@ -493,6 +493,7 @@ pub fn entry_outcome(entry: &EdgeEntry) -> LocalOutcome {
         tau: entry.tau as usize,
         delta: Vec::new(),
         selected: None,
+        compressed: None,
         control_delta: None,
         velocity: None,
         buffers: Vec::new(),
@@ -558,6 +559,7 @@ mod tests {
             tau: 4,
             delta: vec![1.0],
             selected: None,
+            compressed: None,
             control_delta: None,
             velocity: None,
             buffers: Vec::new(),

@@ -131,6 +131,82 @@ impl Algorithm {
     }
 }
 
+/// How a FedAvg / FedProx client compresses its uploaded delta.
+///
+/// The codec shapes the *upload* only — downloads stay dense f32 —
+/// and the server folds the compressed form directly (DESIGN.md §13):
+/// top-k uploads scatter-add into the streaming accumulator without
+/// densifying (bit-identical to folding the zero-filled dense vector,
+/// because the exact fold skips zero terms), and f16 uploads are
+/// decoded coordinate-at-a-time straight off the wire payload.
+///
+/// SPATL has its own channel-indexed sparse upload; SCAFFOLD and
+/// FedNova carry algorithm state pairs that this codec does not cover.
+/// Configuring a non-[`Dense`](UploadCodec::Dense) codec with those
+/// algorithms is rejected at driver construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum UploadCodec {
+    /// Dense f32, 4 bytes per parameter (default; bit-exact).
+    #[default]
+    Dense,
+    /// Keep only the largest-magnitude fraction of delta entries
+    /// (CFL-SparseMed-style top-k). Upload cost `8·k` bytes (value +
+    /// flat index per survivor); dropped coordinates aggregate as zero.
+    TopK {
+        /// Fraction of coordinates kept, in `(0, 1]`. The effective
+        /// `k = ceil(keep_ratio · n)` is clamped to `[1, n]`.
+        keep_ratio: f32,
+    },
+    /// Quantize every delta entry to IEEE half precision, 2 bytes per
+    /// parameter. Round-to-nearest-even: relative error ≤ 2⁻¹¹ for
+    /// values in the f16 normal range (documented envelope, asserted
+    /// in tests); values beyond ±65504 saturate to ±∞ and poison the
+    /// affected coordinate exactly as a non-finite dense upload would.
+    F16,
+}
+
+impl UploadCodec {
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UploadCodec::Dense => "dense",
+            UploadCodec::TopK { .. } => "top-k",
+            UploadCodec::F16 => "f16",
+        }
+    }
+
+    /// The number of entries a top-k upload keeps out of `n`; `n` for
+    /// the other codecs (they carry every coordinate).
+    pub fn kept(&self, n: usize) -> usize {
+        match self {
+            UploadCodec::TopK { keep_ratio } => {
+                (((n as f32) * keep_ratio).ceil() as usize).clamp(1, n.max(1))
+            }
+            _ => n,
+        }
+    }
+
+    /// Panics if the codec is misconfigured or combined with an
+    /// algorithm whose upload it cannot encode; called once when a
+    /// driver is built.
+    pub fn validate(&self, algorithm: &Algorithm) {
+        if let UploadCodec::TopK { keep_ratio } = self {
+            assert!(
+                *keep_ratio > 0.0 && *keep_ratio <= 1.0,
+                "keep_ratio must be in (0, 1]"
+            );
+        }
+        if !matches!(self, UploadCodec::Dense) {
+            assert!(
+                matches!(algorithm, Algorithm::FedAvg | Algorithm::FedProx { .. }),
+                "upload codec {} is only defined for FedAvg/FedProx uploads, not {}",
+                self.name(),
+                algorithm.name()
+            );
+        }
+    }
+}
+
 /// Which aggregation rule the server applies to a round's surviving
 /// cohort. [`AggregatorKind::WeightedMean`] is each algorithm's published
 /// rule (the default, bit-identical to the pre-defense behaviour); the
@@ -235,6 +311,10 @@ pub struct FlConfig {
     /// ([`AggregatorKind::WeightedMean`] reproduces each algorithm's
     /// published behaviour exactly).
     pub aggregator: AggregatorKind,
+    /// How FedAvg / FedProx clients compress their uploaded deltas
+    /// ([`UploadCodec::Dense`] reproduces the pre-codec wire format and
+    /// byte accounting exactly).
+    pub upload_codec: UploadCodec,
 }
 
 impl FlConfig {
@@ -258,6 +338,7 @@ impl FlConfig {
             adversary: None,
             screen: None,
             aggregator: AggregatorKind::WeightedMean,
+            upload_codec: UploadCodec::Dense,
         }
     }
 
@@ -281,6 +362,28 @@ mod tests {
         assert_eq!(cfg.clients_per_round(), 1);
         cfg.sample_ratio = 5.0;
         assert_eq!(cfg.clients_per_round(), 10);
+    }
+
+    #[test]
+    fn upload_codec_kept_counts() {
+        assert_eq!(UploadCodec::Dense.kept(100), 100);
+        assert_eq!(UploadCodec::F16.kept(100), 100);
+        assert_eq!(UploadCodec::TopK { keep_ratio: 0.1 }.kept(100), 10);
+        // ceil + clamp: never zero, never above n.
+        assert_eq!(UploadCodec::TopK { keep_ratio: 0.001 }.kept(100), 1);
+        assert_eq!(UploadCodec::TopK { keep_ratio: 1.0 }.kept(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for FedAvg/FedProx")]
+    fn upload_codec_rejects_scaffold() {
+        UploadCodec::F16.validate(&Algorithm::Scaffold);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_ratio must be in (0, 1]")]
+    fn upload_codec_rejects_bad_ratio() {
+        UploadCodec::TopK { keep_ratio: 0.0 }.validate(&Algorithm::FedAvg);
     }
 
     #[test]

@@ -48,13 +48,13 @@ pub mod wire;
 
 pub use accumulate::{RoundAccumulator, SpillReason, StreamState};
 pub use adversary::{Adversary, AdversaryPlan, AttackKind};
-pub use client::{ClientState, LocalOutcome, SelectedUpdate};
+pub use client::{ClientState, CompressedDelta, LocalOutcome, SelectedUpdate};
 pub use comm::{CommModel, RoundBytes};
 pub use compose::{
     aggregate_reduced, edge_partition, entry_outcome, exact_composition, fault_counters,
     fold_exact, fold_fault_counters, outcome_entry, reduce_cohort,
 };
-pub use config::{AggregatorKind, Algorithm, FlConfig, NetProfile, SpatlOptions};
+pub use config::{AggregatorKind, Algorithm, FlConfig, NetProfile, SpatlOptions, UploadCodec};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use round::{RoundDriver, RoundRecord, TransportStats};
 pub use screen::{screen_updates, ScreenPolicy, ScreenReason};

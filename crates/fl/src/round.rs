@@ -126,6 +126,7 @@ impl RoundDriver {
             policy.validate();
         }
         cfg.aggregator.validate();
+        cfg.upload_codec.validate(&cfg.algorithm);
         RoundDriver {
             rng: TensorRng::seed_from(cfg.seed ^ 0x51A1),
             net: cfg.net.simnet(),

@@ -386,6 +386,7 @@ mod tests {
             tau,
             delta,
             selected: None,
+            compressed: None,
             control_delta: None,
             velocity: None,
             buffers: Vec::new(),

@@ -23,13 +23,14 @@ use serde::{Deserialize, Serialize};
 use spatl_models::SplitModel;
 use spatl_pruning::prune_point_param_names;
 use spatl_wire::{
-    decode_dense, decode_pair, decode_spatl_encoder, decode_spatl_update, encode_dense,
-    encode_pair, encode_spatl_encoder, encode_spatl_update, open, seal, IndexRange, MsgType,
-    SelectionLayout, WireError, SPATL_UPDATE_METADATA,
+    decode_dense, decode_pair, decode_spatl_encoder, decode_spatl_update, decode_topk,
+    encode_dense, encode_f16_dense, encode_pair, encode_spatl_encoder, encode_spatl_update,
+    encode_topk, open, seal, IndexRange, MsgType, SelectionLayout, SparseTopK, WireError,
+    SPATL_UPDATE_METADATA,
 };
 
-use crate::client::{LocalOutcome, SelectedUpdate};
-use crate::config::{Algorithm, FlConfig};
+use crate::client::{CompressedDelta, LocalOutcome, SelectedUpdate};
+use crate::config::{Algorithm, FlConfig, UploadCodec};
 use crate::server::GlobalState;
 
 /// Measured wire traffic for one client and round, split into the tensor
@@ -251,9 +252,29 @@ pub fn encode_upload(cfg: &FlConfig, outcome: &LocalOutcome) -> Encoded {
             let payload = (body.len() - SPATL_UPDATE_METADATA) as u64;
             (MsgType::SpatlUpdate, body, payload)
         }
+        (Algorithm::FedAvg | Algorithm::FedProx { .. }, _) => match cfg.upload_codec {
+            UploadCodec::Dense => (
+                MsgType::DenseUpdate,
+                encode_dense(&outcome.delta),
+                4 * outcome.delta.len() as u64,
+            ),
+            UploadCodec::TopK { .. } => {
+                let k = cfg.upload_codec.kept(outcome.delta.len());
+                let sparse = SparseTopK::from_dense(&outcome.delta, k);
+                // 8 bytes per kept coordinate (value + flat index); the
+                // dense-length/k header is codec metadata, off the
+                // Eq. 13 books like SPATL's update metadata.
+                (MsgType::SparseTopK, encode_topk(&sparse), 8 * k as u64)
+            }
+            UploadCodec::F16 => (
+                MsgType::QuantizedF16,
+                encode_f16_dense(&outcome.delta),
+                2 * outcome.delta.len() as u64,
+            ),
+        },
         // SPATL with selection disabled (or a diverged round) falls back to
         // a dense encoder delta, like FedAvg.
-        (Algorithm::Spatl(_), None) | (Algorithm::FedAvg | Algorithm::FedProx { .. }, _) => (
+        (Algorithm::Spatl(_), None) => (
             MsgType::DenseUpdate,
             encode_dense(&outcome.delta),
             4 * outcome.delta.len() as u64,
@@ -325,6 +346,7 @@ pub fn decode_upload(
     let mut out = LocalOutcome {
         delta: Vec::new(),
         selected: None,
+        compressed: None,
         control_delta: None,
         velocity: None,
         buffers: Vec::new(),
@@ -347,6 +369,30 @@ pub fn decode_upload(
         ) => {
             out.delta = decode_dense(payload)?;
             check_len(out.delta.len())?;
+        }
+        (Algorithm::FedAvg | Algorithm::FedProx { .. }, MsgType::SparseTopK) => {
+            let sparse = decode_topk(payload)?;
+            check_len(sparse.dense_len as usize)?;
+            // Not densified: the streaming fold scatter-adds the k
+            // values directly (bit-identical — zero terms are inert in
+            // the exact fold). Spill-mode consumers densify explicitly.
+            out.compressed = Some(CompressedDelta::TopK {
+                dense_len: sparse.dense_len as usize,
+                indices: sparse.indices,
+                values: sparse.values,
+            });
+        }
+        (Algorithm::FedAvg | Algorithm::FedProx { .. }, MsgType::QuantizedF16) => {
+            if !payload.len().is_multiple_of(2) {
+                return Err(WireError::Malformed(format!(
+                    "f16 payload length {} not a multiple of 2",
+                    payload.len()
+                )));
+            }
+            check_len(payload.len() / 2)?;
+            // Kept as raw half-precision bytes (2·p instead of 4·p):
+            // the fold decodes coordinate-at-a-time, exactly.
+            out.compressed = Some(CompressedDelta::F16(payload.to_vec()));
         }
         (Algorithm::Scaffold, MsgType::ScaffoldUpdate) => {
             let pair = decode_pair(payload)?;

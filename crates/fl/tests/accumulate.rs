@@ -127,6 +127,7 @@ fn build_case(seed: u64, algorithm: Algorithm, aggregator: AggregatorKind) -> Ca
             n_samples,
             tau: 1 + g.below(30),
             selected,
+            compressed: None,
             control_delta: if g.chance(0.5) {
                 Some((0..p).map(|_| g.f32(-1.0, 1.0)).collect())
             } else {

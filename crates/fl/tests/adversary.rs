@@ -64,6 +64,7 @@ fn outcome(id: usize, delta: Vec<f32>, n_samples: usize) -> LocalOutcome {
         tau: 1,
         delta,
         selected: None,
+        compressed: None,
         control_delta: None,
         velocity: None,
         buffers: Vec::new(),

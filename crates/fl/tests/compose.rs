@@ -101,6 +101,7 @@ fn build_case(seed: u64, algorithm: Algorithm, aggregator: AggregatorKind) -> Ca
             n_samples: 1 + g.below(40),
             tau: 1 + g.below(5),
             selected,
+            compressed: None,
             control_delta: if g.chance(0.5) {
                 Some((0..p).map(|_| g.f32(-1.0, 1.0)).collect())
             } else {

@@ -1,0 +1,290 @@
+//! The quantized sparse server-side fold (DESIGN.md §13): FedAvg /
+//! FedProx uploads travelling as top-k sparse or f16 frames are folded
+//! by the streaming accumulator **without densifying to f32 first**.
+//!
+//! Guarantees checked here:
+//!
+//! 1. **Top-k fold bit-identity**: scatter-adding the k kept values is
+//!    bit-identical to folding the zero-filled dense expansion — the
+//!    exact fold skips zero terms, so the claim is exactness, not a
+//!    tolerance.
+//! 2. **f16 fold bit-identity**: decoding the raw half-precision
+//!    payload coordinate-at-a-time folds bit-identically to densifying
+//!    the upload first. The *quantization* loss happened on the client
+//!    at encode time; the server-side fold adds nothing to it.
+//! 3. **f16 error envelope**: round-to-nearest-even gives relative
+//!    error ≤ 2⁻¹¹ for values in the f16 normal range and absolute
+//!    error ≤ 2⁻²⁵ below it — the envelope DESIGN.md §13 documents.
+//! 4. **Wire + accounting round trip**: encode → decode recovers the
+//!    codec's exact sparse/quantized content, and the measured payload
+//!    equals the analytic `CommModel` numbers byte for byte.
+//! 5. **Spill equivalence**: cohort statistics (robust aggregators)
+//!    densify explicitly and agree with pre-densified uploads.
+
+use spatl_fl::{
+    decode_upload, encode_upload, AggregatorKind, Algorithm, CommModel, CompressedDelta,
+    FaultRecord, FlConfig, GlobalState, LocalOutcome, RoundDriver, UploadCodec, WireBytes,
+};
+use spatl_wire::f16::{f16_bits_to_f32, f32_to_f16_bits};
+use spatl_wire::MsgType;
+
+/// Deterministic splitmix64 value stream for cohort deltas.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        let unit = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+}
+
+fn cfg_with(codec: UploadCodec) -> FlConfig {
+    let mut cfg = FlConfig::new(Algorithm::FedAvg);
+    cfg.upload_codec = codec;
+    cfg
+}
+
+/// A sealed FedAvg upload under `cfg`'s codec, with matching analytic
+/// byte accounting (what `ClientState::local_update` produces).
+fn sealed_outcome(cfg: &FlConfig, id: usize, n_samples: usize, delta: Vec<f32>) -> LocalOutcome {
+    let p = delta.len();
+    let bytes = match cfg.upload_codec {
+        UploadCodec::Dense => CommModel::dense(p),
+        UploadCodec::TopK { .. } => CommModel::dense_topk(p, cfg.upload_codec.kept(p)),
+        UploadCodec::F16 => CommModel::dense_f16(p),
+    };
+    let mut o = LocalOutcome {
+        client_id: id,
+        n_samples,
+        tau: 2,
+        delta,
+        selected: None,
+        compressed: None,
+        control_delta: None,
+        velocity: None,
+        buffers: Vec::new(),
+        diverged: false,
+        bytes,
+        wire: WireBytes::default(),
+        frames: Vec::new(),
+        keep_ratio: 1.0,
+        flops_ratio: 1.0,
+    };
+    let enc = encode_upload(cfg, &o);
+    o.wire.upload_payload = enc.payload;
+    o.wire.upload_framed = enc.framed();
+    o.frames = enc.frames;
+    o
+}
+
+fn random_cohort(cfg: &FlConfig, n: usize, p: usize, seed: u64) -> Vec<LocalOutcome> {
+    let mut g = Gen(seed);
+    (0..n)
+        .map(|id| {
+            let delta: Vec<f32> = (0..p).map(|_| g.f32(-0.5, 0.5)).collect();
+            sealed_outcome(cfg, id, 10 + id * 7, delta)
+        })
+        .collect()
+}
+
+/// Decode each outcome's frames as the server would, then aggregate a
+/// round through the driver's accumulator; returns the updated global.
+fn aggregate_decoded(
+    cfg: &FlConfig,
+    cohort: &[LocalOutcome],
+    p: usize,
+    densify_first: bool,
+) -> GlobalState {
+    let global = GlobalState {
+        shared: vec![0.125; p],
+        control: Vec::new(),
+        momentum: Vec::new(),
+        buffers: Vec::new(),
+    };
+    let mut driver = RoundDriver::new(*cfg, global, None);
+    let mut faults = FaultRecord::for_sample(cohort.len());
+    let mut acc = driver.begin_accumulation();
+    for o in cohort {
+        let mut decoded = driver
+            .decode_client_upload(o, &o.frames)
+            .expect("sealed upload must decode");
+        if densify_first {
+            decoded.densify();
+        }
+        acc.fold(decoded);
+    }
+    let applied = driver.finish_accumulation(acc, &mut faults);
+    assert!(applied, "cohort round must apply");
+    let mut out = driver.global;
+    out.shared.shrink_to_fit();
+    out
+}
+
+fn assert_bits_equal(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (j, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "coordinate {j}: {x} vs {y} differ in bits"
+        );
+    }
+}
+
+#[test]
+fn topk_stream_fold_is_bit_identical_to_densified_fold() {
+    let p = 257;
+    let cfg = cfg_with(UploadCodec::TopK { keep_ratio: 0.25 });
+    let cohort = random_cohort(&cfg, 6, p, 0xA11CE);
+    let streamed = aggregate_decoded(&cfg, &cohort, p, false);
+    let densified = aggregate_decoded(&cfg, &cohort, p, true);
+    assert_bits_equal(&streamed.shared, &densified.shared);
+}
+
+#[test]
+fn f16_stream_fold_is_bit_identical_to_densified_fold() {
+    let p = 193;
+    let cfg = cfg_with(UploadCodec::F16);
+    let cohort = random_cohort(&cfg, 5, p, 0xBEE5);
+    let streamed = aggregate_decoded(&cfg, &cohort, p, false);
+    let densified = aggregate_decoded(&cfg, &cohort, p, true);
+    assert_bits_equal(&streamed.shared, &densified.shared);
+}
+
+#[test]
+fn topk_fold_equals_dense_fold_of_truncated_delta() {
+    // Folding the sparse upload must equal running the *dense* codec on
+    // the client-side truncated delta — the compression is lossy, the
+    // server fold is not.
+    let p = 101;
+    let sparse_cfg = cfg_with(UploadCodec::TopK { keep_ratio: 0.3 });
+    let dense_cfg = cfg_with(UploadCodec::Dense);
+    let cohort = random_cohort(&sparse_cfg, 4, p, 0x70CC);
+    let truncated: Vec<LocalOutcome> = cohort
+        .iter()
+        .map(|o| {
+            let decoded = decode_upload(&sparse_cfg, o, &o.frames, None, p).expect("decode");
+            let dense = decoded.compressed.expect("top-k arrives compressed");
+            sealed_outcome(&dense_cfg, o.client_id, o.n_samples, dense.to_dense())
+        })
+        .collect();
+    let from_sparse = aggregate_decoded(&sparse_cfg, &cohort, p, false);
+    let from_dense = aggregate_decoded(&dense_cfg, &truncated, p, false);
+    assert_bits_equal(&from_sparse.shared, &from_dense.shared);
+}
+
+#[test]
+fn f16_round_trip_error_envelope_holds() {
+    // Normal range: RNE quantization error ≤ 2⁻¹¹ relative. Below the
+    // f16 normal range (|x| < 2⁻¹⁴) the grid is absolute: ≤ 2⁻²⁵.
+    let mut g = Gen(0xE17);
+    for _ in 0..20_000 {
+        let mag = g.f32(-14.0, 15.0); // exponent range of f16 normals
+        let x = g.f32(-1.0, 1.0) * mag.exp2();
+        let back = f16_bits_to_f32(f32_to_f16_bits(x));
+        let err = (back - x).abs();
+        if x.abs() >= f32::exp2(-14.0) && x.abs() <= 65504.0 {
+            assert!(
+                err <= x.abs() * f32::exp2(-11.0),
+                "normal-range rel err violated: x={x}, back={back}"
+            );
+        } else if x.abs() < f32::exp2(-14.0) {
+            assert!(
+                err <= f32::exp2(-25.0),
+                "subnormal abs err violated: x={x}, back={back}"
+            );
+        }
+    }
+    // Exactly representable values survive bit-for-bit.
+    for x in [0.0f32, 1.0, -0.5, 0.25, 1.5, -2048.0] {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)).to_bits(), x.to_bits());
+    }
+}
+
+#[test]
+fn codec_payloads_match_comm_model_and_round_trip() {
+    let p = 77;
+    let mut g = Gen(0x5EA1);
+    let delta: Vec<f32> = (0..p).map(|_| g.f32(-1.0, 1.0)).collect();
+
+    // Top-k: payload is 8k, message tag SparseTopK, and the decoded
+    // sparse content is exactly the k largest-magnitude entries.
+    let cfg = cfg_with(UploadCodec::TopK { keep_ratio: 0.2 });
+    let k = cfg.upload_codec.kept(p);
+    let o = sealed_outcome(&cfg, 0, 10, delta.clone());
+    assert_eq!(o.wire.upload_payload, 8 * k as u64);
+    assert_eq!(o.wire.upload_payload, o.bytes.upload);
+    let (msg, _) = spatl_wire::open(&o.frames[0]).expect("open");
+    assert_eq!(msg, MsgType::SparseTopK);
+    let decoded = decode_upload(&cfg, &o, &o.frames, None, p).expect("decode");
+    assert!(decoded.delta.is_empty(), "sparse upload stays compressed");
+    match decoded.compressed.expect("compressed") {
+        CompressedDelta::TopK {
+            dense_len,
+            indices,
+            values,
+        } => {
+            assert_eq!(dense_len, p);
+            assert_eq!(indices.len(), k);
+            let mut mags: Vec<f32> = delta.iter().map(|v| v.abs()).collect();
+            mags.sort_by(f32::total_cmp);
+            let threshold = mags[p - k];
+            for (&i, &v) in indices.iter().zip(&values) {
+                assert_eq!(v.to_bits(), delta[i as usize].to_bits());
+                assert!(v.abs() >= threshold);
+            }
+        }
+        other => panic!("expected top-k, got {other:?}"),
+    }
+
+    // f16: payload is 2p, tag QuantizedF16, content quantizes per-entry.
+    let cfg = cfg_with(UploadCodec::F16);
+    let o = sealed_outcome(&cfg, 0, 10, delta.clone());
+    assert_eq!(o.wire.upload_payload, 2 * p as u64);
+    assert_eq!(o.wire.upload_payload, o.bytes.upload);
+    let (msg, _) = spatl_wire::open(&o.frames[0]).expect("open");
+    assert_eq!(msg, MsgType::QuantizedF16);
+    let decoded = decode_upload(&cfg, &o, &o.frames, None, p).expect("decode");
+    let dense = decoded.compressed.expect("compressed").to_dense();
+    for (x, q) in delta.iter().zip(&dense) {
+        assert_eq!(q.to_bits(), f16_bits_to_f32(f32_to_f16_bits(*x)).to_bits());
+    }
+}
+
+#[test]
+fn compressed_upload_wrong_length_is_rejected() {
+    let p = 32;
+    for codec in [UploadCodec::TopK { keep_ratio: 0.5 }, UploadCodec::F16] {
+        let cfg = cfg_with(codec);
+        let o = sealed_outcome(&cfg, 0, 10, vec![0.1; p]);
+        assert!(
+            decode_upload(&cfg, &o, &o.frames, None, p + 1).is_err(),
+            "{} upload with mismatched session length must be rejected",
+            codec.name()
+        );
+    }
+}
+
+#[test]
+fn spill_mode_densifies_and_matches_predensified_cohort() {
+    // A robust aggregator forces the spill path, which must expand
+    // compressed uploads before the batch statistic — identical to
+    // handing it already-densified outcomes.
+    let p = 64;
+    for codec in [UploadCodec::TopK { keep_ratio: 0.4 }, UploadCodec::F16] {
+        let mut cfg = cfg_with(codec);
+        cfg.aggregator = AggregatorKind::CoordinateMedian;
+        let cohort = random_cohort(&cfg, 5, p, 0x5111);
+        let spilled = aggregate_decoded(&cfg, &cohort, p, false);
+        let densified = aggregate_decoded(&cfg, &cohort, p, true);
+        assert_bits_equal(&spilled.shared, &densified.shared);
+    }
+}

@@ -35,6 +35,7 @@ fn outcome(cfg: &FlConfig, delta: Vec<f32>) -> LocalOutcome {
         tau: 4,
         delta,
         selected: None,
+        compressed: None,
         control_delta: None,
         velocity: None,
         buffers: Vec::new(),

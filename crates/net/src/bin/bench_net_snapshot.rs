@@ -211,6 +211,7 @@ fn swarm_role(scn: Scenario, addr: String) {
         tau: 4,
         delta: (0..scn.params).map(|j| 1e-3 * (j % 7) as f32).collect(),
         selected: None,
+        compressed: None,
         control_delta: None,
         velocity: None,
         buffers: Vec::new(),

@@ -394,7 +394,18 @@ impl EdgeAggregator {
                         faults.push(id, FaultKind::LocalDivergence);
                     }
                     match self.driver.decode_client_upload(&c.meta, &c.frames) {
-                        Ok(d) => decoded.push(d),
+                        Ok(mut d) => {
+                            // Screening and edge-side reduction read the
+                            // dense delta; the stream fold at the root
+                            // does not. Densify compressed uploads only
+                            // when a cohort statistic will need them.
+                            if self.driver.cfg.screen.is_some()
+                                || !exact_composition(&self.driver.cfg.aggregator)
+                            {
+                                d.densify();
+                            }
+                            decoded.push(d)
+                        }
                         // TCP has no retry protocol — a damaged upload is
                         // simply corrupt, never "retries exhausted" (that
                         // counter belongs to the simulator's retry loop).
@@ -712,6 +723,7 @@ fn meta_outcome(done: &RoundDone) -> LocalOutcome {
         tau: done.tau as usize,
         delta: Vec::new(),
         selected: None,
+        compressed: None,
         control_delta: None,
         velocity: None,
         buffers: Vec::new(),

@@ -211,6 +211,7 @@ pub(crate) fn meta_outcome(done: &RoundDone) -> LocalOutcome {
         tau: done.tau as usize,
         delta: Vec::new(),
         selected: None,
+        compressed: None,
         control_delta: None,
         velocity: None,
         buffers: Vec::new(),

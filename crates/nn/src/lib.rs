@@ -18,6 +18,8 @@
 //! stable layout described by [`Network::param_specs`], which is also what
 //! the salient-parameter selection agent indexes into.
 
+#![deny(missing_docs)]
+
 mod activation;
 mod batchnorm;
 mod conv;

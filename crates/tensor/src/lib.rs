@@ -17,8 +17,11 @@
 //! * Random initialisation is deterministic given a seed (ChaCha8), so every
 //!   experiment in the benchmark harness is reproducible.
 
+#![deny(missing_docs)]
+
 mod im2col;
 mod init;
+mod kernel;
 mod matmul;
 mod ops;
 mod shape;
@@ -27,7 +30,10 @@ mod workspace;
 
 pub use im2col::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use init::TensorRng;
-pub use matmul::{matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into};
+pub use kernel::{active_kernel, force_scalar};
+pub use matmul::{
+    matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into, KC, MC, MR, NR,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use workspace::{Workspace, WorkspaceStats};

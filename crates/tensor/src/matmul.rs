@@ -19,26 +19,35 @@
 //!   GEMMs run at the same throughput as the forward one (the old
 //!   dot-product `nt` loop could not vectorise at all).
 //!
-//! Work is parallelised over `MC`-row blocks of C via `par_chunks_mut`; each
-//! worker owns stack-allocated pack buffers, so a matmul performs no heap
-//! allocation beyond its output (and none at all through the `_into`
-//! variants). Tile/block constants and retuning notes live in DESIGN.md §7.
+//! The micro-kernel itself is pluggable (see [`kernel`](crate::kernel)):
+//! an AVX2+FMA 6×16 tile on x86-64 CPUs that have it, the portable 4×8
+//! auto-vectorised tile everywhere else, chosen per call at runtime. The
+//! driver is generic over the kernel's tile shape, so packing, edge
+//! handling, and parallel partitioning are written once.
+//!
+//! Work is parallelised over `MC`-row blocks of C via `par_chunks_mut`
+//! (the persistent worker pool in the vendored `rayon`); each worker owns
+//! stack-allocated pack buffers, so a matmul performs no heap allocation
+//! beyond its output (and none at all through the `_into` variants).
+//! Tile/block constants and retuning notes live in DESIGN.md §7 and §13.
 
+use crate::kernel::{MicroKernel, Scalar4x8, MAX_MR, MAX_NR};
 use crate::Tensor;
 use rayon::prelude::*;
 
-/// Micro-kernel tile height: rows of C accumulated in registers at once.
-/// `MR·NR/4 + NR/4 + 1` SSE registers must fit in the 16 available on
-/// baseline x86-64, so 4×8 (8 accumulator registers) is the sweet spot;
-/// an 8×8 tile spills and runs ~40% slower.
+/// Tile height of the portable fallback micro-kernel (`Scalar4x8` in
+/// the `kernel` module); the AVX2+FMA kernel uses a 6×16 tile. Kept
+/// public as the canonical reference point for blocking math in docs
+/// and benches.
 pub const MR: usize = 4;
-/// Micro-kernel tile width: two 128-bit vectors after auto-vectorisation.
+/// Tile width of the portable fallback micro-kernel.
 pub const NR: usize = 8;
-/// k-block: one `MR×KC` A panel plus a `KC×NR` B panel stay L1-resident
-/// (8·128·4 B + 128·8·4 B = 8 KiB).
+/// k-block: one A panel plus one B panel stay L1-resident for either
+/// kernel (worst case 6·128·4 B + 128·16·4 B = 11 KiB of 32 KiB L1d).
 pub const KC: usize = 128;
 /// Row block: the unit of parallel partitioning and of A packing
-/// (`MC·KC` floats = 32 KiB, L2-resident next to streamed B panels).
+/// (≤ `(MC+MAX_MR)·KC` floats = 36 KiB packed, L2-resident next to
+/// streamed B panels).
 pub const MC: usize = 64;
 
 /// How the left operand is stored relative to the product `C = A·B`.
@@ -147,13 +156,9 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     );
 }
 
-/// Blocked driver shared by all three layout variants.
-///
-/// C is partitioned into `MC`-row blocks processed in parallel; each worker
-/// packs its A rows once per k-block and streams `NR`-wide packed B panels
-/// through the register-tiled micro-kernel. The first k-block *stores* tile
-/// accumulators (so `c` need not be zeroed beforehand); later k-blocks
-/// accumulate.
+/// Blocked driver shared by all three layout variants: dispatches once
+/// per call to the widest micro-kernel the CPU (and any override)
+/// allows, then runs the kernel-generic blocked loop.
 #[allow(clippy::too_many_arguments)]
 fn gemm(
     a: &[f32],
@@ -173,6 +178,48 @@ fn gemm(
         c.fill(0.0);
         return;
     }
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::use_fma() {
+        gemm_with::<crate::kernel::Fma6x16>(a, akind, b, bkind, m, n, k, c);
+        return;
+    }
+    gemm_with::<Scalar4x8>(a, akind, b, bkind, m, n, k, c);
+}
+
+thread_local! {
+    /// Reusable packed-B strip: one k-block of B packed once per k-block
+    /// and shared (read-only) by every parallel row-block worker, instead
+    /// of each worker re-packing the same panels. Thread-local and grown
+    /// once, so steady-state matmuls perform no heap allocation. Taken
+    /// out of the cell for the duration of a call (and restored after),
+    /// so a re-entrant matmul on the same thread — possible when the
+    /// pool's help-first wait runs another call's job — simply allocates
+    /// its own buffer instead of aliasing this one.
+    static BSTRIP: std::cell::Cell<Vec<f32>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
+/// The kernel-generic blocked loop.
+///
+/// Per k-block, the whole `kc × n` B strip is packed once into a shared
+/// thread-local buffer; C is then partitioned into `MC`-row blocks
+/// processed in parallel, each worker packing its own A rows and running
+/// the register-tiled micro-kernel over the shared strip. Interior tiles
+/// take the kernel's direct-to-C vector store path
+/// ([`MicroKernel::tile_into`]); edge tiles (zero-padded in the packed
+/// panels) use the accumulator-buffer path with a scalar partial write.
+/// The first k-block *stores* (so `c` need not be zeroed beforehand);
+/// later k-blocks accumulate.
+#[allow(clippy::too_many_arguments)]
+fn gemm_with<K: MicroKernel>(
+    a: &[f32],
+    akind: AKind,
+    b: &[f32],
+    bkind: BKind,
+    m: usize,
+    n: usize,
+    k: usize,
+    c: &mut [f32],
+) {
     let astride = match akind {
         AKind::RowMajor => k,
         AKind::Transposed => m,
@@ -181,45 +228,87 @@ fn gemm(
         BKind::RowMajor => n,
         BKind::Transposed => k,
     };
+    let bpanels = n.div_ceil(K::NR);
 
-    c.par_chunks_mut(MC * n)
-        .enumerate()
-        .for_each(|(blk, c_rows)| {
-            let row0 = blk * MC;
-            let rows = c_rows.len() / n;
-            // Stack-allocated pack buffers: no heap allocation per call,
-            // and fresh scoped threads (the rayon stand-in) need no TLS.
-            let mut apack = [0.0f32; MC * KC];
-            let mut bpack = [0.0f32; KC * NR];
-            let panels = rows.div_ceil(MR);
-
-            let mut pc = 0;
-            while pc < k {
-                let kc = KC.min(k - pc);
-                pack_a(&mut apack, a, akind, astride, row0, rows, pc, kc);
-                let mut j0 = 0;
-                while j0 < n {
-                    let nr = NR.min(n - j0);
-                    pack_b(&mut bpack, b, bkind, bstride, j0, nr, pc, kc);
-                    for p in 0..panels {
-                        let mut acc = [[0.0f32; NR]; MR];
-                        micro_kernel(kc, &apack[p * kc * MR..(p + 1) * kc * MR], &bpack, &mut acc);
-                        let ir = p * MR;
-                        let mr = MR.min(rows - ir);
-                        write_tile(c_rows, n, ir, j0, mr, nr, &acc, pc > 0);
-                    }
-                    j0 += NR;
-                }
-                pc += KC;
+    let mut strip = BSTRIP.take();
+    strip.resize(bpanels * KC * K::NR, 0.0);
+    {
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            for bp in 0..bpanels {
+                let j0 = bp * K::NR;
+                let nr = K::NR.min(n - j0);
+                pack_b(
+                    &mut strip[bp * kc * K::NR..(bp + 1) * kc * K::NR],
+                    b,
+                    bkind,
+                    bstride,
+                    j0,
+                    nr,
+                    pc,
+                    kc,
+                    K::NR,
+                );
             }
-        });
+            // Only the first `kc`-sized prefix of each panel slot is live
+            // this k-block; slice it so `chunks_exact` yields exactly
+            // `bpanels` panels.
+            let strip: &[f32] = &strip[..bpanels * kc * K::NR];
+
+            c.par_chunks_mut(MC * n)
+                .enumerate()
+                .for_each(|(blk, c_rows)| {
+                    let row0 = blk * MC;
+                    let rows = c_rows.len() / n;
+                    // Stack-allocated A pack buffer sized for the widest
+                    // kernel, allowing one partially-out-of-range panel
+                    // (`MC` need not divide `K::MR`). No heap, no TLS.
+                    let mut apack = [0.0f32; (MC + MAX_MR) * KC];
+                    let panels = rows.div_ceil(K::MR);
+                    pack_a(&mut apack, a, akind, astride, row0, rows, pc, kc, K::MR);
+
+                    for (bp, bpanel) in strip.chunks_exact(kc * K::NR).enumerate() {
+                        let j0 = bp * K::NR;
+                        let nr = K::NR.min(n - j0);
+                        for p in 0..panels {
+                            let ap = &apack[p * kc * K::MR..(p + 1) * kc * K::MR];
+                            let ir = p * K::MR;
+                            let mr = K::MR.min(rows - ir);
+                            if mr == K::MR && nr == K::NR {
+                                let ctile = c_rows[ir * n + j0..].as_mut_ptr();
+                                // SAFETY: `gemm` selected this kernel after
+                                // its ISA check (`use_fma`; the scalar
+                                // kernel needs none); panel slices satisfy
+                                // the `kc·MR`/`kc·NR` length contract; the
+                                // full `MR×NR` tile at `ctile` (row stride
+                                // `n`) lies inside this worker's exclusive
+                                // `c_rows` chunk.
+                                unsafe { K::tile_into(kc, ap, bpanel, ctile, n, pc > 0) };
+                            } else {
+                                let mut acc = [[0.0f32; MAX_NR]; MAX_MR];
+                                // SAFETY: as above, minus the C-tile
+                                // clause (edge tiles are written through
+                                // the bounds-checked scalar path below).
+                                unsafe { K::tile(kc, ap, bpanel, &mut acc) };
+                                write_tile(c_rows, n, ir, j0, mr, nr, &acc, pc > 0);
+                            }
+                        }
+                    }
+                });
+            pc += KC;
+        }
+    }
+    BSTRIP.set(strip);
 }
 
-/// Pack A rows `[row0, row0+rows)` × k `[pc, pc+kc)` into `MR`-high panels.
+/// Pack A rows `[row0, row0+rows)` × k `[pc, pc+kc)` into `tile_mr`-high
+/// panels (the active kernel's tile height).
 ///
-/// Panel `p` holds rows `row0 + p·MR ..`, laid out k-major (`MR` contiguous
-/// values per k step, zero-padded past the last real row) so the
-/// micro-kernel reads one short contiguous run per k step.
+/// Panel `p` holds rows `row0 + p·tile_mr ..`, laid out k-major
+/// (`tile_mr` contiguous values per k step, zero-padded past the last
+/// real row) so the micro-kernel reads one short contiguous run per k
+/// step.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
     apack: &mut [f32],
@@ -230,20 +319,21 @@ fn pack_a(
     rows: usize,
     pc: usize,
     kc: usize,
+    tile_mr: usize,
 ) {
-    let panels = rows.div_ceil(MR);
+    let panels = rows.div_ceil(tile_mr);
     debug_assert!(
-        apack.len() >= panels * kc * MR,
+        apack.len() >= panels * kc * tile_mr,
         "A pack buffer too small: {} < {}",
         apack.len(),
-        panels * kc * MR
+        panels * kc * tile_mr
     );
     for p in 0..panels {
-        let r0 = row0 + p * MR;
-        let mr = MR.min(row0 + rows - r0);
-        let dst = &mut apack[p * kc * MR..(p + 1) * kc * MR];
+        let r0 = row0 + p * tile_mr;
+        let mr = tile_mr.min(row0 + rows - r0);
+        let dst = &mut apack[p * kc * tile_mr..(p + 1) * kc * tile_mr];
         debug_assert!(mr >= 1, "empty A panel: rows={rows} p={p}");
-        if mr < MR {
+        if mr < tile_mr {
             dst.fill(0.0); // zero-pad the edge panel once, then overwrite
         }
         match kind {
@@ -251,14 +341,14 @@ fn pack_a(
                 for r in 0..mr {
                     let src = &a[(r0 + r) * stride + pc..(r0 + r) * stride + pc + kc];
                     for (kk, &v) in src.iter().enumerate() {
-                        dst[kk * MR + r] = v;
+                        dst[kk * tile_mr + r] = v;
                     }
                 }
             }
             AKind::Transposed => {
                 for kk in 0..kc {
                     let src = &a[(pc + kk) * stride + r0..(pc + kk) * stride + r0 + mr];
-                    dst[kk * MR..kk * MR + mr].copy_from_slice(src);
+                    dst[kk * tile_mr..kk * tile_mr + mr].copy_from_slice(src);
                 }
             }
         }
@@ -266,8 +356,8 @@ fn pack_a(
 }
 
 /// Pack the B strip columns `[j0, j0+nr)` × k `[pc, pc+kc)` into one
-/// `NR`-wide panel, k-major (`NR` contiguous values per k step), zero-padded
-/// past the last real column.
+/// `tile_nr`-wide panel, k-major (`tile_nr` contiguous values per k
+/// step), zero-padded past the last real column.
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
     bpack: &mut [f32],
@@ -278,9 +368,10 @@ fn pack_b(
     nr: usize,
     pc: usize,
     kc: usize,
+    tile_nr: usize,
 ) {
     debug_assert!(
-        bpack.len() >= kc * NR && (1..=NR).contains(&nr),
+        bpack.len() >= kc * tile_nr && (1..=tile_nr).contains(&nr),
         "B pack: len={} kc={kc} nr={nr}",
         bpack.len()
     );
@@ -288,50 +379,20 @@ fn pack_b(
         BKind::RowMajor => {
             for kk in 0..kc {
                 let src = &b[(pc + kk) * stride + j0..(pc + kk) * stride + j0 + nr];
-                let dst = &mut bpack[kk * NR..(kk + 1) * NR];
+                let dst = &mut bpack[kk * tile_nr..(kk + 1) * tile_nr];
                 dst[..nr].copy_from_slice(src);
                 dst[nr..].fill(0.0);
             }
         }
         BKind::Transposed => {
-            if nr < NR {
-                bpack[..kc * NR].fill(0.0);
+            if nr < tile_nr {
+                bpack[..kc * tile_nr].fill(0.0);
             }
             for j in 0..nr {
                 let src = &b[(j0 + j) * stride + pc..(j0 + j) * stride + pc + kc];
                 for (kk, &v) in src.iter().enumerate() {
-                    bpack[kk * NR + j] = v;
+                    bpack[kk * tile_nr + j] = v;
                 }
-            }
-        }
-    }
-}
-
-/// The register-tiled inner loop: `acc += Apanel · Bpanel` over one k-block.
-///
-/// Reads `MR` + `NR` contiguous floats per k step; the fixed-size accumulator
-/// tile stays in registers, and the `NR`-wide update auto-vectorises.
-#[inline(always)]
-fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    debug_assert!(
-        ap.len() >= kc * MR,
-        "A panel short: {} < {}",
-        ap.len(),
-        kc * MR
-    );
-    debug_assert!(
-        bp.len() >= kc * NR,
-        "B panel short: {} < {}",
-        bp.len(),
-        kc * NR
-    );
-    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
-        let a: &[f32; MR] = a.try_into().unwrap();
-        let b: &[f32; NR] = b.try_into().unwrap();
-        for r in 0..MR {
-            let ar = a[r];
-            for j in 0..NR {
-                acc[r][j] += ar * b[j];
             }
         }
     }
@@ -348,11 +409,11 @@ fn write_tile(
     j0: usize,
     mr: usize,
     nr: usize,
-    acc: &[[f32; NR]; MR],
+    acc: &[[f32; MAX_NR]; MAX_MR],
     accumulate: bool,
 ) {
     debug_assert!(
-        (1..=MR).contains(&mr) && (1..=NR).contains(&nr),
+        (1..=MAX_MR).contains(&mr) && (1..=MAX_NR).contains(&nr),
         "edge tile {mr}x{nr}"
     );
     for (r, acc_row) in acc.iter().enumerate().take(mr) {
@@ -502,5 +563,50 @@ mod tests {
         let a = Tensor::zeros([2, 3]);
         let b = Tensor::zeros([4, 2]);
         let _ = matmul(&a, &b);
+    }
+
+    /// Run one shape through a specific kernel, bypassing dispatch.
+    fn gemm_k<K: MicroKernel>(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros([m, n]);
+        gemm_with::<K>(
+            a.data(),
+            AKind::RowMajor,
+            b.data(),
+            BKind::RowMajor,
+            m,
+            n,
+            k,
+            c.data_mut(),
+        );
+        c
+    }
+
+    #[test]
+    fn every_kernel_matches_naive_on_odd_sizes() {
+        // Same boundary-straddling shapes as `matches_naive_on_odd_sizes`,
+        // but pinned per kernel so both code paths are exercised in one
+        // process regardless of dispatch state. Shapes around 6/16 edges
+        // matter for the FMA tile; 4/8 edges for the scalar tile.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (5, 3, 15),
+            (6, 128, 16),
+            (7, 129, 17),
+            (12, 64, 33),
+            (65, 128, 31),
+            (66, 130, 48),
+            (129, 256, 65),
+        ] {
+            let a = rand_t([m, k], (m * k + 13) as u64);
+            let b = rand_t([k, n], (k * n + 29) as u64);
+            let want = naive(&a, &b);
+            assert_close(&gemm_k::<Scalar4x8>(&a, &b), &want);
+            #[cfg(target_arch = "x86_64")]
+            if crate::kernel::fma_available() {
+                assert_close(&gemm_k::<crate::kernel::Fma6x16>(&a, &b), &want);
+            }
+        }
     }
 }

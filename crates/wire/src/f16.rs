@@ -43,8 +43,13 @@ pub fn f32_to_f16_bits(x: f32) -> u16 {
         }
         return sign | ((e as u16) << 10) | (m as u16);
     }
-    if unbiased >= -24 {
+    if unbiased >= -25 {
         // Subnormal f16: shift the implicit leading 1 into the mantissa.
+        // -25 is included so values in (2⁻²⁵, 2⁻²⁴) round *up* to the
+        // smallest subnormal under nearest-even (exactly 2⁻²⁵ ties to
+        // zero); below that everything is under half an LSB and
+        // flushes. This keeps the absolute error ≤ 2⁻²⁵ everywhere
+        // under the normal range — the envelope DESIGN.md §13 claims.
         let full = mantissa | 0x0080_0000;
         let shift = (-14 - unbiased) as u32 + 13;
         let m = full >> shift;
@@ -126,6 +131,15 @@ mod tests {
         assert!(back > 0.0 && (back - x).abs() < 3.0e-8, "{x} -> {back}");
         // Below half the smallest subnormal: flush to zero.
         assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1.0e-9)), 0.0);
+        // Just above half the smallest subnormal: round *up* to it, per
+        // nearest-even — not flushed.
+        let above_half = f32::exp2(-25.0) * 1.5;
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(above_half)),
+            f32::exp2(-24.0)
+        );
+        // Exactly half ties to even, which is zero.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::exp2(-25.0))), 0.0);
     }
 
     #[test]

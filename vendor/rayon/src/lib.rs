@@ -3,37 +3,64 @@
 //! slices, the `enumerate` / `map` / `filter` adapters, and the `for_each`
 //! / `collect` terminals.
 //!
-//! Execution model: instead of a work-stealing pool, a terminal splits its
-//! source into one contiguous partition per available core and runs each
-//! partition on a `std::thread::scope` thread. Small inputs (and
-//! `par_chunks_mut` under [`PAR_CHUNK_ELEMENTS`] total elements, the hot
-//! matmul path) run inline on the calling thread, so tiny tensor ops pay
-//! no spawn cost. Results are concatenated in partition order, which
+//! Execution model: a **persistent shared worker pool**. The first
+//! parallel call spawns `threads − 1` long-lived workers blocked on a
+//! shared injector queue; every later call just enqueues jobs, so the
+//! per-call cost is a handful of mutex operations (~1 µs) instead of the
+//! 20–60 µs thread spawn+join the previous scoped-thread design paid.
+//! A terminal splits its source into several contiguous partitions per
+//! worker (not one — finer grain lets fast workers absorb more of the
+//! slice, the same load-balancing effect work stealing buys without
+//! per-worker deques) and pushes each as a job; the **calling thread
+//! participates**, draining the queue until its own jobs are done, so a
+//! parallel call never deadlocks even when every worker is busy and
+//! nested parallel calls degrade gracefully to help-first execution on
+//! the caller. Results are concatenated in partition order, which
 //! preserves item order exactly like rayon's indexed `collect`.
+//!
+//! Small inputs (and `par_chunks_mut` under [`PAR_CHUNK_ELEMENTS`] total
+//! elements, the hot matmul path) run inline on the calling thread
+//! without touching the queue, so tiny tensor ops pay no dispatch cost.
 //!
 //! The worker count defaults to `std::thread::available_parallelism()` and
 //! can be overridden with the `SPATL_THREADS` environment variable (read
 //! once, at the first parallel call). `SPATL_THREADS=1` forces fully
-//! sequential execution — useful for profiling the kernels themselves and
+//! sequential execution — no workers are ever spawned, every "parallel"
+//! call runs inline — useful for profiling the kernels themselves and
 //! for reproducing timing-sensitive bugs; values above the core count
 //! oversubscribe, which is occasionally useful on cgroup-limited CI
 //! runners where `available_parallelism` under-reports.
+//!
+//! A worker panic is caught, recorded on the submitting call's latch, and
+//! re-raised as `"parallel worker panicked"` on the calling thread once
+//! the call's remaining jobs have drained — mirroring rayon's behaviour
+//! of propagating the panic to the caller rather than poisoning the pool
+//! (the workers survive and serve later calls).
 
 #![allow(clippy::all)]
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Below this many base elements a `par_chunks_mut` call runs inline —
-/// thread spawn costs more than the work for small tensors.
+/// dispatch overhead costs more than the work for small tensors.
 ///
-/// Rationale for the value: each scoped worker costs roughly 20–60 µs to
-/// spawn and join (no pool persists between calls). At the ~2–16 f32
-/// FLOP/element of the tensor hot paths, 32 Ki elements is the scale where
-/// the per-call work (≥ ~100 µs) starts to clearly dominate that overhead;
-/// below it, inline execution wins even on many-core hosts. The threshold
-/// counts *base slice elements*, not chunks, so a `par_chunks_mut` over a
-/// `[batch, C·H·W]` activation crosses it as soon as the whole tensor does.
+/// Rationale for the value: enqueueing jobs on the persistent pool and
+/// waking workers costs a few µs per call (mutex + condvar traffic), and
+/// splitting a tensor across cores forfeits the cache locality of a
+/// single-threaded sweep. At the ~2–16 f32 FLOP/element of the tensor hot
+/// paths, 32 Ki elements is the scale where the per-call work (≥ ~100 µs)
+/// clearly dominates both effects; below it, inline execution wins even
+/// on many-core hosts. The threshold counts *base slice elements*, not
+/// chunks, so a `par_chunks_mut` over a `[batch, C·H·W]` activation
+/// crosses it as soon as the whole tensor does.
 pub const PAR_CHUNK_ELEMENTS: usize = 32_768;
+
+/// Partitions submitted per worker thread by one terminal. Finer than
+/// one-per-thread so a worker that finishes early picks up more of the
+/// slice instead of idling — the load-balancing effect work stealing
+/// provides, paid for with a few extra queue operations per call.
+const PARTITIONS_PER_THREAD: usize = 4;
 
 /// A splittable, sequentially drivable work source.
 pub trait ParallelIterator: Sized + Send {
@@ -166,33 +193,218 @@ fn thread_count() -> usize {
     })
 }
 
-/// Split `iter` into up to `thread_count` partitions and run `job` on each,
-/// returning per-partition results in order. Falls back to a single inline
-/// call when parallelism isn't worthwhile.
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One queued unit of work: a lifetime-erased closure plus the completion
+/// latch of the parallel call that submitted it.
+struct Job {
+    run: Box<dyn FnOnce() + Send>,
+    latch: Arc<Latch>,
+}
+
+/// Per-call completion latch: counts outstanding jobs and records whether
+/// any of them panicked. The submitting thread blocks on it (helping drain
+/// the queue in the meantime) until every job has completed.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    pending: usize,
+    panicked: bool,
+}
+
+impl Latch {
+    fn new(pending: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            state: Mutex::new(LatchState {
+                pending,
+                panicked: false,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// One job finished (cleanly or by panic). Opens the latch when it
+    /// was the last one.
+    fn complete(&self, panicked: bool) {
+        let mut st = self.state.lock().unwrap();
+        st.pending -= 1;
+        st.panicked |= panicked;
+        if st.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until every job has completed, running queued work while
+    /// waiting. Help-first participation is what makes nested parallel
+    /// calls safe: a thread that owns an open latch never sleeps while
+    /// runnable jobs exist, so the pool cannot deadlock even with zero
+    /// workers (single-core hosts) or with every worker busy.
+    fn wait(&self, pool: &Pool) {
+        loop {
+            if self.state.lock().unwrap().pending == 0 {
+                return;
+            }
+            if let Some(job) = pool.try_pop() {
+                run_job(job);
+                continue;
+            }
+            // Queue empty but jobs still running on workers: sleep until
+            // the last completion notifies. Re-checking `pending` under
+            // the same lock `complete` holds makes the wakeup lossless.
+            let guard = self.state.lock().unwrap();
+            if guard.pending == 0 {
+                return;
+            }
+            drop(self.done.wait(guard).unwrap());
+        }
+    }
+}
+
+/// The shared injector queue the persistent workers (and helping callers)
+/// drain. Spawned lazily at the first parallel call that needs it.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+impl Pool {
+    /// The process-wide pool; `thread_count() − 1` workers are spawned on
+    /// first access (the calling thread itself is the final "worker").
+    /// With `SPATL_THREADS=1` this is never reached — every parallel call
+    /// short-circuits inline before touching the pool.
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        static WORKERS: OnceLock<()> = OnceLock::new();
+        let pool = POOL.get_or_init(|| Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        WORKERS.get_or_init(|| {
+            for i in 0..thread_count().saturating_sub(1) {
+                std::thread::Builder::new()
+                    .name(format!("spatl-pool-{i}"))
+                    .spawn(move || pool.worker_loop())
+                    .expect("failed to spawn pool worker");
+            }
+        });
+        pool
+    }
+
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    match q.pop_front() {
+                        Some(job) => break job,
+                        None => q = self.available.wait(q).unwrap(),
+                    }
+                }
+            };
+            run_job(job);
+        }
+    }
+}
+
+/// Run one job, catching any panic so the pool thread survives; the
+/// panic is recorded on the job's latch and re-raised on the submitting
+/// thread instead.
+fn run_job(job: Job) {
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.run)).is_err();
+    job.latch.complete(panicked);
+}
+
+/// Raw-pointer wrapper that asserts cross-thread sendability. Each job
+/// writes through a distinct offset, so there is no aliasing.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        SendPtr(self.0)
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+/// Split `iter` into partitions and run `job` on each via the persistent
+/// pool, returning per-partition results in order. Falls back to a single
+/// inline call when parallelism isn't worthwhile or `threads <= 1`.
 fn collect_parts<I, R, F>(iter: I, job: F) -> Vec<R>
 where
     I: ParallelIterator,
     R: Send,
     F: Fn(I) -> R + Clone + Send,
 {
-    let threads = thread_count();
+    collect_parts_n(iter, job, thread_count())
+}
+
+/// [`collect_parts`] with an explicit thread budget — separated so tests
+/// can exercise the pool machinery even when `thread_count()` is 1 (the
+/// caller drains its own jobs; correctness never depends on workers
+/// existing).
+fn collect_parts_n<I, R, F>(iter: I, job: F, threads: usize) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I) -> R + Clone + Send,
+{
     if threads <= 1 || iter.len() <= 1 || !iter.parallel_worthwhile() {
         return vec![job(iter)];
     }
-    let parts = split_into(iter, threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|part| {
-                let job = job.clone();
-                scope.spawn(move || job(part))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    })
+    let parts = split_into(iter, threads * PARTITIONS_PER_THREAD);
+    let n = parts.len();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let latch = Latch::new(n);
+    let pool = Pool::global();
+    let slots = SendPtr(results.as_mut_ptr());
+    for (i, part) in parts.into_iter().enumerate() {
+        let job = job.clone();
+        // SAFETY: `i < n`, so the offset stays inside the Vec's buffer.
+        let slot = SendPtr(unsafe { slots.0.add(i) });
+        let closure: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            // Rebind the whole wrapper so 2021 disjoint capture takes the
+            // Send-asserting SendPtr, not its raw field.
+            let slot = slot;
+            let r = job(part);
+            // SAFETY: slot `i` belongs to this job alone (one job per
+            // index), the Vec outlives the latch wait below, and the
+            // latch's mutex orders this write before the caller's read.
+            unsafe { *slot.0 = Some(r) };
+        });
+        // SAFETY: lifetime erasure for the queue. The borrows inside the
+        // closure (`results`, captured `iter` data, `job`) are owned by
+        // this stack frame, and `latch.wait` below does not return until
+        // every submitted job has run to completion — so the closure
+        // never outlives what it borrows. Only the type is widened to
+        // 'static; the bytes are untouched.
+        let run: Box<dyn FnOnce() + Send> = unsafe { std::mem::transmute(closure) };
+        pool.push(Job {
+            run,
+            latch: latch.clone(),
+        });
+    }
+    latch.wait(pool);
+    if latch.state.lock().unwrap().panicked {
+        panic!("parallel worker panicked");
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("pool job completed without writing its slot"))
+        .collect()
 }
 
 fn run_parts<I, F>(iter: I, job: F)
@@ -566,5 +778,123 @@ mod tests {
         assert_eq!(parse_thread_override(Some("1"), 8), 1);
         assert_eq!(parse_thread_override(Some(" 4 "), 8), 4);
         assert_eq!(parse_thread_override(Some("64"), 8), 64);
+    }
+
+    // -- Persistent-pool machinery ---------------------------------------
+    //
+    // `collect_parts_n` with an explicit thread budget forces the pool
+    // path regardless of SPATL_THREADS / core count. The caller always
+    // participates in draining the queue, so these tests are meaningful
+    // even on a single-core host with zero spawned workers.
+
+    use crate::collect_parts_n;
+
+    fn pool_sum(xs: &[u64], threads: usize) -> u64 {
+        let parts = collect_parts_n(
+            xs.par_iter(),
+            |part| {
+                let mut s = 0u64;
+                crate::ParallelIterator::drive(part, &mut |&x| s += x);
+                s
+            },
+            threads,
+        );
+        parts.into_iter().sum()
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_calls() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let want: u64 = xs.iter().sum();
+        for _ in 0..100 {
+            assert_eq!(pool_sum(&xs, 4), want);
+        }
+    }
+
+    #[test]
+    fn pool_preserves_partition_order() {
+        let xs: Vec<u64> = (0..5_000).collect();
+        let parts = collect_parts_n(
+            xs.par_iter(),
+            |part| {
+                let mut items = Vec::new();
+                crate::ParallelIterator::drive(part, &mut |&x| items.push(x));
+                items
+            },
+            8,
+        );
+        let flat: Vec<u64> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, xs);
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        let xs: Vec<u64> = (0..64).collect();
+        let parts = collect_parts_n(
+            xs.par_iter(),
+            |part| {
+                let mut inner_total = 0u64;
+                crate::ParallelIterator::drive(part, &mut |&x| {
+                    // Nested parallel call from inside a pool job: the
+                    // running thread helps drain the queue, so this must
+                    // not deadlock.
+                    let ys: Vec<u64> = (0..50).map(|i| x + i).collect();
+                    inner_total += pool_sum(&ys, 3);
+                });
+                inner_total
+            },
+            4,
+        );
+        let got: u64 = parts.into_iter().sum();
+        let want: u64 = (0..64u64)
+            .map(|x| (0..50u64).map(|i| x + i).sum::<u64>())
+            .sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let xs: Vec<u64> = (t * 1000..(t + 1) * 1000).collect();
+                    let want: u64 = xs.iter().sum();
+                    for _ in 0..50 {
+                        assert_eq!(pool_sum(&xs, 4), want);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller_and_pool_survives() {
+        let xs: Vec<u64> = (0..1_000).collect();
+        let caught = std::panic::catch_unwind(|| {
+            collect_parts_n(
+                xs.par_iter(),
+                |part| {
+                    crate::ParallelIterator::drive(part, &mut |&x| {
+                        if x == 777 {
+                            panic!("boom");
+                        }
+                    });
+                },
+                4,
+            );
+        });
+        let msg = caught.expect_err("panic must propagate");
+        let msg = msg
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| msg.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert_eq!(msg, "parallel worker panicked");
+        // The pool is not poisoned: later calls still work.
+        let want: u64 = xs.iter().sum();
+        assert_eq!(pool_sum(&xs, 4), want);
     }
 }
