@@ -251,6 +251,47 @@ fn main() {
         println!();
     }
 
+    if let Some(v) = load("churn") {
+        println!("## Churn — availability-driven cohorts (trace-driven arrival/departure)");
+        let mut t = Table::new(&[
+            "profile",
+            "sampled",
+            "survivors",
+            "dropouts",
+            "no-op rounds",
+            "final acc",
+        ]);
+        for r in v.as_array().into_iter().flatten() {
+            if r["profile"] == "population-sweep" {
+                continue;
+            }
+            t.row(vec![
+                r["profile"].as_str().unwrap_or("?").to_string(),
+                r["sampled"].to_string(),
+                r["survivors"].to_string(),
+                r["dropouts"].to_string(),
+                r["no_op_rounds"].to_string(),
+                format!("{:.1}%", f(&r["final_acc"]) * 100.0),
+            ]);
+        }
+        t.print();
+        if let Some(sweep) = v
+            .as_array()
+            .into_iter()
+            .flatten()
+            .find(|r| r["profile"] == "population-sweep")
+        {
+            println!(
+                "population sweep: {} cohorts of <={} from {} virtual clients in {:.3}s",
+                sweep["rounds"],
+                sweep["cohort_cap"],
+                sweep["population"],
+                f(&sweep["elapsed_s"]),
+            );
+        }
+        println!();
+    }
+
     if let Some(v) = load("fig_rl_finetune") {
         println!("## Agent pre-train / fine-tune rewards");
         let pre: Vec<f64> = v["pretrain_rewards"]

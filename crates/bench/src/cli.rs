@@ -7,7 +7,11 @@
 //! one list per ordering convention, plus a name parser for selecting a
 //! single algorithm from the command line.
 
-use spatl::prelude::{Algorithm, ExperimentBuilder, Simulation, SpatlOptions};
+use std::time::Duration;
+
+use spatl::prelude::{
+    Algorithm, ChaosPlan, ChurnPlan, ExperimentBuilder, Simulation, SpatlOptions,
+};
 
 /// The paper's five algorithms, SPATL first (the ordering the
 /// figure-style experiments print).
@@ -168,12 +172,19 @@ pub struct NetOpts {
     pub local_epochs: usize,
     /// Local batch size.
     pub batch: usize,
+    /// Seeded transport chaos plan, part of the session fingerprint —
+    /// every endpoint of a run must be given the same chaos flags.
+    pub chaos: Option<ChaosPlan>,
+    /// Client churn plan, also fingerprinted across the endpoints.
+    pub churn: Option<ChurnPlan>,
 }
 
 impl NetOpts {
-    /// Flags [`NetOpts::from_args`] consumes; binaries append their own
-    /// extras before calling [`Args::parse`].
-    pub const FLAGS: [&'static str; 8] = [
+    /// Flags [`NetOpts::from_args`] consumes (the chaos and churn flags
+    /// included — they shape the session fingerprint, so every networked
+    /// binary accepts them); binaries append their own extras before
+    /// calling [`Args::parse`].
+    pub const FLAGS: [&'static str; 21] = [
         "addr",
         "clients",
         "rounds",
@@ -182,6 +193,19 @@ impl NetOpts {
         "samples",
         "local-epochs",
         "batch",
+        "chaos-reset",
+        "chaos-stall",
+        "chaos-stall-ms",
+        "chaos-duplicate",
+        "chaos-kill-edge",
+        "chaos-seed",
+        "churn",
+        "churn-period",
+        "churn-duty",
+        "churn-arrival-span",
+        "churn-flake",
+        "churn-abrupt",
+        "churn-seed",
     ];
 
     /// Read the shared runtime flags out of parsed [`Args`], defaulting
@@ -203,6 +227,8 @@ impl NetOpts {
             samples: args.get_or("samples", 24),
             local_epochs: args.get_or("local-epochs", 1),
             batch: args.get_or("batch", 8),
+            chaos: parse_chaos(args),
+            churn: parse_churn(args),
         }
     }
 
@@ -211,14 +237,117 @@ impl NetOpts {
     /// shards and the same control-plane fingerprint, on the server and
     /// on every client process.
     pub fn build_session(&self) -> Simulation {
-        ExperimentBuilder::new(self.algorithm)
+        let mut b = ExperimentBuilder::new(self.algorithm)
             .clients(self.clients)
             .rounds(self.rounds)
             .samples_per_client(self.samples)
             .local_epochs(self.local_epochs)
             .batch_size(self.batch)
-            .seed(self.seed)
-            .build()
+            .seed(self.seed);
+        if let Some(plan) = self.chaos {
+            b = b.chaos(plan);
+        }
+        if let Some(plan) = self.churn {
+            b = b.churn(plan);
+        }
+        b.build()
+    }
+}
+
+/// Build the chaos plan out of the `--chaos-*` flags; `None` when no
+/// chaos flag was given at all (the common, chaos-free case).
+/// `--chaos-kill-edge` takes `round:edge` (e.g. `1:0` kills edge 0 from
+/// round 1 onward).
+fn parse_chaos(args: &Args) -> Option<ChaosPlan> {
+    let given = [
+        "chaos-reset",
+        "chaos-stall",
+        "chaos-duplicate",
+        "chaos-kill-edge",
+    ]
+    .iter()
+    .any(|f| args.get(f).is_some());
+    if !given {
+        return None;
+    }
+    let defaults = ChaosPlan::default();
+    let kill_edge = args.get("chaos-kill-edge").map(|v| {
+        let parts: Option<(u32, u32)> = v
+            .split_once(':')
+            .and_then(|(r, e)| Some((r.parse().ok()?, e.parse().ok()?)));
+        parts.unwrap_or_else(|| {
+            eprintln!("error: flag --chaos-kill-edge wants 'round:edge', got '{v}'");
+            std::process::exit(2);
+        })
+    });
+    Some(ChaosPlan {
+        reset: args.get_or("chaos-reset", defaults.reset),
+        stall: args.get_or("chaos-stall", defaults.stall),
+        stall_ms: args.get_or("chaos-stall-ms", defaults.stall_ms),
+        duplicate: args.get_or("chaos-duplicate", defaults.duplicate),
+        kill_edge,
+        seed: args.get_or("chaos-seed", defaults.seed),
+    })
+}
+
+/// Build the churn plan out of the `--churn*` flags; `None` when
+/// `--churn` is absent. `--churn` names the base profile
+/// (`cross-silo`, `cross-device` or `custom`) and the remaining flags
+/// override its individual fields.
+fn parse_churn(args: &Args) -> Option<ChurnPlan> {
+    let base = match args.get("churn")? {
+        "cross-silo" => ChurnPlan::cross_silo(),
+        "cross-device" => ChurnPlan::cross_device(),
+        "custom" => ChurnPlan::default(),
+        other => {
+            eprintln!(
+                "error: flag --churn has unknown profile '{other}' \
+                 (expected cross-silo|cross-device|custom)"
+            );
+            std::process::exit(2);
+        }
+    };
+    Some(ChurnPlan {
+        period: args.get_or("churn-period", base.period),
+        duty: args.get_or("churn-duty", base.duty),
+        arrival_span: args.get_or("churn-arrival-span", base.arrival_span),
+        flake: args.get_or("churn-flake", base.flake),
+        abrupt: args.get_or("churn-abrupt", base.abrupt),
+        seed: args.get_or("churn-seed", base.seed),
+    })
+}
+
+/// The runtime-deadline flag set shared by `spatl-server` and
+/// `spatl-edge`: how long to wait for the cohort to register
+/// (`--join-timeout`), for a round to complete (`--round-timeout`) and
+/// for a single blocking read/write (`--io-timeout`), all in seconds —
+/// plus the root's quorum commit fraction (`--quorum`).
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOpts {
+    /// Registration wait before the first round starts short-handed.
+    pub join_timeout: Duration,
+    /// Shared per-round collection deadline.
+    pub round_timeout: Duration,
+    /// Per-operation socket deadline (handshakes, writes).
+    pub io_timeout: Duration,
+    /// Fraction of the round's participants whose folded uploads commit
+    /// the round (`(0, 1]`; 1.0 waits for everyone).
+    pub quorum: f64,
+}
+
+impl RuntimeOpts {
+    /// Flags [`RuntimeOpts::from_args`] consumes.
+    pub const FLAGS: [&'static str; 4] = ["join-timeout", "round-timeout", "io-timeout", "quorum"];
+
+    /// Read the runtime flags out of parsed [`Args`] (defaults: 30 s
+    /// join, 300 s round, 30 s io, quorum 1.0).
+    pub fn from_args(args: &Args) -> RuntimeOpts {
+        RuntimeOpts {
+            join_timeout: Duration::from_secs(args.get_or("join-timeout", 30)),
+            round_timeout: Duration::from_secs(args.get_or("round-timeout", 300)),
+            io_timeout: Duration::from_secs(args.get_or("io-timeout", 30)),
+            quorum: args.get_or("quorum", 1.0),
+        }
     }
 }
 
@@ -308,6 +437,54 @@ mod tests {
         let tiered = TierOpts::from_args(&args);
         assert_eq!((tiered.edges, tiered.edge_id), (2, 1));
         assert_eq!(tiered.wal.as_deref(), Some("log.jsonl"));
+    }
+
+    #[test]
+    fn chaos_churn_and_runtime_flags_parse() {
+        let accepted: Vec<&str> = NetOpts::FLAGS
+            .iter()
+            .chain(RuntimeOpts::FLAGS.iter())
+            .copied()
+            .collect();
+
+        // No chaos/churn flags → no plans, so the fingerprint matches a
+        // plain session.
+        let none = Args::from_iter::<[&str; 0], &str>([], &accepted).unwrap();
+        let opts = NetOpts::from_args(&none);
+        assert!(opts.chaos.is_none() && opts.churn.is_none());
+        let runtime = RuntimeOpts::from_args(&none);
+        assert_eq!(runtime.round_timeout, Duration::from_secs(300));
+        assert_eq!(runtime.quorum, 1.0);
+
+        let args = Args::from_iter(
+            [
+                "--chaos-reset",
+                "0.5",
+                "--chaos-kill-edge",
+                "2:1",
+                "--churn",
+                "cross-device",
+                "--churn-duty",
+                "0.6",
+                "--quorum",
+                "0.75",
+                "--io-timeout",
+                "5",
+            ],
+            &accepted,
+        )
+        .unwrap();
+        let opts = NetOpts::from_args(&args);
+        let chaos = opts.chaos.expect("chaos flags given");
+        assert_eq!(chaos.reset, 0.5);
+        assert_eq!(chaos.kill_edge, Some((2, 1)));
+        assert_eq!(chaos.duplicate, 0.0);
+        let churn = opts.churn.expect("churn profile given");
+        assert_eq!(churn.duty, 0.6);
+        assert_eq!(churn.arrival_span, ChurnPlan::cross_device().arrival_span);
+        let runtime = RuntimeOpts::from_args(&args);
+        assert_eq!(runtime.quorum, 0.75);
+        assert_eq!(runtime.io_timeout, Duration::from_secs(5));
     }
 
     #[test]

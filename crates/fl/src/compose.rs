@@ -444,6 +444,7 @@ pub fn fault_counters(record: &FaultRecord) -> TierFaultCounters {
         local_divergence: record.local_divergence as u32,
         byzantine: record.byzantine as u32,
         quarantined: record.quarantined as u32,
+        duplicates: record.duplicates as u32,
     }
 }
 
@@ -461,6 +462,7 @@ pub fn fold_fault_counters(into: &mut FaultRecord, counters: &TierFaultCounters)
     into.local_divergence += counters.local_divergence as usize;
     into.byzantine += counters.byzantine as usize;
     into.quarantined += counters.quarantined as usize;
+    into.duplicates += counters.duplicates as usize;
 }
 
 /// Build the wire bookkeeping entry for one collected client, from the
@@ -599,6 +601,7 @@ mod tests {
         let mut b = FaultRecord::for_sample(2);
         b.corrupted_uploads = 1;
         b.retry_exhausted = 1;
+        b.duplicates = 1;
         let mut root = FaultRecord::default();
         fold_fault_counters(&mut root, &fault_counters(&a));
         fold_fault_counters(&mut root, &fault_counters(&b));
@@ -607,5 +610,6 @@ mod tests {
         assert_eq!(root.quarantined, 2);
         assert_eq!(root.corrupted_uploads, 1);
         assert_eq!(root.retry_exhausted, 1);
+        assert_eq!(root.duplicates, 1);
     }
 }

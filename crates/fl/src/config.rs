@@ -315,6 +315,18 @@ pub struct FlConfig {
     /// ([`UploadCodec::Dense`] reproduces the pre-codec wire format and
     /// byte accounting exactly).
     pub upload_codec: UploadCodec,
+    /// Transport chaos injected into the networked runtime
+    /// ([`ChaosPlan`]); `None` runs a pristine transport. The in-process
+    /// simulator has no transport and ignores a configured plan.
+    ///
+    /// [`ChaosPlan`]: crate::ChaosPlan
+    pub chaos: Option<crate::ChaosPlan>,
+    /// Client churn ([`ChurnPlan`]): availability-driven cohort sampling
+    /// plus mid-round departures; `None` keeps the fixed-roster seeded
+    /// `choose_k` sampling.
+    ///
+    /// [`ChurnPlan`]: crate::ChurnPlan
+    pub churn: Option<crate::ChurnPlan>,
 }
 
 impl FlConfig {
@@ -339,6 +351,8 @@ impl FlConfig {
             screen: None,
             aggregator: AggregatorKind::WeightedMean,
             upload_codec: UploadCodec::Dense,
+            chaos: None,
+            churn: None,
         }
     }
 

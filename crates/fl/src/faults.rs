@@ -132,6 +132,11 @@ pub enum FaultKind {
     /// The client finished after [`FaultPlan::deadline_s`]; its upload was
     /// discarded unread.
     DeadlineMissed,
+    /// A complete upload arrived for a `(round, client)` the coordinator
+    /// had already folded — a retransmission after a reconnect, or a
+    /// [`ChaosPlan`](crate::ChaosPlan)-duplicated reply. The copy was
+    /// discarded; folding it twice would double-count the client.
+    DuplicateUpload,
     /// The client self-reported a non-finite local delta and uploaded a
     /// fallback instead of a salient selection; aggregation rejects the
     /// update, and this event distinguishes *self-reported* divergence from
@@ -178,6 +183,9 @@ pub struct FaultRecord {
     pub stragglers: usize,
     /// Participants excluded because they finished after the deadline.
     pub deadline_dropped: usize,
+    /// Complete uploads discarded because their `(round, client)` was
+    /// already folded ([`FaultKind::DuplicateUpload`]).
+    pub duplicates: usize,
     /// Transmission attempts that arrived corrupted (retries included).
     pub corrupted_uploads: usize,
     /// Retransmissions the server requested.
@@ -218,6 +226,7 @@ impl FaultRecord {
             FaultKind::CorruptUpload { .. } => self.corrupted_uploads += 1,
             FaultKind::RetriesExhausted => self.retry_exhausted += 1,
             FaultKind::DeadlineMissed => self.deadline_dropped += 1,
+            FaultKind::DuplicateUpload => self.duplicates += 1,
             FaultKind::LocalDivergence => self.local_divergence += 1,
             FaultKind::ByzantineUpload { .. } => self.byzantine += 1,
             FaultKind::Quarantined { .. } => self.quarantined += 1,
@@ -442,6 +451,7 @@ mod tests {
         );
         rec.push(2, FaultKind::RetriesExhausted);
         rec.push(3, FaultKind::DeadlineMissed);
+        rec.push(3, FaultKind::DuplicateUpload);
         rec.push(0, FaultKind::LocalDivergence);
         rec.push(
             1,
@@ -460,10 +470,11 @@ mod tests {
         assert_eq!(rec.corrupted_uploads, 1);
         assert_eq!(rec.retry_exhausted, 1);
         assert_eq!(rec.deadline_dropped, 1);
+        assert_eq!(rec.duplicates, 1);
         assert_eq!(rec.local_divergence, 1);
         assert_eq!(rec.byzantine, 1);
         assert_eq!(rec.quarantined, 1);
-        assert_eq!(rec.total(), 8);
+        assert_eq!(rec.total(), 9);
     }
 
     #[test]

@@ -34,6 +34,8 @@
 
 mod accumulate;
 mod adversary;
+mod chaos;
+mod churn;
 mod client;
 mod comm;
 pub mod compose;
@@ -48,6 +50,8 @@ pub mod wire;
 
 pub use accumulate::{RoundAccumulator, SpillReason, StreamState};
 pub use adversary::{Adversary, AdversaryPlan, AttackKind};
+pub use chaos::{ChaosInjector, ChaosPlan};
+pub use churn::{churn_departures, ChurnModel, ChurnPlan};
 pub use client::{ClientState, CompressedDelta, LocalOutcome, SelectedUpdate};
 pub use comm::{CommModel, RoundBytes};
 pub use compose::{

@@ -109,6 +109,12 @@ pub struct RoundDriver {
     rng: TensorRng,
     cumulative_bytes: u64,
     round_offset: usize,
+    /// Cohorts drawn so far (the sampling-stream position): equals the
+    /// absolute round index of the *next* [`RoundDriver::sample_round`]
+    /// call. Distinct from `round_offset + history.len()` because some
+    /// participants (edge aggregators) replay the sampling stream without
+    /// recording rounds.
+    sampled_rounds: usize,
 }
 
 impl RoundDriver {
@@ -127,6 +133,12 @@ impl RoundDriver {
         }
         cfg.aggregator.validate();
         cfg.upload_codec.validate(&cfg.algorithm);
+        if let Some(plan) = &cfg.chaos {
+            plan.validate();
+        }
+        if let Some(plan) = &cfg.churn {
+            plan.validate();
+        }
         RoundDriver {
             rng: TensorRng::seed_from(cfg.seed ^ 0x51A1),
             net: cfg.net.simnet(),
@@ -136,6 +148,7 @@ impl RoundDriver {
             layout,
             cumulative_bytes: 0,
             round_offset: 0,
+            sampled_rounds: 0,
         }
     }
 
@@ -153,9 +166,26 @@ impl RoundDriver {
     /// Draw this round's cohort from the seeded sampling stream — exactly
     /// one draw per round, no-op rounds included, so simulator and
     /// coordinator stay on the same stream position round for round.
+    ///
+    /// With [`FlConfig::churn`] configured the cohort comes from the
+    /// churn model's availability-aware sampler instead (a pure function
+    /// of the churn seed and the stream position, so every participant
+    /// still derives the identical cohort independently); it may be
+    /// smaller than `clients_per_round`, or empty, when availability is
+    /// scarce.
     pub fn sample_round(&mut self) -> Vec<usize> {
-        self.rng
-            .choose_k(self.cfg.n_clients, self.cfg.clients_per_round())
+        let round = self.sampled_rounds;
+        self.sampled_rounds += 1;
+        match self.cfg.churn {
+            Some(plan) => crate::ChurnModel::new(plan).sample_cohort(
+                round,
+                self.cfg.clients_per_round(),
+                self.cfg.n_clients,
+            ),
+            None => self
+                .rng
+                .choose_k(self.cfg.n_clients, self.cfg.clients_per_round()),
+        }
     }
 
     /// Resume support: burn the sampling draws of `rounds` already-

@@ -223,6 +223,23 @@ impl Simulation {
             })
             .collect();
 
+        // Churn: a sampled client whose availability window ends this
+        // round abandons the round in progress. Every transport filters
+        // the cohort through the same pure function and ledgers the
+        // departure as a dropout, so the effective cohort is identical
+        // in the simulator, the flat coordinator and every edge.
+        let departures = crate::churn_departures(&self.driver.cfg, round, &selected);
+        let selected: Vec<usize> = selected
+            .into_iter()
+            .filter(|i| {
+                let leaves = departures.contains(i);
+                if leaves {
+                    faults.push(*i, FaultKind::Dropout);
+                }
+                !leaves
+            })
+            .collect();
+
         if selected.is_empty() {
             // Every sampled client dropped: a recorded no-op round. The
             // global model must survive untouched (regression-tested; the

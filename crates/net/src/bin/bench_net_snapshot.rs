@@ -37,8 +37,8 @@ use spatl_fl::{
     WireBytes,
 };
 use spatl_net::{
-    session_fingerprint, Coordinator, CoordinatorConfig, Hello, Join, RoundAssign, RoundDone,
-    RoundMode,
+    session_fingerprint, Coordinator, CoordinatorConfig, Hello, HelloRole, Join, RoundAssign,
+    RoundDone, RoundMode,
 };
 use spatl_wire::{open, read_frame, seal, write_frame, MsgType, MAX_FRAME_PAYLOAD};
 use std::io::{BufRead, BufReader, Write as _};
@@ -142,6 +142,7 @@ fn coordinator_role(scn: Scenario) {
             checkpoint: None,
             topology: Default::default(),
             wal: None,
+            quorum: 1.0,
         },
     )
     .expect("bind coordinator");
@@ -239,6 +240,7 @@ fn swarm_role(scn: Scenario, addr: String) {
             let hello = Hello {
                 client_id: id as u32,
                 fingerprint,
+                role: HelloRole::Client,
             };
             write_frame(&mut s, &seal(MsgType::Hello, &hello.encode())).expect("send hello");
             pending.push(s);

@@ -10,13 +10,18 @@
 //! spatl-client --addr 127.0.0.1:7878 --id 0 --clients 4 --rounds 3 \
 //!              --seed 7 --algorithm spatl
 //! ```
+//!
+//! In a tiered session, `--fallback-addr <root>` names the root
+//! coordinator: after `--fallback-after` consecutive failures to reach
+//! the home edge at `--addr`, the client re-registers directly at the
+//! root (rejected and bounced back while the edge is alive).
 
 use spatl_bench::cli::{Args, NetOpts};
 use spatl_net::{ClientNode, NetError, NodeConfig};
 
 fn main() -> Result<(), NetError> {
     let mut flags: Vec<&str> = NetOpts::FLAGS.to_vec();
-    flags.push("id");
+    flags.extend(["id", "fallback-addr", "fallback-after"]);
     let args = Args::parse(&flags);
     let opts = NetOpts::from_args(&args);
     let id: usize = args.get_or("id", 0);
@@ -35,7 +40,13 @@ fn main() -> Result<(), NetError> {
         opts.addr,
         cfg.algorithm.name()
     );
-    let node = ClientNode::new(cfg, state, NodeConfig::new(opts.addr.clone()));
+    // In a tiered session `--addr` points at this client's home edge and
+    // `--fallback-addr` at the root: when the edge dies the client
+    // re-registers directly at the root and trains over the root link.
+    let mut node_opts = NodeConfig::new(opts.addr.clone());
+    node_opts.fallback_addr = args.get("fallback-addr").map(str::to_string);
+    node_opts.fallback_after = args.get_or("fallback-after", node_opts.fallback_after);
+    let node = ClientNode::new(cfg, state, node_opts);
     let (_, report) = node.run()?;
     eprintln!(
         "[client {id}] done: trained {} rounds, evaluated {}, reconnected {} times",

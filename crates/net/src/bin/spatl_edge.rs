@@ -18,14 +18,16 @@
 //!
 //! [`edge_partition`]: spatl_fl::edge_partition
 
-use spatl_bench::cli::{Args, NetOpts, TierOpts};
+use spatl_bench::cli::{Args, NetOpts, RuntimeOpts, TierOpts};
 use spatl_net::{EdgeAggregator, EdgeConfig, NetError};
 
 fn main() -> Result<(), NetError> {
     let mut flags: Vec<&str> = NetOpts::FLAGS.to_vec();
+    flags.extend(RuntimeOpts::FLAGS);
     flags.extend(TierOpts::FLAGS);
     let args = Args::parse(&flags);
     let opts = NetOpts::from_args(&args);
+    let runtime = RuntimeOpts::from_args(&args);
     let tier = TierOpts::from_args(&args);
     assert!(
         tier.edges > 0,
@@ -33,7 +35,10 @@ fn main() -> Result<(), NetError> {
     );
 
     let session = opts.build_session();
-    let edge_opts = EdgeConfig::new(tier.edge_id, tier.edges, tier.root_addr, opts.addr);
+    let mut edge_opts = EdgeConfig::new(tier.edge_id, tier.edges, tier.root_addr, opts.addr);
+    edge_opts.join_timeout = runtime.join_timeout;
+    edge_opts.round_timeout = runtime.round_timeout;
+    edge_opts.io_timeout = runtime.io_timeout;
     let edge = EdgeAggregator::bind(session.driver, edge_opts)?;
     let range = edge.client_range();
     eprintln!(

@@ -16,24 +16,18 @@
 //! `--local-epochs`, `--batch`): the control-plane fingerprint rejects a
 //! client whose configuration differs.
 
-use std::time::Duration;
-
 use spatl::load_global;
-use spatl_bench::cli::{Args, NetOpts, TierOpts};
+use spatl_bench::cli::{Args, NetOpts, RuntimeOpts, TierOpts};
 use spatl_net::{Coordinator, CoordinatorConfig, NetError, Topology};
 
 fn main() -> Result<(), NetError> {
     let mut flags: Vec<&str> = NetOpts::FLAGS.to_vec();
-    flags.extend([
-        "join-timeout",
-        "round-timeout",
-        "checkpoint",
-        "resume-rounds",
-        "out",
-    ]);
+    flags.extend(RuntimeOpts::FLAGS);
+    flags.extend(["checkpoint", "resume-rounds", "out"]);
     flags.extend(TierOpts::FLAGS);
     let args = Args::parse(&flags);
     let opts = NetOpts::from_args(&args);
+    let runtime = RuntimeOpts::from_args(&args);
     let tier = TierOpts::from_args(&args);
 
     let session = opts.build_session();
@@ -63,8 +57,10 @@ fn main() -> Result<(), NetError> {
     };
     let coordinator_opts = CoordinatorConfig {
         addr: opts.addr.clone(),
-        join_timeout: Duration::from_secs(args.get_or("join-timeout", 30)),
-        round_timeout: Duration::from_secs(args.get_or("round-timeout", 300)),
+        join_timeout: runtime.join_timeout,
+        round_timeout: runtime.round_timeout,
+        io_timeout: runtime.io_timeout,
+        quorum: runtime.quorum,
         checkpoint,
         topology,
         wal: tier.wal.as_ref().map(std::path::PathBuf::from),

@@ -32,17 +32,19 @@ use std::time::{Duration, Instant};
 
 use spatl::{save_global, RoundLog};
 use spatl_fl::{
-    aggregate_reduced, decode_upload, edge_partition, entry_outcome, exact_composition, fold_exact,
-    fold_fault_counters, FaultKind, FaultRecord, LocalOutcome, RoundDriver, RoundRecord,
-    TransportStats, WireBytes,
+    aggregate_reduced, churn_departures, decode_upload, edge_partition, entry_outcome,
+    exact_composition, fold_exact, fold_fault_counters, ChaosInjector, FaultKind, FaultRecord,
+    LocalOutcome, RoundDriver, RoundRecord, TransportStats, WireBytes,
 };
 use spatl_wire::{
     decode_edge_combined, open, read_frame, seal, write_frame, EdgeCombined, EdgeReduced, MsgType,
     StreamError, HEADER_LEN, MAX_FRAME_PAYLOAD,
 };
 
-use crate::gather::{CollectFailure, ConnGather, GatherPoll};
-use crate::proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
+use crate::gather::{meta_outcome, CollectFailure, ConnGather, GatherPoll};
+use crate::proto::{
+    session_fingerprint, Hello, HelloRole, Join, RoundAssign, RoundDone, RoundMode,
+};
 use crate::NetError;
 
 /// Who the coordinator's listener terminates: clients directly (the flat
@@ -94,6 +96,16 @@ pub struct CoordinatorConfig {
     /// was never committed; otherwise a fresh log is created. `None`
     /// disables mid-round durability.
     pub wal: Option<PathBuf>,
+    /// Quorum fraction for the flat round commit, in `(0, 1]`. Once at
+    /// least `ceil(quorum · participants)` uploads of a round have
+    /// folded, collection ends immediately and the shortfall is ledgered
+    /// as [`FaultKind::Dropout`] — a handful of stragglers can no longer
+    /// hold the round open until `round_timeout`. The default `1.0`
+    /// keeps the historical behaviour (and bit-level determinism): every
+    /// participant is awaited until it completes, fails, or the deadline
+    /// falls. With `quorum < 1.0` the folded subset depends on arrival
+    /// order, so two runs may commit different (valid) cohorts.
+    pub quorum: f64,
 }
 
 impl Default for CoordinatorConfig {
@@ -107,6 +119,7 @@ impl Default for CoordinatorConfig {
             checkpoint: None,
             topology: Topology::Flat,
             wal: None,
+            quorum: 1.0,
         }
     }
 }
@@ -125,6 +138,10 @@ pub struct Coordinator {
     /// client when flat, one [`edge_partition`] slice per edge when
     /// tiered.
     ranges: Vec<Range<usize>>,
+    /// Tiered-topology failover lane (DESIGN.md §14): clients of a dead
+    /// edge that re-registered directly at the root, indexed by global
+    /// client id. Always empty when flat (clients live in `conns`).
+    direct: Vec<Option<TcpStream>>,
     fingerprint: u64,
     shutdown_requested: bool,
     wal: Option<RoundLog>,
@@ -141,6 +158,12 @@ impl Coordinator {
     /// makes the next [`Coordinator::run_round`] replay exactly the
     /// interrupted round (see [`Coordinator::resumed_mid_round`]).
     pub fn bind(mut driver: RoundDriver, opts: CoordinatorConfig) -> Result<Self, NetError> {
+        if !(opts.quorum > 0.0 && opts.quorum <= 1.0) {
+            return Err(NetError::Protocol(format!(
+                "quorum fraction must be in (0, 1], got {}",
+                opts.quorum
+            )));
+        }
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
         let n = driver.cfg.n_clients;
@@ -187,11 +210,16 @@ impl Coordinator {
             }
         }
 
+        let direct = match opts.topology {
+            Topology::Flat => Vec::new(),
+            Topology::Tiered { .. } => (0..n).map(|_| None).collect(),
+        };
         Ok(Coordinator {
             driver,
             listener,
             conns: (0..ranges.len()).map(|_| None).collect(),
             ranges,
+            direct,
             fingerprint,
             shutdown_requested: false,
             wal,
@@ -251,35 +279,47 @@ impl Coordinator {
         }
     }
 
-    /// Register one incoming socket: expect a sealed [`Hello`], verify the
-    /// client id and session fingerprint, reply with a [`Join`] verdict.
+    /// Register one incoming socket: expect a sealed [`Hello`], verify
+    /// role, id and session fingerprint, reply with a [`Join`] verdict.
+    ///
+    /// Flat topology accepts client roles only. Tiered topology accepts
+    /// edges into `conns` — and, as the failover lane, clients whose home
+    /// edge connection is currently dead into `direct` (a client dialing
+    /// the root while its edge is alive is rejected and bounces back to
+    /// the edge).
     fn handshake(&mut self, mut stream: TcpStream) -> Result<(), NetError> {
-        stream.set_nonblocking(false)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(self.opts.io_timeout))?;
-        stream.set_write_timeout(Some(self.opts.io_timeout))?;
-        let frame = read_frame(&mut stream, self.opts.max_frame)?
-            .ok_or_else(|| NetError::Protocol("connection closed before Hello".into()))?;
-        let (msg, payload) = open(&frame)?;
-        if msg != MsgType::Hello {
-            return Err(NetError::Protocol(format!("expected Hello, got {msg:?}")));
-        }
-        let hello = Hello::decode(payload)?;
+        let round = self.driver.round_index() as u32;
+        let hello = read_hello(&mut stream, self.opts.io_timeout, self.opts.max_frame)?;
         let id = hello.client_id as usize;
-        let accepted = id < self.conns.len() && hello.fingerprint == self.fingerprint;
-        let verdict = Join {
-            accepted,
-            round: self.driver.round_index() as u32,
-        };
+        let fingerprint_ok = hello.fingerprint == self.fingerprint;
+        let accepted = fingerprint_ok
+            && match (&self.opts.topology, hello.role) {
+                (Topology::Flat, HelloRole::Client) => id < self.conns.len(),
+                (Topology::Flat, HelloRole::Edge) => false,
+                (Topology::Tiered { .. }, HelloRole::Edge) => id < self.conns.len(),
+                (Topology::Tiered { .. }, HelloRole::Client) => {
+                    id < self.direct.len()
+                        && self
+                            .ranges
+                            .iter()
+                            .position(|r| r.contains(&id))
+                            .is_some_and(|home| self.conns[home].is_none())
+                }
+            };
+        let verdict = Join { accepted, round };
         write_frame(&mut stream, &seal(MsgType::Join, &verdict.encode()))?;
-        if accepted {
-            // Latest registration wins: a reconnecting node replaces its
-            // dead predecessor.
-            self.conns[id] = Some(stream);
-            Ok(())
-        } else {
-            Err(NetError::Rejected)
+        if !accepted {
+            return Err(NetError::Rejected);
         }
+        // Latest registration wins: a reconnecting node replaces its
+        // dead predecessor.
+        match hello.role {
+            HelloRole::Client if matches!(self.opts.topology, Topology::Tiered { .. }) => {
+                self.direct[id] = Some(stream);
+            }
+            _ => self.conns[id] = Some(stream),
+        }
+        Ok(())
     }
 
     /// Send one round assignment plus the broadcast frames to one client.
@@ -301,6 +341,56 @@ impl Coordinator {
             write_frame(stream, f)?;
         }
         Ok(())
+    }
+
+    /// Forward one assignment plus the download frames over a client's
+    /// direct failover connection; returns whether every write succeeded.
+    fn send_direct_assignment(
+        &mut self,
+        c: usize,
+        round: u32,
+        mode: RoundMode,
+        frames: &[Vec<u8>],
+    ) -> bool {
+        let Some(stream) = self.direct[c].as_mut() else {
+            return false;
+        };
+        let assign = RoundAssign {
+            round,
+            mode,
+            n_frames: frames.len() as u32,
+        };
+        if write_frame(stream, &seal(MsgType::RoundAssign, &assign.encode())).is_err() {
+            return false;
+        }
+        frames.iter().all(|f| write_frame(stream, f).is_ok())
+    }
+
+    /// Ledger a dead edge's sampled slice at the root. Clients holding a
+    /// direct failover connection move to the failover lane (exactly
+    /// composable aggregators only); churn departures and everyone else
+    /// are ledgered — the root degrades gracefully instead of stalling
+    /// the round on a dead partition.
+    fn ledger_dead_edge(
+        &mut self,
+        slice: &[usize],
+        round: usize,
+        kind: FaultKind,
+        exact: bool,
+        faults: &mut FaultRecord,
+        failover: &mut Vec<usize>,
+    ) {
+        faults.sampled += slice.len();
+        let departures = churn_departures(&self.driver.cfg, round, slice);
+        for &c in slice {
+            if departures.contains(&c) {
+                faults.push(c, FaultKind::Dropout);
+            } else if exact && self.direct.get(c).is_some_and(|d| d.is_some()) {
+                failover.push(c);
+            } else {
+                faults.push(c, kind.clone());
+            }
+        }
     }
 
     fn classify(e: &StreamError) -> CollectFailure {
@@ -384,6 +474,10 @@ impl Coordinator {
     /// order and re-sorted by client id before anything is recorded.
     fn flat_round(&mut self, round: usize, sampled: Vec<usize>) -> RoundRecord {
         let mut faults = FaultRecord::for_sample(sampled.len());
+        let chaos = self.driver.cfg.chaos.map(ChaosInjector::new);
+        // Clients the churn model schedules to leave mid-round: they
+        // never see the broadcast, exactly like the simulator's filter.
+        let departures = churn_departures(&self.driver.cfg, round, &sampled);
 
         // Broadcast to the sampled cohort, ascending client-id order
         // (blocking writes under the io deadline).
@@ -391,7 +485,9 @@ impl Coordinator {
         let phase_started = Instant::now();
         let mut participants: Vec<usize> = Vec::new();
         for &id in &sampled {
-            if self.conns[id].is_some()
+            if departures.contains(&id) {
+                faults.push(id, FaultKind::Dropout);
+            } else if self.conns[id].is_some()
                 && self
                     .send_assignment(id, round as u32, RoundMode::Train, &down.frames)
                     .is_ok()
@@ -436,11 +532,21 @@ impl Coordinator {
             // data (config, layout, parameter count).
             let driver = &self.driver;
             let conns = &mut self.conns;
+            let listener = &self.listener;
+            let fingerprint = self.fingerprint;
             let cfg = driver.cfg;
             let layout = driver.layout.as_ref();
             let p = driver.global.shared.len();
             let deadline = phase_started + self.opts.round_timeout;
             let max_frame = self.opts.max_frame;
+            let io_timeout = self.opts.io_timeout;
+            // Quorum commit target: once this many uploads have folded
+            // the round ends, whoever is missing ledgered as a dropout.
+            // At the default quorum of 1.0 the target equals the full
+            // participant count, which is unreachable early — behaviour
+            // (and bit-level determinism) is then identical to waiting
+            // for everyone.
+            let quorum_target = (self.opts.quorum * participants.len() as f64).ceil() as usize;
             let workers = rayon::current_num_threads().max(1);
             // Uploads buffered outside the kernel at once: admitted
             // assemblies plus queued / in-flight decode jobs. This is the
@@ -475,14 +581,91 @@ impl Coordinator {
                     live.iter().map(|_| ConnGather::new(max_frame)).collect();
                 // Connections still being gathered (parallel to `live`).
                 let mut open_conns: Vec<bool> = vec![true; live.len()];
+                // Upload copies still expected from each slot: one, plus
+                // one more when the chaos plan schedules a duplicated
+                // retransmit this round. The slot stays open until every
+                // scheduled copy arrived, so the duplicate ledger entries
+                // are deterministic rather than racing the round cut.
+                let mut copies: Vec<usize> = live
+                    .iter()
+                    .map(|&id| {
+                        1 + chaos
+                            .as_ref()
+                            .map_or(0, |c| usize::from(c.duplicates_upload(round, id)))
+                    })
+                    .collect();
+                // One full upload already handed to decode: any further
+                // completed copy is a retransmit and is discarded by the
+                // per-(round, client) idempotence guard.
+                let mut submitted: Vec<bool> = vec![false; live.len()];
+                // A fault event was recorded for this slot; it must not
+                // reopen on reconnect (the ledger is already written).
+                let mut faulted: Vec<bool> = vec![false; live.len()];
                 let mut gathering = live.len();
                 // Decode jobs whose results have not been drained yet.
                 let mut outstanding = 0usize;
                 // Admission slots held: assembling conns + outstanding.
                 let mut in_flight = 0usize;
+                // Uploads folded into the accumulator so far — the count
+                // the quorum commit is measured against.
+                let mut folded = 0usize;
 
                 while gathering > 0 || outstanding > 0 {
                     let mut progressed = false;
+
+                    // Register mid-round reconnects (chaos resets, real
+                    // connection flaps). A reconnect only reopens a slot
+                    // with no ledger entry yet; the round assignment is
+                    // resent so the client retries its upload in-round.
+                    for id in accept_reconnects(
+                        listener,
+                        fingerprint,
+                        round as u32,
+                        io_timeout,
+                        max_frame,
+                        conns,
+                    ) {
+                        let Some(k) = live.iter().position(|&l| l == id) else {
+                            continue;
+                        };
+                        if faulted[k] {
+                            continue;
+                        }
+                        progressed = true;
+                        if open_conns[k] {
+                            // Replacing a half-gathered stream: return the
+                            // admission slot and restart assembly.
+                            if gathers[k].assembling() {
+                                in_flight -= 1;
+                            }
+                        } else {
+                            open_conns[k] = true;
+                            gathering += 1;
+                        }
+                        gathers[k] = ConnGather::new(max_frame);
+                        // The client re-runs its chaos schedule on retry,
+                        // so the expected copy count resets with it.
+                        copies[k] = 1 + chaos
+                            .as_ref()
+                            .map_or(0, |c| usize::from(c.duplicates_upload(round, id)));
+                        let resent = (|| -> Result<(), NetError> {
+                            let stream = conns[id].as_mut().expect("just registered");
+                            let assign = RoundAssign {
+                                round: round as u32,
+                                mode: RoundMode::Train,
+                                n_frames: down.frames.len() as u32,
+                            };
+                            write_frame(stream, &seal(MsgType::RoundAssign, &assign.encode()))?;
+                            for f in &down.frames {
+                                write_frame(stream, f)?;
+                            }
+                            stream.set_nonblocking(true)?;
+                            Ok(())
+                        })();
+                        if resent.is_err() {
+                            conns[id] = None;
+                        }
+                    }
 
                     // Drain finished decodes first: each frees a slot and
                     // feeds the accumulator.
@@ -491,7 +674,10 @@ impl Coordinator {
                         outstanding -= 1;
                         in_flight -= 1;
                         match decoded {
-                            Ok(d) => acc.fold(d),
+                            Ok(d) => {
+                                acc.fold(d);
+                                folded += 1;
+                            }
                             // TCP retransmits damaged segments itself, so
                             // there is no retry protocol on this path: a
                             // reply that fails the CRC/codec checks is
@@ -502,6 +688,29 @@ impl Coordinator {
                             }
                         }
                         metas.push(meta);
+                    }
+
+                    // Quorum commit: enough of the cohort folded — cut the
+                    // stragglers and ledger the shortfall as dropouts. A
+                    // slot that already submitted stays open: it is only
+                    // draining a scheduled duplicate copy whose bytes are
+                    // in flight, and severing it would desync the client
+                    // for the evaluation pass (the copy's ledger entry
+                    // closes the slot moments later).
+                    if gathering > 0 && folded >= quorum_target {
+                        for (k, &id) in live.iter().enumerate() {
+                            if open_conns[k] && !submitted[k] {
+                                open_conns[k] = false;
+                                gathering -= 1;
+                                if gathers[k].assembling() {
+                                    in_flight -= 1;
+                                }
+                                events.push((id, FaultKind::Dropout));
+                                faulted[k] = true;
+                                conns[id] = None;
+                                progressed = true;
+                            }
+                        }
                     }
 
                     // Readiness sweep over the still-gathering cohort.
@@ -515,8 +724,15 @@ impl Coordinator {
                             progressed = true;
                         }
                         let Some(stream) = conns[id].as_mut() else {
+                            if chaos.is_some() {
+                                // Chaos runs expect resets: hold the slot
+                                // open for a mid-round reconnect (bounded
+                                // by the deadline and the quorum cut).
+                                continue;
+                            }
                             open_conns[k] = false;
                             gathering -= 1;
+                            faulted[k] = true;
                             events.push((id, FaultKind::Dropout));
                             continue;
                         };
@@ -525,8 +741,25 @@ impl Coordinator {
                             GatherPoll::Progress => progressed = true,
                             GatherPoll::Upload(mut meta, frames) => {
                                 progressed = true;
-                                open_conns[k] = false;
-                                gathering -= 1;
+                                if submitted[k] {
+                                    // A retransmitted copy of an upload
+                                    // already folded this round: discard
+                                    // it, ledger the retransmit, and stop
+                                    // gathering this slot — every further
+                                    // copy would also be a retransmit.
+                                    in_flight -= 1;
+                                    open_conns[k] = false;
+                                    gathering -= 1;
+                                    faulted[k] = true;
+                                    events.push((id, FaultKind::DuplicateUpload));
+                                    continue;
+                                }
+                                submitted[k] = true;
+                                copies[k] -= 1;
+                                if copies[k] == 0 {
+                                    open_conns[k] = false;
+                                    gathering -= 1;
+                                }
                                 meta.wire.download_payload = down.payload;
                                 meta.wire.download_framed = down.framed();
                                 if meta.diverged {
@@ -542,11 +775,20 @@ impl Coordinator {
                             }
                             GatherPoll::Failed(failure) => {
                                 progressed = true;
-                                open_conns[k] = false;
-                                gathering -= 1;
                                 if gathers[k].assembling() {
                                     in_flight -= 1;
                                 }
+                                if chaos.is_some() && matches!(failure, CollectFailure::Disconnect)
+                                {
+                                    // Scheduled reset (or a flap a chaos
+                                    // run tolerates): drop the stream but
+                                    // keep the slot open for the retry.
+                                    gathers[k] = ConnGather::new(max_frame);
+                                    conns[id] = None;
+                                    continue;
+                                }
+                                open_conns[k] = false;
+                                gathering -= 1;
                                 let kind = match failure {
                                     CollectFailure::Timeout => FaultKind::DeadlineMissed,
                                     CollectFailure::Disconnect => FaultKind::Dropout,
@@ -559,6 +801,7 @@ impl Coordinator {
                                     }
                                 };
                                 events.push((id, kind));
+                                faulted[k] = true;
                                 conns[id] = None;
                             }
                         }
@@ -566,6 +809,8 @@ impl Coordinator {
 
                     // One shared deadline for the whole collection phase:
                     // whoever has not completed framing by now missed it.
+                    // Slots that already submitted (and are only waiting
+                    // on scheduled duplicate copies) close silently.
                     if gathering > 0 && Instant::now() >= deadline {
                         for (k, &id) in live.iter().enumerate() {
                             if open_conns[k] {
@@ -573,7 +818,10 @@ impl Coordinator {
                                 if gathers[k].assembling() {
                                     in_flight -= 1;
                                 }
-                                events.push((id, FaultKind::DeadlineMissed));
+                                if !submitted[k] {
+                                    events.push((id, FaultKind::DeadlineMissed));
+                                }
+                                faulted[k] = true;
                                 conns[id] = None;
                             }
                         }
@@ -665,6 +913,10 @@ impl Coordinator {
         let down = self.driver.broadcast();
         let broadcast_started = Instant::now();
         let mut participants: Vec<usize> = Vec::new();
+        // Surviving clients of a dead edge that re-registered directly at
+        // the root: they train this round over the root link instead.
+        let mut failover: Vec<usize> = Vec::new();
+        let exact = exact_composition(&self.driver.cfg.aggregator);
         for e in 0..self.conns.len() {
             let slice: Vec<usize> = sampled
                 .iter()
@@ -683,10 +935,14 @@ impl Coordinator {
                 participants.push(e);
             } else {
                 self.conns[e] = None;
-                faults.sampled += slice.len();
-                for &c in &slice {
-                    faults.push(c, FaultKind::Dropout);
-                }
+                self.ledger_dead_edge(
+                    &slice,
+                    round,
+                    FaultKind::Dropout,
+                    exact,
+                    &mut faults,
+                    &mut failover,
+                );
             }
         }
         let mut measured_s = broadcast_started.elapsed().as_secs_f64();
@@ -749,7 +1005,8 @@ impl Coordinator {
                 }
                 Err(failure) => {
                     // The whole edge is gone: every sampled client behind
-                    // it misses the round.
+                    // it misses the round — unless it holds a direct
+                    // failover connection at the root.
                     let kind = match failure {
                         CollectFailure::Timeout => FaultKind::DeadlineMissed,
                         CollectFailure::Shutdown => {
@@ -763,11 +1020,70 @@ impl Coordinator {
                         .copied()
                         .filter(|c| self.ranges[e].contains(c))
                         .collect();
-                    faults.sampled += slice.len();
-                    for &c in &slice {
-                        faults.push(c, kind.clone());
-                    }
                     self.conns[e] = None;
+                    self.ledger_dead_edge(&slice, round, kind, exact, &mut faults, &mut failover);
+                }
+            }
+        }
+
+        // Failover lane: a dead edge's surviving clients train over the
+        // root link this round, replayed through the same decode path a
+        // flat coordinator uses. Only exactly-composable aggregators take
+        // the lane — a robust kind has no edge to pre-reduce under, so
+        // its orphaned clients were ledgered as dropouts above
+        // (DESIGN.md §14).
+        failover.sort_unstable();
+        for &c in &failover {
+            if !self.send_direct_assignment(c, round as u32, RoundMode::Train, &down.frames) {
+                self.direct[c] = None;
+                faults.push(c, FaultKind::Dropout);
+            }
+        }
+        let max_frame = self.opts.max_frame;
+        let round_timeout = self.opts.round_timeout;
+        for &c in &failover {
+            let Some(stream) = self.direct[c].as_mut() else {
+                continue;
+            };
+            let collect_started = Instant::now();
+            match collect_direct_upload(stream, round as u32, c, max_frame, round_timeout) {
+                Ok((mut meta, frames)) => {
+                    measured_s += collect_started.elapsed().as_secs_f64();
+                    meta.wire.download_payload = down.payload;
+                    meta.wire.download_framed = down.framed();
+                    wire_total.accumulate(&meta.wire);
+                    let t = self.driver.net.client_time(
+                        meta.wire.download_framed as usize,
+                        meta.wire.upload_framed as usize,
+                    );
+                    device_seconds += t;
+                    wall_clock_s = wall_clock_s.max(t);
+                    if meta.diverged {
+                        faults.push(c, FaultKind::LocalDivergence);
+                    }
+                    match self.driver.decode_client_upload(&meta, &frames) {
+                        Ok(d) => survivors.push(d),
+                        Err(err) => faults.push(
+                            c,
+                            FaultKind::CorruptUpload {
+                                error: err.to_string(),
+                            },
+                        ),
+                    }
+                    outcomes.push(meta);
+                }
+                Err(failure) => {
+                    let kind = match failure {
+                        CollectFailure::Timeout => FaultKind::DeadlineMissed,
+                        CollectFailure::Shutdown => {
+                            self.shutdown_requested = true;
+                            FaultKind::Dropout
+                        }
+                        CollectFailure::Corrupt(error) => FaultKind::CorruptUpload { error },
+                        CollectFailure::Disconnect => FaultKind::Dropout,
+                    };
+                    faults.push(c, kind);
+                    self.direct[c] = None;
                 }
             }
         }
@@ -787,6 +1103,9 @@ impl Coordinator {
             );
             faults.no_op = !applied;
         }
+        // Failover outcomes appended after the edges' — restore the
+        // ascending-id order the bookkeeping folds rely on.
+        outcomes.sort_by_key(|o| o.client_id);
         let per_client_acc = self.evaluate_round(round as u32);
         self.driver.finish_round(
             &outcomes,
@@ -926,6 +1245,44 @@ impl Coordinator {
                 }
             }
         }
+        // Direct failover clients take the evaluation pass on the root
+        // link; a client with no live connection contributes 0.0, same
+        // as the edge path.
+        let round_timeout = self.opts.round_timeout;
+        let max_frame = self.opts.max_frame;
+        let direct_ids: Vec<usize> = (0..self.direct.len())
+            .filter(|&c| self.direct[c].is_some())
+            .collect();
+        for c in direct_ids {
+            if !self.send_direct_assignment(c, round, RoundMode::Eval, &down.frames) {
+                self.direct[c] = None;
+                continue;
+            }
+            let Some(stream) = self.direct[c].as_mut() else {
+                continue;
+            };
+            let res = if stream.set_read_timeout(Some(round_timeout)).is_ok() {
+                read_round_done(stream, max_frame)
+            } else {
+                Err(CollectFailure::Disconnect)
+            };
+            match res {
+                Ok(done)
+                    if done.round == round
+                        && done.client_id as usize == c
+                        && done.mode == RoundMode::Eval =>
+                {
+                    acc[c] = done.accuracy;
+                }
+                Err(CollectFailure::Shutdown) => {
+                    self.shutdown_requested = true;
+                    self.direct[c] = None;
+                }
+                _ => {
+                    self.direct[c] = None;
+                }
+            }
+        }
         acc
     }
 
@@ -971,7 +1328,7 @@ impl Coordinator {
             save_global(&self.driver.global, &path)?;
         }
         let bye = seal(MsgType::Shutdown, &[]);
-        for conn in self.conns.iter_mut() {
+        for conn in self.conns.iter_mut().chain(self.direct.iter_mut()) {
             if let Some(stream) = conn.as_mut() {
                 let _ = write_frame(stream, &bye);
             }
@@ -995,4 +1352,108 @@ impl Coordinator {
         self.finish()?;
         Ok(completed)
     }
+}
+
+/// Perform the socket setup and read one sealed [`Hello`] off a freshly
+/// accepted connection (blocking, under the io deadline).
+fn read_hello(
+    stream: &mut TcpStream,
+    io_timeout: Duration,
+    max_frame: usize,
+) -> Result<Hello, NetError> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    let frame = read_frame(stream, max_frame)?
+        .ok_or_else(|| NetError::Protocol("connection closed before Hello".into()))?;
+    let (msg, payload) = open(&frame)?;
+    if msg != MsgType::Hello {
+        return Err(NetError::Protocol(format!("expected Hello, got {msg:?}")));
+    }
+    Ok(Hello::decode(payload)?)
+}
+
+/// Accept every connection pending on the listener *mid-round* and
+/// register flat-topology client reconnects into `conns`. The flat
+/// collection sweep split-borrows the coordinator, so this is a free
+/// function rather than a method. Returns the client ids registered.
+fn accept_reconnects(
+    listener: &TcpListener,
+    fingerprint: u64,
+    round: u32,
+    io_timeout: Duration,
+    max_frame: usize,
+    conns: &mut [Option<TcpStream>],
+) -> Vec<usize> {
+    let mut joined = Vec::new();
+    loop {
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => break,
+        };
+        let Ok(hello) = read_hello(&mut stream, io_timeout, max_frame) else {
+            continue;
+        };
+        let id = hello.client_id as usize;
+        let accepted =
+            hello.role == HelloRole::Client && id < conns.len() && hello.fingerprint == fingerprint;
+        let verdict = Join { accepted, round };
+        if write_frame(&mut stream, &seal(MsgType::Join, &verdict.encode())).is_err() {
+            continue;
+        }
+        if accepted {
+            conns[id] = Some(stream);
+            joined.push(id);
+        }
+    }
+    joined
+}
+
+/// Blocking-collect one direct client's Train upload on the root link —
+/// the failover lane of a tiered round (the client's home edge is dead).
+/// Validation mirrors the flat gather's; returns the outcome bookkeeping
+/// and the client's sealed upload frames.
+fn collect_direct_upload(
+    stream: &mut TcpStream,
+    round: u32,
+    id: usize,
+    max_frame: usize,
+    timeout: Duration,
+) -> Result<(LocalOutcome, Vec<Vec<u8>>), CollectFailure> {
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        return Err(CollectFailure::Disconnect);
+    }
+    let done = read_round_done(stream, max_frame)?;
+    if done.round != round || done.client_id as usize != id || done.mode != RoundMode::Train {
+        return Err(CollectFailure::Disconnect);
+    }
+    let mut frames = Vec::with_capacity(done.n_frames as usize);
+    for _ in 0..done.n_frames {
+        match read_frame(stream, max_frame) {
+            Ok(Some(f)) => frames.push(f),
+            Ok(None) => return Err(CollectFailure::Disconnect),
+            Err(e) => return Err(Coordinator::classify(&e)),
+        }
+    }
+    Ok((meta_outcome(&done), frames))
+}
+
+/// Read and decode one blocking [`RoundDone`] header off a stream.
+fn read_round_done(stream: &mut TcpStream, max_frame: usize) -> Result<RoundDone, CollectFailure> {
+    let frame = match read_frame(stream, max_frame) {
+        Ok(Some(f)) => f,
+        Ok(None) => return Err(CollectFailure::Disconnect),
+        Err(e) => return Err(Coordinator::classify(&e)),
+    };
+    let (msg, payload) = match open(&frame) {
+        Ok(x) => x,
+        Err(_) => return Err(CollectFailure::Disconnect),
+    };
+    match msg {
+        MsgType::Shutdown => return Err(CollectFailure::Shutdown),
+        MsgType::RoundDone => {}
+        _ => return Err(CollectFailure::Disconnect),
+    }
+    RoundDone::decode(payload).map_err(|e| CollectFailure::Corrupt(e.to_string()))
 }

@@ -31,16 +31,18 @@ use std::ops::Range;
 use std::time::Duration;
 
 use spatl_fl::{
-    decode_download, edge_partition, exact_composition, fault_counters, outcome_entry,
-    reduce_cohort, screen_updates, FaultKind, FaultRecord, LocalOutcome, RoundBytes, RoundDriver,
-    WireBytes,
+    churn_departures, decode_download, edge_partition, exact_composition, fault_counters,
+    outcome_entry, reduce_cohort, screen_updates, ChaosInjector, FaultKind, FaultRecord,
+    LocalOutcome, RoundBytes, RoundDriver, WireBytes,
 };
 use spatl_wire::{
     open, read_frame, seal, seal_edge_combined, write_frame, EdgeCombined, EdgeEntry, MsgType,
     StreamError, TierFaultCounters, MAX_FRAME_PAYLOAD,
 };
 
-use crate::proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
+use crate::proto::{
+    session_fingerprint, Hello, HelloRole, Join, RoundAssign, RoundDone, RoundMode,
+};
 use crate::NetError;
 
 /// Tunables of an [`EdgeAggregator`].
@@ -121,6 +123,11 @@ enum SessionEnd {
     Shutdown,
     /// The root link broke; the edge should reconnect.
     Lost,
+    /// The chaos plan killed this edge process mid-round: every socket
+    /// (root link and client connections alike) is dropped without a
+    /// goodbye and the edge does **not** reconnect — the root must
+    /// discover the dead partition from the broken stream alone.
+    Killed,
 }
 
 /// Why collecting one client's reply failed (edge-side mirror of the
@@ -155,6 +162,9 @@ pub struct EdgeAggregator {
     /// Client connections, indexed by `global_id - range.start`.
     conns: Vec<Option<TcpStream>>,
     fingerprint: u64,
+    /// Chaos schedule shared by every endpoint of the run (None outside
+    /// chaos experiments); the edge consults it for its own kill round.
+    chaos: Option<ChaosInjector>,
     /// Cohort cache, indexed by absolute round: derived lazily from the
     /// sampling stream, so a replayed round reuses its original draw.
     cohorts: Vec<Vec<usize>>,
@@ -187,6 +197,7 @@ impl EdgeAggregator {
             .expect("edge id checked against n_edges");
         Ok(EdgeAggregator {
             conns: (0..range.len()).map(|_| None).collect(),
+            chaos: driver.cfg.chaos.map(ChaosInjector::new),
             driver,
             range,
             listener,
@@ -227,6 +238,13 @@ impl EdgeAggregator {
                         self.shutdown_clients();
                         return Ok(self.report);
                     }
+                    Ok(SessionEnd::Killed) => {
+                        // Abrupt process death: no client goodbyes, no
+                        // reconnect. The sockets dropped inside
+                        // `session`; surviving clients fail over to the
+                        // root on their own.
+                        return Ok(self.report);
+                    }
                     Ok(SessionEnd::Lost) => {
                         failures = 0;
                     }
@@ -254,9 +272,14 @@ impl EdgeAggregator {
     fn session(&mut self, mut stream: TcpStream) -> Result<SessionEnd, NetError> {
         stream.set_nodelay(true)?;
         stream.set_write_timeout(Some(self.opts.io_timeout))?;
+        // Bounded handshake: a root that accepted the dial but never
+        // answers Join must not park the edge forever. Cleared once
+        // registered — mid-session gaps are legitimately unbounded.
+        stream.set_read_timeout(Some(self.opts.io_timeout))?;
         let hello = Hello {
             client_id: self.opts.edge_id as u32,
             fingerprint: self.fingerprint,
+            role: HelloRole::Edge,
         };
         write_frame(&mut stream, &seal(MsgType::Hello, &hello.encode()))?;
         let frame = read_frame(&mut stream, self.opts.max_frame)?
@@ -268,6 +291,7 @@ impl EdgeAggregator {
         if !Join::decode(payload)?.accepted {
             return Err(NetError::Rejected);
         }
+        stream.set_read_timeout(None)?;
         if self.registered {
             self.report.reconnects += 1;
         }
@@ -289,6 +313,20 @@ impl EdgeAggregator {
                 MsgType::Shutdown => return Ok(SessionEnd::Shutdown),
                 MsgType::RoundAssign => {
                     let assign = RoundAssign::decode(payload)?;
+                    if self
+                        .chaos
+                        .as_ref()
+                        .is_some_and(|c| c.kills_edge(assign.round as usize, self.opts.edge_id))
+                    {
+                        // Scheduled edge kill: die exactly like a crashed
+                        // process would — every socket dropped mid-round,
+                        // nothing flushed, no goodbye downstream.
+                        drop(stream);
+                        for conn in self.conns.iter_mut() {
+                            *conn = None;
+                        }
+                        return Ok(SessionEnd::Killed);
+                    }
                     let mut down = Vec::with_capacity(assign.n_frames as usize);
                     for _ in 0..assign.n_frames {
                         match read_frame(&mut stream, self.opts.max_frame) {
@@ -373,10 +411,17 @@ impl EdgeAggregator {
         self.accept_pending();
         let slice = self.cohort_slice(round);
         let mut faults = FaultRecord::for_sample(slice.len());
+        // Clients the churn model schedules to leave mid-round never see
+        // the broadcast — same filter the simulator and flat root apply.
+        let departures = churn_departures(&self.driver.cfg, round as usize, &slice);
 
         let mut participants: Vec<usize> = Vec::new();
         for &id in &slice {
-            if self.conn(id).is_some() && self.send_assignment(id, round, RoundMode::Train, down) {
+            if departures.contains(&id) {
+                faults.push(id, FaultKind::Dropout);
+            } else if self.conn(id).is_some()
+                && self.send_assignment(id, round, RoundMode::Train, down)
+            {
                 participants.push(id);
             } else {
                 *self.conn_mut(id) = None;
@@ -562,7 +607,9 @@ impl EdgeAggregator {
         }
         let hello = Hello::decode(payload)?;
         let id = hello.client_id as usize;
-        let accepted = self.range.contains(&id) && hello.fingerprint == self.fingerprint;
+        let accepted = hello.role == HelloRole::Client
+            && self.range.contains(&id)
+            && hello.fingerprint == self.fingerprint;
         let verdict = Join {
             accepted,
             round: self.cohorts.len() as u32,

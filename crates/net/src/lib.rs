@@ -52,7 +52,7 @@ pub mod proto;
 pub use coordinator::{Coordinator, CoordinatorConfig, Topology};
 pub use edge::{EdgeAggregator, EdgeConfig, EdgeReport};
 pub use node::{ClientNode, NodeConfig, NodeReport};
-pub use proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
+pub use proto::{session_fingerprint, Hello, HelloRole, Join, RoundAssign, RoundDone, RoundMode};
 
 /// Everything that can go wrong at a networked endpoint.
 #[derive(Debug)]

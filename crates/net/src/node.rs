@@ -16,13 +16,16 @@
 //! unchanged, and the round outcome is arrival-order-independent by
 //! construction on the server side.
 
+use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
 
-use spatl_fl::{decode_download, ClientState, FlConfig};
+use spatl_fl::{decode_download, ChaosInjector, ClientState, FlConfig};
 use spatl_wire::{open, read_frame, seal, write_frame, MsgType, MAX_FRAME_PAYLOAD};
 
-use crate::proto::{session_fingerprint, Hello, Join, RoundAssign, RoundDone, RoundMode};
+use crate::proto::{
+    session_fingerprint, Hello, HelloRole, Join, RoundAssign, RoundDone, RoundMode,
+};
 use crate::NetError;
 
 /// Tunables of a [`ClientNode`].
@@ -39,15 +42,27 @@ pub struct NodeConfig {
     pub max_reconnects: u32,
     /// Upper bound on a single frame's payload accepted from the server.
     pub max_frame: usize,
-    /// Write deadline towards the coordinator. Reads block indefinitely —
+    /// Write deadline towards the coordinator, and the read deadline for
+    /// the handshake's Join answer. Mid-session reads block indefinitely —
     /// the gap until the next assignment is bounded by the slowest peer's
-    /// training, and a dead coordinator surfaces as EOF, not a hang.
+    /// training, and a dead coordinator surfaces as EOF, not a hang. The
+    /// handshake is different: a listener that accepted the dial but never
+    /// answers (a backlogged or finished coordinator) must not park the
+    /// node forever, so the Join read is bounded.
     pub write_timeout: Duration,
+    /// Secondary coordinator address to fail over to (DESIGN.md §14):
+    /// in a tiered deployment this is the *root*, dialed when the home
+    /// edge stops answering. `None` disables failover.
+    pub fallback_addr: Option<String>,
+    /// Consecutive primary-connection failures before the node dials
+    /// `fallback_addr` instead. A fallback registration the root rejects
+    /// (the home edge is alive again) sends the node back to the primary.
+    pub fallback_after: u32,
 }
 
 impl NodeConfig {
     /// Defaults for a coordinator at `addr`: 50 ms base backoff capped at
-    /// 2 s, 40 reconnect attempts, 30 s write deadline.
+    /// 2 s, 40 reconnect attempts, 30 s write deadline, no failover.
     pub fn new(addr: impl Into<String>) -> Self {
         NodeConfig {
             addr: addr.into(),
@@ -56,6 +71,8 @@ impl NodeConfig {
             max_reconnects: 40,
             max_frame: MAX_FRAME_PAYLOAD,
             write_timeout: Duration::from_secs(30),
+            fallback_addr: None,
+            fallback_after: 3,
         }
     }
 }
@@ -106,6 +123,16 @@ pub struct ClientNode {
     /// Whether a session was ever established (so the next successful
     /// registration counts as a reconnect).
     registered: bool,
+    /// Transport chaos this node injects into its own uploads, when the
+    /// session configures a [`spatl_fl::ChaosPlan`]. Chaos is applied
+    /// sender-side so the coordinator observes real torn frames and real
+    /// duplicate transmissions, not simulated ledger entries.
+    chaos: Option<ChaosInjector>,
+    /// The round whose upload this node already tore once — a chaos
+    /// reset fires on the first transmission attempt only, so the
+    /// post-reconnect retry always goes through clean (chaos delays
+    /// rounds, it never deadlocks them).
+    torn_round: Option<u32>,
 }
 
 impl ClientNode {
@@ -114,12 +141,14 @@ impl ClientNode {
     /// fingerprint enforces this.
     pub fn new(cfg: FlConfig, state: ClientState, opts: NodeConfig) -> Self {
         ClientNode {
+            chaos: cfg.chaos.map(ChaosInjector::new),
             cfg,
             state,
             opts,
             report: NodeReport::default(),
             cache: None,
             registered: false,
+            torn_round: None,
         }
     }
 
@@ -144,17 +173,39 @@ impl ClientNode {
 
     /// Serve until the coordinator shuts the session down. Reconnects
     /// with capped exponential backoff on connection loss; gives up after
-    /// `max_reconnects` consecutive failures. Returns the final client
-    /// state (for inspection) and the lifetime report.
+    /// `max_reconnects` consecutive failures. With a `fallback_addr`
+    /// configured, `fallback_after` consecutive primary failures switch
+    /// the dial target to the fallback (a dead edge's clients re-register
+    /// directly at the root); a fallback rejection — the home edge is
+    /// alive after all — sends the node back to the primary. Returns the
+    /// final client state (for inspection) and the lifetime report.
     pub fn run(mut self) -> Result<(ClientState, NodeReport), NetError> {
         let fingerprint = session_fingerprint(&self.cfg);
         let mut failures = 0u32;
+        // Fallback rejections get their own budget so an edge/root pair
+        // that bounces the node back and forth cannot loop forever.
+        let mut fallback_rejects = 0u32;
         loop {
-            match TcpStream::connect(&self.opts.addr) {
+            let use_fallback =
+                self.opts.fallback_addr.is_some() && failures >= self.opts.fallback_after;
+            let addr = match (&self.opts.fallback_addr, use_fallback) {
+                (Some(fallback), true) => fallback.clone(),
+                _ => self.opts.addr.clone(),
+            };
+            match TcpStream::connect(&addr) {
                 Ok(stream) => match self.session(stream, fingerprint) {
                     Ok(SessionEnd::Shutdown) => return Ok((self.state, self.report)),
                     Ok(SessionEnd::Lost) => {
                         // A session was established, so the budget resets.
+                        failures = 0;
+                    }
+                    Err(NetError::Rejected) if use_fallback => {
+                        fallback_rejects += 1;
+                        if fallback_rejects > self.opts.max_reconnects {
+                            return Err(NetError::Rejected);
+                        }
+                        // Back to the primary: the home edge answered for
+                        // this id at the root, so it should be dialable.
                         failures = 0;
                     }
                     Err(NetError::Rejected) => return Err(NetError::Rejected),
@@ -165,7 +216,13 @@ impl ClientNode {
             if failures > self.opts.max_reconnects {
                 return Err(NetError::Disconnected);
             }
-            std::thread::sleep(self.backoff(failures.max(1)));
+            // An established-then-lost session redials immediately: the
+            // peer closed cleanly, and waiting a backoff period here can
+            // cost a dead edge's clients the rest of the round they are
+            // failing over into. Backoff applies only after failed dials.
+            if failures > 0 {
+                std::thread::sleep(self.backoff(failures));
+            }
         }
     }
 
@@ -174,9 +231,11 @@ impl ClientNode {
     fn session(&mut self, mut stream: TcpStream, fingerprint: u64) -> Result<SessionEnd, NetError> {
         stream.set_nodelay(true)?;
         stream.set_write_timeout(Some(self.opts.write_timeout))?;
+        stream.set_read_timeout(Some(self.opts.write_timeout))?;
         let hello = Hello {
             client_id: self.state.id as u32,
             fingerprint,
+            role: HelloRole::Client,
         };
         write_frame(&mut stream, &seal(MsgType::Hello, &hello.encode()))?;
         let frame = read_frame(&mut stream, self.opts.max_frame)?
@@ -188,6 +247,9 @@ impl ClientNode {
         if !Join::decode(payload)?.accepted {
             return Err(NetError::Rejected);
         }
+        // Registered: from here on the gap until the next assignment is
+        // bounded by the cohort's slowest trainer, so reads block freely.
+        stream.set_read_timeout(None)?;
         if self.registered {
             self.report.reconnects += 1;
         }
@@ -259,12 +321,53 @@ impl ClientNode {
                                 });
                             }
                             let reply = self.cache.as_ref().expect("reply cached above");
-                            write_frame(
-                                &mut stream,
-                                &seal(MsgType::RoundDone, &reply.done.encode()),
-                            )?;
-                            for f in &reply.frames {
-                                write_frame(&mut stream, f)?;
+                            let round = assign.round as usize;
+                            let id = self.state.id;
+                            if let Some(chaos) = &self.chaos {
+                                // Transport chaos, sender-side. A stall
+                                // delays the reply; a scheduled reset
+                                // tears the first transmission attempt
+                                // mid-frame and drops the connection (the
+                                // reconnect retry goes through clean); a
+                                // duplicate sends the whole reply twice.
+                                if let Some(d) = chaos.stalls(round, id) {
+                                    std::thread::sleep(d);
+                                }
+                                if chaos.resets_upload(round, id)
+                                    && self.torn_round != Some(assign.round)
+                                {
+                                    self.torn_round = Some(assign.round);
+                                    write_frame(
+                                        &mut stream,
+                                        &seal(MsgType::RoundDone, &reply.done.encode()),
+                                    )?;
+                                    if let Some(f0) = reply.frames.first() {
+                                        // Sealed frames are self-delimiting,
+                                        // so a strict prefix of the frame's
+                                        // bytes is exactly a torn frame.
+                                        let cut = chaos.torn_cut(round, id, f0.len());
+                                        stream.write_all(&f0[..cut])?;
+                                        stream.flush()?;
+                                    }
+                                    // Die without goodbye: the server's
+                                    // FrameReader sees a torn frame, then
+                                    // EOF. The reconnect loop takes over.
+                                    drop(stream);
+                                    return Ok(SessionEnd::Lost);
+                                }
+                            }
+                            let copies = 1 + self
+                                .chaos
+                                .as_ref()
+                                .map_or(0, |c| usize::from(c.duplicates_upload(round, id)));
+                            for _ in 0..copies {
+                                write_frame(
+                                    &mut stream,
+                                    &seal(MsgType::RoundDone, &reply.done.encode()),
+                                )?;
+                                for f in &reply.frames {
+                                    write_frame(&mut stream, f)?;
+                                }
                             }
                             if replayed {
                                 self.report.replays += 1;

@@ -11,16 +11,49 @@
 use spatl_fl::FlConfig;
 use spatl_wire::WireError;
 
+/// What kind of endpoint a [`Hello`] registers. The tiered root
+/// terminates both edge aggregators and — after an edge dies — that
+/// edge's surviving clients re-registering directly (DESIGN.md §14
+/// failover), and must tell the two apart because their wire client ids
+/// index different tables (edge slot vs global client id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelloRole {
+    /// A client node: `client_id` is a global client id.
+    Client,
+    /// An edge aggregator: `client_id` is its edge id.
+    Edge,
+}
+
+impl HelloRole {
+    fn tag(self) -> u8 {
+        match self {
+            HelloRole::Client => 0,
+            HelloRole::Edge => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(HelloRole::Client),
+            1 => Ok(HelloRole::Edge),
+            other => Err(WireError::Malformed(format!("unknown hello role {other}"))),
+        }
+    }
+}
+
 /// Client→server: a node introduces itself when (re)connecting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hello {
-    /// The node's stable client id (shard index).
+    /// The node's stable client id (shard index), or its edge id when
+    /// `role` is [`HelloRole::Edge`].
     pub client_id: u32,
     /// Fingerprint of the node's run configuration; the coordinator
     /// rejects a `Hello` whose fingerprint differs from its own, so two
     /// processes started with different seeds or algorithms fail fast
     /// instead of silently diverging.
     pub fingerprint: u64,
+    /// What this endpoint is (client node or edge aggregator).
+    pub role: HelloRole,
 }
 
 /// Server→client: verdict on a [`Hello`].
@@ -162,9 +195,10 @@ impl<'a> Reader<'a> {
 impl Hello {
     /// Serialize into a payload body.
     pub fn encode(&self) -> Vec<u8> {
-        let mut b = Vec::with_capacity(12);
+        let mut b = Vec::with_capacity(13);
         b.extend_from_slice(&self.client_id.to_le_bytes());
         b.extend_from_slice(&self.fingerprint.to_le_bytes());
+        b.push(self.role.tag());
         b
     }
 
@@ -174,6 +208,7 @@ impl Hello {
         let out = Hello {
             client_id: r.u32()?,
             fingerprint: r.u64()?,
+            role: HelloRole::from_tag(r.u8()?)?,
         };
         r.done()?;
         Ok(out)
@@ -316,6 +351,34 @@ pub fn session_fingerprint(cfg: &FlConfig) -> u64 {
             mix(v, o.finetune_rounds as u64)
         }
     };
+    // Chaos and churn plans are mixed in only when present, so sessions
+    // without them keep their historical fingerprints. Every endpoint
+    // must share the schedule: the coordinator's dedup expectations and
+    // the nodes' injected faults are two halves of one seeded plan.
+    if let Some(c) = &cfg.chaos {
+        let mut v = mix(h, 6);
+        v = mix(v, c.reset.to_bits());
+        v = mix(v, c.stall.to_bits());
+        v = mix(v, c.stall_ms);
+        v = mix(v, c.duplicate.to_bits());
+        v = mix(
+            v,
+            match c.kill_edge {
+                Some((r, e)) => 1 | u64::from(r) << 1 | u64::from(e) << 33,
+                None => 0,
+            },
+        );
+        h = mix(v, c.seed);
+    }
+    if let Some(c) = &cfg.churn {
+        let mut v = mix(h, 7);
+        v = mix(v, u64::from(c.period));
+        v = mix(v, c.duty.to_bits());
+        v = mix(v, u64::from(c.arrival_span));
+        v = mix(v, c.flake.to_bits());
+        v = mix(v, c.abrupt.to_bits());
+        h = mix(v, c.seed);
+    }
     h
 }
 
@@ -326,11 +389,22 @@ mod tests {
 
     #[test]
     fn hello_round_trips() {
-        let msg = Hello {
-            client_id: 7,
-            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
-        };
-        assert_eq!(Hello::decode(&msg.encode()).unwrap(), msg);
+        for role in [HelloRole::Client, HelloRole::Edge] {
+            let msg = Hello {
+                client_id: 7,
+                fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                role,
+            };
+            assert_eq!(Hello::decode(&msg.encode()).unwrap(), msg);
+        }
+        let mut bad = Hello {
+            client_id: 0,
+            fingerprint: 0,
+            role: HelloRole::Client,
+        }
+        .encode();
+        *bad.last_mut().unwrap() = 9;
+        assert!(matches!(Hello::decode(&bad), Err(WireError::Malformed(_))));
     }
 
     #[test]
@@ -432,5 +506,31 @@ mod tests {
             }
         }
         assert_eq!(session_fingerprint(&a), session_fingerprint(&a));
+    }
+
+    #[test]
+    fn fingerprint_covers_chaos_and_churn_plans() {
+        use spatl_fl::{ChaosPlan, ChurnPlan};
+        let base = FlConfig::new(Algorithm::FedAvg);
+        let mut chaotic = base;
+        chaotic.chaos = Some(ChaosPlan {
+            reset: 0.2,
+            ..ChaosPlan::default()
+        });
+        let mut chaotic_other_seed = chaotic;
+        chaotic_other_seed.chaos.as_mut().unwrap().seed ^= 1;
+        let mut churning = base;
+        churning.churn = Some(ChurnPlan::cross_device());
+        let fps = [
+            session_fingerprint(&base),
+            session_fingerprint(&chaotic),
+            session_fingerprint(&chaotic_other_seed),
+            session_fingerprint(&churning),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "{i} vs {j}");
+            }
+        }
     }
 }

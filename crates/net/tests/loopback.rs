@@ -157,6 +157,7 @@ fn raw_handshake(addr: &str, cfg: &FlConfig, client_id: u32) -> TcpStream {
     let hello = Hello {
         client_id,
         fingerprint: spatl_net::session_fingerprint(cfg),
+        role: spatl_net::HelloRole::Client,
     };
     write_frame(&mut stream, &seal(MsgType::Hello, &hello.encode())).expect("send hello");
     let frame = read_frame(&mut stream, MAX_FRAME_PAYLOAD)

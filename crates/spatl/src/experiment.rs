@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 use spatl_data::{dirichlet_partition, synth_cifar10, synth_femnist, Dataset, SynthConfig};
 use spatl_fl::{
-    AdversaryPlan, AggregatorKind, Algorithm, FaultPlan, FlConfig, RunResult, ScreenPolicy,
-    Simulation,
+    AdversaryPlan, AggregatorKind, Algorithm, ChaosPlan, ChurnPlan, FaultPlan, FlConfig, RunResult,
+    ScreenPolicy, Simulation,
 };
 use spatl_models::{ModelConfig, ModelKind};
 use spatl_tensor::TensorRng;
@@ -42,6 +42,8 @@ pub struct ExperimentBuilder {
     adversary: Option<AdversaryPlan>,
     screen: Option<ScreenPolicy>,
     aggregator: AggregatorKind,
+    chaos: Option<ChaosPlan>,
+    churn: Option<ChurnPlan>,
 }
 
 impl ExperimentBuilder {
@@ -66,6 +68,8 @@ impl ExperimentBuilder {
             adversary: None,
             screen: None,
             aggregator: AggregatorKind::WeightedMean,
+            chaos: None,
+            churn: None,
         }
     }
 
@@ -179,6 +183,22 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Seeded transport chaos for the networked runtime (default: none).
+    /// Part of the session fingerprint — every endpoint of a run must be
+    /// built with the same plan. See [`ChaosPlan`] and DESIGN.md §14.
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Trace-driven client churn: cohorts are sampled from the clients
+    /// the availability model has online each round (default: everyone
+    /// always available). See [`ChurnPlan`] and DESIGN.md §14.
+    pub fn churn(mut self, plan: ChurnPlan) -> Self {
+        self.churn = Some(plan);
+        self
+    }
+
     /// Materialise the simulation without running it.
     pub fn build(self) -> Simulation {
         let mut fl = FlConfig::new(self.algorithm);
@@ -193,6 +213,8 @@ impl ExperimentBuilder {
         fl.adversary = self.adversary;
         fl.screen = self.screen;
         fl.aggregator = self.aggregator;
+        fl.chaos = self.chaos;
+        fl.churn = self.churn;
 
         let (model_cfg, shards) = match self.dataset {
             DatasetKind::CifarLike => {

@@ -55,8 +55,8 @@ pub mod prelude {
     };
     pub use spatl_fl::{
         adapt_predictor, transfer_evaluate, AdversaryPlan, AggregatorKind, Algorithm, AttackKind,
-        FaultKind, FaultPlan, FaultRecord, FlConfig, RunResult, ScreenPolicy, Simulation,
-        SpatlOptions,
+        ChaosPlan, ChurnModel, ChurnPlan, FaultKind, FaultPlan, FaultRecord, FlConfig, RunResult,
+        ScreenPolicy, Simulation, SpatlOptions,
     };
     pub use spatl_graph::extract;
     pub use spatl_models::{profile, ModelConfig, ModelKind, SplitModel};

@@ -190,10 +190,10 @@ unsafe fn fma_tile_6x16(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; MAX_
         for _ in 0..kc {
             let b0 = _mm256_loadu_ps(b);
             let b1 = _mm256_loadu_ps(b.add(8));
-            for r in 0..6 {
+            for (r, row) in c.iter_mut().enumerate() {
                 let ar = _mm256_set1_ps(*a.add(r));
-                c[r][0] = _mm256_fmadd_ps(ar, b0, c[r][0]);
-                c[r][1] = _mm256_fmadd_ps(ar, b1, c[r][1]);
+                row[0] = _mm256_fmadd_ps(ar, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(ar, b1, row[1]);
             }
             a = a.add(6);
             b = b.add(16);
@@ -231,10 +231,10 @@ unsafe fn fma_tile_into_6x16(
         for _ in 0..kc {
             let b0 = _mm256_loadu_ps(b);
             let b1 = _mm256_loadu_ps(b.add(8));
-            for r in 0..6 {
+            for (r, row) in c.iter_mut().enumerate() {
                 let ar = _mm256_set1_ps(*a.add(r));
-                c[r][0] = _mm256_fmadd_ps(ar, b0, c[r][0]);
-                c[r][1] = _mm256_fmadd_ps(ar, b1, c[r][1]);
+                row[0] = _mm256_fmadd_ps(ar, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(ar, b1, row[1]);
             }
             a = a.add(6);
             b = b.add(16);

@@ -29,7 +29,7 @@
 //! Layout (all little-endian) — the [`MsgType::EdgeCombined`] payload:
 //!
 //! ```text
-//! edge_id u32 · round u32 · fault counters 10×u32
+//! edge_id u32 · round u32 · fault counters 11×u32
 //! n_entries u32 · entries…
 //!   entry: client_id u32 · n_samples u64 · tau u64 · diverged u8
 //!          keep_ratio f32 · flops_ratio f32 · accuracy f32
@@ -69,6 +69,9 @@ pub struct TierFaultCounters {
     pub byzantine: u32,
     /// Uploads the edge's screen policy quarantined.
     pub quarantined: u32,
+    /// Retransmitted uploads already folded this round and discarded by
+    /// the per-(round, client) dedup guard.
+    pub duplicates: u32,
 }
 
 /// One collected client's contribution inside an [`EdgeCombined`]: the
@@ -257,7 +260,7 @@ impl<'a> Cur<'a> {
     }
 }
 
-const FAULT_FIELDS: usize = 10;
+const FAULT_FIELDS: usize = 11;
 
 /// Serialize an [`EdgeCombined`] into [`MsgType::EdgeCombined`] payload
 /// bytes (the caller seals it).
@@ -277,6 +280,7 @@ pub fn encode_edge_combined(msg: &EdgeCombined) -> Vec<u8> {
         f.local_divergence,
         f.byzantine,
         f.quarantined,
+        f.duplicates,
     ] {
         out.extend_from_slice(&c.to_le_bytes());
     }
@@ -345,6 +349,7 @@ pub fn decode_edge_combined(payload: &[u8]) -> Result<EdgeCombined, WireError> {
         local_divergence: counters[7],
         byzantine: counters[8],
         quarantined: counters[9],
+        duplicates: counters[10],
     };
     let n_entries = c.count(1)?;
     let mut entries = Vec::with_capacity(n_entries);
@@ -482,6 +487,7 @@ mod tests {
                 corrupted_uploads: 2,
                 retries: 1,
                 quarantined: 1,
+                duplicates: 1,
                 ..Default::default()
             },
             entries: vec![
@@ -575,8 +581,8 @@ mod tests {
     fn corrupt_length_cannot_over_allocate() {
         // A u32::MAX entry count must fail fast as truncation, not OOM.
         let mut bytes = encode_edge_combined(&EdgeCombined::default());
-        // n_entries sits after edge_id + round + 10 counters = 48 bytes.
-        bytes[48..52].copy_from_slice(&u32::MAX.to_le_bytes());
+        // n_entries sits after edge_id + round + 11 counters = 52 bytes.
+        bytes[52..56].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             decode_edge_combined(&bytes),
             Err(WireError::Truncated { .. })
